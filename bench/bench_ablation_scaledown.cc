@@ -1,0 +1,93 @@
+// Ablation for the Section 4.6 analysis of the Congress scale-down
+// factor f (Eq. 6): f = 1 on uniformly distributed groups, decays with
+// group-size skew, and approaches 2^-|G| on the adversarial distribution
+// of Eq. 7 as the attribute count and domain size grow.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.h"
+#include "sampling/allocation.h"
+#include "util/zipf.h"
+
+namespace congress {
+namespace {
+
+/// Builds the Eq.-7 pathological distribution for n attributes over
+/// domain {1..m}: |(v1..vn)| = base^(n * alpha) where alpha counts the
+/// attributes equal to 1. (The paper uses base (2m)^2; any growing base
+/// exhibits the same limit.)
+GroupStatistics PathologicalStats(int n, uint64_t m) {
+  std::vector<std::pair<GroupKey, uint64_t>> counts;
+  std::vector<uint64_t> values(n, 1);
+  for (;;) {
+    int alpha = 0;
+    GroupKey key;
+    for (int i = 0; i < n; ++i) {
+      if (values[i] == 1) ++alpha;
+      key.push_back(Value(static_cast<int64_t>(values[i])));
+    }
+    uint64_t size = 1;
+    for (int e = 0; e < n * alpha; ++e) size *= 2 * m;
+    counts.push_back({std::move(key), size});
+    int pos = n - 1;
+    while (pos >= 0 && values[pos] == m) {
+      values[pos] = 1;
+      --pos;
+    }
+    if (pos < 0) break;
+    values[pos] += 1;
+  }
+  auto stats = GroupStatistics::FromCounts(std::move(counts));
+  return std::move(stats).value();
+}
+
+GroupStatistics ZipfStats(uint64_t groups, double z) {
+  auto sizes = ZipfGroupSizes(1'000'000, groups, z);
+  std::vector<std::pair<GroupKey, uint64_t>> counts;
+  uint64_t d = static_cast<uint64_t>(std::llround(std::cbrt(
+      static_cast<double>(groups))));
+  for (uint64_t i = 0; i < sizes.size(); ++i) {
+    counts.push_back({GroupKey{Value(static_cast<int64_t>(i / (d * d))),
+                               Value(static_cast<int64_t>((i / d) % d)),
+                               Value(static_cast<int64_t>(i % d))},
+                      sizes[i]});
+  }
+  auto stats = GroupStatistics::FromCounts(std::move(counts));
+  return std::move(stats).value();
+}
+
+int Run() {
+  bench::PrintHeader(
+      "Ablation (Section 4.6 analysis): the Congress scale-down factor f",
+      "f = 1 for uniform group sizes; f decays with skew; f -> 2^-|G| on "
+      "the Eq. 7 adversarial distribution as m grows");
+
+  std::printf("f vs. group-size skew (|G| = 3, 1000 groups, X = 70000):\n");
+  std::printf("%-8s %10s\n", "z", "f");
+  for (double z : {0.0, 0.25, 0.5, 0.86, 1.0, 1.25, 1.5}) {
+    GroupStatistics stats = ZipfStats(1000, z);
+    Allocation congress = AllocateCongress(stats, 70000.0);
+    std::printf("%-8.2f %10.4f\n", z, congress.scale_down_factor);
+  }
+
+  std::printf("\nf on the Eq. 7 adversarial distribution vs. 2^-n bound:\n");
+  std::printf("%-4s %-6s %10s %10s\n", "n", "m", "f", "2^-n");
+  for (int n : {1, 2, 3}) {
+    for (uint64_t m : {4ull, 8ull, 16ull}) {
+      if (n == 3 && m == 16) continue;  // Counts overflow uint64 range.
+      GroupStatistics stats = PathologicalStats(n, m);
+      Allocation congress = AllocateCongress(stats, 1000.0);
+      std::printf("%-4d %-6llu %10.4f %10.4f\n", n,
+                  static_cast<unsigned long long>(m),
+                  congress.scale_down_factor, std::pow(2.0, -n));
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace congress
+
+int main() { return congress::Run(); }

@@ -1,0 +1,13 @@
+// Figure 14: average error of the allocation strategies on the Qg0 query
+// set (no group-by, 20 random l_id range predicates of ~7% selectivity)
+// at z = 1.5 group-size skew.
+
+#include "bench/expt1_common.h"
+
+int main(int argc, char** argv) {
+  return congress::bench::RunExpt1(
+      argc, argv, congress::bench::Expt1Query::kQg0,
+      "Figure 14: Qg0 (no group-bys) error by allocation strategy",
+      "Senate worst (starves large groups); House best; Congress close to "
+      "House; BasicCongress in between");
+}

@@ -1,0 +1,12 @@
+// Figure 15: average error on Qg3 (the finest three-attribute grouping)
+// at z = 1.5 group-size skew.
+
+#include "bench/expt1_common.h"
+
+int main(int argc, char** argv) {
+  return congress::bench::RunExpt1(
+      argc, argv, congress::bench::Expt1Query::kQg3,
+      "Figure 15: Qg3 (three group-by columns) error by allocation strategy",
+      "House worst (starves small groups); Senate best; Congress and "
+      "BasicCongress in between");
+}

@@ -1,0 +1,12 @@
+// Figure 16: average error on Qg2 (two group-by columns) at z = 1.5 —
+// the intermediate grouping Congress is designed to cover.
+
+#include "bench/expt1_common.h"
+
+int main(int argc, char** argv) {
+  return congress::bench::RunExpt1(
+      argc, argv, congress::bench::Expt1Query::kQg2,
+      "Figure 16: Qg2 (two group-by columns) error by allocation strategy",
+      "Congress best; House and Senate both worse (designed for the "
+      "extremes); absolute errors smaller than Figure 15");
+}

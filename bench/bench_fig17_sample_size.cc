@@ -1,0 +1,73 @@
+// Figure 17: sample size vs. accuracy for query Qg2 at group-size skew
+// z = 0.86. Sweeps SP over the paper's 1%-75% range for all four
+// allocation strategies.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.h"
+#include "tpcd/lineitem.h"
+#include "tpcd/workload.h"
+
+namespace congress {
+namespace {
+
+int Run(int argc, char** argv) {
+  bench::PrintHeader(
+      "Figure 17: sample size vs. accuracy (Qg2, z = 0.86)",
+      "errors fall with sample size for all strategies; House flattens "
+      "(extra space goes to large groups); Congress drops fastest");
+
+  tpcd::LineitemConfig config;
+  config.num_tuples = bench::ArgOr(argc, argv, "--tuples", 1'000'000);
+  config.num_groups = bench::ArgOr(argc, argv, "--groups", 1000);
+  config.group_skew_z = 0.86;
+  config.seed = 42;
+  auto data = tpcd::GenerateLineitem(config);
+  if (!data.ok()) {
+    std::printf("generation failed: %s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  const Table& base = data->table;
+  std::printf("T=%zu tuples, NG=%llu, z=%.2f\n\n", base.num_rows(),
+              static_cast<unsigned long long>(data->realized_num_groups),
+              config.group_skew_z);
+
+  const std::vector<double> sample_percents = {0.01, 0.02, 0.05, 0.10,
+                                               0.25, 0.50, 0.75};
+  const std::vector<std::pair<const char*, AllocationStrategy>> strategies = {
+      {"House", AllocationStrategy::kHouse},
+      {"Senate", AllocationStrategy::kSenate},
+      {"BasicCongress", AllocationStrategy::kBasicCongress},
+      {"Congress", AllocationStrategy::kCongress}};
+
+  std::printf("%-8s", "SP%");
+  for (const auto& [name, strategy] : strategies) std::printf(" %14s", name);
+  std::printf("\n");
+
+  GroupByQuery qg2 = tpcd::MakeQg2();
+  for (double sp : sample_percents) {
+    std::printf("%-8.0f", 100.0 * sp);
+    for (const auto& [name, strategy] : strategies) {
+      SynopsisConfig sconfig;
+      sconfig.strategy = strategy;
+      sconfig.sample_fraction = sp;
+      sconfig.grouping_columns = tpcd::LineitemGroupingColumnNames();
+      sconfig.seed = 7;
+      auto synopsis = AquaSynopsis::Build(base, sconfig);
+      if (!synopsis.ok()) {
+        std::printf(" %14s", "ERR");
+        continue;
+      }
+      std::printf(" %14.2f", bench::L1Error(base, *synopsis, qg2));
+    }
+    std::printf("\n");
+  }
+  std::printf("\n(avg %% error per group, L1 norm)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace congress
+
+int main(int argc, char** argv) { return congress::Run(argc, argv); }

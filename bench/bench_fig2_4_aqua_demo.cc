@@ -1,0 +1,111 @@
+// Regenerates the Aqua rewriting demonstration of Figures 2-4: a TPC-D
+// Q1-style query (SUM of l_quantity per l_returnflag x l_linestatus with
+// a shipdate predicate) answered exactly and from a 1% uniform (House)
+// sample with 90%-confidence error bounds. The paper's point: the
+// smallest group's estimate is markedly worse — which motivates Congress.
+// We print the same comparison from a Congress sample of the same size.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/common.h"
+#include "tpcd/lineitem.h"
+
+namespace congress {
+namespace {
+
+using tpcd::GenerateLineitem;
+using tpcd::LineitemConfig;
+
+void PrintComparison(const char* label, const Table& base,
+                     const AquaSynopsis& synopsis, const GroupByQuery& query) {
+  auto exact = ExecuteExact(base, query);
+  auto approx = synopsis.Answer(query);
+  if (!exact.ok() || !approx.ok()) {
+    std::printf("query failed\n");
+    return;
+  }
+  std::printf("\n%s\n", label);
+  std::printf("%-24s %14s %14s %12s %10s\n", "group (flag, status)", "exact",
+              "approx", "error1(90%)", "rel.err%");
+  for (const GroupResult& row : exact->rows()) {
+    const ApproximateGroupRow* est = approx->Find(row.key);
+    if (est == nullptr) {
+      std::printf("%-24s %14.4g %14s %12s %10s\n",
+                  GroupKeyToString(row.key).c_str(), row.aggregates[0],
+                  "MISSING", "-", "-");
+      continue;
+    }
+    double rel = row.aggregates[0] != 0.0
+                     ? 100.0 * std::abs(est->estimates[0] - row.aggregates[0]) /
+                           std::abs(row.aggregates[0])
+                     : 0.0;
+    std::printf("%-24s %14.4g %14.4g %12.3g %10.2f\n",
+                GroupKeyToString(row.key).c_str(), row.aggregates[0],
+                est->estimates[0], est->bounds[0], rel);
+  }
+}
+
+int Run(int argc, char** argv) {
+  bench::PrintHeader(
+      "Figures 2-4: Aqua query rewriting on a 1% uniform sample "
+      "(TPC-D Q1 flavor)",
+      "the smallest group's approximate answer is much worse than the "
+      "others on the uniform sample; a Congress sample of equal size "
+      "fixes it");
+
+  LineitemConfig config;
+  config.num_tuples = bench::ArgOr(argc, argv, "--tuples", 1'000'000);
+  config.num_groups = 27;  // Few groups, like TPC-D's flag x status.
+  config.group_skew_z = 1.2;  // One group ~35x smaller, as in the paper.
+  config.seed = 1;
+  auto data = GenerateLineitem(config);
+  if (!data.ok()) {
+    std::printf("generation failed: %s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  const Table& base = data->table;
+
+  // Original query (Figure 2a): SUM(l_quantity) per flag x status with a
+  // shipdate predicate covering most of the data.
+  GroupByQuery query;
+  query.group_columns = {tpcd::kLReturnFlag, tpcd::kLLineStatus};
+  query.aggregates = {AggregateSpec{AggregateKind::kSum, tpcd::kLQuantity}};
+  // l_shipdate values are random in [0, 1M): the predicate keeps ~90%.
+  query.predicate = MakeLessEqualPredicate(tpcd::kLShipDate, 900'000.0);
+
+  SynopsisConfig uniform;
+  uniform.strategy = AllocationStrategy::kHouse;
+  uniform.sample_fraction = 0.01;  // bs_lineitem: the paper's 1% sample.
+  uniform.grouping_columns = tpcd::LineitemGroupingColumnNames();
+  uniform.estimator.confidence = 0.90;
+  uniform.seed = 2;
+  auto house = AquaSynopsis::Build(base, uniform);
+  if (!house.ok()) {
+    std::printf("build failed: %s\n", house.status().ToString().c_str());
+    return 1;
+  }
+  PrintComparison("House (1% uniform sample, Figure 4 analogue):", base,
+                  *house, query);
+
+  SynopsisConfig congress_config = uniform;
+  congress_config.strategy = AllocationStrategy::kCongress;
+  congress_config.seed = 3;
+  auto congress = AquaSynopsis::Build(base, congress_config);
+  if (!congress.ok()) {
+    std::printf("build failed: %s\n", congress.status().ToString().c_str());
+    return 1;
+  }
+  PrintComparison("Congress (same 1% space):", base, *congress, query);
+
+  std::printf(
+      "\nNote: with group-size skew, the smallest flag x status group "
+      "contributes few tuples to the uniform sample, inflating its bound "
+      "and error — the limitation Section 2 demonstrates.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace congress
+
+int main(int argc, char** argv) { return congress::Run(argc, argv); }

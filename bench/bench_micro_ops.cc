@@ -1,0 +1,175 @@
+// Google-benchmark micro-benchmarks for the library's hot paths: reservoir
+// offers, Zipf sampling, group census, allocation, estimation, the four
+// rewrite plans, and maintainer inserts.
+
+#include <benchmark/benchmark.h>
+
+#include "core/estimator.h"
+#include "core/rewriter.h"
+#include "engine/executor.h"
+#include "sampling/builder.h"
+#include "sampling/maintenance.h"
+#include "sampling/reservoir.h"
+#include "tpcd/lineitem.h"
+#include "tpcd/workload.h"
+#include "util/zipf.h"
+
+namespace congress {
+namespace {
+
+const tpcd::LineitemData& SharedData() {
+  static const tpcd::LineitemData* data = [] {
+    tpcd::LineitemConfig config;
+    config.num_tuples = 200'000;
+    config.num_groups = 1000;
+    config.group_skew_z = 0.86;
+    config.seed = 42;
+    auto result = tpcd::GenerateLineitem(config);
+    return new tpcd::LineitemData(std::move(result).value());
+  }();
+  return *data;
+}
+
+const StratifiedSample& SharedSample() {
+  static const StratifiedSample* sample = [] {
+    Random rng(7);
+    auto result =
+        BuildSample(SharedData().table, tpcd::LineitemGroupingColumns(),
+                    AllocationStrategy::kCongress, 14'000.0, &rng);
+    return new StratifiedSample(std::move(result).value());
+  }();
+  return *sample;
+}
+
+const Rewriter& SharedRewriter() {
+  static const Rewriter* rewriter = new Rewriter(SharedSample());
+  return *rewriter;
+}
+
+void BM_ReservoirOffer(benchmark::State& state) {
+  Random rng(1);
+  ReservoirSampler<uint64_t> res(static_cast<size_t>(state.range(0)));
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(res.Offer(i++, &rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReservoirOffer)->Arg(100)->Arg(10'000);
+
+void BM_ZipfSample(benchmark::State& state) {
+  ZipfDistribution dist(static_cast<uint64_t>(state.range(0)), 0.86);
+  Random rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dist.Sample(&rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfSample)->Arg(1000)->Arg(200'000);
+
+void BM_GroupCensus(benchmark::State& state) {
+  const Table& t = SharedData().table;
+  for (auto _ : state) {
+    auto stats =
+        GroupStatistics::Compute(t, tpcd::LineitemGroupingColumns());
+    benchmark::DoNotOptimize(stats.num_groups());
+  }
+  state.SetItemsProcessed(state.iterations() * t.num_rows());
+}
+BENCHMARK(BM_GroupCensus);
+
+void BM_AllocateCongress(benchmark::State& state) {
+  static const GroupStatistics stats = GroupStatistics::Compute(
+      SharedData().table, tpcd::LineitemGroupingColumns());
+  for (auto _ : state) {
+    Allocation alloc = AllocateCongress(stats, 14'000.0);
+    benchmark::DoNotOptimize(alloc.Total());
+  }
+}
+BENCHMARK(BM_AllocateCongress);
+
+void BM_BuildCongressSample(benchmark::State& state) {
+  const Table& t = SharedData().table;
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    Random rng(seed++);
+    auto sample = BuildSample(t, tpcd::LineitemGroupingColumns(),
+                              AllocationStrategy::kCongress, 14'000.0, &rng);
+    benchmark::DoNotOptimize(sample.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * t.num_rows());
+}
+BENCHMARK(BM_BuildCongressSample);
+
+void BM_EstimateQg2(benchmark::State& state) {
+  const StratifiedSample& sample = SharedSample();
+  GroupByQuery q = tpcd::MakeQg2();
+  for (auto _ : state) {
+    auto result = EstimateGroupBy(sample, q);
+    benchmark::DoNotOptimize(result.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * sample.num_rows());
+}
+BENCHMARK(BM_EstimateQg2);
+
+void BM_Rewrite(benchmark::State& state) {
+  const Rewriter& rewriter = SharedRewriter();
+  auto strategy = static_cast<RewriteStrategy>(state.range(0));
+  GroupByQuery q = tpcd::MakeQg2();
+  for (auto _ : state) {
+    auto result = rewriter.Answer(q, strategy);
+    benchmark::DoNotOptimize(result.ok());
+  }
+  state.SetLabel(RewriteStrategyToString(strategy));
+  state.SetItemsProcessed(state.iterations() *
+                          SharedSample().num_rows());
+}
+BENCHMARK(BM_Rewrite)->DenseRange(0, 3);
+
+void BM_MaintainerInsert(benchmark::State& state) {
+  const Table& t = SharedData().table;
+  auto strategy = static_cast<AllocationStrategy>(state.range(0));
+  std::unique_ptr<SampleMaintainer> maintainer;
+  std::unique_ptr<CongressMaintainer> congress;
+  SampleMaintainer* target = nullptr;
+  switch (strategy) {
+    case AllocationStrategy::kHouse:
+      maintainer =
+          MakeHouseMaintainer(t.schema(), tpcd::LineitemGroupingColumns(),
+                              14'000, 3);
+      break;
+    case AllocationStrategy::kSenate:
+      maintainer =
+          MakeSenateMaintainer(t.schema(), tpcd::LineitemGroupingColumns(),
+                               14'000, 3);
+      break;
+    case AllocationStrategy::kBasicCongress:
+      maintainer = MakeBasicCongressMaintainer(
+          t.schema(), tpcd::LineitemGroupingColumns(), 14'000, 3);
+      break;
+    case AllocationStrategy::kCongress:
+      congress = std::make_unique<CongressMaintainer>(
+          t.schema(), tpcd::LineitemGroupingColumns(), 14'000, 3);
+      break;
+  }
+  target = congress ? static_cast<SampleMaintainer*>(congress.get())
+                    : maintainer.get();
+  std::vector<Value> row;
+  size_t r = 0;
+  for (auto _ : state) {
+    row.clear();
+    for (size_t c = 0; c < t.num_columns(); ++c) {
+      row.push_back(t.GetValue(r, c));
+    }
+    benchmark::DoNotOptimize(target->Insert(row).ok());
+    r = (r + 1) % t.num_rows();
+  }
+  state.SetLabel(AllocationStrategyToString(strategy));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MaintainerInsert)->DenseRange(0, 3);
+
+}  // namespace
+}  // namespace congress
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+#ifndef CONGRESS_BENCH_COMMON_H_
+#define CONGRESS_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/metrics.h"
+#include "core/synopsis.h"
+#include "engine/executor.h"
+#include "util/stopwatch.h"
+
+namespace congress::bench {
+
+/// Prints a banner naming the paper artifact this binary regenerates and
+/// the result shape the paper reports, so bench_output.txt reads as a
+/// self-contained experiment log.
+inline void PrintHeader(const std::string& title,
+                        const std::string& paper_expectation) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Paper expectation: %s\n", paper_expectation.c_str());
+  std::printf("==============================================================\n");
+}
+
+/// Times `fn` the paper's way (Section 7.3): run `runs` times, discard the
+/// first (warm-up / caching), average the rest. Returns seconds.
+inline double MeasureSeconds(const std::function<void()>& fn, int runs = 5) {
+  double total = 0.0;
+  for (int i = 0; i < runs; ++i) {
+    Stopwatch sw;
+    fn();
+    double elapsed = sw.ElapsedSeconds();
+    if (i > 0) total += elapsed;
+  }
+  return total / static_cast<double>(runs - 1);
+}
+
+/// Average L1 (mean percentage) error of `synopsis` on `query` against
+/// the exact answer over `base` — the error measure of Section 7.2.
+inline double L1Error(const Table& base, const AquaSynopsis& synopsis,
+                      const GroupByQuery& query) {
+  auto exact = ExecuteExact(base, query);
+  auto approx = synopsis.Answer(query);
+  if (!exact.ok() || !approx.ok()) return -1.0;
+  return CompareAnswers(*exact, *approx, 0).l1;
+}
+
+/// Parses "--key value" style overrides: returns value for `key` or
+/// `fallback`. Lets every bench scale down for quick runs, e.g.
+/// `bench_fig14_qg0_error --tuples 100000`.
+inline uint64_t ArgOr(int argc, char** argv, const std::string& key,
+                      uint64_t fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (key == argv[i]) return std::strtoull(argv[i + 1], nullptr, 10);
+  }
+  return fallback;
+}
+
+inline double ArgOrDouble(int argc, char** argv, const std::string& key,
+                          double fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (key == argv[i]) return std::strtod(argv[i + 1], nullptr);
+  }
+  return fallback;
+}
+
+}  // namespace congress::bench
+
+#endif  // CONGRESS_BENCH_COMMON_H_

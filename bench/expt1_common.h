@@ -1,0 +1,131 @@
+#ifndef CONGRESS_BENCH_EXPT1_COMMON_H_
+#define CONGRESS_BENCH_EXPT1_COMMON_H_
+
+// Shared driver for the paper's Experiment 1 (Section 7.2.1, Figures
+// 14-16): fix the sample at SP = 7% of a T-tuple lineitem table with
+// NG = 1000 groups and group-size skew z = 1.5, then measure the average
+// percentage error of House / Senate / BasicCongress / Congress on one of
+// the three query classes (Qg0, Qg2, Qg3).
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "tpcd/lineitem.h"
+#include "tpcd/workload.h"
+
+namespace congress::bench {
+
+enum class Expt1Query { kQg0, kQg2, kQg3 };
+
+inline int RunExpt1(int argc, char** argv, Expt1Query which,
+                    const std::string& title,
+                    const std::string& expectation) {
+  PrintHeader(title, expectation);
+
+  tpcd::LineitemConfig config;
+  config.num_tuples = ArgOr(argc, argv, "--tuples", 1'000'000);
+  config.num_groups = ArgOr(argc, argv, "--groups", 1000);
+  config.group_skew_z = ArgOrDouble(argc, argv, "--skew", 1.5);
+  config.value_skew_z = 0.86;
+  config.seed = ArgOr(argc, argv, "--seed", 42);
+  const double sp = ArgOrDouble(argc, argv, "--sp", 0.07);
+
+  auto data = tpcd::GenerateLineitem(config);
+  if (!data.ok()) {
+    std::printf("generation failed: %s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  const Table& base = data->table;
+  std::printf("T=%zu tuples, NG=%llu groups (realized %llu), z=%.2f, "
+              "SP=%.0f%%\n\n",
+              base.num_rows(),
+              static_cast<unsigned long long>(config.num_groups),
+              static_cast<unsigned long long>(data->realized_num_groups),
+              config.group_skew_z, 100.0 * sp);
+
+  struct Row {
+    const char* name;
+    AllocationStrategy strategy;
+    double l1 = 0.0;
+    double l2 = 0.0;
+    double linf = 0.0;
+  };
+  std::vector<Row> rows = {
+      {"House", AllocationStrategy::kHouse},
+      {"Senate", AllocationStrategy::kSenate},
+      {"BasicCongress", AllocationStrategy::kBasicCongress},
+      {"Congress", AllocationStrategy::kCongress},
+  };
+
+  const uint64_t reps = ArgOr(argc, argv, "--reps", 3);
+  for (Row& row : rows) {
+    for (uint64_t rep = 0; rep < reps; ++rep) {
+      SynopsisConfig sconfig;
+      sconfig.strategy = row.strategy;
+      sconfig.sample_fraction = sp;
+      sconfig.grouping_columns = tpcd::LineitemGroupingColumnNames();
+      sconfig.seed = config.seed + 7 + rep * 1000;
+      auto synopsis = AquaSynopsis::Build(base, sconfig);
+      if (!synopsis.ok()) {
+        std::printf("%s build failed: %s\n", row.name,
+                    synopsis.status().ToString().c_str());
+        return 1;
+      }
+      auto score = [&](const GroupByQuery& query) {
+        auto exact = ExecuteExact(base, query);
+        auto approx = synopsis->Answer(query);
+        if (!exact.ok() || !approx.ok()) return;
+        auto report = CompareAnswers(*exact, *approx, 0);
+        row.l1 += report.l1;
+        row.l2 += report.l2;
+        row.linf = std::max(row.linf, report.linf);
+      };
+      switch (which) {
+        case Expt1Query::kQg2:
+          score(tpcd::MakeQg2());
+          break;
+        case Expt1Query::kQg3:
+          score(tpcd::MakeQg3());
+          break;
+        case Expt1Query::kQg0: {
+          Random rng(config.seed + 99);
+          auto queries = tpcd::MakeQg0Set(base.num_rows(), 0.07, 20, &rng);
+          double l1 = 0.0;
+          double l2 = 0.0;
+          for (const auto& q : queries) {
+            auto exact = ExecuteExact(base, q);
+            auto approx = synopsis->Answer(q);
+            if (!exact.ok() || !approx.ok()) continue;
+            auto report = CompareAnswers(*exact, *approx, 0);
+            l1 += report.l1;
+            l2 += report.l2;
+            row.linf = std::max(row.linf, report.linf);
+          }
+          row.l1 += l1 / static_cast<double>(queries.size());
+          row.l2 += l2 / static_cast<double>(queries.size());
+          break;
+        }
+      }
+    }
+    row.l1 /= static_cast<double>(reps);
+    row.l2 /= static_cast<double>(reps);
+  }
+  std::printf("(averaged over %llu independent sample draws; Linf is the "
+              "worst group across draws)\n",
+              static_cast<unsigned long long>(reps));
+
+  std::printf("%-15s %14s %14s %14s\n", "strategy", "L1 %%", "L2 %%",
+              "Linf %%");
+  for (const Row& row : rows) {
+    std::printf("%-15s %14.2f %14.2f %14.2f\n", row.name, row.l1, row.l2,
+                row.linf);
+  }
+  return 0;
+}
+
+}  // namespace congress::bench
+
+#endif  // CONGRESS_BENCH_EXPT1_COMMON_H_

@@ -1,0 +1,131 @@
+// aqua_shell: an interactive approximate-query shell over the AquaEngine
+// middleware — the full Figure 1 loop of the paper. Loads a skewed TPC-D
+// lineitem table, registers it (which precomputes a congressional
+// sample), then accepts SQL on stdin: each query is parsed, routed, the
+// rewritten SQL is shown (as in Figure 2), and the approximate answer is
+// compared with the exact one.
+//
+// Run with --demo (the bench loop does) for a scripted session.
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "core/aqua.h"
+#include "tpcd/lineitem.h"
+#include "util/stopwatch.h"
+
+using namespace congress;
+
+namespace {
+
+void RunQuery(const std::string& sql_text, const AquaEngine& engine) {
+  auto rewritten =
+      engine.ExplainRewrite(sql_text, RewriteStrategy::kNestedIntegrated);
+  if (!rewritten.ok()) {
+    std::printf("  error: %s\n", rewritten.status().ToString().c_str());
+    return;
+  }
+  std::printf("-- rewritten (Nested-Integrated):\n%s\n", rewritten->c_str());
+
+  Stopwatch approx_sw;
+  auto approx = engine.Query(sql_text);
+  double approx_ms = approx_sw.ElapsedMillis();
+  if (!approx.ok()) {
+    std::printf("  error: %s\n", approx.status().ToString().c_str());
+    return;
+  }
+  Stopwatch exact_sw;
+  auto exact = engine.QueryExact(sql_text);
+  double exact_ms = exact_sw.ElapsedMillis();
+  if (!exact.ok()) {
+    std::printf("  error: %s\n", exact.status().ToString().c_str());
+    return;
+  }
+
+  std::printf("%-24s %14s %12s %14s\n", "group", "approx", "+-bound",
+              "exact");
+  size_t shown = 0;
+  for (const ApproximateGroupRow& row : approx->rows()) {
+    if (++shown > 12) {
+      std::printf("... (%zu more groups)\n", approx->num_groups() - 12);
+      break;
+    }
+    const GroupResult* truth = exact->Find(row.key);
+    std::printf("%-24s %14.6g %12.4g %14.6g\n",
+                GroupKeyToString(row.key).c_str(), row.estimates[0],
+                row.bounds[0], truth != nullptr ? truth->aggregates[0] : 0.0);
+  }
+  std::printf("approx: %.2f ms | exact: %.2f ms (%.0fx)\n\n", approx_ms,
+              exact_ms, exact_ms / std::max(approx_ms, 1e-6));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool demo = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--demo") == 0) demo = true;
+  }
+
+  std::printf("loading lineitem (1M tuples, 1000 skewed groups)...\n");
+  tpcd::LineitemConfig config;
+  config.num_tuples = 1'000'000;
+  config.num_groups = 1000;
+  config.group_skew_z = 1.2;
+  config.seed = 42;
+  auto data = tpcd::GenerateLineitem(config);
+  if (!data.ok()) {
+    std::printf("generation failed: %s\n", data.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("registering with Aqua (builds a 5%% congressional "
+              "sample)...\n");
+  AquaEngine engine;
+  SynopsisConfig sconfig;
+  sconfig.strategy = AllocationStrategy::kCongress;
+  sconfig.sample_fraction = 0.05;
+  sconfig.grouping_columns = tpcd::LineitemGroupingColumnNames();
+  sconfig.seed = 7;
+  Status st =
+      engine.RegisterTable("lineitem", std::move(data->table), sconfig);
+  if (!st.ok()) {
+    std::printf("register failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  auto synopsis = engine.GetSynopsis("lineitem");
+  if (synopsis.ok()) {
+    std::printf("ready: %zu sampled tuples across %zu strata.\n\n",
+                (*synopsis)->sample().num_rows(),
+                (*synopsis)->sample().strata().size());
+  }
+
+  if (demo) {
+    const char* scripted[] = {
+        "SELECT l_returnflag, l_linestatus, SUM(l_quantity) FROM lineitem "
+        "GROUP BY l_returnflag, l_linestatus",
+        "SELECT SUM(l_extendedprice) FROM lineitem WHERE l_id BETWEEN "
+        "100000 AND 170000",
+        "SELECT l_returnflag, AVG(l_quantity), COUNT(*) FROM lineitem "
+        "GROUP BY l_returnflag",
+    };
+    for (const char* sql_text : scripted) {
+      std::printf("aqua> %s\n", sql_text);
+      RunQuery(sql_text, engine);
+    }
+    return 0;
+  }
+
+  std::printf("enter SQL (SELECT ... FROM lineitem [WHERE ...] [GROUP BY "
+              "...]); empty line quits.\n");
+  std::string line;
+  while (true) {
+    std::printf("aqua> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line) || line.empty()) break;
+    RunQuery(line, engine);
+  }
+  return 0;
+}

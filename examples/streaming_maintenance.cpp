@@ -1,0 +1,105 @@
+// Streaming maintenance: the Section 6 story. A warehouse keeps loading
+// new sales data — including data for products (groups) that did not
+// exist when the synopsis was built. The incremental maintainers keep the
+// sample valid without ever re-reading the base relation; Refresh()
+// republishes it to the query path.
+
+#include <cstdio>
+
+#include "core/metrics.h"
+#include "core/synopsis.h"
+#include "engine/executor.h"
+#include "tpcd/lineitem.h"
+#include "tpcd/workload.h"
+
+using namespace congress;
+
+int main() {
+  // Day 0: 300K rows over 125 groups.
+  tpcd::LineitemConfig config;
+  config.num_tuples = 300'000;
+  config.num_groups = 125;
+  config.group_skew_z = 0.86;
+  config.seed = 11;
+  auto day0 = tpcd::GenerateLineitem(config);
+  if (!day0.ok()) {
+    std::printf("generation failed: %s\n", day0.status().ToString().c_str());
+    return 1;
+  }
+
+  SynopsisConfig sconfig;
+  sconfig.strategy = AllocationStrategy::kCongress;
+  sconfig.sample_size = 20'000;
+  sconfig.grouping_columns = {"l_returnflag", "l_linestatus", "l_shipdate"};
+  sconfig.incremental = true;  // One-pass build + live maintenance.
+  sconfig.seed = 4;
+  auto synopsis = AquaSynopsis::Build(day0->table, sconfig);
+  if (!synopsis.ok()) {
+    std::printf("build failed: %s\n", synopsis.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("day 0: synopsis over %llu tuples, %zu strata, %zu sampled\n",
+              static_cast<unsigned long long>(
+                  synopsis->sample().total_population()),
+              synopsis->sample().strata().size(),
+              synopsis->sample().num_rows());
+
+  // Keep a mirror of the full relation so we can score accuracy.
+  Table full = day0->table;
+
+  // Days 1..3: each day streams 100K new rows whose shipdates (one of the
+  // grouping columns) include values never seen before — new groups.
+  Random rng(99);
+  for (int day = 1; day <= 3; ++day) {
+    tpcd::LineitemConfig day_config = config;
+    day_config.num_tuples = 100'000;
+    day_config.seed = 100 + day;  // Fresh domains -> mostly new groups.
+    auto batch = tpcd::GenerateLineitem(day_config);
+    if (!batch.ok()) {
+      std::printf("batch failed\n");
+      return 1;
+    }
+    std::vector<Value> row;
+    for (size_t r = 0; r < batch->table.num_rows(); ++r) {
+      row.clear();
+      for (size_t c = 0; c < batch->table.num_columns(); ++c) {
+        row.push_back(batch->table.GetValue(r, c));
+      }
+      Status st = synopsis->Insert(row);
+      if (!st.ok()) {
+        std::printf("insert failed: %s\n", st.ToString().c_str());
+        return 1;
+      }
+      full.AppendRowFrom(batch->table, r);
+    }
+    Status st = synopsis->Refresh();
+    if (!st.ok()) {
+      std::printf("refresh failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+
+    GroupByQuery qg2 = tpcd::MakeQg2();
+    auto exact = ExecuteExact(full, qg2);
+    auto approx = synopsis->Answer(qg2);
+    if (!exact.ok() || !approx.ok()) {
+      std::printf("query failed\n");
+      return 1;
+    }
+    auto report = CompareAnswers(*exact, *approx, 0);
+    std::printf(
+        "day %d: population %llu, strata %zu, sample %zu | Qg2 groups "
+        "%zu/%zu answered, L1 error %.2f%%\n",
+        day,
+        static_cast<unsigned long long>(
+            synopsis->sample().total_population()),
+        synopsis->sample().strata().size(), synopsis->sample().num_rows(),
+        exact->num_groups() - report.missing_groups, exact->num_groups(),
+        report.l1);
+  }
+
+  std::printf(
+      "\nThe maintainer never re-read the base relation: new groups were "
+      "absorbed, per-group probabilities decayed (Eq. 8), and every "
+      "refresh republished a valid congressional sample.\n");
+  return 0;
+}

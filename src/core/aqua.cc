@@ -1,0 +1,128 @@
+#include "core/aqua.h"
+
+#include "engine/executor.h"
+#include "sql/emitter.h"
+#include "sql/parser.h"
+
+namespace congress {
+
+Status AquaEngine::RegisterTable(const std::string& name, Table table,
+                                 const SynopsisConfig& config) {
+  if (tables_.count(name) > 0) {
+    return Status::AlreadyExists("table '" + name + "' already registered");
+  }
+  auto synopsis = AquaSynopsis::Build(table, config);
+  if (!synopsis.ok()) return synopsis.status();
+  Entry entry{std::move(table), std::make_unique<AquaSynopsis>(
+                                    std::move(synopsis).value())};
+  tables_.emplace(name, std::move(entry));
+  return Status::OK();
+}
+
+Status AquaEngine::DropTable(const std::string& name) {
+  if (tables_.erase(name) == 0) {
+    return Status::NotFound("table '" + name + "' not registered");
+  }
+  return Status::OK();
+}
+
+bool AquaEngine::HasTable(const std::string& name) const {
+  return tables_.count(name) > 0;
+}
+
+std::vector<std::string> AquaEngine::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, entry] : tables_) names.push_back(name);
+  return names;
+}
+
+Result<const AquaEngine::Entry*> AquaEngine::Lookup(
+    const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("table '" + name + "' not registered");
+  }
+  return &it->second;
+}
+
+Result<std::pair<const AquaEngine::Entry*, GroupByQuery>> AquaEngine::Route(
+    const std::string& sql) const {
+  auto statement = sql::ParseSelect(sql);
+  if (!statement.ok()) return statement.status();
+  auto entry = Lookup(statement->table);
+  if (!entry.ok()) return entry.status();
+  auto query = sql::Bind(*statement, (*entry)->table.schema());
+  if (!query.ok()) return query.status();
+  return std::make_pair(*entry, std::move(query).value());
+}
+
+Result<ApproximateResult> AquaEngine::Query(const std::string& sql) const {
+  auto routed = Route(sql);
+  if (!routed.ok()) return routed.status();
+  return routed->first->synopsis->Answer(routed->second);
+}
+
+Result<QueryResult> AquaEngine::QueryExact(const std::string& sql) const {
+  auto routed = Route(sql);
+  if (!routed.ok()) return routed.status();
+  return ExecuteExact(routed->first->table, routed->second);
+}
+
+Result<QueryResult> AquaEngine::QueryVia(const std::string& sql,
+                                         RewriteStrategy strategy) const {
+  auto routed = Route(sql);
+  if (!routed.ok()) return routed.status();
+  return routed->first->synopsis->AnswerVia(routed->second, strategy);
+}
+
+Result<std::string> AquaEngine::ExplainRewrite(const std::string& sql,
+                                               RewriteStrategy strategy) const {
+  auto statement = sql::ParseSelect(sql);
+  if (!statement.ok()) return statement.status();
+  auto entry = Lookup(statement->table);
+  if (!entry.ok()) return entry.status();
+  auto query = sql::Bind(*statement, (*entry)->table.schema());
+  if (!query.ok()) return query.status();
+  sql::EmitOptions options;
+  options.sample_table = "bs_" + statement->table;
+  options.aux_table = "aux_" + statement->table;
+  options.with_error_bounds = true;
+  return sql::EmitRewritten(*query, (*entry)->table.schema(), strategy,
+                            options);
+}
+
+Status AquaEngine::Insert(const std::string& name,
+                          const std::vector<Value>& row) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("table '" + name + "' not registered");
+  }
+  // Stream into the synopsis first: it validates the row and requires
+  // incremental maintenance; only then mutate the base relation.
+  CONGRESS_RETURN_NOT_OK(it->second.synopsis->Insert(row));
+  return it->second.table.AppendRow(row);
+}
+
+Status AquaEngine::Refresh(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("table '" + name + "' not registered");
+  }
+  return it->second.synopsis->Refresh();
+}
+
+Result<const AquaSynopsis*> AquaEngine::GetSynopsis(
+    const std::string& name) const {
+  auto entry = Lookup(name);
+  if (!entry.ok()) return entry.status();
+  return static_cast<const AquaSynopsis*>((*entry)->synopsis.get());
+}
+
+Result<const Table*> AquaEngine::GetTable(const std::string& name) const {
+  auto entry = Lookup(name);
+  if (!entry.ok()) return entry.status();
+  return &(*entry)->table;
+}
+
+}  // namespace congress

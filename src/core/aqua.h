@@ -1,0 +1,80 @@
+#ifndef CONGRESS_CORE_AQUA_H_
+#define CONGRESS_CORE_AQUA_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/synopsis.h"
+#include "util/status.h"
+
+namespace congress {
+
+/// The full Aqua middleware loop of Figure 1 in the paper: a catalog of
+/// base relations, a precomputed synopsis per relation, and a SQL front
+/// end. A query arrives as text, is parsed and routed by its FROM clause,
+/// rewritten against the synopsis, and answered approximately with error
+/// bounds — without touching the base data. The base tables are retained
+/// only so exact answers can be produced for comparison (QueryExact),
+/// mirroring how the paper's experiments score accuracy.
+class AquaEngine {
+ public:
+  AquaEngine() = default;
+
+  /// Registers `table` under `name` (ownership transfers) and builds its
+  /// synopsis per `config`. Fails if the name is taken or the build
+  /// fails; the table is not retained on failure.
+  Status RegisterTable(const std::string& name, Table table,
+                       const SynopsisConfig& config);
+
+  /// Drops a relation and its synopsis.
+  Status DropTable(const std::string& name);
+
+  bool HasTable(const std::string& name) const;
+  std::vector<std::string> TableNames() const;
+
+  /// Parses `sql`, routes by FROM, and answers from the synopsis with
+  /// per-group error bounds.
+  Result<ApproximateResult> Query(const std::string& sql) const;
+
+  /// Exact answer over the retained base relation.
+  Result<QueryResult> QueryExact(const std::string& sql) const;
+
+  /// Approximate answer through a specific Section 5 physical plan.
+  Result<QueryResult> QueryVia(const std::string& sql,
+                               RewriteStrategy strategy) const;
+
+  /// The rewritten SQL text the strategy would send to the back-end DBMS
+  /// (Figures 8-11), with the synopsis relation named "bs_<table>".
+  Result<std::string> ExplainRewrite(const std::string& sql,
+                                     RewriteStrategy strategy) const;
+
+  /// Streams a newly inserted tuple into both the base relation and its
+  /// (incremental) synopsis. Requires the synopsis to have been built
+  /// with SynopsisConfig::incremental.
+  Status Insert(const std::string& name, const std::vector<Value>& row);
+
+  /// Republishes an incrementally maintained synopsis.
+  Status Refresh(const std::string& name);
+
+  Result<const AquaSynopsis*> GetSynopsis(const std::string& name) const;
+  Result<const Table*> GetTable(const std::string& name) const;
+
+ private:
+  struct Entry {
+    Table table;
+    std::unique_ptr<AquaSynopsis> synopsis;
+  };
+
+  Result<const Entry*> Lookup(const std::string& name) const;
+  /// Parses and binds `sql` against the named table's schema.
+  Result<std::pair<const Entry*, GroupByQuery>> Route(
+      const std::string& sql) const;
+
+  std::unordered_map<std::string, Entry> tables_;
+};
+
+}  // namespace congress
+
+#endif  // CONGRESS_CORE_AQUA_H_

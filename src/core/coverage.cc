@@ -1,0 +1,38 @@
+#include "core/coverage.h"
+
+#include <cmath>
+
+namespace congress {
+
+double GroupCoverageProbability(uint64_t per_group_sample,
+                                double selectivity) {
+  if (selectivity <= 0.0) return 0.0;
+  if (selectivity >= 1.0) return per_group_sample > 0 ? 1.0 : 0.0;
+  return 1.0 - std::pow(1.0 - selectivity,
+                        static_cast<double>(per_group_sample));
+}
+
+Result<uint64_t> MinPerGroupSampleSize(double selectivity,
+                                       double confidence) {
+  if (selectivity <= 0.0 || selectivity >= 1.0) {
+    return Status::InvalidArgument("selectivity must be in (0, 1)");
+  }
+  if (confidence <= 0.0 || confidence >= 1.0) {
+    return Status::InvalidArgument("confidence must be in (0, 1)");
+  }
+  double x = std::log(1.0 - confidence) / std::log(1.0 - selectivity);
+  return static_cast<uint64_t>(std::ceil(x - 1e-12));
+}
+
+Result<uint64_t> MinSampleSpaceForCoverage(uint64_t num_groups,
+                                           double selectivity,
+                                           double confidence) {
+  if (num_groups == 0) {
+    return Status::InvalidArgument("num_groups must be positive");
+  }
+  auto per_group = MinPerGroupSampleSize(selectivity, confidence);
+  if (!per_group.ok()) return per_group.status();
+  return num_groups * *per_group;
+}
+
+}  // namespace congress

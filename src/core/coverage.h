@@ -1,0 +1,40 @@
+#ifndef CONGRESS_CORE_COVERAGE_H_
+#define CONGRESS_CORE_COVERAGE_H_
+
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace congress {
+
+/// Utilities for the paper's first user requirement (Section 3.2): the
+/// approximate answer should contain *all* the groups of the exact
+/// answer. Footnote 7 observes this "places a lower bound on the space
+/// allocated for samples, as a function of the number of groups and the
+/// target selectivity threshold" — these functions compute that bound
+/// under the independence (binomial) model.
+
+/// Probability that a group holding `per_group_sample` uniformly sampled
+/// tuples contributes at least one tuple satisfying a predicate of
+/// selectivity `selectivity`: 1 - (1 - q)^x.
+double GroupCoverageProbability(uint64_t per_group_sample,
+                                double selectivity);
+
+/// Smallest per-group sample size x with coverage probability >=
+/// `confidence`: x >= log(1 - confidence) / log(1 - selectivity).
+/// selectivity and confidence must lie in (0, 1).
+Result<uint64_t> MinPerGroupSampleSize(double selectivity, double confidence);
+
+/// The footnote-7 lower bound on total sample space: with `num_groups`
+/// equally-provisioned groups (the Senate floor every congressional
+/// sample guarantees up to its factor f), every group of the finest
+/// grouping appears in the answer to a selectivity-`selectivity`
+/// predicate with probability >= `confidence` once the space is at least
+/// num_groups * MinPerGroupSampleSize.
+Result<uint64_t> MinSampleSpaceForCoverage(uint64_t num_groups,
+                                           double selectivity,
+                                           double confidence);
+
+}  // namespace congress
+
+#endif  // CONGRESS_CORE_COVERAGE_H_

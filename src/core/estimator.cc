@@ -1,0 +1,295 @@
+#include "core/estimator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace congress {
+
+const char* BoundMethodToString(BoundMethod method) {
+  switch (method) {
+    case BoundMethod::kStandardError:
+      return "StandardError";
+    case BoundMethod::kChebyshev:
+      return "Chebyshev";
+    case BoundMethod::kHoeffding:
+      return "Hoeffding";
+  }
+  return "Unknown";
+}
+
+void ApproximateResult::Add(ApproximateGroupRow row) {
+  index_.emplace(row.key, rows_.size());
+  rows_.push_back(std::move(row));
+}
+
+const ApproximateGroupRow* ApproximateResult::Find(const GroupKey& key) const {
+  auto it = index_.find(key);
+  if (it == index_.end()) return nullptr;
+  return &rows_[it->second];
+}
+
+void ApproximateResult::SortByKey() {
+  std::sort(rows_.begin(), rows_.end(),
+            [](const ApproximateGroupRow& a, const ApproximateGroupRow& b) {
+              return a.key < b.key;
+            });
+  index_.clear();
+  for (size_t i = 0; i < rows_.size(); ++i) index_.emplace(rows_[i].key, i);
+}
+
+void ApproximateResult::FilterHaving(
+    const std::vector<HavingCondition>& having) {
+  if (having.empty()) return;
+  std::vector<ApproximateGroupRow> kept;
+  for (ApproximateGroupRow& row : rows_) {
+    bool pass = true;
+    for (const HavingCondition& cond : having) {
+      if (cond.aggregate_index >= row.estimates.size() ||
+          !cond.Matches(row.estimates[cond.aggregate_index])) {
+        pass = false;
+        break;
+      }
+    }
+    if (pass) kept.push_back(std::move(row));
+  }
+  rows_ = std::move(kept);
+  index_.clear();
+  for (size_t i = 0; i < rows_.size(); ++i) index_.emplace(rows_[i].key, i);
+}
+
+QueryResult ApproximateResult::ToQueryResult() const {
+  QueryResult out;
+  for (const ApproximateGroupRow& row : rows_) {
+    out.Add(row.key, row.estimates);
+  }
+  out.SortByKey();
+  return out;
+}
+
+std::string ApproximateResult::ToString(size_t max_rows) const {
+  std::ostringstream oss;
+  size_t shown = std::min(max_rows, rows_.size());
+  for (size_t i = 0; i < shown; ++i) {
+    const auto& row = rows_[i];
+    oss << GroupKeyToString(row.key) << " ->";
+    for (size_t a = 0; a < row.estimates.size(); ++a) {
+      oss << " " << row.estimates[a] << " (+-" << row.bounds[a] << ")";
+    }
+    oss << " [" << row.support << " tuples]\n";
+  }
+  if (shown < rows_.size()) {
+    oss << "... (" << (rows_.size() - shown) << " more groups)\n";
+  }
+  return oss.str();
+}
+
+namespace {
+
+/// Per (output group, stratum, aggregate-column) running sums over the
+/// sampled tuples that match the predicate and fall in the group.
+struct CellStats {
+  uint64_t matches = 0;   // Matching tuples of this stratum in this group.
+  double sum_v = 0.0;     // Sum of aggregate values.
+  double sum_v2 = 0.0;    // Sum of squared values.
+  double max_abs = 0.0;   // Largest |value| seen (for Hoeffding ranges).
+};
+
+struct GroupAccum {
+  // cells[stratum] -> per-aggregate-column stats. Only strata that have a
+  // matching tuple in this group appear.
+  std::unordered_map<uint32_t, std::vector<CellStats>> cells;
+  uint64_t support = 0;
+};
+
+/// Finite-population variance of the stratified expansion estimator for
+/// one stratum: N(N - n) * S^2 / n, with S^2 the sample variance of the
+/// n stratum draws of z (zeros included for non-matching tuples).
+double StratumVariance(double big_n, double n, uint64_t matches, double sum_v,
+                       double sum_v2) {
+  if (n < 2.0) return 0.0;  // Variance not estimable from one draw.
+  (void)matches;
+  double mean = sum_v / n;
+  // sum over all n draws of (z - mean)^2 = sum_v2 - n*mean^2 (zeros of
+  // the non-matching draws are included via sum_v2 covering only matches
+  // and the n*mean^2 correction).
+  double ss = sum_v2 - n * mean * mean;
+  if (ss < 0.0) ss = 0.0;
+  double s2 = ss / (n - 1.0);
+  double fpc = big_n - n;
+  if (fpc < 0.0) fpc = 0.0;
+  return big_n * fpc * s2 / n;
+}
+
+/// Sample covariance between the SUM variable z_v and the COUNT variable
+/// z_c (= 1 for matches), times the stratified scaling N(N-n)/n.
+double StratumCovariance(double big_n, double n, uint64_t matches,
+                         double sum_v) {
+  if (n < 2.0) return 0.0;
+  double m = static_cast<double>(matches);
+  // sum z_v*z_c = sum_v; means are sum_v/n and m/n.
+  double scov = (sum_v - sum_v * m / n) / (n - 1.0);
+  double fpc = big_n - n;
+  if (fpc < 0.0) fpc = 0.0;
+  return big_n * fpc * scov / n;
+}
+
+double ChebyshevMultiplier(double confidence) {
+  double delta = 1.0 - confidence;
+  if (delta <= 0.0) delta = 1e-6;
+  return 1.0 / std::sqrt(delta);
+}
+
+}  // namespace
+
+Result<ApproximateResult> EstimateGroupBy(const StratifiedSample& sample,
+                                          const GroupByQuery& query,
+                                          const EstimatorOptions& options) {
+  const Table& rows = sample.rows();
+  if (query.aggregates.empty()) {
+    return Status::InvalidArgument("query has no aggregates");
+  }
+  for (size_t c : query.group_columns) {
+    if (c >= rows.num_columns()) {
+      return Status::InvalidArgument("group column out of range");
+    }
+  }
+  for (const AggregateSpec& spec : query.aggregates) {
+    if (spec.kind == AggregateKind::kMin || spec.kind == AggregateKind::kMax) {
+      return Status::InvalidArgument(
+          "MIN/MAX have no unbiased sampling estimator; use ExecuteExact");
+    }
+    CONGRESS_RETURN_NOT_OK(ValidateAggregate(spec, rows.schema()));
+  }
+  if (options.confidence <= 0.0 || options.confidence >= 1.0) {
+    return Status::InvalidArgument("confidence must be in (0, 1)");
+  }
+  for (const HavingCondition& cond : query.having) {
+    if (cond.aggregate_index >= query.aggregates.size()) {
+      return Status::InvalidArgument("HAVING references a missing aggregate");
+    }
+  }
+
+  const size_t num_aggs = query.aggregates.size();
+  const auto& strata = sample.strata();
+  const auto& row_strata = sample.row_strata();
+
+  // Pass over the sample rows, accumulating per-(group, stratum) cells.
+  std::unordered_map<GroupKey, GroupAccum, GroupKeyHash> groups;
+  for (size_t r = 0; r < rows.num_rows(); ++r) {
+    if (query.predicate != nullptr && !query.predicate->Matches(rows, r)) {
+      continue;
+    }
+    GroupKey key = rows.KeyForRow(r, query.group_columns);
+    GroupAccum& acc = groups[key];
+    acc.support += 1;
+    auto cell_it = acc.cells.find(row_strata[r]);
+    if (cell_it == acc.cells.end()) {
+      cell_it = acc.cells.emplace(row_strata[r], std::vector<CellStats>(num_aggs))
+                    .first;
+    }
+    for (size_t a = 0; a < num_aggs; ++a) {
+      double v = AggregateInput(query.aggregates[a], rows, r);
+      CellStats& cs = cell_it->second[a];
+      cs.matches += 1;
+      cs.sum_v += v;
+      cs.sum_v2 += v * v;
+      cs.max_abs = std::max(cs.max_abs, std::fabs(v));
+    }
+  }
+
+  const double cheb = ChebyshevMultiplier(options.confidence);
+  // Hoeffding: P(|est - E| >= t) <= 2 exp(-2 t^2 / sum_i c_i^2) with
+  // c_i the per-draw range of the scaled variable; inverting at the
+  // target confidence gives t = sqrt(ln(2/(1-conf))/2 * sum c_i^2).
+  const double hoeff_ln = std::log(2.0 / (1.0 - options.confidence)) / 2.0;
+
+  ApproximateResult result;
+  for (auto& [key, acc] : groups) {
+    ApproximateGroupRow out;
+    out.key = key;
+    out.support = acc.support;
+    out.estimates.resize(num_aggs, 0.0);
+    out.std_errors.resize(num_aggs, 0.0);
+    out.bounds.resize(num_aggs, 0.0);
+
+    for (size_t a = 0; a < num_aggs; ++a) {
+      const AggregateSpec& spec = query.aggregates[a];
+      double est_sum = 0.0;    // Scaled SUM of the aggregate variable.
+      double est_cnt = 0.0;    // Scaled COUNT.
+      double var_sum = 0.0;
+      double var_cnt = 0.0;
+      double cov = 0.0;
+      double hoeff_c2 = 0.0;   // sum of per-draw squared ranges.
+      for (const auto& [stratum_id, cells] : acc.cells) {
+        const Stratum& s = strata[stratum_id];
+        const CellStats& cs = cells[a];
+        const double sf = s.ScaleFactor();
+        const double n = static_cast<double>(s.sample_count);
+        const double big_n = static_cast<double>(s.population);
+        est_sum += sf * cs.sum_v;
+        est_cnt += sf * static_cast<double>(cs.matches);
+        var_sum += StratumVariance(big_n, n, cs.matches, cs.sum_v, cs.sum_v2);
+        var_cnt += StratumVariance(big_n, n, cs.matches,
+                                   static_cast<double>(cs.matches),
+                                   static_cast<double>(cs.matches));
+        cov += StratumCovariance(big_n, n, cs.matches, cs.sum_v);
+        hoeff_c2 += n * (sf * cs.max_abs) * (sf * cs.max_abs);
+      }
+
+      double est = 0.0;
+      double variance = 0.0;
+      bool hoeffding_ok = false;
+      switch (spec.kind) {
+        case AggregateKind::kSum:
+          est = est_sum;
+          variance = var_sum;
+          hoeffding_ok = true;
+          break;
+        case AggregateKind::kCount:
+          est = est_cnt;
+          variance = var_cnt;
+          hoeffding_ok = true;
+          break;
+        case AggregateKind::kAvg: {
+          est = est_cnt > 0.0 ? est_sum / est_cnt : 0.0;
+          // Delta-method variance of the ratio estimator.
+          if (est_cnt > 0.0) {
+            double r = est;
+            variance = (var_sum - 2.0 * r * cov + r * r * var_cnt) /
+                       (est_cnt * est_cnt);
+            if (variance < 0.0) variance = 0.0;
+          }
+          break;
+        }
+        default:
+          break;
+      }
+      double std_err = std::sqrt(std::max(0.0, variance));
+      out.estimates[a] = est;
+      out.std_errors[a] = std_err;
+      switch (options.bound_method) {
+        case BoundMethod::kStandardError:
+          out.bounds[a] = std_err;
+          break;
+        case BoundMethod::kChebyshev:
+          out.bounds[a] = cheb * std_err;
+          break;
+        case BoundMethod::kHoeffding:
+          if (hoeffding_ok) {
+            out.bounds[a] = std::sqrt(hoeff_ln * hoeff_c2);
+          } else {
+            out.bounds[a] = cheb * std_err;  // AVG fallback.
+          }
+          break;
+      }
+    }
+    result.Add(std::move(out));
+  }
+  result.FilterHaving(query.having);
+  result.SortByKey();
+  return result;
+}
+
+}  // namespace congress

@@ -1,0 +1,84 @@
+#ifndef CONGRESS_CORE_ESTIMATOR_H_
+#define CONGRESS_CORE_ESTIMATOR_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/query.h"
+#include "sampling/stratified_sample.h"
+#include "util/status.h"
+
+namespace congress {
+
+/// How the per-group error bound is derived from the estimator variance
+/// (Aqua supports Hoeffding and Chebyshev bounds; the standard error is
+/// exposed for analysis).
+enum class BoundMethod {
+  kStandardError = 0,  ///< Half-width = 1 standard error (~68% normal).
+  kChebyshev = 1,      ///< Half-width = stderr / sqrt(1 - confidence).
+  kHoeffding = 2,      ///< Distribution-free; needs a value range, so it
+                       ///< falls back to Chebyshev for AVG.
+};
+
+const char* BoundMethodToString(BoundMethod method);
+
+/// Options controlling approximate answers.
+struct EstimatorOptions {
+  double confidence = 0.90;  ///< Aqua's default confidence level.
+  BoundMethod bound_method = BoundMethod::kChebyshev;
+};
+
+/// One output group of an approximate answer: the scaled estimates plus,
+/// per aggregate, the standard error and the half-width error bound at
+/// the configured confidence.
+struct ApproximateGroupRow {
+  GroupKey key;
+  std::vector<double> estimates;
+  std::vector<double> std_errors;
+  std::vector<double> bounds;
+  uint64_t support = 0;  ///< Sample tuples contributing to this group.
+};
+
+/// An approximate group-by answer with error bounds. Convertible to a
+/// plain QueryResult (estimates only) for error-metric comparison against
+/// exact answers.
+class ApproximateResult {
+ public:
+  void Add(ApproximateGroupRow row);
+  size_t num_groups() const { return rows_.size(); }
+  const std::vector<ApproximateGroupRow>& rows() const { return rows_; }
+  const ApproximateGroupRow* Find(const GroupKey& key) const;
+  void SortByKey();
+
+  /// Drops groups whose *estimated* aggregates fail any HAVING condition
+  /// (an approximate HAVING: groups near the threshold may be mis-kept
+  /// or mis-dropped, with likelihood governed by the group's bound).
+  void FilterHaving(const std::vector<HavingCondition>& having);
+
+  /// Drops the bounds, keeping just the point estimates.
+  QueryResult ToQueryResult() const;
+
+  std::string ToString(size_t max_rows = 20) const;
+
+ private:
+  std::vector<ApproximateGroupRow> rows_;
+  std::unordered_map<GroupKey, size_t, GroupKeyHash> index_;
+};
+
+/// Computes an unbiased approximate answer to `query` from a stratified
+/// sample, using the standard stratified expansion estimators of Section
+/// 5.1: each sampled tuple is weighted by its stratum's ScaleFactor; SUM
+/// scales values, COUNT sums scale factors, AVG is the ratio of the two
+/// (with a delta-method variance). Error bounds are per group, per
+/// aggregate.
+///
+/// Groups with no sampled tuples do not appear in the answer (the
+/// uniform-sample failure mode the paper's Figure 4 illustrates).
+Result<ApproximateResult> EstimateGroupBy(
+    const StratifiedSample& sample, const GroupByQuery& query,
+    const EstimatorOptions& options = EstimatorOptions{});
+
+}  // namespace congress
+
+#endif  // CONGRESS_CORE_ESTIMATOR_H_

@@ -1,0 +1,73 @@
+#include "core/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace congress {
+
+std::string GroupByErrorReport::ToString() const {
+  std::ostringstream oss;
+  oss << "Linf=" << linf << "% L1=" << l1 << "% L2=" << l2 << "% over "
+      << exact_groups << " groups";
+  if (missing_groups > 0) oss << " (" << missing_groups << " missing)";
+  if (extra_groups > 0) oss << " (" << extra_groups << " extra)";
+  return oss.str();
+}
+
+GroupByErrorReport CompareAnswers(const QueryResult& exact,
+                                  const QueryResult& approx, size_t agg_index,
+                                  MissingGroupPolicy policy) {
+  GroupByErrorReport report;
+  report.exact_groups = exact.num_groups();
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  size_t counted = 0;
+
+  for (const GroupResult& row : exact.rows()) {
+    const GroupResult* match = approx.Find(row.key);
+    double err;
+    if (match == nullptr) {
+      report.missing_groups += 1;
+      if (policy == MissingGroupPolicy::kSkip) {
+        report.per_group_errors.push_back(
+            std::numeric_limits<double>::quiet_NaN());
+        continue;
+      }
+      err = 100.0;
+    } else {
+      double c = row.aggregates[agg_index];
+      double c_hat = match->aggregates[agg_index];
+      if (c == 0.0) {
+        err = (c_hat == 0.0) ? 0.0 : 100.0;
+      } else {
+        err = std::fabs(c - c_hat) / std::fabs(c) * 100.0;  // Eq. 1.
+      }
+    }
+    report.per_group_errors.push_back(err);
+    report.linf = std::max(report.linf, err);
+    sum += err;
+    sum_sq += err * err;
+    ++counted;
+  }
+
+  for (const GroupResult& row : approx.rows()) {
+    if (exact.Find(row.key) == nullptr) report.extra_groups += 1;
+  }
+
+  if (counted > 0) {
+    report.l1 = sum / static_cast<double>(counted);
+    report.l2 = std::sqrt(sum_sq / static_cast<double>(counted));
+  }
+  return report;
+}
+
+GroupByErrorReport CompareAnswers(const QueryResult& exact,
+                                  const ApproximateResult& approx,
+                                  size_t agg_index,
+                                  MissingGroupPolicy policy) {
+  return CompareAnswers(exact, approx.ToQueryResult(), agg_index, policy);
+}
+
+}  // namespace congress

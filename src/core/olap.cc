@@ -1,0 +1,66 @@
+#include "core/olap.h"
+
+#include <algorithm>
+
+namespace congress {
+
+OlapNavigator::OlapNavigator(const AquaSynopsis* synopsis,
+                             std::vector<AggregateSpec> measures)
+    : synopsis_(synopsis), measures_(std::move(measures)) {}
+
+Status OlapNavigator::DrillDown(const std::string& column) {
+  const auto& allowed = synopsis_->config().grouping_columns;
+  if (std::find(allowed.begin(), allowed.end(), column) == allowed.end()) {
+    return Status::InvalidArgument(
+        "'" + column + "' is not a dimensional column of this synopsis");
+  }
+  if (std::find(grouping_.begin(), grouping_.end(), column) !=
+      grouping_.end()) {
+    return Status::AlreadyExists("already grouped by '" + column + "'");
+  }
+  grouping_.push_back(column);
+  return Status::OK();
+}
+
+Status OlapNavigator::RollUp() {
+  if (grouping_.empty()) {
+    return Status::FailedPrecondition("already at the apex (no group-by)");
+  }
+  grouping_.pop_back();
+  return Status::OK();
+}
+
+Status OlapNavigator::RollUpColumn(const std::string& column) {
+  auto it = std::find(grouping_.begin(), grouping_.end(), column);
+  if (it == grouping_.end()) {
+    return Status::NotFound("not grouped by '" + column + "'");
+  }
+  grouping_.erase(it);
+  return Status::OK();
+}
+
+Result<ApproximateResult> OlapNavigator::Current() const {
+  GroupByQuery query;
+  const Schema& schema = synopsis_->sample().base_schema();
+  for (const std::string& name : grouping_) {
+    auto idx = schema.FieldIndex(name);
+    if (!idx.ok()) return idx.status();
+    query.group_columns.push_back(*idx);
+  }
+  query.aggregates = measures_;
+  query.predicate = predicate_;
+  return synopsis_->Answer(query);
+}
+
+std::vector<std::string> OlapNavigator::AvailableDimensions() const {
+  std::vector<std::string> available;
+  for (const std::string& name : synopsis_->config().grouping_columns) {
+    if (std::find(grouping_.begin(), grouping_.end(), name) ==
+        grouping_.end()) {
+      available.push_back(name);
+    }
+  }
+  return available;
+}
+
+}  // namespace congress

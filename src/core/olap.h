@@ -1,0 +1,60 @@
+#ifndef CONGRESS_CORE_OLAP_H_
+#define CONGRESS_CORE_OLAP_H_
+
+#include <string>
+#include <vector>
+
+#include "core/synopsis.h"
+#include "util/status.h"
+
+namespace congress {
+
+/// Interactive roll-up / drill-down over one synopsis — the exploratory
+/// OLAP loop the paper's introduction motivates (drill-down and roll-up
+/// are "an essential part of the common decision-support process", and
+/// congressional samples exist precisely so every grouping along the way
+/// is accurate).
+///
+/// The navigator holds a current grouping (a subset of the synopsis's
+/// dimensional columns, in drill order), a measure list, and an optional
+/// slice predicate; Current() answers the corresponding group-by.
+class OlapNavigator {
+ public:
+  /// `synopsis` must outlive the navigator. `measures` is the SELECT
+  /// aggregate list used at every level.
+  OlapNavigator(const AquaSynopsis* synopsis,
+                std::vector<AggregateSpec> measures);
+
+  /// Adds `column` (one of the synopsis's grouping columns, by name) as
+  /// the innermost grouping level. Fails if unknown or already present.
+  Status DrillDown(const std::string& column);
+
+  /// Removes the innermost grouping level. Fails at the apex.
+  Status RollUp();
+
+  /// Removes a specific grouping level by name.
+  Status RollUpColumn(const std::string& column);
+
+  /// Sets (or clears, with nullptr) the slice predicate applied at every
+  /// level.
+  void Slice(PredicatePtr predicate) { predicate_ = std::move(predicate); }
+
+  /// Answers the aggregate query at the current grouping.
+  Result<ApproximateResult> Current() const;
+
+  /// Current grouping column names, outermost first.
+  const std::vector<std::string>& grouping() const { return grouping_; }
+
+  /// Remaining dimensional columns available for DrillDown.
+  std::vector<std::string> AvailableDimensions() const;
+
+ private:
+  const AquaSynopsis* synopsis_;
+  std::vector<AggregateSpec> measures_;
+  std::vector<std::string> grouping_;
+  PredicatePtr predicate_;
+};
+
+}  // namespace congress
+
+#endif  // CONGRESS_CORE_OLAP_H_

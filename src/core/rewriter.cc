@@ -1,0 +1,267 @@
+#include "core/rewriter.h"
+
+#include <cassert>
+
+#include "engine/executor.h"
+
+namespace congress {
+
+const char* RewriteStrategyToString(RewriteStrategy strategy) {
+  switch (strategy) {
+    case RewriteStrategy::kIntegrated:
+      return "Integrated";
+    case RewriteStrategy::kNestedIntegrated:
+      return "Nested-Integrated";
+    case RewriteStrategy::kNormalized:
+      return "Normalized";
+    case RewriteStrategy::kKeyNormalized:
+      return "Key-Normalized";
+  }
+  return "Unknown";
+}
+
+Rewriter::Rewriter(const StratifiedSample& sample)
+    : grouping_columns_(sample.grouping_columns()),
+      base_num_columns_(sample.base_schema().num_fields()),
+      integrated_(sample.MaterializeIntegrated()),
+      normalized_samp_(sample.rows()),
+      normalized_aux_(sample.MaterializeAuxNormalized()) {
+  auto key_form = sample.MaterializeKeyNormalized();
+  key_samp_ = std::move(key_form.samp_rel);
+  key_aux_ = std::move(key_form.aux_rel);
+}
+
+namespace {
+
+Status ValidateForRewrite(const GroupByQuery& query, const Schema& schema,
+                          size_t base_columns) {
+  if (query.aggregates.empty()) {
+    return Status::InvalidArgument("query has no aggregates");
+  }
+  for (size_t c : query.group_columns) {
+    if (c >= base_columns) {
+      return Status::InvalidArgument("group column out of range");
+    }
+  }
+  for (const AggregateSpec& spec : query.aggregates) {
+    switch (spec.kind) {
+      case AggregateKind::kSum:
+      case AggregateKind::kCount:
+      case AggregateKind::kAvg:
+        break;
+      default:
+        return Status::InvalidArgument(
+            "rewrite strategies support SUM/COUNT/AVG only");
+    }
+    CONGRESS_RETURN_NOT_OK(ValidateAggregate(spec, schema));
+    if (spec.kind != AggregateKind::kCount && spec.expression == nullptr &&
+        spec.column >= base_columns) {
+      return Status::InvalidArgument("aggregate column out of range");
+    }
+  }
+  for (const HavingCondition& cond : query.having) {
+    if (cond.aggregate_index >= query.aggregates.size()) {
+      return Status::InvalidArgument("HAVING references a missing aggregate");
+    }
+  }
+  return Status::OK();
+}
+
+/// Shared flat plan: scan `rel` (whose column `sf_col` holds the per-tuple
+/// scale factor), apply the predicate, and compute
+///   SUM   -> sum(v * sf)
+///   COUNT -> sum(sf)
+///   AVG   -> sum(v * sf) / sum(sf)
+/// grouped by the query's group columns. This is the Integrated plan, and
+/// also the post-join plan of the Normalized variants.
+Result<QueryResult> AggregateScaled(const Table& rel, const GroupByQuery& query,
+                                    size_t sf_col) {
+  struct Acc {
+    std::vector<double> scaled_sum;  // sum(v * sf) per aggregate.
+    std::vector<double> scaled_cnt;  // sum(sf) per aggregate.
+  };
+  const size_t num_aggs = query.aggregates.size();
+  std::unordered_map<GroupKey, Acc, GroupKeyHash> groups;
+  const std::vector<double>& sf = rel.DoubleColumn(sf_col);
+
+  for (size_t r = 0; r < rel.num_rows(); ++r) {
+    if (query.predicate != nullptr && !query.predicate->Matches(rel, r)) {
+      continue;
+    }
+    GroupKey key = rel.KeyForRow(r, query.group_columns);
+    auto it = groups.find(key);
+    if (it == groups.end()) {
+      Acc acc;
+      acc.scaled_sum.assign(num_aggs, 0.0);
+      acc.scaled_cnt.assign(num_aggs, 0.0);
+      it = groups.emplace(std::move(key), std::move(acc)).first;
+    }
+    for (size_t a = 0; a < num_aggs; ++a) {
+      double v = AggregateInput(query.aggregates[a], rel, r);
+      it->second.scaled_sum[a] += v * sf[r];
+      it->second.scaled_cnt[a] += sf[r];
+    }
+  }
+
+  QueryResult result;
+  for (auto& [key, acc] : groups) {
+    std::vector<double> finals(num_aggs, 0.0);
+    for (size_t a = 0; a < num_aggs; ++a) {
+      switch (query.aggregates[a].kind) {
+        case AggregateKind::kSum:
+          finals[a] = acc.scaled_sum[a];
+          break;
+        case AggregateKind::kCount:
+          finals[a] = acc.scaled_cnt[a];
+          break;
+        case AggregateKind::kAvg:
+          finals[a] = acc.scaled_cnt[a] > 0.0
+                          ? acc.scaled_sum[a] / acc.scaled_cnt[a]
+                          : 0.0;
+          break;
+        default:
+          break;
+      }
+    }
+    result.Add(key, std::move(finals));
+  }
+  // HAVING filters the *scaled estimates*, mirroring how Aqua's
+  // rewritten SQL would apply it to the scaled expressions.
+  result.FilterHaving(query.having);
+  result.SortByKey();
+  return result;
+}
+
+}  // namespace
+
+Result<QueryResult> Rewriter::Answer(const GroupByQuery& query,
+                                     RewriteStrategy strategy) const {
+  CONGRESS_RETURN_NOT_OK(
+      ValidateForRewrite(query, integrated_.schema(), base_num_columns_));
+  switch (strategy) {
+    case RewriteStrategy::kIntegrated:
+      return AnswerIntegrated(query);
+    case RewriteStrategy::kNestedIntegrated:
+      return AnswerNestedIntegrated(query);
+    case RewriteStrategy::kNormalized:
+      return AnswerNormalized(query);
+    case RewriteStrategy::kKeyNormalized:
+      return AnswerKeyNormalized(query);
+  }
+  return Status::InvalidArgument("unknown rewrite strategy");
+}
+
+Result<QueryResult> Rewriter::AnswerIntegrated(
+    const GroupByQuery& query) const {
+  return AggregateScaled(integrated_, query, base_num_columns_);
+}
+
+Result<QueryResult> Rewriter::AnswerNestedIntegrated(
+    const GroupByQuery& query) const {
+  // Inner query: group by (query group columns, SF) and compute the raw
+  // per-group sums/counts; outer query: one multiply by SF per inner
+  // group (Figure 11 / Figure 13 of the paper).
+  struct InnerAcc {
+    std::vector<double> sum;     // raw sum(v) per aggregate.
+    std::vector<uint64_t> cnt;   // raw count per aggregate.
+  };
+  const Table& rel = integrated_;
+  const size_t sf_col = base_num_columns_;
+  const std::vector<double>& sf = rel.DoubleColumn(sf_col);
+  const size_t num_aggs = query.aggregates.size();
+
+  // Inner key = group key + SF value.
+  std::unordered_map<GroupKey, InnerAcc, GroupKeyHash> inner;
+  for (size_t r = 0; r < rel.num_rows(); ++r) {
+    if (query.predicate != nullptr && !query.predicate->Matches(rel, r)) {
+      continue;
+    }
+    GroupKey key = rel.KeyForRow(r, query.group_columns);
+    key.push_back(Value(sf[r]));
+    auto it = inner.find(key);
+    if (it == inner.end()) {
+      InnerAcc acc;
+      acc.sum.assign(num_aggs, 0.0);
+      acc.cnt.assign(num_aggs, 0);
+      it = inner.emplace(std::move(key), std::move(acc)).first;
+    }
+    for (size_t a = 0; a < num_aggs; ++a) {
+      it->second.sum[a] += AggregateInput(query.aggregates[a], rel, r);
+      it->second.cnt[a] += 1;
+    }
+  }
+
+  // Outer query: scale each inner group once and re-aggregate.
+  struct OuterAcc {
+    std::vector<double> scaled_sum;
+    std::vector<double> scaled_cnt;
+  };
+  std::unordered_map<GroupKey, OuterAcc, GroupKeyHash> outer;
+  for (const auto& [inner_key, acc] : inner) {
+    GroupKey key(inner_key.begin(), inner_key.end() - 1);
+    double group_sf = inner_key.back().AsDouble();
+    auto it = outer.find(key);
+    if (it == outer.end()) {
+      OuterAcc oacc;
+      oacc.scaled_sum.assign(num_aggs, 0.0);
+      oacc.scaled_cnt.assign(num_aggs, 0.0);
+      it = outer.emplace(std::move(key), std::move(oacc)).first;
+    }
+    for (size_t a = 0; a < num_aggs; ++a) {
+      it->second.scaled_sum[a] += acc.sum[a] * group_sf;
+      it->second.scaled_cnt[a] += static_cast<double>(acc.cnt[a]) * group_sf;
+    }
+  }
+
+  QueryResult result;
+  for (auto& [key, acc] : outer) {
+    std::vector<double> finals(num_aggs, 0.0);
+    for (size_t a = 0; a < num_aggs; ++a) {
+      switch (query.aggregates[a].kind) {
+        case AggregateKind::kSum:
+          finals[a] = acc.scaled_sum[a];
+          break;
+        case AggregateKind::kCount:
+          finals[a] = acc.scaled_cnt[a];
+          break;
+        case AggregateKind::kAvg:
+          finals[a] = acc.scaled_cnt[a] > 0.0
+                          ? acc.scaled_sum[a] / acc.scaled_cnt[a]
+                          : 0.0;
+          break;
+        default:
+          break;
+      }
+    }
+    result.Add(key, std::move(finals));
+  }
+  // HAVING filters the *scaled estimates*, mirroring how Aqua's
+  // rewritten SQL would apply it to the scaled expressions.
+  result.FilterHaving(query.having);
+  result.SortByKey();
+  return result;
+}
+
+Result<QueryResult> Rewriter::AnswerNormalized(
+    const GroupByQuery& query) const {
+  // Join SampRel with AuxRel on the sample's grouping columns; the join
+  // output appends AuxRel's sf as the last column. This join is paid on
+  // every query — the cost the paper's Table 3 attributes to Normalized.
+  std::vector<size_t> right_keys(grouping_columns_.size());
+  for (size_t i = 0; i < right_keys.size(); ++i) right_keys[i] = i;
+  auto joined =
+      HashJoin(normalized_samp_, grouping_columns_, normalized_aux_, right_keys);
+  if (!joined.ok()) return joined.status();
+  return AggregateScaled(*joined, query, joined->num_columns() - 1);
+}
+
+Result<QueryResult> Rewriter::AnswerKeyNormalized(
+    const GroupByQuery& query) const {
+  // Join SampRel (with its gid column) against AuxRel(gid, sf) on the
+  // single-attribute key — the paper's shorter join predicate.
+  auto joined = HashJoin(key_samp_, {base_num_columns_}, key_aux_, {0});
+  if (!joined.ok()) return joined.status();
+  return AggregateScaled(*joined, query, joined->num_columns() - 1);
+}
+
+}  // namespace congress

@@ -1,0 +1,179 @@
+#include "core/synopsis.h"
+
+#include <cmath>
+
+namespace congress {
+
+Result<AquaSynopsis> AquaSynopsis::Build(const Table& base,
+                                         const SynopsisConfig& config) {
+  if (config.grouping_columns.empty()) {
+    return Status::InvalidArgument("no grouping columns configured");
+  }
+  std::vector<size_t> indices;
+  for (const std::string& name : config.grouping_columns) {
+    auto idx = base.schema().FieldIndex(name);
+    if (!idx.ok()) return idx.status();
+    indices.push_back(*idx);
+  }
+  uint64_t sample_size = config.sample_size;
+  if (sample_size == 0) {
+    if (config.sample_fraction <= 0.0 || config.sample_fraction > 1.0) {
+      return Status::InvalidArgument("sample_fraction must be in (0, 1]");
+    }
+    sample_size = static_cast<uint64_t>(
+        std::llround(config.sample_fraction *
+                     static_cast<double>(base.num_rows())));
+  }
+  if (sample_size == 0) {
+    return Status::InvalidArgument("sample size rounds to zero");
+  }
+
+  AquaSynopsis synopsis;
+  synopsis.config_ = config;
+  synopsis.grouping_indices_ = indices;
+  synopsis.target_sample_size_ = sample_size;
+
+  if (config.incremental) {
+    switch (config.strategy) {
+      case AllocationStrategy::kHouse:
+        synopsis.maintainer_ = MakeHouseMaintainer(base.schema(), indices,
+                                                   sample_size, config.seed);
+        break;
+      case AllocationStrategy::kSenate:
+        synopsis.maintainer_ = MakeSenateMaintainer(base.schema(), indices,
+                                                    sample_size, config.seed);
+        break;
+      case AllocationStrategy::kBasicCongress:
+        synopsis.maintainer_ = MakeBasicCongressMaintainer(
+            base.schema(), indices, sample_size, config.seed);
+        break;
+      case AllocationStrategy::kCongress:
+        synopsis.maintainer_ = MakeCongressMaintainer(
+            base.schema(), indices, sample_size, config.seed);
+        break;
+    }
+    std::vector<Value> row;
+    for (size_t r = 0; r < base.num_rows(); ++r) {
+      row.clear();
+      for (size_t c = 0; c < base.num_columns(); ++c) {
+        row.push_back(base.GetValue(r, c));
+      }
+      CONGRESS_RETURN_NOT_OK(synopsis.maintainer_->Insert(row));
+    }
+    CONGRESS_RETURN_NOT_OK(synopsis.Refresh());
+  } else {
+    Random rng(config.seed);
+    auto sample = BuildSample(base, indices, config.strategy,
+                              static_cast<double>(sample_size), &rng);
+    if (!sample.ok()) return sample.status();
+    synopsis.sample_ = std::move(sample).value();
+    synopsis.rewriter_ = std::make_shared<Rewriter>(synopsis.sample_);
+  }
+  return synopsis;
+}
+
+Result<ApproximateResult> AquaSynopsis::Answer(
+    const GroupByQuery& query) const {
+  return EstimateGroupBy(sample_, query, config_.estimator);
+}
+
+Result<QueryResult> AquaSynopsis::AnswerVia(const GroupByQuery& query,
+                                            RewriteStrategy strategy) const {
+  return rewriter_->Answer(query, strategy);
+}
+
+Status AquaSynopsis::Insert(const std::vector<Value>& row) {
+  if (maintainer_ == nullptr) {
+    return Status::FailedPrecondition(
+        "synopsis was not built with incremental maintenance enabled");
+  }
+  return maintainer_->Insert(row);
+}
+
+Status AquaSynopsis::Refresh() {
+  if (maintainer_ == nullptr) return Status::OK();
+  // The Eq.-8 Congress maintainer floats above its pre-scaling budget Y;
+  // rescale its snapshot to the configured space (Section 6's one-pass
+  // construction finisher). Other maintainers already target X.
+  auto* congress = dynamic_cast<CongressMaintainer*>(maintainer_.get());
+  auto snapshot = congress != nullptr
+                      ? congress->SnapshotScaledTo(target_sample_size_)
+                      : maintainer_->Snapshot();
+  if (!snapshot.ok()) return snapshot.status();
+  sample_ = std::move(snapshot).value();
+  rewriter_ = std::make_shared<Rewriter>(sample_);
+  return Status::OK();
+}
+
+Status SynopsisManager::Register(const std::string& name, const Table& base,
+                                 const SynopsisConfig& config) {
+  if (synopses_.count(name) > 0) {
+    return Status::AlreadyExists("synopsis '" + name + "' already registered");
+  }
+  auto synopsis = AquaSynopsis::Build(base, config);
+  if (!synopsis.ok()) return synopsis.status();
+  synopses_.emplace(name, std::make_unique<AquaSynopsis>(
+                              std::move(synopsis).value()));
+  return Status::OK();
+}
+
+Status SynopsisManager::Drop(const std::string& name) {
+  if (synopses_.erase(name) == 0) {
+    return Status::NotFound("synopsis '" + name + "' not registered");
+  }
+  return Status::OK();
+}
+
+bool SynopsisManager::Has(const std::string& name) const {
+  return synopses_.count(name) > 0;
+}
+
+Result<const AquaSynopsis*> SynopsisManager::Get(
+    const std::string& name) const {
+  auto it = synopses_.find(name);
+  if (it == synopses_.end()) {
+    return Status::NotFound("synopsis '" + name + "' not registered");
+  }
+  return static_cast<const AquaSynopsis*>(it->second.get());
+}
+
+Result<ApproximateResult> SynopsisManager::Answer(
+    const std::string& name, const GroupByQuery& query) const {
+  auto synopsis = Get(name);
+  if (!synopsis.ok()) return synopsis.status();
+  return (*synopsis)->Answer(query);
+}
+
+Result<QueryResult> SynopsisManager::AnswerVia(const std::string& name,
+                                               const GroupByQuery& query,
+                                               RewriteStrategy strategy) const {
+  auto synopsis = Get(name);
+  if (!synopsis.ok()) return synopsis.status();
+  return (*synopsis)->AnswerVia(query, strategy);
+}
+
+Status SynopsisManager::Insert(const std::string& name,
+                               const std::vector<Value>& row) {
+  auto it = synopses_.find(name);
+  if (it == synopses_.end()) {
+    return Status::NotFound("synopsis '" + name + "' not registered");
+  }
+  return it->second->Insert(row);
+}
+
+Status SynopsisManager::Refresh(const std::string& name) {
+  auto it = synopses_.find(name);
+  if (it == synopses_.end()) {
+    return Status::NotFound("synopsis '" + name + "' not registered");
+  }
+  return it->second->Refresh();
+}
+
+std::vector<std::string> SynopsisManager::Names() const {
+  std::vector<std::string> names;
+  names.reserve(synopses_.size());
+  for (const auto& [name, synopsis] : synopses_) names.push_back(name);
+  return names;
+}
+
+}  // namespace congress

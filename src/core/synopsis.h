@@ -1,0 +1,128 @@
+#ifndef CONGRESS_CORE_SYNOPSIS_H_
+#define CONGRESS_CORE_SYNOPSIS_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/estimator.h"
+#include "core/rewriter.h"
+#include "sampling/allocation.h"
+#include "sampling/builder.h"
+#include "sampling/maintenance.h"
+#include "sampling/stratified_sample.h"
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace congress {
+
+/// Configuration for building a synopsis over one relation — the knobs
+/// the Aqua warehouse administrator supplies (Section 2 of the paper).
+struct SynopsisConfig {
+  /// Which Section 4 allocation strategy to use.
+  AllocationStrategy strategy = AllocationStrategy::kCongress;
+
+  /// Sample size as a fraction of the relation (the paper's SP
+  /// parameter). Ignored if `sample_size` is set.
+  double sample_fraction = 0.07;
+
+  /// Absolute sample size in tuples; 0 means "use sample_fraction".
+  uint64_t sample_size = 0;
+
+  /// Names of the grouping (dimensional) columns.
+  std::vector<std::string> grouping_columns;
+
+  /// Error-bound settings for approximate answers.
+  EstimatorOptions estimator;
+
+  /// Default physical rewrite strategy for AnswerVia-less calls.
+  RewriteStrategy rewrite = RewriteStrategy::kNestedIntegrated;
+
+  /// If true, build via the one-pass incremental maintainer (Section 6)
+  /// so the synopsis keeps absorbing Insert()s; otherwise build with the
+  /// two-pass exact-allocation path and reject inserts.
+  bool incremental = false;
+
+  uint64_t seed = 42;
+};
+
+/// An Aqua-style synopsis over one base relation: a stratified sample,
+/// its precomputed rewrite materializations, and (optionally) a live
+/// incremental maintainer. This is the library's main facade.
+class AquaSynopsis {
+ public:
+  /// Builds a synopsis from `base`. The base table is only read during
+  /// the build; it is not retained.
+  static Result<AquaSynopsis> Build(const Table& base,
+                                    const SynopsisConfig& config);
+
+  /// Approximate answer with per-group error bounds, computed from the
+  /// stratified estimators (Section 5.1).
+  Result<ApproximateResult> Answer(const GroupByQuery& query) const;
+
+  /// Approximate answer via a specific physical rewrite strategy
+  /// (Section 5.2); point estimates only.
+  Result<QueryResult> AnswerVia(const GroupByQuery& query,
+                                RewriteStrategy strategy) const;
+
+  /// Streams a newly inserted base tuple into the maintainer. Requires
+  /// config.incremental; the visible sample updates on Refresh().
+  Status Insert(const std::vector<Value>& row);
+
+  /// Re-snapshots the maintainer and rebuilds the rewrite
+  /// materializations. No-op for non-incremental synopses.
+  Status Refresh();
+
+  const StratifiedSample& sample() const { return sample_; }
+  const Rewriter& rewriter() const { return *rewriter_; }
+  const SynopsisConfig& config() const { return config_; }
+  /// Column indices of the grouping columns in the base schema.
+  const std::vector<size_t>& grouping_column_indices() const {
+    return grouping_indices_;
+  }
+
+ private:
+  AquaSynopsis() = default;
+
+  SynopsisConfig config_;
+  std::vector<size_t> grouping_indices_;
+  StratifiedSample sample_;
+  std::shared_ptr<Rewriter> rewriter_;
+  std::shared_ptr<SampleMaintainer> maintainer_;  // Null unless incremental.
+  uint64_t target_sample_size_ = 0;
+};
+
+/// A registry of synopses by relation name — the middleware face of Aqua
+/// (Figure 1): register base tables once, answer queries against their
+/// synopses thereafter.
+class SynopsisManager {
+ public:
+  /// Builds and registers a synopsis for `name`. Fails if already present.
+  Status Register(const std::string& name, const Table& base,
+                  const SynopsisConfig& config);
+
+  /// Removes a synopsis.
+  Status Drop(const std::string& name);
+
+  bool Has(const std::string& name) const;
+  Result<const AquaSynopsis*> Get(const std::string& name) const;
+
+  /// Forwards to the named synopsis.
+  Result<ApproximateResult> Answer(const std::string& name,
+                                   const GroupByQuery& query) const;
+  Result<QueryResult> AnswerVia(const std::string& name,
+                                const GroupByQuery& query,
+                                RewriteStrategy strategy) const;
+  Status Insert(const std::string& name, const std::vector<Value>& row);
+  Status Refresh(const std::string& name);
+
+  std::vector<std::string> Names() const;
+
+ private:
+  std::unordered_map<std::string, std::unique_ptr<AquaSynopsis>> synopses_;
+};
+
+}  // namespace congress
+
+#endif  // CONGRESS_CORE_SYNOPSIS_H_

@@ -1,0 +1,145 @@
+#include "engine/executor.h"
+
+#include <string>
+
+namespace congress {
+
+namespace {
+
+Status ValidateQuery(const Table& table, const GroupByQuery& query) {
+  for (size_t c : query.group_columns) {
+    if (c >= table.num_columns()) {
+      return Status::InvalidArgument("group column " + std::to_string(c) +
+                                     " out of range");
+    }
+  }
+  for (const AggregateSpec& spec : query.aggregates) {
+    CONGRESS_RETURN_NOT_OK(ValidateAggregate(spec, table.schema()));
+  }
+  if (query.aggregates.empty()) {
+    return Status::InvalidArgument("query has no aggregates");
+  }
+  for (const HavingCondition& cond : query.having) {
+    if (cond.aggregate_index >= query.aggregates.size()) {
+      return Status::InvalidArgument("HAVING references aggregate " +
+                                     std::to_string(cond.aggregate_index) +
+                                     " but the select list has only " +
+                                     std::to_string(query.aggregates.size()));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<QueryResult> ExecuteExact(const Table& table,
+                                 const GroupByQuery& query) {
+  CONGRESS_RETURN_NOT_OK(ValidateQuery(table, query));
+
+  std::unordered_map<GroupKey, std::vector<Accumulator>, GroupKeyHash> groups;
+  const size_t num_aggs = query.aggregates.size();
+
+  for (size_t row = 0; row < table.num_rows(); ++row) {
+    if (query.predicate != nullptr && !query.predicate->Matches(table, row)) {
+      continue;
+    }
+    GroupKey key = table.KeyForRow(row, query.group_columns);
+    auto it = groups.find(key);
+    if (it == groups.end()) {
+      std::vector<Accumulator> accs;
+      accs.reserve(num_aggs);
+      for (const AggregateSpec& spec : query.aggregates) {
+        accs.emplace_back(spec.kind);
+      }
+      it = groups.emplace(std::move(key), std::move(accs)).first;
+    }
+    for (size_t a = 0; a < num_aggs; ++a) {
+      it->second[a].Add(AggregateInput(query.aggregates[a], table, row));
+    }
+  }
+
+  QueryResult result;
+  for (auto& [key, accs] : groups) {
+    std::vector<double> finals;
+    finals.reserve(num_aggs);
+    for (const Accumulator& acc : accs) finals.push_back(acc.Finish());
+    result.Add(key, std::move(finals));
+  }
+  result.FilterHaving(query.having);
+  result.SortByKey();
+  return result;
+}
+
+std::unordered_map<GroupKey, uint64_t, GroupKeyHash> CountGroups(
+    const Table& table, const std::vector<size_t>& group_columns) {
+  std::unordered_map<GroupKey, uint64_t, GroupKeyHash> counts;
+  for (size_t row = 0; row < table.num_rows(); ++row) {
+    counts[table.KeyForRow(row, group_columns)] += 1;
+  }
+  return counts;
+}
+
+Result<Table> HashJoin(const Table& left, const std::vector<size_t>& left_keys,
+                       const Table& right,
+                       const std::vector<size_t>& right_keys) {
+  if (left_keys.size() != right_keys.size()) {
+    return Status::InvalidArgument("join key arity mismatch");
+  }
+  // Build side: right table, assumed the smaller (AuxRel in the paper).
+  std::unordered_map<GroupKey, std::vector<size_t>, GroupKeyHash> build;
+  build.reserve(right.num_rows());
+  for (size_t row = 0; row < right.num_rows(); ++row) {
+    build[right.KeyForRow(row, right_keys)].push_back(row);
+  }
+
+  // Output schema: all left columns + right non-key columns.
+  std::vector<Field> fields = left.schema().fields();
+  std::vector<size_t> right_payload_cols;
+  for (size_t c = 0; c < right.num_columns(); ++c) {
+    bool is_key = false;
+    for (size_t k : right_keys) {
+      if (k == c) {
+        is_key = true;
+        break;
+      }
+    }
+    if (!is_key) {
+      right_payload_cols.push_back(c);
+      Field f = right.schema().field(c);
+      // Disambiguate duplicate names from the probe side.
+      while (true) {
+        bool clash = false;
+        for (const Field& existing : fields) {
+          if (existing.name == f.name) {
+            clash = true;
+            break;
+          }
+        }
+        if (!clash) break;
+        f.name += "_r";
+      }
+      fields.push_back(f);
+    }
+  }
+  Table out{Schema(std::move(fields))};
+
+  // Probe side: left table.
+  std::vector<Value> row_values;
+  for (size_t row = 0; row < left.num_rows(); ++row) {
+    auto it = build.find(left.KeyForRow(row, left_keys));
+    if (it == build.end()) continue;
+    for (size_t match : it->second) {
+      row_values.clear();
+      for (size_t c = 0; c < left.num_columns(); ++c) {
+        row_values.push_back(left.GetValue(row, c));
+      }
+      for (size_t c : right_payload_cols) {
+        row_values.push_back(right.GetValue(match, c));
+      }
+      CONGRESS_RETURN_NOT_OK(out.AppendRow(row_values));
+    }
+  }
+  return out;
+}
+
+}  // namespace congress

@@ -1,0 +1,31 @@
+#ifndef CONGRESS_ENGINE_EXECUTOR_H_
+#define CONGRESS_ENGINE_EXECUTOR_H_
+
+#include "engine/query.h"
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace congress {
+
+/// Executes `query` exactly over `table` with hash aggregation. This is
+/// the ground-truth oracle the accuracy experiments compare against, and
+/// the building block of the rewrite strategies' physical plans.
+Result<QueryResult> ExecuteExact(const Table& table, const GroupByQuery& query);
+
+/// Computes the number of tuples in each group at the grouping
+/// `group_columns` (COUNT(*) group-by without predicate). Used by the
+/// two-pass sample builders to learn the strata sizes.
+std::unordered_map<GroupKey, uint64_t, GroupKeyHash> CountGroups(
+    const Table& table, const std::vector<size_t>& group_columns);
+
+/// Hash-joins `left` and `right` on left.left_keys == right.right_keys and
+/// returns a table whose columns are all of `left`'s columns followed by
+/// `right`'s non-key columns. The Normalized / Key-Normalized rewrite
+/// strategies pay exactly this join (Section 5.2 of the paper).
+Result<Table> HashJoin(const Table& left, const std::vector<size_t>& left_keys,
+                       const Table& right,
+                       const std::vector<size_t>& right_keys);
+
+}  // namespace congress
+
+#endif  // CONGRESS_ENGINE_EXECUTOR_H_

@@ -1,0 +1,146 @@
+#include "engine/expression.h"
+
+#include <sstream>
+
+namespace congress {
+
+namespace {
+
+class ColumnExpr final : public Expression {
+ public:
+  explicit ColumnExpr(size_t column) : column_(column) {}
+
+  double Eval(const Table& table, size_t row) const override {
+    return table.NumericAt(row, column_);
+  }
+
+  Status Validate(const Schema& schema) const override {
+    if (column_ >= schema.num_fields()) {
+      return Status::InvalidArgument("expression column out of range");
+    }
+    if (schema.field(column_).type == DataType::kString) {
+      return Status::InvalidArgument("expression references string column '" +
+                                     schema.field(column_).name + "'");
+    }
+    return Status::OK();
+  }
+
+  std::string ToString(const Schema* schema) const override {
+    if (schema != nullptr && column_ < schema->num_fields()) {
+      return schema->field(column_).name;
+    }
+    return "col" + std::to_string(column_);
+  }
+
+ private:
+  size_t column_;
+};
+
+class LiteralExpr final : public Expression {
+ public:
+  explicit LiteralExpr(double value) : value_(value) {}
+
+  double Eval(const Table&, size_t) const override { return value_; }
+  Status Validate(const Schema&) const override { return Status::OK(); }
+
+  std::string ToString(const Schema*) const override {
+    std::ostringstream oss;
+    oss << value_;
+    return oss.str();
+  }
+
+ private:
+  double value_;
+};
+
+class BinaryExpr final : public Expression {
+ public:
+  BinaryExpr(ArithOp op, ExpressionPtr lhs, ExpressionPtr rhs)
+      : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+
+  double Eval(const Table& table, size_t row) const override {
+    double a = lhs_->Eval(table, row);
+    double b = rhs_->Eval(table, row);
+    switch (op_) {
+      case ArithOp::kAdd:
+        return a + b;
+      case ArithOp::kSub:
+        return a - b;
+      case ArithOp::kMul:
+        return a * b;
+      case ArithOp::kDiv:
+        return b != 0.0 ? a / b : 0.0;
+    }
+    return 0.0;
+  }
+
+  Status Validate(const Schema& schema) const override {
+    CONGRESS_RETURN_NOT_OK(lhs_->Validate(schema));
+    return rhs_->Validate(schema);
+  }
+
+  std::string ToString(const Schema* schema) const override {
+    return "(" + lhs_->ToString(schema) + ArithOpToString(op_) +
+           rhs_->ToString(schema) + ")";
+  }
+
+ private:
+  ArithOp op_;
+  ExpressionPtr lhs_;
+  ExpressionPtr rhs_;
+};
+
+class NegateExpr final : public Expression {
+ public:
+  explicit NegateExpr(ExpressionPtr child) : child_(std::move(child)) {}
+
+  double Eval(const Table& table, size_t row) const override {
+    return -child_->Eval(table, row);
+  }
+
+  Status Validate(const Schema& schema) const override {
+    return child_->Validate(schema);
+  }
+
+  std::string ToString(const Schema* schema) const override {
+    return "(-" + child_->ToString(schema) + ")";
+  }
+
+ private:
+  ExpressionPtr child_;
+};
+
+}  // namespace
+
+const char* ArithOpToString(ArithOp op) {
+  switch (op) {
+    case ArithOp::kAdd:
+      return "+";
+    case ArithOp::kSub:
+      return "-";
+    case ArithOp::kMul:
+      return "*";
+    case ArithOp::kDiv:
+      return "/";
+  }
+  return "?";
+}
+
+ExpressionPtr MakeColumnExpr(size_t column) {
+  return std::make_shared<ColumnExpr>(column);
+}
+
+ExpressionPtr MakeLiteralExpr(double value) {
+  return std::make_shared<LiteralExpr>(value);
+}
+
+ExpressionPtr MakeBinaryExpr(ArithOp op, ExpressionPtr lhs,
+                             ExpressionPtr rhs) {
+  return std::make_shared<BinaryExpr>(op, std::move(lhs), std::move(rhs));
+}
+
+ExpressionPtr MakeNegateExpr(ExpressionPtr child) {
+  return std::make_shared<NegateExpr>(std::move(child));
+}
+
+}  // namespace congress

@@ -1,0 +1,57 @@
+#ifndef CONGRESS_ENGINE_EXPRESSION_H_
+#define CONGRESS_ENGINE_EXPRESSION_H_
+
+#include <memory>
+#include <string>
+
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace congress {
+
+/// A numeric scalar expression over one row — the argument of an
+/// aggregate, e.g. TPC-D Q1's sum(l_extendedprice*(1-l_discount)*
+/// (1+l_tax)), which Section 8 of the paper cites as a "commonly-used
+/// expression applied to the values".
+class Expression {
+ public:
+  virtual ~Expression() = default;
+
+  /// Evaluates the expression on row `row` of `table`.
+  virtual double Eval(const Table& table, size_t row) const = 0;
+
+  /// Checks that every referenced column exists and is numeric.
+  virtual Status Validate(const Schema& schema) const = 0;
+
+  /// SQL-ish rendering; column names resolve through `schema` when given.
+  virtual std::string ToString(const Schema* schema = nullptr) const = 0;
+};
+
+using ExpressionPtr = std::shared_ptr<const Expression>;
+
+/// Arithmetic operators for MakeBinaryExpr.
+enum class ArithOp {
+  kAdd = 0,
+  kSub = 1,
+  kMul = 2,
+  kDiv = 3,  ///< Division by zero evaluates to 0 (SQL NULL-ish).
+};
+
+const char* ArithOpToString(ArithOp op);
+
+/// A numeric column reference.
+ExpressionPtr MakeColumnExpr(size_t column);
+
+/// A numeric constant.
+ExpressionPtr MakeLiteralExpr(double value);
+
+/// lhs <op> rhs.
+ExpressionPtr MakeBinaryExpr(ArithOp op, ExpressionPtr lhs,
+                             ExpressionPtr rhs);
+
+/// -child.
+ExpressionPtr MakeNegateExpr(ExpressionPtr child);
+
+}  // namespace congress
+
+#endif  // CONGRESS_ENGINE_EXPRESSION_H_

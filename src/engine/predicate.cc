@@ -1,0 +1,193 @@
+#include "engine/predicate.h"
+
+#include <sstream>
+
+namespace congress {
+
+namespace {
+
+std::string ColName(const Schema* schema, size_t col) {
+  if (schema != nullptr && col < schema->num_fields()) {
+    return schema->field(col).name;
+  }
+  return "col" + std::to_string(col);
+}
+
+class TruePredicate final : public Predicate {
+ public:
+  bool Matches(const Table&, size_t) const override { return true; }
+  std::string ToString(const Schema*) const override { return "TRUE"; }
+};
+
+class RangePredicate final : public Predicate {
+ public:
+  RangePredicate(size_t col, double lo, double hi)
+      : col_(col), lo_(lo), hi_(hi) {}
+
+  bool Matches(const Table& table, size_t row) const override {
+    double v = table.NumericAt(row, col_);
+    return v >= lo_ && v <= hi_;
+  }
+
+  std::string ToString(const Schema* schema) const override {
+    std::ostringstream oss;
+    oss << ColName(schema, col_) << " BETWEEN " << lo_ << " AND " << hi_;
+    return oss.str();
+  }
+
+ private:
+  size_t col_;
+  double lo_;
+  double hi_;
+};
+
+class EqualsPredicate final : public Predicate {
+ public:
+  EqualsPredicate(size_t col, Value value)
+      : col_(col), value_(std::move(value)) {}
+
+  bool Matches(const Table& table, size_t row) const override {
+    return table.GetValue(row, col_) == value_;
+  }
+
+  std::string ToString(const Schema* schema) const override {
+    return ColName(schema, col_) + " = " + value_.ToString();
+  }
+
+ private:
+  size_t col_;
+  Value value_;
+};
+
+class AndPredicate final : public Predicate {
+ public:
+  explicit AndPredicate(std::vector<PredicatePtr> children)
+      : children_(std::move(children)) {}
+
+  bool Matches(const Table& table, size_t row) const override {
+    for (const auto& child : children_) {
+      if (!child->Matches(table, row)) return false;
+    }
+    return true;
+  }
+
+  std::string ToString(const Schema* schema) const override {
+    std::string out = "(";
+    for (size_t i = 0; i < children_.size(); ++i) {
+      if (i > 0) out += " AND ";
+      out += children_[i]->ToString(schema);
+    }
+    out += ")";
+    return out;
+  }
+
+ private:
+  std::vector<PredicatePtr> children_;
+};
+
+class LessEqualPredicate final : public Predicate {
+ public:
+  LessEqualPredicate(size_t col, double bound) : col_(col), bound_(bound) {}
+
+  bool Matches(const Table& table, size_t row) const override {
+    return table.NumericAt(row, col_) <= bound_;
+  }
+
+  std::string ToString(const Schema* schema) const override {
+    std::ostringstream oss;
+    oss << ColName(schema, col_) << " <= " << bound_;
+    return oss.str();
+  }
+
+ private:
+  size_t col_;
+  double bound_;
+};
+
+class ComparisonPredicate final : public Predicate {
+ public:
+  ComparisonPredicate(size_t col, CompareOp op, Value value)
+      : col_(col), op_(op), value_(std::move(value)) {}
+
+  bool Matches(const Table& table, size_t row) const override {
+    if (op_ == CompareOp::kEq || op_ == CompareOp::kNe) {
+      bool eq;
+      if (value_.is_string()) {
+        eq = table.GetValue(row, col_) == value_;
+      } else {
+        // Numeric equality compares values, not representations, so
+        // `col = 5` matches an int64 5 and a double 5.0 alike.
+        eq = table.NumericAt(row, col_) == value_.ToNumeric();
+      }
+      return op_ == CompareOp::kEq ? eq : !eq;
+    }
+    double lhs = table.NumericAt(row, col_);
+    double rhs = value_.ToNumeric();
+    switch (op_) {
+      case CompareOp::kLt:
+        return lhs < rhs;
+      case CompareOp::kLe:
+        return lhs <= rhs;
+      case CompareOp::kGt:
+        return lhs > rhs;
+      case CompareOp::kGe:
+        return lhs >= rhs;
+      default:
+        return false;
+    }
+  }
+
+  std::string ToString(const Schema* schema) const override {
+    return ColName(schema, col_) + " " + CompareOpToString(op_) + " " +
+           value_.ToString();
+  }
+
+ private:
+  size_t col_;
+  CompareOp op_;
+  Value value_;
+};
+
+}  // namespace
+
+const char* CompareOpToString(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "<>";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+PredicatePtr MakeComparisonPredicate(size_t col, CompareOp op, Value value) {
+  return std::make_shared<ComparisonPredicate>(col, op, std::move(value));
+}
+
+PredicatePtr MakeTruePredicate() { return std::make_shared<TruePredicate>(); }
+
+PredicatePtr MakeRangePredicate(size_t col, double lo, double hi) {
+  return std::make_shared<RangePredicate>(col, lo, hi);
+}
+
+PredicatePtr MakeEqualsPredicate(size_t col, Value value) {
+  return std::make_shared<EqualsPredicate>(col, std::move(value));
+}
+
+PredicatePtr MakeAndPredicate(std::vector<PredicatePtr> children) {
+  return std::make_shared<AndPredicate>(std::move(children));
+}
+
+PredicatePtr MakeLessEqualPredicate(size_t col, double bound) {
+  return std::make_shared<LessEqualPredicate>(col, bound);
+}
+
+}  // namespace congress

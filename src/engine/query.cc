@@ -1,0 +1,114 @@
+#include "engine/query.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace congress {
+
+bool HavingCondition::Matches(double aggregate_value) const {
+  switch (op) {
+    case CompareOp::kEq:
+      return aggregate_value == value;
+    case CompareOp::kNe:
+      return aggregate_value != value;
+    case CompareOp::kLt:
+      return aggregate_value < value;
+    case CompareOp::kLe:
+      return aggregate_value <= value;
+    case CompareOp::kGt:
+      return aggregate_value > value;
+    case CompareOp::kGe:
+      return aggregate_value >= value;
+  }
+  return false;
+}
+
+std::string HavingCondition::ToString() const {
+  std::ostringstream oss;
+  oss << "agg" << aggregate_index << " " << CompareOpToString(op) << " "
+      << value;
+  return oss.str();
+}
+
+std::string GroupByQuery::ToString() const {
+  std::ostringstream oss;
+  oss << "SELECT ";
+  for (size_t i = 0; i < group_columns.size(); ++i) {
+    oss << "col" << group_columns[i] << ", ";
+  }
+  for (size_t i = 0; i < aggregates.size(); ++i) {
+    if (i > 0) oss << ", ";
+    oss << aggregates[i].ToString();
+  }
+  if (predicate != nullptr) oss << " WHERE " << predicate->ToString();
+  if (!group_columns.empty()) {
+    oss << " GROUP BY ";
+    for (size_t i = 0; i < group_columns.size(); ++i) {
+      if (i > 0) oss << ", ";
+      oss << "col" << group_columns[i];
+    }
+  }
+  if (!having.empty()) {
+    oss << " HAVING ";
+    for (size_t i = 0; i < having.size(); ++i) {
+      if (i > 0) oss << " AND ";
+      oss << having[i].ToString();
+    }
+  }
+  return oss.str();
+}
+
+void QueryResult::Add(GroupKey key, std::vector<double> aggregates) {
+  index_.emplace(key, rows_.size());
+  rows_.push_back(GroupResult{std::move(key), std::move(aggregates)});
+}
+
+const GroupResult* QueryResult::Find(const GroupKey& key) const {
+  auto it = index_.find(key);
+  if (it == index_.end()) return nullptr;
+  return &rows_[it->second];
+}
+
+void QueryResult::SortByKey() {
+  std::sort(rows_.begin(), rows_.end(),
+            [](const GroupResult& a, const GroupResult& b) {
+              return a.key < b.key;
+            });
+  index_.clear();
+  for (size_t i = 0; i < rows_.size(); ++i) index_.emplace(rows_[i].key, i);
+}
+
+void QueryResult::FilterHaving(const std::vector<HavingCondition>& having) {
+  if (having.empty()) return;
+  std::vector<GroupResult> kept;
+  for (GroupResult& row : rows_) {
+    bool pass = true;
+    for (const HavingCondition& cond : having) {
+      if (cond.aggregate_index >= row.aggregates.size() ||
+          !cond.Matches(row.aggregates[cond.aggregate_index])) {
+        pass = false;
+        break;
+      }
+    }
+    if (pass) kept.push_back(std::move(row));
+  }
+  rows_ = std::move(kept);
+  index_.clear();
+  for (size_t i = 0; i < rows_.size(); ++i) index_.emplace(rows_[i].key, i);
+}
+
+std::string QueryResult::ToString(size_t max_rows) const {
+  std::ostringstream oss;
+  size_t shown = std::min(max_rows, rows_.size());
+  for (size_t i = 0; i < shown; ++i) {
+    oss << GroupKeyToString(rows_[i].key) << " ->";
+    for (double a : rows_[i].aggregates) oss << " " << a;
+    oss << "\n";
+  }
+  if (shown < rows_.size()) {
+    oss << "... (" << (rows_.size() - shown) << " more groups)\n";
+  }
+  return oss.str();
+}
+
+}  // namespace congress

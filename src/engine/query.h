@@ -1,0 +1,84 @@
+#ifndef CONGRESS_ENGINE_QUERY_H_
+#define CONGRESS_ENGINE_QUERY_H_
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/aggregate.h"
+#include "engine/predicate.h"
+#include "storage/value.h"
+#include "util/status.h"
+
+namespace congress {
+
+/// One HAVING conjunct: a comparison on the value of one of the query's
+/// aggregates (by position in the SELECT list). The paper's census
+/// motivation — "identify all states with per capita incomes above some
+/// value" — is a HAVING filter over an AVG.
+struct HavingCondition {
+  size_t aggregate_index = 0;
+  CompareOp op = CompareOp::kGt;
+  double value = 0.0;
+
+  bool Matches(double aggregate_value) const;
+  std::string ToString() const;
+};
+
+/// A logical group-by aggregate query:
+///   SELECT <group_columns>, <aggregates> FROM t
+///   WHERE <predicate> GROUP BY <group_columns> HAVING <having...>
+/// An empty `group_columns` is the no-group-by case (one global group),
+/// which the paper treats as a group-by query returning a single group.
+struct GroupByQuery {
+  std::vector<size_t> group_columns;
+  std::vector<AggregateSpec> aggregates;
+  PredicatePtr predicate;  // nullptr means TRUE.
+  std::vector<HavingCondition> having;  // Conjunction; empty means TRUE.
+
+  bool HasPredicate() const { return predicate != nullptr; }
+
+  std::string ToString() const;
+};
+
+/// The aggregate row for one group in a query answer.
+struct GroupResult {
+  GroupKey key;
+  std::vector<double> aggregates;  // One per AggregateSpec, query order.
+};
+
+/// A group-by query answer: one GroupResult per non-empty group, with
+/// O(1) lookup by group key. Deterministically ordered by key so results
+/// are comparable across runs.
+class QueryResult {
+ public:
+  QueryResult() = default;
+
+  /// Adds a group row. Keys must be unique.
+  void Add(GroupKey key, std::vector<double> aggregates);
+
+  size_t num_groups() const { return rows_.size(); }
+  const std::vector<GroupResult>& rows() const { return rows_; }
+
+  /// Pointer to the row for `key`, or nullptr if that group is absent.
+  const GroupResult* Find(const GroupKey& key) const;
+
+  /// Sorts rows by group key; call once after all Adds for deterministic
+  /// iteration order.
+  void SortByKey();
+
+  /// Drops every group failing any of the query's HAVING conditions and
+  /// reindexes. No-op when `having` is empty.
+  void FilterHaving(const std::vector<HavingCondition>& having);
+
+  std::string ToString(size_t max_rows = 20) const;
+
+ private:
+  std::vector<GroupResult> rows_;
+  std::unordered_map<GroupKey, size_t, GroupKeyHash> index_;
+};
+
+}  // namespace congress
+
+#endif  // CONGRESS_ENGINE_QUERY_H_

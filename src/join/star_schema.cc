@@ -1,0 +1,155 @@
+#include "join/star_schema.h"
+
+#include <unordered_map>
+
+namespace congress {
+
+namespace {
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace
+
+Status ValidateStarSchema(const StarSchema& schema) {
+  if (schema.fact == nullptr) {
+    return Status::InvalidArgument("star schema has no fact table");
+  }
+  for (size_t d = 0; d < schema.dimensions.size(); ++d) {
+    const DimensionSpec& dim = schema.dimensions[d];
+    if (dim.table == nullptr) {
+      return Status::InvalidArgument("dimension " + std::to_string(d) +
+                                     " has no table");
+    }
+    if (dim.fact_fk_column >= schema.fact->num_columns()) {
+      return Status::InvalidArgument("fact foreign-key column out of range");
+    }
+    if (dim.dim_key_column >= dim.table->num_columns()) {
+      return Status::InvalidArgument("dimension key column out of range");
+    }
+    // Key uniqueness.
+    std::unordered_map<Value, size_t, ValueHash> index;
+    index.reserve(dim.table->num_rows());
+    for (size_t r = 0; r < dim.table->num_rows(); ++r) {
+      Value key = dim.table->GetValue(r, dim.dim_key_column);
+      if (!index.emplace(std::move(key), r).second) {
+        return Status::InvalidArgument(
+            "dimension " + std::to_string(d) + " key '" +
+            dim.table->GetValue(r, dim.dim_key_column).ToString() +
+            "' is not unique");
+      }
+    }
+    // Referential integrity.
+    for (size_t r = 0; r < schema.fact->num_rows(); ++r) {
+      if (index.count(schema.fact->GetValue(r, dim.fact_fk_column)) == 0) {
+        return Status::InvalidArgument(
+            "fact row " + std::to_string(r) + " has dangling foreign key " +
+            schema.fact->GetValue(r, dim.fact_fk_column).ToString() +
+            " into dimension " + std::to_string(d));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<Schema> WidenedSchema(const StarSchema& schema) {
+  if (schema.fact == nullptr) {
+    return Status::InvalidArgument("star schema has no fact table");
+  }
+  std::vector<Field> fields = schema.fact->schema().fields();
+  for (const DimensionSpec& dim : schema.dimensions) {
+    if (dim.table == nullptr) {
+      return Status::InvalidArgument("dimension has no table");
+    }
+    for (size_t c = 0; c < dim.table->num_columns(); ++c) {
+      if (c == dim.dim_key_column) continue;  // FK already in the fact.
+      Field f = dim.table->schema().field(c);
+      f.name = dim.prefix + f.name;
+      // Disambiguate collisions.
+      auto clashes = [&fields](const std::string& name) {
+        for (const Field& existing : fields) {
+          if (existing.name == name) return true;
+        }
+        return false;
+      };
+      while (clashes(f.name)) f.name += "_d";
+      fields.push_back(std::move(f));
+    }
+  }
+  return Schema(std::move(fields));
+}
+
+Result<StarJoinWidener> StarJoinWidener::Create(const StarSchema& schema) {
+  if (schema.fact == nullptr) {
+    return Status::InvalidArgument("star schema has no fact table");
+  }
+  auto widened = WidenedSchema(schema);
+  if (!widened.ok()) return widened.status();
+
+  StarJoinWidener widener;
+  widener.schema_ = schema;
+  widener.widened_schema_ = std::move(widened).value();
+  widener.indexes_.resize(schema.dimensions.size());
+  for (size_t d = 0; d < schema.dimensions.size(); ++d) {
+    const DimensionSpec& dim = schema.dimensions[d];
+    auto& map = widener.indexes_[d];
+    map.reserve(dim.table->num_rows());
+    for (size_t r = 0; r < dim.table->num_rows(); ++r) {
+      map.emplace(dim.table->GetValue(r, dim.dim_key_column), r);
+    }
+  }
+  return widener;
+}
+
+Status StarJoinWidener::Widen(size_t fact_row, std::vector<Value>* out) const {
+  if (fact_row >= schema_.fact->num_rows()) {
+    return Status::InvalidArgument("fact row out of range");
+  }
+  out->clear();
+  for (size_t c = 0; c < schema_.fact->num_columns(); ++c) {
+    out->push_back(schema_.fact->GetValue(fact_row, c));
+  }
+  for (size_t d = 0; d < schema_.dimensions.size(); ++d) {
+    const DimensionSpec& dim = schema_.dimensions[d];
+    Value fk = schema_.fact->GetValue(fact_row, dim.fact_fk_column);
+    auto it = indexes_[d].find(fk);
+    if (it == indexes_[d].end()) {
+      return Status::InvalidArgument("dangling foreign key " + fk.ToString());
+    }
+    for (size_t c = 0; c < dim.table->num_columns(); ++c) {
+      if (c == dim.dim_key_column) continue;
+      out->push_back(dim.table->GetValue(it->second, c));
+    }
+  }
+  return Status::OK();
+}
+
+Result<Table> MaterializeStarJoin(const StarSchema& schema) {
+  CONGRESS_RETURN_NOT_OK(ValidateStarSchema(schema));
+  auto widener = StarJoinWidener::Create(schema);
+  if (!widener.ok()) return widener.status();
+
+  Table out{widener->widened_schema()};
+  out.Reserve(schema.fact->num_rows());
+  std::vector<Value> row;
+  for (size_t r = 0; r < schema.fact->num_rows(); ++r) {
+    CONGRESS_RETURN_NOT_OK(widener->Widen(r, &row));
+    CONGRESS_RETURN_NOT_OK(out.AppendRow(row));
+  }
+  return out;
+}
+
+Result<std::vector<Value>> WidenFactRow(const StarSchema& schema,
+                                        size_t fact_row) {
+  if (schema.fact == nullptr || fact_row >= schema.fact->num_rows()) {
+    return Status::InvalidArgument("fact row out of range");
+  }
+  auto widener = StarJoinWidener::Create(schema);
+  if (!widener.ok()) return widener.status();
+  std::vector<Value> row;
+  CONGRESS_RETURN_NOT_OK(widener->Widen(fact_row, &row));
+  return row;
+}
+
+}  // namespace congress

@@ -1,0 +1,79 @@
+#ifndef CONGRESS_JOIN_STAR_SCHEMA_H_
+#define CONGRESS_JOIN_STAR_SCHEMA_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace congress {
+
+/// One dimension of a star schema: the fact table's foreign-key column
+/// joins the dimension table's (unique) key column. Dimension columns are
+/// prefixed when widened into the join result.
+struct DimensionSpec {
+  const Table* table = nullptr;
+  size_t fact_fk_column = 0;  ///< Foreign-key column in the fact table.
+  size_t dim_key_column = 0;  ///< Primary-key column in the dimension.
+  std::string prefix;         ///< Optional name prefix for widened columns.
+};
+
+/// A star (or snowflake-flattened) schema: one fact table plus its
+/// dimensions. The paper's join synopses (Section 2, [AGPR99]) reduce any
+/// foreign-key join query over this schema to a query on a single widened
+/// relation.
+struct StarSchema {
+  const Table* fact = nullptr;
+  std::vector<DimensionSpec> dimensions;
+};
+
+/// Validates the schema: tables present, key columns in range, dimension
+/// keys unique, and every fact foreign key resolvable (referential
+/// integrity — the property that makes FK-join sampling correct).
+Status ValidateStarSchema(const StarSchema& schema);
+
+/// Materializes the full fact-join-dimensions relation: every fact column
+/// followed by each dimension's non-key columns (prefixed). Each fact row
+/// joins exactly one row per dimension, so the result has exactly
+/// fact->num_rows() rows — the foreign-key join property the paper's
+/// join synopses exploit.
+Result<Table> MaterializeStarJoin(const StarSchema& schema);
+
+/// Widens a single fact row into join-result column order. Used by the
+/// one-pass synopsis builder so the full join never materializes.
+Result<std::vector<Value>> WidenFactRow(const StarSchema& schema,
+                                        size_t fact_row);
+
+/// The schema of the widened relation.
+Result<Schema> WidenedSchema(const StarSchema& schema);
+
+/// Reusable row widener: builds the per-dimension hash indexes once, then
+/// widens fact rows on demand. The star-join synopsis builder streams the
+/// fact table through one of these instead of materializing the join.
+class StarJoinWidener {
+ public:
+  /// Builds indexes over the dimensions. The schema's tables must outlive
+  /// the widener.
+  static Result<StarJoinWidener> Create(const StarSchema& schema);
+
+  /// Fills `*out` with fact row `fact_row` widened into join-result
+  /// column order.
+  Status Widen(size_t fact_row, std::vector<Value>* out) const;
+
+  const Schema& widened_schema() const { return widened_schema_; }
+
+ private:
+  struct ValueHasher {
+    size_t operator()(const Value& v) const { return v.Hash(); }
+  };
+
+  StarSchema schema_;
+  Schema widened_schema_;
+  std::vector<std::unordered_map<Value, size_t, ValueHasher>> indexes_;
+};
+
+}  // namespace congress
+
+#endif  // CONGRESS_JOIN_STAR_SCHEMA_H_

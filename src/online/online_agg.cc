@@ -1,0 +1,185 @@
+#include "online/online_agg.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/random.h"
+
+namespace congress {
+
+Result<OnlineAggregator> OnlineAggregator::Start(
+    const Table* table, GroupByQuery query, const OnlineAggOptions& options) {
+  if (table == nullptr) {
+    return Status::InvalidArgument("null table");
+  }
+  if (query.aggregates.empty()) {
+    return Status::InvalidArgument("query has no aggregates");
+  }
+  for (size_t c : query.group_columns) {
+    if (c >= table->num_columns()) {
+      return Status::InvalidArgument("group column out of range");
+    }
+  }
+  for (const AggregateSpec& spec : query.aggregates) {
+    switch (spec.kind) {
+      case AggregateKind::kSum:
+      case AggregateKind::kCount:
+      case AggregateKind::kAvg:
+        break;
+      default:
+        return Status::InvalidArgument(
+            "online aggregation supports SUM/COUNT/AVG only");
+    }
+    CONGRESS_RETURN_NOT_OK(ValidateAggregate(spec, table->schema()));
+  }
+  if (options.confidence <= 0.0 || options.confidence >= 1.0) {
+    return Status::InvalidArgument("confidence must be in (0, 1)");
+  }
+
+  OnlineAggregator agg;
+  agg.table_ = table;
+  agg.query_ = std::move(query);
+  agg.options_ = options;
+
+  Random rng(options.seed);
+  const size_t n = table->num_rows();
+
+  // Group membership (the "index" of index striding) and populations.
+  std::unordered_map<GroupKey, std::vector<uint32_t>, GroupKeyHash> members;
+  for (size_t row = 0; row < n; ++row) {
+    members[table->KeyForRow(row, agg.query_.group_columns)].push_back(
+        static_cast<uint32_t>(row));
+  }
+  for (auto& [key, rows] : members) {
+    GroupState state;
+    state.population = rows.size();
+    state.sum.assign(agg.query_.aggregates.size(), 0.0);
+    state.sum2.assign(agg.query_.aggregates.size(), 0.0);
+    agg.groups_.emplace(key, std::move(state));
+  }
+
+  agg.scan_order_.reserve(n);
+  if (!options.index_striding) {
+    // Random-order scan of the whole relation.
+    for (size_t row = 0; row < n; ++row) {
+      agg.scan_order_.push_back(static_cast<uint32_t>(row));
+    }
+    rng.Shuffle(&agg.scan_order_);
+  } else {
+    // Index striding: shuffle within each group, then take one tuple per
+    // group per round, so every group's sample grows at the same rate
+    // until the group is exhausted.
+    std::vector<std::vector<uint32_t>*> lists;
+    for (auto& [key, rows] : members) {
+      rng.Shuffle(&rows);
+      lists.push_back(&rows);
+    }
+    // Deterministic order across the unordered_map: sort by first row id
+    // (stable under the same seed).
+    std::sort(lists.begin(), lists.end(),
+              [](const std::vector<uint32_t>* a,
+                 const std::vector<uint32_t>* b) {
+                return (*a)[0] < (*b)[0];
+              });
+    size_t round = 0;
+    bool any = true;
+    while (any) {
+      any = false;
+      for (auto* rows : lists) {
+        if (round < rows->size()) {
+          agg.scan_order_.push_back((*rows)[round]);
+          any = true;
+        }
+      }
+      ++round;
+    }
+  }
+  return agg;
+}
+
+size_t OnlineAggregator::Step(size_t batch) {
+  size_t consumed = 0;
+  const size_t num_aggs = query_.aggregates.size();
+  while (consumed < batch && position_ < scan_order_.size()) {
+    size_t row = scan_order_[position_];
+    ++position_;
+    ++consumed;
+    GroupKey key = table_->KeyForRow(row, query_.group_columns);
+    GroupState& state = groups_[key];
+    state.processed += 1;
+    if (query_.predicate != nullptr &&
+        !query_.predicate->Matches(*table_, row)) {
+      continue;
+    }
+    state.matched += 1;
+    for (size_t a = 0; a < num_aggs; ++a) {
+      double v = AggregateInput(query_.aggregates[a], *table_, row);
+      state.sum[a] += v;
+      state.sum2[a] += v * v;
+    }
+  }
+  return consumed;
+}
+
+double OnlineAggregator::Progress() const {
+  if (scan_order_.empty()) return 1.0;
+  return static_cast<double>(position_) /
+         static_cast<double>(scan_order_.size());
+}
+
+Result<ApproximateResult> OnlineAggregator::CurrentEstimate() const {
+  const size_t num_aggs = query_.aggregates.size();
+  const double cheb = 1.0 / std::sqrt(1.0 - options_.confidence);
+
+  ApproximateResult result;
+  for (const auto& [key, state] : groups_) {
+    if (state.matched == 0) continue;  // Group not (yet) represented.
+    // Per-group sampling fraction. Striding knows it exactly; the uniform
+    // scan's per-group processed count is hypergeometric around the
+    // global fraction, and conditioning on it is the standard
+    // post-stratified OLA estimator.
+    const double n = static_cast<double>(state.processed);
+    const double big_n = static_cast<double>(state.population);
+    const double sf = big_n / n;
+
+    ApproximateGroupRow row;
+    row.key = key;
+    row.support = state.matched;
+    row.estimates.assign(num_aggs, 0.0);
+    row.std_errors.assign(num_aggs, 0.0);
+    row.bounds.assign(num_aggs, 0.0);
+    double est_cnt = sf * static_cast<double>(state.matched);
+    for (size_t a = 0; a < num_aggs; ++a) {
+      const AggregateSpec& spec = query_.aggregates[a];
+      double est_sum = sf * state.sum[a];
+      // Sample variance of z (zeros included for unmatched draws).
+      double mean = state.sum[a] / n;
+      double ss = std::max(0.0, state.sum2[a] - n * mean * mean);
+      double s2 = n > 1.0 ? ss / (n - 1.0) : 0.0;
+      double variance = big_n * std::max(0.0, big_n - n) * s2 / n;
+      switch (spec.kind) {
+        case AggregateKind::kSum:
+        case AggregateKind::kCount:
+          row.estimates[a] =
+              spec.kind == AggregateKind::kCount ? est_cnt : est_sum;
+          row.std_errors[a] = std::sqrt(variance);
+          break;
+        case AggregateKind::kAvg:
+          row.estimates[a] = est_cnt > 0.0 ? est_sum / est_cnt : 0.0;
+          // Crude delta-method: scale the SUM error by 1/count.
+          row.std_errors[a] =
+              est_cnt > 0.0 ? std::sqrt(variance) / est_cnt : 0.0;
+          break;
+        default:
+          break;
+      }
+      row.bounds[a] = cheb * row.std_errors[a];
+    }
+    result.Add(std::move(row));
+  }
+  result.FilterHaving(query_.having);
+  result.SortByKey();
+  return result;
+}
+
+}  // namespace congress

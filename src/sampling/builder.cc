@@ -1,0 +1,75 @@
+#include "sampling/builder.h"
+
+#include "sampling/reservoir.h"
+
+namespace congress {
+
+Result<StratifiedSample> BuildStratifiedSample(
+    const Table& table, const std::vector<size_t>& grouping_columns,
+    const GroupStatistics& stats, const Allocation& allocation, Random* rng) {
+  if (allocation.expected_sizes.size() != stats.num_groups()) {
+    return Status::InvalidArgument(
+        "allocation does not align with group statistics");
+  }
+  std::vector<uint64_t> sizes = RoundAllocation(stats, allocation);
+
+  // One reservoir of base-row indices per stratum.
+  std::vector<ReservoirSampler<uint64_t>> reservoirs;
+  reservoirs.reserve(stats.num_groups());
+  for (uint64_t k : sizes) {
+    reservoirs.emplace_back(static_cast<size_t>(k));
+  }
+
+  for (size_t row = 0; row < table.num_rows(); ++row) {
+    GroupKey key = table.KeyForRow(row, grouping_columns);
+    auto idx = stats.IndexOf(key);
+    if (!idx.ok()) {
+      return Status::InvalidArgument("table contains group " +
+                                     GroupKeyToString(key) +
+                                     " absent from statistics");
+    }
+    reservoirs[*idx].Offer(static_cast<uint64_t>(row), rng);
+  }
+
+  StratifiedSample sample(table.schema(), grouping_columns);
+  for (size_t i = 0; i < stats.num_groups(); ++i) {
+    CONGRESS_RETURN_NOT_OK(
+        sample.DeclareStratum(stats.keys()[i], stats.counts()[i]));
+  }
+  size_t total_rows = 0;
+  for (const auto& res : reservoirs) total_rows += res.size();
+  // Append in stratum order: sampled tuples of a group are contiguous,
+  // mirroring the paper's "stored compactly in a few disk blocks" point.
+  (void)total_rows;
+  for (size_t i = 0; i < reservoirs.size(); ++i) {
+    for (uint64_t row : reservoirs[i].items()) {
+      CONGRESS_RETURN_NOT_OK(sample.Append(table, static_cast<size_t>(row)));
+    }
+  }
+  return sample;
+}
+
+Result<StratifiedSample> BuildSample(
+    const Table& table, const std::vector<size_t>& grouping_columns,
+    AllocationStrategy strategy, double sample_size, Random* rng) {
+  if (grouping_columns.empty()) {
+    return Status::InvalidArgument("at least one grouping column required");
+  }
+  for (size_t c : grouping_columns) {
+    if (c >= table.num_columns()) {
+      return Status::InvalidArgument("grouping column out of range");
+    }
+  }
+  if (sample_size <= 0.0) {
+    return Status::InvalidArgument("sample size must be positive");
+  }
+  GroupStatistics stats = GroupStatistics::Compute(table, grouping_columns);
+  if (stats.num_groups() == 0) {
+    return Status::FailedPrecondition("table is empty");
+  }
+  Allocation allocation = Allocate(strategy, stats, sample_size);
+  return BuildStratifiedSample(table, grouping_columns, stats, allocation,
+                               rng);
+}
+
+}  // namespace congress

@@ -1,0 +1,33 @@
+#ifndef CONGRESS_SAMPLING_BUILDER_H_
+#define CONGRESS_SAMPLING_BUILDER_H_
+
+#include <vector>
+
+#include "sampling/allocation.h"
+#include "sampling/stratified_sample.h"
+#include "storage/table.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace congress {
+
+/// Builds a stratified sample of `table` with per-group sizes given by
+/// `allocation` (which must align with `stats`). One pass over the data
+/// using an independent reservoir per group — the "constructing using a
+/// data cube" path of Section 6, where the cube (= `stats`) supplies the
+/// target sizes up front.
+Result<StratifiedSample> BuildStratifiedSample(
+    const Table& table, const std::vector<size_t>& grouping_columns,
+    const GroupStatistics& stats, const Allocation& allocation, Random* rng);
+
+/// Convenience wrapper: computes the group census, allocates with
+/// `strategy` for `sample_size` expected tuples, and builds the sample.
+/// Two passes over the data (count, then sample).
+Result<StratifiedSample> BuildSample(const Table& table,
+                                     const std::vector<size_t>& grouping_columns,
+                                     AllocationStrategy strategy,
+                                     double sample_size, Random* rng);
+
+}  // namespace congress
+
+#endif  // CONGRESS_SAMPLING_BUILDER_H_

@@ -1,0 +1,13 @@
+// ReservoirSampler is a header-only template; this translation unit exists
+// so the build file can list the module and to force an instantiation as a
+// compile check.
+
+#include "sampling/reservoir.h"
+
+#include <cstdint>
+
+namespace congress {
+
+template class ReservoirSampler<uint64_t>;
+
+}  // namespace congress

@@ -1,0 +1,104 @@
+#ifndef CONGRESS_SAMPLING_RESERVOIR_H_
+#define CONGRESS_SAMPLING_RESERVOIR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+
+namespace congress {
+
+/// Classic reservoir sampling (Vitter's Algorithm R): maintains a uniform
+/// random sample of `capacity` items from a stream of unknown length.
+/// Items are owned by value; the one-pass sample builders instantiate this
+/// with materialized rows since the base relation cannot be re-read.
+///
+/// Also supports the two operations the paper's maintenance algorithms
+/// need beyond the classic scheme (Section 6):
+///   * EvictRandom  — remove a uniformly chosen item (lazy shrinking when
+///     the per-group target X/m drops as new groups arrive). Uniformity is
+///     preserved under random eviction without insertion (Theorem 6.1).
+///   * ShrinkTo     — cut the capacity and evict down to it.
+template <typename T>
+class ReservoirSampler {
+ public:
+  explicit ReservoirSampler(size_t capacity) : capacity_(capacity) {}
+
+  /// Offers one stream item. Returns true if the item was admitted (an
+  /// old item may have been evicted to make room).
+  bool Offer(T item, Random* rng) {
+    ++seen_;
+    if (items_.size() < capacity_) {
+      items_.push_back(std::move(item));
+      return true;
+    }
+    if (capacity_ == 0) return false;
+    // Admit with probability capacity / seen, evicting a uniform victim.
+    uint64_t j = rng->UniformInt(seen_);
+    if (j < capacity_) {
+      items_[static_cast<size_t>(rng->UniformInt(items_.size()))] =
+          std::move(item);
+      return true;
+    }
+    return false;
+  }
+
+  /// Variant of Offer that reports which resident item (if any) was
+  /// replaced; used by the BasicCongress maintainer, which must know the
+  /// evicted tuple to feed the per-group delta samples. Returns true and
+  /// fills `*evicted`/`*had_eviction` accordingly.
+  bool OfferTracked(T item, Random* rng, bool* had_eviction, T* evicted) {
+    *had_eviction = false;
+    ++seen_;
+    if (items_.size() < capacity_) {
+      items_.push_back(std::move(item));
+      return true;
+    }
+    if (capacity_ == 0) return false;
+    uint64_t j = rng->UniformInt(seen_);
+    if (j < capacity_) {
+      size_t victim = static_cast<size_t>(rng->UniformInt(items_.size()));
+      *evicted = std::move(items_[victim]);
+      *had_eviction = true;
+      items_[victim] = std::move(item);
+      return true;
+    }
+    return false;
+  }
+
+  /// Removes and returns a uniformly random resident item. Size must be
+  /// positive.
+  T EvictRandom(Random* rng) {
+    size_t victim = static_cast<size_t>(rng->UniformInt(items_.size()));
+    T out = std::move(items_[victim]);
+    items_[victim] = std::move(items_.back());
+    items_.pop_back();
+    return out;
+  }
+
+  /// Lowers the capacity to `new_capacity` and evicts random items until
+  /// the reservoir fits.
+  void ShrinkTo(size_t new_capacity, Random* rng) {
+    capacity_ = new_capacity;
+    while (items_.size() > capacity_) EvictRandom(rng);
+  }
+
+  /// Raises (or lowers, without evicting) the target capacity.
+  void set_capacity(size_t capacity) { capacity_ = capacity; }
+
+  size_t size() const { return items_.size(); }
+  size_t capacity() const { return capacity_; }
+  /// Number of items offered so far (the stream length seen).
+  uint64_t seen() const { return seen_; }
+  const std::vector<T>& items() const { return items_; }
+  std::vector<T>& mutable_items() { return items_; }
+
+ private:
+  size_t capacity_;
+  uint64_t seen_ = 0;
+  std::vector<T> items_;
+};
+
+}  // namespace congress
+
+#endif  // CONGRESS_SAMPLING_RESERVOIR_H_

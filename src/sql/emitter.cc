@@ -1,0 +1,252 @@
+#include "sql/emitter.h"
+
+#include <cctype>
+#include <functional>
+#include <sstream>
+
+namespace congress::sql {
+
+namespace {
+
+std::string ColumnName(const Schema& schema, size_t index) {
+  if (index < schema.num_fields()) return schema.field(index).name;
+  return "col" + std::to_string(index);
+}
+
+std::string GroupColumnList(const GroupByQuery& query, const Schema& schema) {
+  std::string out;
+  for (size_t i = 0; i < query.group_columns.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += ColumnName(schema, query.group_columns[i]);
+  }
+  return out;
+}
+
+/// The aggregate argument: the expression text or the column name.
+std::string AggregateArgument(const AggregateSpec& spec,
+                              const Schema& schema) {
+  if (spec.expression != nullptr) return spec.expression->ToString(&schema);
+  return ColumnName(schema, spec.column);
+}
+
+/// The scaled aggregate expression of Section 5.2 for one SELECT item.
+std::string ScaledAggregate(const AggregateSpec& spec, const Schema& schema) {
+  std::string col = AggregateArgument(spec, schema);
+  switch (spec.kind) {
+    case AggregateKind::kSum:
+      return "sum(" + col + "*sf)";
+    case AggregateKind::kCount:
+      return "sum(sf)";
+    case AggregateKind::kAvg:
+      return "sum(" + col + "*sf)/sum(sf)";
+    default:
+      return "/*unsupported*/";
+  }
+}
+
+std::string ErrorExpression(const AggregateSpec& spec, const Schema& schema,
+                            size_t ordinal) {
+  std::string col = spec.kind == AggregateKind::kCount
+                        ? "*"
+                        : AggregateArgument(spec, schema);
+  const char* fn = "sum_error";
+  if (spec.kind == AggregateKind::kCount) fn = "count_error";
+  if (spec.kind == AggregateKind::kAvg) fn = "avg_error";
+  return std::string(fn) + "(" + col + ") as error" +
+         std::to_string(ordinal + 1);
+}
+
+std::string WhereClause(const GroupByQuery& query, const Schema& schema) {
+  if (query.predicate == nullptr) return "";
+  return "\nwhere " + query.predicate->ToString(&schema);
+}
+
+std::string GroupByClause(const GroupByQuery& query, const Schema& schema) {
+  if (query.group_columns.empty()) return "";
+  return "\ngroup by " + GroupColumnList(query, schema);
+}
+
+/// Renders the HAVING clause with each condition's aggregate expressed by
+/// `expr_for(index)` — the plain aggregate for EmitQuery, the scaled form
+/// for rewritten queries.
+std::string HavingClause(
+    const GroupByQuery& query,
+    const std::function<std::string(size_t)>& expr_for) {
+  if (query.having.empty()) return "";
+  std::ostringstream oss;
+  oss << "\nhaving ";
+  for (size_t i = 0; i < query.having.size(); ++i) {
+    if (i > 0) oss << " and ";
+    const HavingCondition& cond = query.having[i];
+    oss << expr_for(cond.aggregate_index) << " "
+        << CompareOpToString(cond.op) << " " << cond.value;
+  }
+  return oss.str();
+}
+
+}  // namespace
+
+std::string EmitQuery(const GroupByQuery& query, const Schema& schema,
+                      const std::string& table) {
+  std::ostringstream oss;
+  oss << "select ";
+  std::string groups = GroupColumnList(query, schema);
+  if (!groups.empty()) oss << groups << ", ";
+  for (size_t i = 0; i < query.aggregates.size(); ++i) {
+    if (i > 0) oss << ", ";
+    const AggregateSpec& spec = query.aggregates[i];
+    if (spec.kind == AggregateKind::kCount) {
+      oss << "count(*)";
+    } else {
+      oss << AggregateKindToString(spec.kind) << "("
+          << AggregateArgument(spec, schema) << ")";
+    }
+  }
+  oss << "\nfrom " << table;
+  oss << WhereClause(query, schema);
+  oss << GroupByClause(query, schema);
+  oss << HavingClause(query, [&](size_t i) {
+    const AggregateSpec& spec = query.aggregates[i];
+    if (spec.kind == AggregateKind::kCount) return std::string("count(*)");
+    return std::string(AggregateKindToString(spec.kind)) + "(" +
+           ColumnName(schema, spec.column) + ")";
+  });
+  oss << ";";
+  std::string out = oss.str();
+  for (char& c : out) c = static_cast<char>(std::tolower(c));
+  return out;
+}
+
+std::string EmitRewritten(const GroupByQuery& query, const Schema& schema,
+                          RewriteStrategy strategy,
+                          const EmitOptions& options) {
+  std::ostringstream oss;
+  std::string groups = GroupColumnList(query, schema);
+  std::string group_prefix = groups.empty() ? "" : groups + ", ";
+
+  switch (strategy) {
+    case RewriteStrategy::kIntegrated: {
+      // Figure 8: SampRel carries an inline sf column.
+      oss << "select " << group_prefix;
+      for (size_t i = 0; i < query.aggregates.size(); ++i) {
+        if (i > 0) oss << ", ";
+        oss << ScaledAggregate(query.aggregates[i], schema);
+      }
+      if (options.with_error_bounds) {
+        for (size_t i = 0; i < query.aggregates.size(); ++i) {
+          oss << ", " << ErrorExpression(query.aggregates[i], schema, i);
+        }
+      }
+      oss << "\nfrom " << options.sample_table;
+      oss << WhereClause(query, schema);
+      oss << GroupByClause(query, schema);
+      oss << HavingClause(query, [&](size_t i) {
+        return ScaledAggregate(query.aggregates[i], schema);
+      });
+      oss << ";";
+      break;
+    }
+    case RewriteStrategy::kNestedIntegrated: {
+      // Figures 11 and 13: inner per-(groups, sf) aggregation, outer
+      // scaling with one multiply per group.
+      oss << "select " << group_prefix;
+      for (size_t i = 0; i < query.aggregates.size(); ++i) {
+        if (i > 0) oss << ", ";
+        switch (query.aggregates[i].kind) {
+          case AggregateKind::kSum:
+            oss << "sum(sq" << i << "*sf)";
+            break;
+          case AggregateKind::kCount:
+            oss << "sum(cnt*sf)";
+            break;
+          case AggregateKind::kAvg:
+            oss << "sum(sq" << i << "*sf)/sum(cnt*sf)";
+            break;
+          default:
+            oss << "/*unsupported*/";
+        }
+      }
+      oss << "\nfrom (select " << group_prefix << "sf";
+      for (size_t i = 0; i < query.aggregates.size(); ++i) {
+        const AggregateSpec& spec = query.aggregates[i];
+        if (spec.kind == AggregateKind::kCount) continue;
+        oss << ", sum(" << AggregateArgument(spec, schema) << ") as sq" << i;
+      }
+      oss << ", count(*) as cnt";
+      oss << "\n      from " << options.sample_table;
+      std::string where = WhereClause(query, schema);
+      if (!where.empty()) oss << "\n      " << where.substr(1);
+      oss << "\n      group by " << group_prefix << "sf)";
+      if (!groups.empty()) oss << "\ngroup by " << groups;
+      oss << HavingClause(query, [&](size_t i) {
+        switch (query.aggregates[i].kind) {
+          case AggregateKind::kSum:
+            return "sum(sq" + std::to_string(i) + "*sf)";
+          case AggregateKind::kCount:
+            return std::string("sum(cnt*sf)");
+          case AggregateKind::kAvg:
+            return "sum(sq" + std::to_string(i) + "*sf)/sum(cnt*sf)";
+          default:
+            return std::string("/*unsupported*/");
+        }
+      });
+      oss << ";";
+      break;
+    }
+    case RewriteStrategy::kNormalized: {
+      // Figure 9: sf lives in AuxRel, joined on the grouping columns.
+      oss << "select " << group_prefix;
+      for (size_t i = 0; i < query.aggregates.size(); ++i) {
+        if (i > 0) oss << ", ";
+        oss << ScaledAggregate(query.aggregates[i], schema);
+      }
+      oss << "\nfrom " << options.sample_table << " s, "
+          << options.aux_table << " a";
+      oss << "\nwhere ";
+      // Join condition spans every grouping column of the synopsis; the
+      // caller's query predicate is ANDed on.
+      bool first = true;
+      for (size_t c : query.group_columns) {
+        if (!first) oss << " and ";
+        first = false;
+        oss << "s." << ColumnName(schema, c) << " = a."
+            << ColumnName(schema, c);
+      }
+      if (query.predicate != nullptr) {
+        if (!first) oss << " and ";
+        oss << query.predicate->ToString(&schema);
+      }
+      oss << GroupByClause(query, schema);
+      oss << HavingClause(query, [&](size_t i) {
+        return ScaledAggregate(query.aggregates[i], schema);
+      });
+      oss << ";";
+      break;
+    }
+    case RewriteStrategy::kKeyNormalized: {
+      // Figure 10: single-attribute join on the group id.
+      oss << "select " << group_prefix;
+      for (size_t i = 0; i < query.aggregates.size(); ++i) {
+        if (i > 0) oss << ", ";
+        oss << ScaledAggregate(query.aggregates[i], schema);
+      }
+      oss << "\nfrom " << options.sample_table << " s, "
+          << options.aux_table << " a";
+      oss << "\nwhere s.gid = a.gid";
+      if (query.predicate != nullptr) {
+        oss << " and " << query.predicate->ToString(&schema);
+      }
+      oss << GroupByClause(query, schema);
+      oss << HavingClause(query, [&](size_t i) {
+        return ScaledAggregate(query.aggregates[i], schema);
+      });
+      oss << ";";
+      break;
+    }
+  }
+  std::string out = oss.str();
+  for (char& c : out) c = static_cast<char>(std::tolower(c));
+  return out;
+}
+
+}  // namespace congress::sql

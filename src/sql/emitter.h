@@ -1,0 +1,35 @@
+#ifndef CONGRESS_SQL_EMITTER_H_
+#define CONGRESS_SQL_EMITTER_H_
+
+#include <string>
+
+#include "core/rewriter.h"
+#include "engine/query.h"
+#include "storage/schema.h"
+
+namespace congress::sql {
+
+/// Options for the rewritten-SQL emitter.
+struct EmitOptions {
+  std::string sample_table = "samp_rel";  ///< SampRel relation name.
+  std::string aux_table = "aux_rel";      ///< AuxRel relation name.
+  /// Append Aqua's error expressions (e.g. "sum_error(q) as error1") to
+  /// the select list, as in Figure 2(b) of the paper.
+  bool with_error_bounds = false;
+};
+
+/// Renders a bound GroupByQuery back to SQL text against `table`.
+std::string EmitQuery(const GroupByQuery& query, const Schema& schema,
+                      const std::string& table);
+
+/// Renders the rewritten query a strategy would send to the DBMS — the
+/// exact shapes of Figures 8 (Integrated), 9 (Normalized), 10
+/// (Key-Normalized) and 11/13 (Nested-Integrated) in the paper. Supports
+/// SUM, COUNT and AVG aggregates.
+std::string EmitRewritten(const GroupByQuery& query, const Schema& schema,
+                          RewriteStrategy strategy,
+                          const EmitOptions& options = EmitOptions{});
+
+}  // namespace congress::sql
+
+#endif  // CONGRESS_SQL_EMITTER_H_

@@ -1,0 +1,122 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <unordered_set>
+
+namespace congress::sql {
+
+namespace {
+
+const std::unordered_set<std::string>& Keywords() {
+  static const auto* keywords = new std::unordered_set<std::string>{
+      "SELECT", "FROM",  "WHERE", "GROUP", "BY",  "AND",
+      "BETWEEN", "AS",   "SUM",   "COUNT", "AVG", "MIN",
+      "MAX",    "HAVING"};
+  return *keywords;
+}
+
+std::string ToUpper(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) c = static_cast<char>(std::toupper(c));
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      while (i < n && (std::isalnum(static_cast<unsigned char>(input[i])) ||
+                       input[i] == '_')) {
+        ++i;
+      }
+      std::string word = input.substr(start, i - start);
+      std::string upper = ToUpper(word);
+      if (Keywords().count(upper) > 0) {
+        tokens.push_back(Token{TokenKind::kKeyword, upper, start});
+      } else {
+        tokens.push_back(Token{TokenKind::kIdentifier, word, start});
+      }
+      continue;
+    }
+    // A '-' immediately followed by a digit is a numeric sign only when
+    // it cannot be a binary operator (i.e. not right after an operand).
+    bool after_operand =
+        !tokens.empty() &&
+        (tokens.back().kind == TokenKind::kIdentifier ||
+         tokens.back().kind == TokenKind::kNumber ||
+         (tokens.back().kind == TokenKind::kSymbol &&
+          tokens.back().text == ")"));
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && !after_operand && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      ++i;
+      bool seen_dot = false;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(input[i])) ||
+                       (input[i] == '.' && !seen_dot))) {
+        if (input[i] == '.') seen_dot = true;
+        ++i;
+      }
+      tokens.push_back(
+          Token{TokenKind::kNumber, input.substr(start, i - start), start});
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string text;
+      bool closed = false;
+      while (i < n) {
+        if (input[i] == '\'') {
+          if (i + 1 < n && input[i + 1] == '\'') {  // Escaped quote.
+            text += '\'';
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        text += input[i++];
+      }
+      if (!closed) {
+        return Status::InvalidArgument(
+            "unterminated string literal at position " +
+            std::to_string(start));
+      }
+      tokens.push_back(Token{TokenKind::kString, std::move(text), start});
+      continue;
+    }
+    // Two-character operators first.
+    if (i + 1 < n) {
+      std::string two = input.substr(i, 2);
+      if (two == "<=" || two == ">=" || two == "<>") {
+        tokens.push_back(Token{TokenKind::kSymbol, two, start});
+        i += 2;
+        continue;
+      }
+    }
+    if (c == '(' || c == ')' || c == ',' || c == ';' || c == '*' ||
+        c == '=' || c == '<' || c == '>' || c == '+' || c == '-' ||
+        c == '/') {
+      tokens.push_back(Token{TokenKind::kSymbol, std::string(1, c), start});
+      ++i;
+      continue;
+    }
+    return Status::InvalidArgument("unexpected character '" +
+                                   std::string(1, c) + "' at position " +
+                                   std::to_string(start));
+  }
+  tokens.push_back(Token{TokenKind::kEnd, "", n});
+  return tokens;
+}
+
+}  // namespace congress::sql

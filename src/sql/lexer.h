@@ -1,0 +1,35 @@
+#ifndef CONGRESS_SQL_LEXER_H_
+#define CONGRESS_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace congress::sql {
+
+/// Token kinds for the SQL subset Aqua's front end accepts.
+enum class TokenKind {
+  kKeyword,     ///< SELECT, FROM, WHERE, GROUP, BY, AND, BETWEEN, AS ...
+  kIdentifier,  ///< Column / table names (case preserved).
+  kNumber,      ///< Integer or decimal literal.
+  kString,      ///< 'single-quoted' literal.
+  kSymbol,      ///< ( ) , ; * = <> < <= > >=
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;  ///< Keywords are upper-cased; symbols verbatim.
+  size_t position;   ///< Byte offset in the input, for error messages.
+};
+
+/// Tokenizes `input`. Keywords are recognized case-insensitively and
+/// normalized to upper case; identifiers keep their spelling. Returns an
+/// error with the offending position on an unexpected character or an
+/// unterminated string.
+Result<std::vector<Token>> Tokenize(const std::string& input);
+
+}  // namespace congress::sql
+
+#endif  // CONGRESS_SQL_LEXER_H_

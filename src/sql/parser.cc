@@ -1,0 +1,523 @@
+#include "sql/parser.h"
+
+#include <algorithm>
+
+#include "sql/lexer.h"
+
+namespace congress::sql {
+
+namespace {
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<SelectStatement> Parse() {
+    SelectStatement stmt;
+    CONGRESS_RETURN_NOT_OK(ExpectKeyword("SELECT"));
+    CONGRESS_RETURN_NOT_OK(ParseSelectList(&stmt));
+    CONGRESS_RETURN_NOT_OK(ExpectKeyword("FROM"));
+    CONGRESS_RETURN_NOT_OK(ExpectIdentifier(&stmt.table));
+    if (AcceptKeyword("WHERE")) {
+      CONGRESS_RETURN_NOT_OK(ParseWhere(&stmt));
+    }
+    if (AcceptKeyword("GROUP")) {
+      CONGRESS_RETURN_NOT_OK(ExpectKeyword("BY"));
+      CONGRESS_RETURN_NOT_OK(ParseGroupBy(&stmt));
+    }
+    if (AcceptKeyword("HAVING")) {
+      CONGRESS_RETURN_NOT_OK(ParseHaving(&stmt));
+    }
+    AcceptSymbol(";");
+    if (Peek().kind != TokenKind::kEnd) {
+      return Error("unexpected trailing input");
+    }
+    return stmt;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  bool AcceptKeyword(const std::string& kw) {
+    if (Peek().kind == TokenKind::kKeyword && Peek().text == kw) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool AcceptSymbol(const std::string& sym) {
+    if (Peek().kind == TokenKind::kSymbol && Peek().text == sym) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ExpectKeyword(const std::string& kw) {
+    if (!AcceptKeyword(kw)) {
+      return Error("expected " + kw);
+    }
+    return Status::OK();
+  }
+
+  Status ExpectSymbol(const std::string& sym) {
+    if (!AcceptSymbol(sym)) {
+      return Error("expected '" + sym + "'");
+    }
+    return Status::OK();
+  }
+
+  Status ExpectIdentifier(std::string* out) {
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return Error("expected identifier");
+    }
+    *out = Advance().text;
+    return Status::OK();
+  }
+
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument(message + " at position " +
+                                   std::to_string(Peek().position) +
+                                   (Peek().text.empty()
+                                        ? ""
+                                        : " (near '" + Peek().text + "')"));
+  }
+
+  static bool IsAggregateKeyword(const Token& token, AggregateKind* kind) {
+    if (token.kind != TokenKind::kKeyword) return false;
+    if (token.text == "SUM") *kind = AggregateKind::kSum;
+    else if (token.text == "COUNT") *kind = AggregateKind::kCount;
+    else if (token.text == "AVG") *kind = AggregateKind::kAvg;
+    else if (token.text == "MIN") *kind = AggregateKind::kMin;
+    else if (token.text == "MAX") *kind = AggregateKind::kMax;
+    else return false;
+    return true;
+  }
+
+  Status ParseSelectList(SelectStatement* stmt) {
+    do {
+      SelectItem item;
+      AggregateKind kind;
+      if (IsAggregateKeyword(Peek(), &kind)) {
+        Advance();
+        item.is_aggregate = true;
+        item.kind = kind;
+        CONGRESS_RETURN_NOT_OK(ExpectSymbol("("));
+        if (AcceptSymbol("*")) {
+          if (kind != AggregateKind::kCount) {
+            return Error("'*' argument is only valid for COUNT");
+          }
+        } else {
+          auto expr = ParseExpression();
+          if (!expr.ok()) return expr.status();
+          // A bare column stays in `column` (the common case); anything
+          // richer rides in `expr`.
+          if ((*expr)->kind == ExprNode::Kind::kColumn) {
+            item.column = (*expr)->column;
+          } else {
+            item.expr = std::move(expr).value();
+          }
+        }
+        CONGRESS_RETURN_NOT_OK(ExpectSymbol(")"));
+      } else {
+        CONGRESS_RETURN_NOT_OK(ExpectIdentifier(&item.column));
+      }
+      if (AcceptKeyword("AS")) {
+        CONGRESS_RETURN_NOT_OK(ExpectIdentifier(&item.alias));
+      }
+      stmt->items.push_back(std::move(item));
+    } while (AcceptSymbol(","));
+    if (stmt->items.empty()) {
+      return Error("empty select list");
+    }
+    return Status::OK();
+  }
+
+  // expr := term (('+'|'-') term)*
+  Result<ExprNodePtr> ParseExpression() {
+    auto lhs = ParseTerm();
+    if (!lhs.ok()) return lhs.status();
+    ExprNodePtr node = std::move(lhs).value();
+    while (Peek().kind == TokenKind::kSymbol &&
+           (Peek().text == "+" || Peek().text == "-")) {
+      ArithOp op = Advance().text == "+" ? ArithOp::kAdd : ArithOp::kSub;
+      auto rhs = ParseTerm();
+      if (!rhs.ok()) return rhs.status();
+      auto parent = std::make_shared<ExprNode>();
+      parent->kind = ExprNode::Kind::kBinary;
+      parent->op = op;
+      parent->lhs = std::move(node);
+      parent->rhs = std::move(rhs).value();
+      node = std::move(parent);
+    }
+    return node;
+  }
+
+  // term := unary (('*'|'/') unary)*
+  Result<ExprNodePtr> ParseTerm() {
+    auto lhs = ParseUnary();
+    if (!lhs.ok()) return lhs.status();
+    ExprNodePtr node = std::move(lhs).value();
+    while (Peek().kind == TokenKind::kSymbol &&
+           (Peek().text == "*" || Peek().text == "/")) {
+      ArithOp op = Advance().text == "*" ? ArithOp::kMul : ArithOp::kDiv;
+      auto rhs = ParseUnary();
+      if (!rhs.ok()) return rhs.status();
+      auto parent = std::make_shared<ExprNode>();
+      parent->kind = ExprNode::Kind::kBinary;
+      parent->op = op;
+      parent->lhs = std::move(node);
+      parent->rhs = std::move(rhs).value();
+      node = std::move(parent);
+    }
+    return node;
+  }
+
+  // unary := '-' unary | primary
+  Result<ExprNodePtr> ParseUnary() {
+    if (Peek().kind == TokenKind::kSymbol && Peek().text == "-") {
+      Advance();
+      auto child = ParseUnary();
+      if (!child.ok()) return child.status();
+      auto node = std::make_shared<ExprNode>();
+      node->kind = ExprNode::Kind::kNegate;
+      node->child = std::move(child).value();
+      return node;
+    }
+    return ParsePrimary();
+  }
+
+  // primary := '(' expr ')' | number | identifier
+  Result<ExprNodePtr> ParsePrimary() {
+    if (AcceptSymbol("(")) {
+      auto inner = ParseExpression();
+      if (!inner.ok()) return inner.status();
+      CONGRESS_RETURN_NOT_OK(ExpectSymbol(")"));
+      return std::move(inner).value();
+    }
+    if (Peek().kind == TokenKind::kNumber) {
+      auto node = std::make_shared<ExprNode>();
+      node->kind = ExprNode::Kind::kLiteral;
+      node->literal = std::strtod(Advance().text.c_str(), nullptr);
+      return node;
+    }
+    if (Peek().kind == TokenKind::kIdentifier) {
+      auto node = std::make_shared<ExprNode>();
+      node->kind = ExprNode::Kind::kColumn;
+      node->column = Advance().text;
+      return node;
+    }
+    return Error("expected expression");
+  }
+
+  Result<Value> ParseLiteral() {
+    const Token& token = Peek();
+    if (token.kind == TokenKind::kNumber) {
+      Advance();
+      if (token.text.find('.') != std::string::npos) {
+        return Value(std::strtod(token.text.c_str(), nullptr));
+      }
+      return Value(static_cast<int64_t>(
+          std::strtoll(token.text.c_str(), nullptr, 10)));
+    }
+    if (token.kind == TokenKind::kString) {
+      Advance();
+      return Value(token.text);
+    }
+    return Error("expected literal");
+  }
+
+  Status ParseWhere(SelectStatement* stmt) {
+    do {
+      Condition cond;
+      CONGRESS_RETURN_NOT_OK(ExpectIdentifier(&cond.column));
+      if (AcceptKeyword("BETWEEN")) {
+        cond.op = Condition::Op::kBetween;
+        auto lo = ParseLiteral();
+        if (!lo.ok()) return lo.status();
+        cond.lo = std::move(lo).value();
+        CONGRESS_RETURN_NOT_OK(ExpectKeyword("AND"));
+        auto hi = ParseLiteral();
+        if (!hi.ok()) return hi.status();
+        cond.hi = std::move(hi).value();
+      } else if (Peek().kind == TokenKind::kSymbol) {
+        std::string op = Advance().text;
+        if (op == "=") cond.op = Condition::Op::kEq;
+        else if (op == "<>") cond.op = Condition::Op::kNe;
+        else if (op == "<") cond.op = Condition::Op::kLt;
+        else if (op == "<=") cond.op = Condition::Op::kLe;
+        else if (op == ">") cond.op = Condition::Op::kGt;
+        else if (op == ">=") cond.op = Condition::Op::kGe;
+        else return Error("unknown comparison operator '" + op + "'");
+        auto lit = ParseLiteral();
+        if (!lit.ok()) return lit.status();
+        cond.lo = std::move(lit).value();
+      } else {
+        return Error("expected comparison in WHERE clause");
+      }
+      stmt->where.push_back(std::move(cond));
+    } while (AcceptKeyword("AND"));
+    return Status::OK();
+  }
+
+  Status ParseHaving(SelectStatement* stmt) {
+    do {
+      HavingItem item;
+      AggregateKind kind;
+      if (!IsAggregateKeyword(Peek(), &kind)) {
+        return Error("HAVING expects an aggregate call");
+      }
+      Advance();
+      item.kind = kind;
+      CONGRESS_RETURN_NOT_OK(ExpectSymbol("("));
+      if (AcceptSymbol("*")) {
+        if (kind != AggregateKind::kCount) {
+          return Error("'*' argument is only valid for COUNT");
+        }
+      } else {
+        CONGRESS_RETURN_NOT_OK(ExpectIdentifier(&item.column));
+      }
+      CONGRESS_RETURN_NOT_OK(ExpectSymbol(")"));
+      if (Peek().kind != TokenKind::kSymbol) {
+        return Error("expected comparison operator in HAVING");
+      }
+      std::string op = Advance().text;
+      if (op == "=") item.op = Condition::Op::kEq;
+      else if (op == "<>") item.op = Condition::Op::kNe;
+      else if (op == "<") item.op = Condition::Op::kLt;
+      else if (op == "<=") item.op = Condition::Op::kLe;
+      else if (op == ">") item.op = Condition::Op::kGt;
+      else if (op == ">=") item.op = Condition::Op::kGe;
+      else return Error("unknown comparison operator '" + op + "'");
+      if (Peek().kind != TokenKind::kNumber) {
+        return Error("HAVING compares against a numeric literal");
+      }
+      item.value = std::strtod(Advance().text.c_str(), nullptr);
+      stmt->having.push_back(item);
+    } while (AcceptKeyword("AND"));
+    return Status::OK();
+  }
+
+  Status ParseGroupBy(SelectStatement* stmt) {
+    do {
+      std::string column;
+      CONGRESS_RETURN_NOT_OK(ExpectIdentifier(&column));
+      stmt->group_by.push_back(std::move(column));
+    } while (AcceptSymbol(","));
+    return Status::OK();
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+/// Binds an unbound expression AST to engine Expression over `schema`.
+Result<ExpressionPtr> BindExprNode(const ExprNodePtr& node,
+                                   const Schema& schema) {
+  switch (node->kind) {
+    case ExprNode::Kind::kColumn: {
+      auto idx = schema.FieldIndex(node->column);
+      if (!idx.ok()) return idx.status();
+      if (schema.field(*idx).type == DataType::kString) {
+        return Status::InvalidArgument(
+            "expression references string column '" + node->column + "'");
+      }
+      return MakeColumnExpr(*idx);
+    }
+    case ExprNode::Kind::kLiteral:
+      return MakeLiteralExpr(node->literal);
+    case ExprNode::Kind::kBinary: {
+      auto lhs = BindExprNode(node->lhs, schema);
+      if (!lhs.ok()) return lhs.status();
+      auto rhs = BindExprNode(node->rhs, schema);
+      if (!rhs.ok()) return rhs.status();
+      return MakeBinaryExpr(node->op, std::move(lhs).value(),
+                            std::move(rhs).value());
+    }
+    case ExprNode::Kind::kNegate: {
+      auto child = BindExprNode(node->child, schema);
+      if (!child.ok()) return child.status();
+      return MakeNegateExpr(std::move(child).value());
+    }
+  }
+  return Status::Internal("unknown expression node");
+}
+
+CompareOp ToCompareOp(Condition::Op op) {
+  switch (op) {
+    case Condition::Op::kEq:
+      return CompareOp::kEq;
+    case Condition::Op::kNe:
+      return CompareOp::kNe;
+    case Condition::Op::kLt:
+      return CompareOp::kLt;
+    case Condition::Op::kLe:
+      return CompareOp::kLe;
+    case Condition::Op::kGt:
+      return CompareOp::kGt;
+    case Condition::Op::kGe:
+      return CompareOp::kGe;
+    case Condition::Op::kBetween:
+      break;
+  }
+  return CompareOp::kEq;
+}
+
+}  // namespace
+
+Result<SelectStatement> ParseSelect(const std::string& text) {
+  auto tokens = Tokenize(text);
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(tokens).value());
+  return parser.Parse();
+}
+
+Result<GroupByQuery> Bind(const SelectStatement& statement,
+                          const Schema& schema) {
+  GroupByQuery query;
+
+  // GROUP BY columns, in clause order.
+  for (const std::string& name : statement.group_by) {
+    auto idx = schema.FieldIndex(name);
+    if (!idx.ok()) return idx.status();
+    query.group_columns.push_back(*idx);
+  }
+
+  // SELECT items: plain columns must be grouped; aggregates bind to
+  // numeric columns.
+  std::vector<std::string> plain_columns;
+  for (const SelectItem& item : statement.items) {
+    if (!item.is_aggregate) {
+      plain_columns.push_back(item.column);
+      auto idx = schema.FieldIndex(item.column);
+      if (!idx.ok()) return idx.status();
+      bool grouped =
+          std::find(statement.group_by.begin(), statement.group_by.end(),
+                    item.column) != statement.group_by.end();
+      if (!grouped) {
+        return Status::InvalidArgument("column '" + item.column +
+                                       "' must appear in GROUP BY");
+      }
+      continue;
+    }
+    AggregateSpec spec;
+    spec.kind = item.kind;
+    if (item.expr != nullptr) {
+      auto bound = BindExprNode(item.expr, schema);
+      if (!bound.ok()) return bound.status();
+      spec.expression = std::move(bound).value();
+    } else if (item.column.empty()) {
+      if (item.kind != AggregateKind::kCount) {
+        return Status::InvalidArgument("only COUNT may omit its column");
+      }
+      spec.column = 0;
+    } else {
+      auto idx = schema.FieldIndex(item.column);
+      if (!idx.ok()) return idx.status();
+      if (schema.field(*idx).type == DataType::kString) {
+        return Status::InvalidArgument("cannot aggregate string column '" +
+                                       item.column + "'");
+      }
+      spec.column = *idx;
+    }
+    query.aggregates.push_back(spec);
+  }
+  if (query.aggregates.empty()) {
+    return Status::InvalidArgument("query has no aggregates");
+  }
+  // Every GROUP BY column should be selected (SQL would allow otherwise,
+  // but group-by answers keyed on unselected columns are ambiguous).
+  for (const std::string& name : statement.group_by) {
+    if (std::find(plain_columns.begin(), plain_columns.end(), name) ==
+        plain_columns.end()) {
+      return Status::InvalidArgument("GROUP BY column '" + name +
+                                     "' missing from the select list");
+    }
+  }
+
+  // WHERE conjuncts.
+  std::vector<PredicatePtr> conjuncts;
+  for (const Condition& cond : statement.where) {
+    auto idx = schema.FieldIndex(cond.column);
+    if (!idx.ok()) return idx.status();
+    DataType type = schema.field(*idx).type;
+    auto check_type = [&](const Value& v) -> Status {
+      if (v.is_string() != (type == DataType::kString)) {
+        return Status::InvalidArgument(
+            "type mismatch comparing column '" + cond.column + "' (" +
+            DataTypeToString(type) + ") with " + v.ToString());
+      }
+      return Status::OK();
+    };
+    if (cond.op == Condition::Op::kBetween) {
+      if (type == DataType::kString) {
+        return Status::InvalidArgument("BETWEEN requires a numeric column");
+      }
+      CONGRESS_RETURN_NOT_OK(check_type(cond.lo));
+      CONGRESS_RETURN_NOT_OK(check_type(cond.hi));
+      conjuncts.push_back(MakeRangePredicate(*idx, cond.lo.ToNumeric(),
+                                             cond.hi.ToNumeric()));
+    } else {
+      if (type == DataType::kString &&
+          cond.op != Condition::Op::kEq && cond.op != Condition::Op::kNe) {
+        return Status::InvalidArgument(
+            "ordering comparison requires a numeric column");
+      }
+      CONGRESS_RETURN_NOT_OK(check_type(cond.lo));
+      conjuncts.push_back(
+          MakeComparisonPredicate(*idx, ToCompareOp(cond.op), cond.lo));
+    }
+  }
+  if (conjuncts.size() == 1) {
+    query.predicate = conjuncts[0];
+  } else if (!conjuncts.empty()) {
+    query.predicate = MakeAndPredicate(std::move(conjuncts));
+  }
+
+  // HAVING conjuncts bind to aggregates of the SELECT list by (kind,
+  // column) match — the SQL-standard requirement that a HAVING aggregate
+  // be computable is satisfied by requiring it to be selected.
+  for (const HavingItem& item : statement.having) {
+    if (item.op == Condition::Op::kBetween) {
+      return Status::InvalidArgument("BETWEEN is not supported in HAVING");
+    }
+    size_t column_index = 0;
+    if (!item.column.empty()) {
+      auto idx = schema.FieldIndex(item.column);
+      if (!idx.ok()) return idx.status();
+      column_index = *idx;
+    }
+    size_t match = query.aggregates.size();
+    for (size_t a = 0; a < query.aggregates.size(); ++a) {
+      const AggregateSpec& spec = query.aggregates[a];
+      if (spec.kind != item.kind) continue;
+      if (spec.kind == AggregateKind::kCount || spec.column == column_index) {
+        match = a;
+        break;
+      }
+    }
+    if (match == query.aggregates.size()) {
+      return Status::InvalidArgument(
+          "HAVING aggregate must also appear in the select list");
+    }
+    HavingCondition cond;
+    cond.aggregate_index = match;
+    cond.op = ToCompareOp(item.op);
+    cond.value = item.value;
+    query.having.push_back(cond);
+  }
+  return query;
+}
+
+Result<GroupByQuery> ParseQuery(const std::string& text, const Schema& schema,
+                                std::string* table_name) {
+  auto statement = ParseSelect(text);
+  if (!statement.ok()) return statement.status();
+  if (table_name != nullptr) *table_name = statement->table;
+  return Bind(*statement, schema);
+}
+
+}  // namespace congress::sql

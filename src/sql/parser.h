@@ -1,0 +1,86 @@
+#ifndef CONGRESS_SQL_PARSER_H_
+#define CONGRESS_SQL_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/query.h"
+#include "storage/schema.h"
+#include "util/status.h"
+
+namespace congress::sql {
+
+/// Unbound scalar-expression AST for aggregate arguments, e.g.
+/// SUM(l_extendedprice * (1 - l_discount)).
+struct ExprNode;
+using ExprNodePtr = std::shared_ptr<ExprNode>;
+struct ExprNode {
+  enum class Kind { kColumn, kLiteral, kBinary, kNegate };
+  Kind kind = Kind::kLiteral;
+  std::string column;    // kColumn.
+  double literal = 0.0;  // kLiteral.
+  ArithOp op = ArithOp::kAdd;  // kBinary.
+  ExprNodePtr lhs;
+  ExprNodePtr rhs;   // kBinary.
+  ExprNodePtr child;  // kNegate.
+};
+
+/// One entry of a SELECT list: either a plain column reference (which
+/// must also appear in GROUP BY) or an aggregate call whose argument is a
+/// column or a scalar expression.
+struct SelectItem {
+  bool is_aggregate = false;
+  AggregateKind kind = AggregateKind::kSum;  // Valid when is_aggregate.
+  std::string column;                        // Empty for COUNT(*).
+  ExprNodePtr expr;  // Set when the argument is a non-trivial expression.
+  std::string alias;                         // From AS, may be empty.
+};
+
+/// One conjunct of the WHERE clause.
+struct Condition {
+  enum class Op { kEq, kNe, kLt, kLe, kGt, kGe, kBetween };
+  std::string column;
+  Op op = Op::kEq;
+  Value lo;  ///< Comparison value; lower bound for BETWEEN.
+  Value hi;  ///< Upper bound for BETWEEN only.
+};
+
+/// One HAVING conjunct: an aggregate call compared to a numeric literal.
+/// The aggregate must also appear in the SELECT list.
+struct HavingItem {
+  AggregateKind kind = AggregateKind::kSum;
+  std::string column;  ///< Empty for COUNT(*).
+  Condition::Op op = Condition::Op::kGt;
+  double value = 0.0;
+};
+
+/// An un-bound parsed statement of the supported subset:
+///   SELECT item[, item...] FROM table [WHERE cond [AND cond...]]
+///   [GROUP BY col[, col...]] [HAVING agg op number [AND ...]] [;]
+struct SelectStatement {
+  std::vector<SelectItem> items;
+  std::string table;
+  std::vector<Condition> where;
+  std::vector<std::string> group_by;
+  std::vector<HavingItem> having;
+};
+
+/// Parses `text` into a SelectStatement without consulting any schema.
+/// Errors carry the token position.
+Result<SelectStatement> ParseSelect(const std::string& text);
+
+/// Binds a parsed statement to a relation schema, producing an executable
+/// GroupByQuery. Checks that every referenced column exists, that
+/// aggregates target numeric columns, and that every non-aggregate SELECT
+/// item appears in GROUP BY (and vice versa).
+Result<GroupByQuery> Bind(const SelectStatement& statement,
+                          const Schema& schema);
+
+/// Convenience: parse + bind in one call. The statement's FROM table name
+/// is returned through `*table_name` if non-null.
+Result<GroupByQuery> ParseQuery(const std::string& text, const Schema& schema,
+                                std::string* table_name = nullptr);
+
+}  // namespace congress::sql
+
+#endif  // CONGRESS_SQL_PARSER_H_

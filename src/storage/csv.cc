@@ -1,0 +1,211 @@
+#include "storage/csv.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace congress {
+
+namespace {
+
+bool NeedsQuoting(const std::string& s, char delimiter) {
+  for (char c : s) {
+    if (c == delimiter || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+void WriteCell(const std::string& s, char delimiter, std::ostream* out) {
+  if (!NeedsQuoting(s, delimiter)) {
+    *out << s;
+    return;
+  }
+  *out << '"';
+  for (char c : s) {
+    if (c == '"') *out << '"';
+    *out << c;
+  }
+  *out << '"';
+}
+
+/// Splits one CSV record (handles quoted cells; `line` must contain the
+/// full record — embedded newlines in quotes are not supported).
+Result<std::vector<std::string>> SplitRecord(const std::string& line,
+                                             char delimiter, size_t lineno) {
+  std::vector<std::string> cells;
+  std::string cell;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cell += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell += c;
+      }
+    } else if (c == '"' && cell.empty()) {
+      in_quotes = true;
+    } else if (c == delimiter) {
+      cells.push_back(std::move(cell));
+      cell.clear();
+    } else {
+      cell += c;
+    }
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quote on line " +
+                                   std::to_string(lineno));
+  }
+  cells.push_back(std::move(cell));
+  return cells;
+}
+
+Result<Value> ParseCell(const std::string& cell, DataType type,
+                        size_t lineno) {
+  switch (type) {
+    case DataType::kInt64: {
+      errno = 0;
+      char* end = nullptr;
+      long long v = std::strtoll(cell.c_str(), &end, 10);
+      if (errno != 0 || end == cell.c_str() || *end != '\0') {
+        return Status::InvalidArgument("bad int64 '" + cell + "' on line " +
+                                       std::to_string(lineno));
+      }
+      return Value(static_cast<int64_t>(v));
+    }
+    case DataType::kDouble: {
+      errno = 0;
+      char* end = nullptr;
+      double v = std::strtod(cell.c_str(), &end);
+      if (errno != 0 || end == cell.c_str() || *end != '\0') {
+        return Status::InvalidArgument("bad double '" + cell + "' on line " +
+                                       std::to_string(lineno));
+      }
+      return Value(v);
+    }
+    case DataType::kString:
+      return Value(cell);
+  }
+  return Status::Internal("unknown type");
+}
+
+}  // namespace
+
+Status WriteCsv(const Table& table, std::ostream* out,
+                const CsvOptions& options) {
+  if (out == nullptr) return Status::InvalidArgument("null output stream");
+  if (options.header) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) *out << options.delimiter;
+      WriteCell(table.schema().field(c).name, options.delimiter, out);
+    }
+    *out << '\n';
+  }
+  std::ostringstream cell;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) *out << options.delimiter;
+      switch (table.schema().field(c).type) {
+        case DataType::kInt64:
+          *out << table.Int64Column(c)[r];
+          break;
+        case DataType::kDouble: {
+          cell.str("");
+          cell.precision(17);
+          cell << table.DoubleColumn(c)[r];
+          *out << cell.str();
+          break;
+        }
+        case DataType::kString:
+          WriteCell(table.StringColumn(c)[r], options.delimiter, out);
+          break;
+      }
+    }
+    *out << '\n';
+  }
+  if (!out->good()) return Status::Internal("write failed");
+  return Status::OK();
+}
+
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    const CsvOptions& options) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::InvalidArgument("cannot open '" + path + "' for writing");
+  }
+  return WriteCsv(table, &out, options);
+}
+
+Result<Table> ReadCsv(std::istream* in, const Schema& schema,
+                      const CsvOptions& options) {
+  if (in == nullptr) return Status::InvalidArgument("null input stream");
+  if (schema.num_fields() == 0) {
+    return Status::InvalidArgument("empty schema");
+  }
+  Table table{schema};
+  std::string line;
+  size_t lineno = 0;
+
+  if (options.header) {
+    if (!std::getline(*in, line)) {
+      return Status::InvalidArgument("missing header line");
+    }
+    ++lineno;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    auto cells = SplitRecord(line, options.delimiter, lineno);
+    if (!cells.ok()) return cells.status();
+    if (cells->size() != schema.num_fields()) {
+      return Status::InvalidArgument("header has " +
+                                     std::to_string(cells->size()) +
+                                     " columns, schema has " +
+                                     std::to_string(schema.num_fields()));
+    }
+    for (size_t c = 0; c < schema.num_fields(); ++c) {
+      if ((*cells)[c] != schema.field(c).name) {
+        return Status::InvalidArgument("header column '" + (*cells)[c] +
+                                       "' does not match schema column '" +
+                                       schema.field(c).name + "'");
+      }
+    }
+  }
+
+  std::vector<Value> row(schema.num_fields());
+  while (std::getline(*in, line)) {
+    ++lineno;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    auto cells = SplitRecord(line, options.delimiter, lineno);
+    if (!cells.ok()) return cells.status();
+    if (cells->size() != schema.num_fields()) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(lineno) + " has " +
+          std::to_string(cells->size()) + " cells, expected " +
+          std::to_string(schema.num_fields()));
+    }
+    for (size_t c = 0; c < schema.num_fields(); ++c) {
+      auto value = ParseCell((*cells)[c], schema.field(c).type, lineno);
+      if (!value.ok()) return value.status();
+      row[c] = std::move(value).value();
+    }
+    CONGRESS_RETURN_NOT_OK(table.AppendRow(row));
+  }
+  return table;
+}
+
+Result<Table> ReadCsvFile(const std::string& path, const Schema& schema,
+                          const CsvOptions& options) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open '" + path + "' for reading");
+  }
+  return ReadCsv(&in, schema, options);
+}
+
+}  // namespace congress

@@ -1,0 +1,42 @@
+#ifndef CONGRESS_STORAGE_CSV_H_
+#define CONGRESS_STORAGE_CSV_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace congress {
+
+/// Options for CSV import/export.
+struct CsvOptions {
+  char delimiter = ',';
+  /// Whether the first line is (write) / must be (read) a header of
+  /// column names.
+  bool header = true;
+};
+
+/// Writes `table` as CSV to `out`. Strings containing the delimiter, a
+/// quote, or a newline are double-quoted with "" escaping.
+Status WriteCsv(const Table& table, std::ostream* out,
+                const CsvOptions& options = CsvOptions{});
+
+/// Writes `table` to the file at `path`.
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    const CsvOptions& options = CsvOptions{});
+
+/// Reads a CSV stream into a Table with the given schema. The header (if
+/// configured) must list exactly the schema's column names in order.
+/// Cells parse per the column type; a malformed cell fails with its line
+/// number.
+Result<Table> ReadCsv(std::istream* in, const Schema& schema,
+                      const CsvOptions& options = CsvOptions{});
+
+/// Reads the file at `path`.
+Result<Table> ReadCsvFile(const std::string& path, const Schema& schema,
+                          const CsvOptions& options = CsvOptions{});
+
+}  // namespace congress
+
+#endif  // CONGRESS_STORAGE_CSV_H_

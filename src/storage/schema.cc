@@ -1,0 +1,51 @@
+#include "storage/schema.h"
+
+namespace congress {
+
+Schema::Schema(std::vector<Field> fields) : fields_(std::move(fields)) {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    index_.emplace(fields_[i].name, i);
+  }
+}
+
+Result<size_t> Schema::FieldIndex(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    return Status::NotFound("no column named '" + name + "'");
+  }
+  return it->second;
+}
+
+bool Schema::HasField(const std::string& name) const {
+  return index_.count(name) > 0;
+}
+
+Result<Schema> Schema::AddField(const Field& extra) const {
+  if (HasField(extra.name)) {
+    return Status::AlreadyExists("column '" + extra.name + "' already exists");
+  }
+  std::vector<Field> fields = fields_;
+  fields.push_back(extra);
+  return Schema(std::move(fields));
+}
+
+Schema Schema::Project(const std::vector<size_t>& indices) const {
+  std::vector<Field> fields;
+  fields.reserve(indices.size());
+  for (size_t i : indices) fields.push_back(fields_[i]);
+  return Schema(std::move(fields));
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].name;
+    out += ": ";
+    out += DataTypeToString(fields_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace congress

@@ -1,0 +1,61 @@
+#ifndef CONGRESS_STORAGE_SCHEMA_H_
+#define CONGRESS_STORAGE_SCHEMA_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/value.h"
+#include "util/status.h"
+
+namespace congress {
+
+/// One column definition: a name plus a data type.
+struct Field {
+  std::string name;
+  DataType type;
+
+  bool operator==(const Field& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+/// An ordered list of fields with O(1) name lookup. Immutable after
+/// construction; tables share schemas by value (cheap: a handful of
+/// fields).
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields);
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the column named `name`, or error if absent.
+  Result<size_t> FieldIndex(const std::string& name) const;
+
+  /// True if a column with this name exists.
+  bool HasField(const std::string& name) const;
+
+  /// Returns a schema containing this schema's fields plus `extra`
+  /// appended at the end. Fails if the name already exists.
+  Result<Schema> AddField(const Field& extra) const;
+
+  /// Returns the schema restricted to the given column indices, in order.
+  Schema Project(const std::vector<size_t>& indices) const;
+
+  bool operator==(const Schema& other) const {
+    return fields_ == other.fields_;
+  }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Field> fields_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+}  // namespace congress
+
+#endif  // CONGRESS_STORAGE_SCHEMA_H_

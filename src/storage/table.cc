@@ -1,0 +1,155 @@
+#include "storage/table.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace congress {
+
+Table::Table(Schema schema) : schema_(std::move(schema)) {
+  columns_.reserve(schema_.num_fields());
+  for (size_t i = 0; i < schema_.num_fields(); ++i) {
+    switch (schema_.field(i).type) {
+      case DataType::kInt64:
+        columns_.emplace_back(std::vector<int64_t>{});
+        break;
+      case DataType::kDouble:
+        columns_.emplace_back(std::vector<double>{});
+        break;
+      case DataType::kString:
+        columns_.emplace_back(std::vector<std::string>{});
+        break;
+    }
+  }
+}
+
+Status Table::AppendRow(const std::vector<Value>& row) {
+  if (row.size() != schema_.num_fields()) {
+    return Status::InvalidArgument(
+        "row has " + std::to_string(row.size()) + " values, schema has " +
+        std::to_string(schema_.num_fields()) + " columns");
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i].type() != schema_.field(i).type) {
+      return Status::InvalidArgument(
+          "type mismatch in column '" + schema_.field(i).name + "': expected " +
+          DataTypeToString(schema_.field(i).type) + ", got " +
+          DataTypeToString(row[i].type()));
+    }
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    switch (row[i].type()) {
+      case DataType::kInt64:
+        std::get<std::vector<int64_t>>(columns_[i]).push_back(row[i].AsInt64());
+        break;
+      case DataType::kDouble:
+        std::get<std::vector<double>>(columns_[i]).push_back(row[i].AsDouble());
+        break;
+      case DataType::kString:
+        std::get<std::vector<std::string>>(columns_[i])
+            .push_back(row[i].AsString());
+        break;
+    }
+  }
+  ++num_rows_;
+  return Status::OK();
+}
+
+void Table::AppendRowFrom(const Table& src, size_t src_row) {
+  assert(src.schema_.num_fields() == schema_.num_fields());
+  assert(src_row < src.num_rows_);
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    switch (schema_.field(i).type) {
+      case DataType::kInt64:
+        std::get<std::vector<int64_t>>(columns_[i])
+            .push_back(std::get<std::vector<int64_t>>(src.columns_[i])[src_row]);
+        break;
+      case DataType::kDouble:
+        std::get<std::vector<double>>(columns_[i])
+            .push_back(std::get<std::vector<double>>(src.columns_[i])[src_row]);
+        break;
+      case DataType::kString:
+        std::get<std::vector<std::string>>(columns_[i])
+            .push_back(
+                std::get<std::vector<std::string>>(src.columns_[i])[src_row]);
+        break;
+    }
+  }
+  ++num_rows_;
+}
+
+Value Table::GetValue(size_t row, size_t col) const {
+  assert(row < num_rows_ && col < columns_.size());
+  switch (schema_.field(col).type) {
+    case DataType::kInt64:
+      return Value(std::get<std::vector<int64_t>>(columns_[col])[row]);
+    case DataType::kDouble:
+      return Value(std::get<std::vector<double>>(columns_[col])[row]);
+    case DataType::kString:
+      return Value(std::get<std::vector<std::string>>(columns_[col])[row]);
+  }
+  return Value();
+}
+
+GroupKey Table::KeyForRow(size_t row, const std::vector<size_t>& cols) const {
+  GroupKey key;
+  key.reserve(cols.size());
+  for (size_t c : cols) key.push_back(GetValue(row, c));
+  return key;
+}
+
+const std::vector<int64_t>& Table::Int64Column(size_t col) const {
+  return std::get<std::vector<int64_t>>(columns_[col]);
+}
+
+const std::vector<double>& Table::DoubleColumn(size_t col) const {
+  return std::get<std::vector<double>>(columns_[col]);
+}
+
+const std::vector<std::string>& Table::StringColumn(size_t col) const {
+  return std::get<std::vector<std::string>>(columns_[col]);
+}
+
+std::vector<int64_t>& Table::MutableInt64Column(size_t col) {
+  return std::get<std::vector<int64_t>>(columns_[col]);
+}
+
+std::vector<double>& Table::MutableDoubleColumn(size_t col) {
+  return std::get<std::vector<double>>(columns_[col]);
+}
+
+double Table::NumericAt(size_t row, size_t col) const {
+  switch (schema_.field(col).type) {
+    case DataType::kInt64:
+      return static_cast<double>(
+          std::get<std::vector<int64_t>>(columns_[col])[row]);
+    case DataType::kDouble:
+      return std::get<std::vector<double>>(columns_[col])[row];
+    case DataType::kString:
+      assert(false && "NumericAt on string column");
+      return 0.0;
+  }
+  return 0.0;
+}
+
+void Table::Reserve(size_t n) {
+  for (auto& col : columns_) {
+    std::visit([n](auto& vec) { vec.reserve(n); }, col);
+  }
+}
+
+std::string Table::ToString(size_t max_rows) const {
+  std::ostringstream oss;
+  oss << schema_.ToString() << ", " << num_rows_ << " rows\n";
+  size_t shown = std::min(max_rows, num_rows_);
+  for (size_t r = 0; r < shown; ++r) {
+    for (size_t c = 0; c < num_columns(); ++c) {
+      if (c > 0) oss << " | ";
+      oss << GetValue(r, c).ToString();
+    }
+    oss << "\n";
+  }
+  if (shown < num_rows_) oss << "... (" << (num_rows_ - shown) << " more)\n";
+  return oss.str();
+}
+
+}  // namespace congress

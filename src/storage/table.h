@@ -1,0 +1,76 @@
+#ifndef CONGRESS_STORAGE_TABLE_H_
+#define CONGRESS_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "storage/schema.h"
+#include "storage/value.h"
+#include "util/status.h"
+
+namespace congress {
+
+/// An in-memory, append-only, column-oriented relation. This is the
+/// storage substrate standing in for the paper's Oracle back-end: base
+/// tables, sample tables (SampRel) and auxiliary scale-factor tables
+/// (AuxRel) are all Tables.
+///
+/// Columns are stored as homogeneous vectors, so scans touch only the
+/// columns a query needs — the property that makes the rewrite-strategy
+/// timing comparisons (Table 3 / Figure 18 of the paper) meaningful.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(Schema schema);
+
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return schema_.num_fields(); }
+
+  /// Appends one row. The row must have one Value per column with
+  /// matching types.
+  Status AppendRow(const std::vector<Value>& row);
+
+  /// Appends row `src_row` of `src` (same schema required for
+  /// correctness; checked by assert in debug builds).
+  void AppendRowFrom(const Table& src, size_t src_row);
+
+  /// Returns cell (row, col) as a dynamically typed Value.
+  Value GetValue(size_t row, size_t col) const;
+
+  /// Builds the composite key of `row` over the given columns.
+  GroupKey KeyForRow(size_t row, const std::vector<size_t>& cols) const;
+
+  /// Typed column accessors (assert on type mismatch in debug builds).
+  const std::vector<int64_t>& Int64Column(size_t col) const;
+  const std::vector<double>& DoubleColumn(size_t col) const;
+  const std::vector<std::string>& StringColumn(size_t col) const;
+  std::vector<int64_t>& MutableInt64Column(size_t col);
+  std::vector<double>& MutableDoubleColumn(size_t col);
+
+  /// Numeric view of cell (row, col): int64 widened to double.
+  double NumericAt(size_t row, size_t col) const;
+
+  /// Reserves capacity for n rows in every column.
+  void Reserve(size_t n);
+
+  /// Returns a new table with the same schema and no rows.
+  Table CloneEmpty() const { return Table(schema_); }
+
+  /// Renders up to `max_rows` rows for debugging.
+  std::string ToString(size_t max_rows = 10) const;
+
+ private:
+  using ColumnData = std::variant<std::vector<int64_t>, std::vector<double>,
+                                  std::vector<std::string>>;
+
+  Schema schema_;
+  std::vector<ColumnData> columns_;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace congress
+
+#endif  // CONGRESS_STORAGE_TABLE_H_

@@ -1,0 +1,53 @@
+#include "tpcd/census.h"
+
+#include <cmath>
+
+#include "util/random.h"
+#include "util/zipf.h"
+
+namespace congress::tpcd {
+
+Result<Table> GenerateCensus(const CensusConfig& config) {
+  if (config.num_people == 0 || config.num_states == 0) {
+    return Status::InvalidArgument("num_people and num_states must be > 0");
+  }
+  if (config.num_states > config.num_people) {
+    return Status::InvalidArgument("more states than people");
+  }
+  Random rng(config.seed);
+  std::vector<uint64_t> populations =
+      ZipfGroupSizes(config.num_people, config.num_states,
+                     config.state_skew_z);
+
+  Schema schema({Field{"ssn", DataType::kInt64},
+                 Field{"st", DataType::kInt64},
+                 Field{"gen", DataType::kInt64},
+                 Field{"sal", DataType::kDouble}});
+  Table table(schema);
+  table.Reserve(config.num_people);
+
+  int64_t ssn = 100'000'000;
+  std::vector<Value> row(4);
+  for (uint64_t state = 0; state < config.num_states; ++state) {
+    // Per-state income level: richer low-rank states, so per-state
+    // averages differ by up to ~2x.
+    double state_level =
+        40'000.0 * (1.0 + 1.0 / (1.0 + static_cast<double>(state)));
+    for (uint64_t i = 0; i < populations[state]; ++i) {
+      int64_t gender = static_cast<int64_t>(rng.UniformInt(2));
+      // Log-normal-ish salary: exp of a sum of uniforms around the state
+      // level, long right tail.
+      double noise = 0.0;
+      for (int k = 0; k < 4; ++k) noise += rng.NextDouble();
+      double salary = state_level * std::exp(0.5 * (noise - 2.0));
+      row[0] = Value(ssn++);
+      row[1] = Value(static_cast<int64_t>(state));
+      row[2] = Value(gender);
+      row[3] = Value(salary);
+      CONGRESS_RETURN_NOT_OK(table.AppendRow(row));
+    }
+  }
+  return table;
+}
+
+}  // namespace congress::tpcd

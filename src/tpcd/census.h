@@ -1,0 +1,41 @@
+#ifndef CONGRESS_TPCD_CENSUS_H_
+#define CONGRESS_TPCD_CENSUS_H_
+
+#include <cstdint>
+
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace congress::tpcd {
+
+/// Column indices of the synthetic census relation from the paper's
+/// introduction: social security number, state of residence, gender,
+/// annual income. The grouping columns are st and gen; the aggregate
+/// column is sal.
+enum CensusColumn : size_t {
+  kSsn = 0,
+  kState = 1,
+  kGender = 2,
+  kSalary = 3,
+};
+
+struct CensusConfig {
+  /// Number of individuals (rows).
+  uint64_t num_people = 200'000;
+  /// Number of states. Populations are heavily skewed — the paper's
+  /// motivating example: "California has nearly 70 times the population
+  /// of Wyoming".
+  uint64_t num_states = 50;
+  /// Zipf skew of the state populations.
+  double state_skew_z = 1.0;
+  uint64_t seed = 7;
+};
+
+/// Generates the census relation: state populations Zipf-distributed,
+/// gender ~uniform, salary log-normal-ish with a mild per-state level
+/// shift so per-state averages genuinely differ.
+Result<Table> GenerateCensus(const CensusConfig& config);
+
+}  // namespace congress::tpcd
+
+#endif  // CONGRESS_TPCD_CENSUS_H_

@@ -1,0 +1,79 @@
+#include "tpcd/star.h"
+
+#include "util/random.h"
+#include "util/zipf.h"
+
+namespace congress::tpcd {
+
+StarSchema StarData::MakeSchema() const {
+  StarSchema schema;
+  schema.fact = &lineitem;
+  schema.dimensions = {
+      DimensionSpec{&orders, /*fact_fk_column=*/0, /*dim_key_column=*/0, ""},
+      DimensionSpec{&part, /*fact_fk_column=*/1, /*dim_key_column=*/0, ""},
+  };
+  return schema;
+}
+
+Result<StarData> GenerateStarSchema(const StarSchemaConfig& config) {
+  if (config.num_lineitems == 0 || config.num_orders == 0 ||
+      config.num_parts == 0) {
+    return Status::InvalidArgument("table sizes must be positive");
+  }
+  if (config.num_priorities == 0 || config.num_brands == 0) {
+    return Status::InvalidArgument("attribute cardinalities must be positive");
+  }
+  Random rng(config.seed);
+
+  StarData data;
+
+  // Orders dimension: priorities Zipf-skewed so rare priorities exist.
+  data.orders = Table{Schema({Field{"o_orderkey", DataType::kInt64},
+                              Field{"o_orderpriority", DataType::kInt64},
+                              Field{"o_orderdate", DataType::kInt64}})};
+  data.orders.Reserve(config.num_orders);
+  ZipfDistribution priority_dist(config.num_priorities, config.skew_z);
+  for (uint64_t i = 0; i < config.num_orders; ++i) {
+    Status st = data.orders.AppendRow(
+        {Value(static_cast<int64_t>(i + 1)),
+         Value(static_cast<int64_t>(priority_dist.Sample(&rng))),
+         Value(static_cast<int64_t>(rng.UniformInt(2500)))});
+    CONGRESS_RETURN_NOT_OK(st);
+  }
+
+  // Part dimension: brands Zipf-skewed.
+  data.part = Table{Schema({Field{"p_partkey", DataType::kInt64},
+                            Field{"p_brand", DataType::kInt64},
+                            Field{"p_size", DataType::kInt64}})};
+  data.part.Reserve(config.num_parts);
+  ZipfDistribution brand_dist(config.num_brands, config.skew_z);
+  for (uint64_t i = 0; i < config.num_parts; ++i) {
+    Status st = data.part.AppendRow(
+        {Value(static_cast<int64_t>(i + 1)),
+         Value(static_cast<int64_t>(brand_dist.Sample(&rng))),
+         Value(static_cast<int64_t>(1 + rng.UniformInt(50)))});
+    CONGRESS_RETURN_NOT_OK(st);
+  }
+
+  // Fact: each lineitem picks a uniform order and part, so a dimension
+  // attribute's share of the join mirrors its dimension popularity.
+  data.lineitem =
+      Table{Schema({Field{"l_orderkey", DataType::kInt64},
+                    Field{"l_partkey", DataType::kInt64},
+                    Field{"l_quantity", DataType::kDouble},
+                    Field{"l_extendedprice", DataType::kDouble}})};
+  data.lineitem.Reserve(config.num_lineitems);
+  ZipfDistribution quantity_dist(50, 0.86);
+  for (uint64_t i = 0; i < config.num_lineitems; ++i) {
+    double quantity = static_cast<double>(quantity_dist.Sample(&rng) + 1);
+    Status st = data.lineitem.AppendRow(
+        {Value(static_cast<int64_t>(1 + rng.UniformInt(config.num_orders))),
+         Value(static_cast<int64_t>(1 + rng.UniformInt(config.num_parts))),
+         Value(quantity),
+         Value(quantity * static_cast<double>(900 + rng.UniformInt(200)))});
+    CONGRESS_RETURN_NOT_OK(st);
+  }
+  return data;
+}
+
+}  // namespace congress::tpcd

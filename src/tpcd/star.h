@@ -1,0 +1,49 @@
+#ifndef CONGRESS_TPCD_STAR_H_
+#define CONGRESS_TPCD_STAR_H_
+
+#include <cstdint>
+
+#include "join/star_schema.h"
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace congress::tpcd {
+
+/// Configuration for the TPC-D-style star schema: a lineitem fact table
+/// with foreign keys into an orders dimension and a part dimension. The
+/// dimensional attributes the paper's drill-downs group by
+/// (o_orderpriority, p_brand) live in the dimensions, which is exactly
+/// the situation join synopses exist for.
+struct StarSchemaConfig {
+  uint64_t num_lineitems = 200'000;
+  uint64_t num_orders = 20'000;
+  uint64_t num_parts = 2'000;
+  /// Distinct priorities (TPC-D has 5) and brands (TPC-D has 25).
+  uint64_t num_priorities = 5;
+  uint64_t num_brands = 25;
+  /// Zipf skew of the dimension-attribute popularity: high skew makes
+  /// some priorities/brands rare in the join — the small groups that
+  /// break uniform sampling.
+  double skew_z = 1.2;
+  uint64_t seed = 42;
+};
+
+/// The generated star: owns all three tables. MakeSchema() wires a
+/// StarSchema of raw pointers into this object, so the StarData must
+/// outlive any use of the schema.
+struct StarData {
+  Table lineitem;  ///< Fact: l_orderkey, l_partkey, l_quantity, l_price.
+  Table orders;    ///< Dim: o_orderkey, o_orderpriority, o_orderdate.
+  Table part;      ///< Dim: p_partkey, p_brand, p_size.
+
+  /// Fact-joins-dimensions wiring with prefixes "o_" / "p_" already on
+  /// the dimension column names.
+  StarSchema MakeSchema() const;
+};
+
+/// Generates the star schema with referential integrity by construction.
+Result<StarData> GenerateStarSchema(const StarSchemaConfig& config);
+
+}  // namespace congress::tpcd
+
+#endif  // CONGRESS_TPCD_STAR_H_

@@ -1,0 +1,52 @@
+#include "tpcd/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tpcd/lineitem.h"
+
+namespace congress::tpcd {
+
+GroupByQuery MakeQg2() {
+  GroupByQuery query;
+  query.group_columns = {kLReturnFlag, kLLineStatus};
+  query.aggregates = {AggregateSpec{AggregateKind::kSum, kLQuantity},
+                      AggregateSpec{AggregateKind::kSum, kLExtendedPrice}};
+  query.predicate = nullptr;
+  return query;
+}
+
+GroupByQuery MakeQg3() {
+  GroupByQuery query;
+  query.group_columns = {kLReturnFlag, kLLineStatus, kLShipDate};
+  query.aggregates = {AggregateSpec{AggregateKind::kSum, kLQuantity}};
+  query.predicate = nullptr;
+  return query;
+}
+
+GroupByQuery MakeQg0(int64_t s, int64_t c) {
+  GroupByQuery query;
+  query.group_columns = {};
+  query.aggregates = {AggregateSpec{AggregateKind::kSum, kLQuantity}};
+  query.predicate = MakeRangePredicate(kLId, static_cast<double>(s),
+                                       static_cast<double>(s + c));
+  return query;
+}
+
+std::vector<GroupByQuery> MakeQg0Set(uint64_t table_size, double selectivity,
+                                     size_t count, Random* rng) {
+  int64_t c = std::max<int64_t>(
+      1, static_cast<int64_t>(
+             std::llround(selectivity * static_cast<double>(table_size))));
+  int64_t max_start =
+      std::max<int64_t>(1, static_cast<int64_t>(table_size) - c);
+  std::vector<GroupByQuery> queries;
+  queries.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    int64_t s = rng->UniformRange(1, max_start);
+    queries.push_back(MakeQg0(s, c));
+  }
+  return queries;
+}
+
+}  // namespace congress::tpcd

@@ -1,0 +1,34 @@
+#ifndef CONGRESS_TPCD_WORKLOAD_H_
+#define CONGRESS_TPCD_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/query.h"
+#include "util/random.h"
+
+namespace congress::tpcd {
+
+/// Query Qg2 (Table 2): SELECT l_returnflag, l_linestatus,
+/// SUM(l_quantity), SUM(l_extendedprice) GROUP BY l_returnflag,
+/// l_linestatus — the paper's intermediate two-attribute grouping,
+/// derived from TPC-D Q3.
+GroupByQuery MakeQg2();
+
+/// Query Qg3 (Table 2): SELECT l_returnflag, l_linestatus, l_shipdate,
+/// SUM(l_quantity) GROUP BY all three — the finest grouping.
+GroupByQuery MakeQg3();
+
+/// One Qg0 query (Table 2): SELECT SUM(l_quantity) WHERE s <= l_id <=
+/// s + c — no group-by, a range predicate over the synthetic key.
+GroupByQuery MakeQg0(int64_t s, int64_t c);
+
+/// The paper's Qg0 query set: `count` queries (20 in the paper) whose
+/// start s is uniform in [1, table_size - c] and whose width c selects
+/// `selectivity` (7% in the paper) of the table.
+std::vector<GroupByQuery> MakeQg0Set(uint64_t table_size, double selectivity,
+                                     size_t count, Random* rng);
+
+}  // namespace congress::tpcd
+
+#endif  // CONGRESS_TPCD_WORKLOAD_H_

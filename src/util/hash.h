@@ -1,0 +1,24 @@
+#ifndef CONGRESS_UTIL_HASH_H_
+#define CONGRESS_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace congress {
+
+/// Mixes `value`'s hash into `seed` (boost::hash_combine recipe with a
+/// 64-bit golden-ratio constant).
+inline void HashCombine(size_t* seed, size_t value) {
+  *seed ^= value + 0x9E3779B97F4A7C15ull + (*seed << 6) + (*seed >> 2);
+}
+
+/// Hashes a value with std::hash and mixes it into `seed`.
+template <typename T>
+void HashCombineValue(size_t* seed, const T& value) {
+  HashCombine(seed, std::hash<T>{}(value));
+}
+
+}  // namespace congress
+
+#endif  // CONGRESS_UTIL_HASH_H_

@@ -1,0 +1,54 @@
+#ifndef CONGRESS_UTIL_RANDOM_H_
+#define CONGRESS_UTIL_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace congress {
+
+/// Deterministic pseudo-random number generator (xoshiro256** with
+/// splitmix64 seeding). All randomized components in the library take a
+/// Random& so experiments are reproducible from a single seed.
+class Random {
+ public:
+  /// Seeds the generator. The same seed always yields the same stream.
+  explicit Random(uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Returns the next raw 64-bit output.
+  uint64_t NextUint64();
+
+  /// Returns a double uniformly distributed in [0, 1).
+  double NextDouble();
+
+  /// Returns an integer uniformly distributed in [0, bound). `bound` > 0.
+  /// Uses rejection to avoid modulo bias.
+  uint64_t UniformInt(uint64_t bound);
+
+  /// Returns an integer uniformly distributed in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  /// Returns true with probability p (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  /// Fisher–Yates shuffles `items` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    for (size_t i = items->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(i));
+      std::swap((*items)[i - 1], (*items)[j]);
+    }
+  }
+
+  /// Draws a uniform random subset of size k from [0, n) without
+  /// replacement (Floyd's algorithm). k <= n.
+  std::vector<uint64_t> SampleWithoutReplacement(uint64_t n, uint64_t k);
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace congress
+
+#endif  // CONGRESS_UTIL_RANDOM_H_

@@ -1,0 +1,32 @@
+#ifndef CONGRESS_UTIL_STOPWATCH_H_
+#define CONGRESS_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace congress {
+
+/// Wall-clock stopwatch over std::chrono::steady_clock, used by the
+/// rewrite-strategy timing experiments (Table 3, Figure 18).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+  /// Resets the start time to now.
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+
+  /// Elapsed time since construction or the last Restart, in seconds.
+  double ElapsedSeconds() const {
+    auto d = std::chrono::steady_clock::now() - start_;
+    return std::chrono::duration<double>(d).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace congress
+
+#endif  // CONGRESS_UTIL_STOPWATCH_H_

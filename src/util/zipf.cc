@@ -1,0 +1,67 @@
+#include "util/zipf.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace congress {
+
+ZipfDistribution::ZipfDistribution(uint64_t n, double z) : n_(n), z_(z) {
+  assert(n >= 1);
+  assert(z >= 0.0);
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (uint64_t i = 0; i < n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i + 1), z);
+    cdf_[i] = acc;
+  }
+  const double norm = acc;
+  for (double& c : cdf_) c /= norm;
+  cdf_.back() = 1.0;  // Guard against floating-point shortfall.
+}
+
+uint64_t ZipfDistribution::Sample(Random* rng) const {
+  double u = rng->NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return n_ - 1;
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+double ZipfDistribution::Pmf(uint64_t i) const {
+  assert(i < n_);
+  if (i == 0) return cdf_[0];
+  return cdf_[i] - cdf_[i - 1];
+}
+
+std::vector<uint64_t> ZipfGroupSizes(uint64_t total, uint64_t num_groups,
+                                     double z) {
+  assert(num_groups >= 1);
+  ZipfDistribution dist(num_groups, z);
+  std::vector<uint64_t> sizes(num_groups, 0);
+  // Largest-remainder apportionment of `total` across the Zipf pmf, with a
+  // floor of one tuple per group so every group is non-empty.
+  const uint64_t floor_each = (total >= num_groups) ? 1 : 0;
+  const uint64_t distributable = total - floor_each * num_groups;
+  std::vector<std::pair<double, uint64_t>> remainders;
+  remainders.reserve(num_groups);
+  uint64_t assigned = 0;
+  for (uint64_t i = 0; i < num_groups; ++i) {
+    double ideal = dist.Pmf(i) * static_cast<double>(distributable);
+    uint64_t base = static_cast<uint64_t>(ideal);
+    sizes[i] = floor_each + base;
+    assigned += base;
+    remainders.emplace_back(ideal - static_cast<double>(base), i);
+  }
+  uint64_t leftover = distributable - assigned;
+  std::sort(remainders.begin(), remainders.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+  for (uint64_t j = 0; j < leftover; ++j) {
+    sizes[remainders[j % remainders.size()].second] += 1;
+  }
+  return sizes;
+}
+
+}  // namespace congress

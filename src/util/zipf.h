@@ -1,0 +1,44 @@
+#ifndef CONGRESS_UTIL_ZIPF_H_
+#define CONGRESS_UTIL_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+
+namespace congress {
+
+/// Zipf distribution over ranks {0, 1, ..., n-1}: rank i has probability
+/// proportional to 1 / (i+1)^z. z = 0 degenerates to uniform; the paper
+/// uses z in [0, 1.5] for group-size skew and z = 0.86 (a "90-10"
+/// distribution) for aggregate-value skew.
+class ZipfDistribution {
+ public:
+  /// Precomputes the CDF table; O(n) space. n >= 1, z >= 0.
+  ZipfDistribution(uint64_t n, double z);
+
+  /// Draws a rank in [0, n) by inverting the CDF (binary search).
+  uint64_t Sample(Random* rng) const;
+
+  /// Probability mass of rank i.
+  double Pmf(uint64_t i) const;
+
+  uint64_t n() const { return n_; }
+  double z() const { return z_; }
+
+ private:
+  uint64_t n_;
+  double z_;
+  std::vector<double> cdf_;
+};
+
+/// Splits `total` items into `num_groups` group sizes following a Zipf(z)
+/// distribution over group ranks, rounding so the sizes sum exactly to
+/// `total` and every group is non-empty (each size >= 1) when
+/// total >= num_groups.
+std::vector<uint64_t> ZipfGroupSizes(uint64_t total, uint64_t num_groups,
+                                     double z);
+
+}  // namespace congress
+
+#endif  // CONGRESS_UTIL_ZIPF_H_

@@ -1,0 +1,208 @@
+#include "core/aqua.h"
+
+#include <gtest/gtest.h>
+
+namespace congress {
+namespace {
+
+Table SalesTable() {
+  Table t{Schema({Field{"region", DataType::kString},
+                  Field{"kind", DataType::kInt64},
+                  Field{"amount", DataType::kDouble}})};
+  int serial = 0;
+  auto fill = [&](const char* region, int64_t kind, int n) {
+    for (int i = 0; i < n; ++i) {
+      EXPECT_TRUE(t.AppendRow({Value(region), Value(kind),
+                               Value(static_cast<double>(serial++ % 9 + 1))})
+                      .ok());
+    }
+  };
+  fill("east", 0, 600);
+  fill("east", 1, 200);
+  fill("west", 0, 150);
+  fill("west", 1, 50);
+  return t;
+}
+
+SynopsisConfig SalesConfig() {
+  SynopsisConfig config;
+  config.grouping_columns = {"region", "kind"};
+  config.sample_fraction = 0.2;
+  config.seed = 3;
+  return config;
+}
+
+class AquaEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(engine_.RegisterTable("sales", SalesTable(), SalesConfig())
+                    .ok());
+  }
+  AquaEngine engine_;
+};
+
+TEST_F(AquaEngineTest, RegisterAndCatalog) {
+  EXPECT_TRUE(engine_.HasTable("sales"));
+  EXPECT_FALSE(engine_.HasTable("nope"));
+  EXPECT_EQ(engine_.TableNames(), (std::vector<std::string>{"sales"}));
+  EXPECT_FALSE(
+      engine_.RegisterTable("sales", SalesTable(), SalesConfig()).ok());
+  auto table = engine_.GetTable("sales");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->num_rows(), 1000u);
+  auto synopsis = engine_.GetSynopsis("sales");
+  ASSERT_TRUE(synopsis.ok());
+  EXPECT_EQ((*synopsis)->sample().num_rows(), 200u);
+}
+
+TEST_F(AquaEngineTest, RegisterFailsOnBadConfigWithoutRetaining) {
+  SynopsisConfig bad = SalesConfig();
+  bad.grouping_columns = {"nonexistent"};
+  EXPECT_FALSE(engine_.RegisterTable("bad", SalesTable(), bad).ok());
+  EXPECT_FALSE(engine_.HasTable("bad"));
+}
+
+TEST_F(AquaEngineTest, SqlQueryEndToEnd) {
+  auto approx = engine_.Query(
+      "SELECT region, SUM(amount) FROM sales GROUP BY region");
+  ASSERT_TRUE(approx.ok()) << approx.status().ToString();
+  EXPECT_EQ(approx->num_groups(), 2u);
+  auto exact = engine_.QueryExact(
+      "SELECT region, SUM(amount) FROM sales GROUP BY region");
+  ASSERT_TRUE(exact.ok());
+  for (const GroupResult& row : exact->rows()) {
+    const ApproximateGroupRow* est = approx->Find(row.key);
+    ASSERT_NE(est, nullptr);
+    EXPECT_NEAR(est->estimates[0], row.aggregates[0],
+                0.2 * row.aggregates[0]);
+    EXPECT_GT(est->bounds[0], 0.0);
+  }
+}
+
+TEST_F(AquaEngineTest, QueryWithPredicate) {
+  auto approx = engine_.Query(
+      "SELECT SUM(amount) FROM sales WHERE kind = 1");
+  ASSERT_TRUE(approx.ok());
+  ASSERT_EQ(approx->num_groups(), 1u);
+  auto all = engine_.Query("SELECT SUM(amount) FROM sales");
+  ASSERT_TRUE(all.ok());
+  EXPECT_LT(approx->rows()[0].estimates[0], all->rows()[0].estimates[0]);
+}
+
+TEST_F(AquaEngineTest, QueryViaStrategiesAgree) {
+  const char* sql =
+      "SELECT region, kind, AVG(amount), COUNT(*) FROM sales "
+      "GROUP BY region, kind";
+  auto reference = engine_.QueryVia(sql, RewriteStrategy::kIntegrated);
+  ASSERT_TRUE(reference.ok());
+  for (auto strategy :
+       {RewriteStrategy::kNestedIntegrated, RewriteStrategy::kNormalized,
+        RewriteStrategy::kKeyNormalized}) {
+    auto result = engine_.QueryVia(sql, strategy);
+    ASSERT_TRUE(result.ok());
+    for (const GroupResult& row : reference->rows()) {
+      const GroupResult* other = result->Find(row.key);
+      ASSERT_NE(other, nullptr);
+      for (size_t a = 0; a < row.aggregates.size(); ++a) {
+        EXPECT_NEAR(other->aggregates[a], row.aggregates[a],
+                    1e-6 * std::abs(row.aggregates[a]) + 1e-9);
+      }
+    }
+  }
+}
+
+TEST_F(AquaEngineTest, ExplainRewriteNamesSynopsisRelations) {
+  auto sql = engine_.ExplainRewrite(
+      "SELECT region, SUM(amount) FROM sales GROUP BY region",
+      RewriteStrategy::kIntegrated);
+  ASSERT_TRUE(sql.ok());
+  EXPECT_NE(sql->find("bs_sales"), std::string::npos);
+  EXPECT_NE(sql->find("sum(amount*sf)"), std::string::npos);
+  EXPECT_NE(sql->find("sum_error"), std::string::npos);
+
+  auto normalized = engine_.ExplainRewrite(
+      "SELECT region, SUM(amount) FROM sales GROUP BY region",
+      RewriteStrategy::kNormalized);
+  ASSERT_TRUE(normalized.ok());
+  EXPECT_NE(normalized->find("aux_sales"), std::string::npos);
+}
+
+TEST_F(AquaEngineTest, ErrorsRouteCleanly) {
+  EXPECT_FALSE(engine_.Query("SELECT SUM(amount) FROM unknown").ok());
+  EXPECT_FALSE(engine_.Query("not sql at all").ok());
+  EXPECT_FALSE(
+      engine_.Query("SELECT SUM(bogus_column) FROM sales").ok());
+  EXPECT_FALSE(engine_.QueryExact("SELECT SUM(x) FROM unknown").ok());
+  EXPECT_FALSE(
+      engine_.ExplainRewrite("garbage", RewriteStrategy::kIntegrated).ok());
+}
+
+TEST_F(AquaEngineTest, InsertRequiresIncrementalSynopsis) {
+  Status st =
+      engine_.Insert("sales", {Value("east"), Value(int64_t{0}), Value(1.0)});
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+  // Base table unchanged on failure.
+  auto table = engine_.GetTable("sales");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->num_rows(), 1000u);
+}
+
+TEST_F(AquaEngineTest, IncrementalInsertFlowsThrough) {
+  SynopsisConfig config = SalesConfig();
+  config.incremental = true;
+  AquaEngine engine;
+  ASSERT_TRUE(engine.RegisterTable("live", SalesTable(), config).ok());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(
+        engine.Insert("live", {Value("north"), Value(int64_t{2}), Value(5.0)})
+            .ok());
+  }
+  ASSERT_TRUE(engine.Refresh("live").ok());
+  auto table = engine.GetTable("live");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->num_rows(), 1100u);
+
+  auto approx = engine.Query(
+      "SELECT region, SUM(amount) FROM live GROUP BY region");
+  ASSERT_TRUE(approx.ok());
+  EXPECT_NE(approx->Find({Value("north")}), nullptr);
+  auto exact = engine.QueryExact(
+      "SELECT region, SUM(amount) FROM live GROUP BY region");
+  ASSERT_TRUE(exact.ok());
+  const GroupResult* north = exact->Find({Value("north")});
+  ASSERT_NE(north, nullptr);
+  EXPECT_DOUBLE_EQ(north->aggregates[0], 500.0);
+}
+
+TEST_F(AquaEngineTest, DropTable) {
+  EXPECT_TRUE(engine_.DropTable("sales").ok());
+  EXPECT_FALSE(engine_.HasTable("sales"));
+  EXPECT_FALSE(engine_.DropTable("sales").ok());
+  EXPECT_FALSE(engine_.Refresh("sales").ok());
+  EXPECT_FALSE(engine_.Insert("sales", {}).ok());
+  EXPECT_FALSE(engine_.GetSynopsis("sales").ok());
+}
+
+TEST_F(AquaEngineTest, MultipleTables) {
+  Table other{Schema({Field{"g", DataType::kInt64},
+                      Field{"v", DataType::kDouble}})};
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(
+        other
+            .AppendRow({Value(static_cast<int64_t>(i % 4)),
+                        Value(static_cast<double>(i))})
+            .ok());
+  }
+  SynopsisConfig config;
+  config.grouping_columns = {"g"};
+  config.sample_fraction = 0.5;
+  ASSERT_TRUE(engine_.RegisterTable("other", std::move(other), config).ok());
+  EXPECT_EQ(engine_.TableNames().size(), 2u);
+  // Routing picks the right relation per query.
+  EXPECT_TRUE(engine_.Query("SELECT SUM(v) FROM other").ok());
+  EXPECT_TRUE(engine_.Query("SELECT SUM(amount) FROM sales").ok());
+  EXPECT_FALSE(engine_.Query("SELECT SUM(v) FROM sales").ok());
+}
+
+}  // namespace
+}  // namespace congress

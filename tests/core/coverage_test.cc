@@ -1,0 +1,72 @@
+#include "core/coverage.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace congress {
+namespace {
+
+TEST(CoverageTest, ProbabilityBasics) {
+  EXPECT_DOUBLE_EQ(GroupCoverageProbability(0, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(GroupCoverageProbability(1, 0.5), 0.5);
+  EXPECT_DOUBLE_EQ(GroupCoverageProbability(2, 0.5), 0.75);
+  EXPECT_DOUBLE_EQ(GroupCoverageProbability(10, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(GroupCoverageProbability(10, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(GroupCoverageProbability(0, 1.0), 0.0);
+}
+
+TEST(CoverageTest, ProbabilityMonotoneInSampleSize) {
+  double prev = 0.0;
+  for (uint64_t x = 1; x <= 100; x *= 2) {
+    double p = GroupCoverageProbability(x, 0.07);
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(CoverageTest, MinPerGroupSampleSizeAchievesConfidence) {
+  for (double q : {0.01, 0.07, 0.3}) {
+    for (double conf : {0.5, 0.9, 0.99}) {
+      auto x = MinPerGroupSampleSize(q, conf);
+      ASSERT_TRUE(x.ok());
+      EXPECT_GE(GroupCoverageProbability(*x, q), conf - 1e-9)
+          << "q=" << q << " conf=" << conf;
+      if (*x > 0) {
+        EXPECT_LT(GroupCoverageProbability(*x - 1, q), conf)
+            << "not minimal: q=" << q << " conf=" << conf;
+      }
+    }
+  }
+}
+
+TEST(CoverageTest, ClosedFormSpotCheck) {
+  // q = 0.07, conf = 0.9: x = ln(0.1)/ln(0.93) = 31.7... -> 32.
+  auto x = MinPerGroupSampleSize(0.07, 0.9);
+  ASSERT_TRUE(x.ok());
+  EXPECT_EQ(*x, 32u);
+}
+
+TEST(CoverageTest, TotalSpaceScalesWithGroups) {
+  auto per_group = MinPerGroupSampleSize(0.07, 0.9);
+  auto total = MinSampleSpaceForCoverage(1000, 0.07, 0.9);
+  ASSERT_TRUE(per_group.ok() && total.ok());
+  EXPECT_EQ(*total, 1000u * *per_group);
+}
+
+TEST(CoverageTest, Validation) {
+  EXPECT_FALSE(MinPerGroupSampleSize(0.0, 0.9).ok());
+  EXPECT_FALSE(MinPerGroupSampleSize(1.0, 0.9).ok());
+  EXPECT_FALSE(MinPerGroupSampleSize(0.1, 0.0).ok());
+  EXPECT_FALSE(MinPerGroupSampleSize(0.1, 1.0).ok());
+  EXPECT_FALSE(MinSampleSpaceForCoverage(0, 0.1, 0.9).ok());
+}
+
+TEST(CoverageTest, HighSelectivityNeedsOneTuple) {
+  auto x = MinPerGroupSampleSize(0.999, 0.9);
+  ASSERT_TRUE(x.ok());
+  EXPECT_EQ(*x, 1u);
+}
+
+}  // namespace
+}  // namespace congress

@@ -1,0 +1,218 @@
+#include "core/synopsis.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/executor.h"
+
+namespace congress {
+namespace {
+
+Table MakeBase() {
+  Table t{Schema({Field{"region", DataType::kString},
+                  Field{"kind", DataType::kInt64},
+                  Field{"amount", DataType::kDouble}})};
+  int serial = 0;
+  auto fill = [&](const char* region, int64_t kind, int n) {
+    for (int i = 0; i < n; ++i) {
+      ASSERT_TRUE(t.AppendRow({Value(region), Value(kind),
+                               Value(static_cast<double>(serial++ % 9 + 1))})
+                      .ok());
+    }
+  };
+  fill("east", 0, 500);
+  fill("east", 1, 300);
+  fill("west", 0, 150);
+  fill("west", 1, 50);
+  return t;
+}
+
+SynopsisConfig BaseConfig() {
+  SynopsisConfig config;
+  config.grouping_columns = {"region", "kind"};
+  config.sample_fraction = 0.2;
+  config.seed = 11;
+  return config;
+}
+
+GroupByQuery SumQuery() {
+  GroupByQuery q;
+  q.group_columns = {0};
+  q.aggregates = {AggregateSpec{AggregateKind::kSum, 2}};
+  return q;
+}
+
+TEST(AquaSynopsisTest, BuildAndAnswer) {
+  Table base = MakeBase();
+  auto synopsis = AquaSynopsis::Build(base, BaseConfig());
+  ASSERT_TRUE(synopsis.ok());
+  EXPECT_EQ(synopsis->sample().num_rows(), 200u);
+  EXPECT_EQ(synopsis->sample().total_population(), 1000u);
+  EXPECT_EQ(synopsis->grouping_column_indices(),
+            (std::vector<size_t>{0, 1}));
+
+  auto answer = synopsis->Answer(SumQuery());
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(answer->num_groups(), 2u);
+
+  auto exact = ExecuteExact(base, SumQuery());
+  ASSERT_TRUE(exact.ok());
+  for (const GroupResult& row : exact->rows()) {
+    const ApproximateGroupRow* est = answer->Find(row.key);
+    ASSERT_NE(est, nullptr);
+    // 20% Congress sample on mild data: within 25%.
+    EXPECT_NEAR(est->estimates[0], row.aggregates[0],
+                0.25 * row.aggregates[0]);
+  }
+}
+
+TEST(AquaSynopsisTest, AbsoluteSampleSizeOverridesFraction) {
+  Table base = MakeBase();
+  SynopsisConfig config = BaseConfig();
+  config.sample_size = 75;
+  config.sample_fraction = 0.9;  // Ignored.
+  auto synopsis = AquaSynopsis::Build(base, config);
+  ASSERT_TRUE(synopsis.ok());
+  EXPECT_EQ(synopsis->sample().num_rows(), 75u);
+}
+
+TEST(AquaSynopsisTest, AnswerViaEachStrategy) {
+  Table base = MakeBase();
+  auto synopsis = AquaSynopsis::Build(base, BaseConfig());
+  ASSERT_TRUE(synopsis.ok());
+  GroupByQuery q = SumQuery();
+  auto reference = synopsis->AnswerVia(q, RewriteStrategy::kIntegrated);
+  ASSERT_TRUE(reference.ok());
+  for (auto strategy :
+       {RewriteStrategy::kNestedIntegrated, RewriteStrategy::kNormalized,
+        RewriteStrategy::kKeyNormalized}) {
+    auto result = synopsis->AnswerVia(q, strategy);
+    ASSERT_TRUE(result.ok());
+    for (const GroupResult& row : reference->rows()) {
+      const GroupResult* other = result->Find(row.key);
+      ASSERT_NE(other, nullptr);
+      EXPECT_NEAR(other->aggregates[0], row.aggregates[0],
+                  1e-6 * row.aggregates[0]);
+    }
+  }
+}
+
+TEST(AquaSynopsisTest, BuildValidation) {
+  Table base = MakeBase();
+  SynopsisConfig config = BaseConfig();
+  config.grouping_columns = {};
+  EXPECT_FALSE(AquaSynopsis::Build(base, config).ok());
+
+  config = BaseConfig();
+  config.grouping_columns = {"nonexistent"};
+  EXPECT_FALSE(AquaSynopsis::Build(base, config).ok());
+
+  config = BaseConfig();
+  config.sample_fraction = 0.0;
+  EXPECT_FALSE(AquaSynopsis::Build(base, config).ok());
+
+  config = BaseConfig();
+  config.sample_fraction = 1.5;
+  EXPECT_FALSE(AquaSynopsis::Build(base, config).ok());
+}
+
+TEST(AquaSynopsisTest, NonIncrementalRejectsInserts) {
+  Table base = MakeBase();
+  auto synopsis = AquaSynopsis::Build(base, BaseConfig());
+  ASSERT_TRUE(synopsis.ok());
+  Status st =
+      synopsis->Insert({Value("east"), Value(int64_t{0}), Value(1.0)});
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(synopsis->Refresh().ok());  // No-op.
+}
+
+TEST(AquaSynopsisTest, IncrementalInsertAndRefresh) {
+  Table base = MakeBase();
+  SynopsisConfig config = BaseConfig();
+  config.incremental = true;
+  config.strategy = AllocationStrategy::kSenate;
+  auto synopsis = AquaSynopsis::Build(base, config);
+  ASSERT_TRUE(synopsis.ok());
+  uint64_t population_before = synopsis->sample().total_population();
+  EXPECT_EQ(population_before, 1000u);
+
+  // Insert a brand-new group and refresh.
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(
+        synopsis->Insert({Value("north"), Value(int64_t{0}), Value(2.0)})
+            .ok());
+  }
+  ASSERT_TRUE(synopsis->Refresh().ok());
+  EXPECT_EQ(synopsis->sample().total_population(), 1050u);
+  auto idx =
+      synopsis->sample().StratumIndex({Value("north"), Value(int64_t{0})});
+  ASSERT_TRUE(idx.ok());
+  EXPECT_GT(synopsis->sample().strata()[*idx].sample_count, 0u);
+
+  // Queries see the new group after refresh.
+  auto answer = synopsis->Answer(SumQuery());
+  ASSERT_TRUE(answer.ok());
+  EXPECT_NE(answer->Find({Value("north")}), nullptr);
+}
+
+TEST(AquaSynopsisTest, IncrementalCongressStrategy) {
+  Table base = MakeBase();
+  SynopsisConfig config = BaseConfig();
+  config.incremental = true;
+  config.strategy = AllocationStrategy::kCongress;
+  auto synopsis = AquaSynopsis::Build(base, config);
+  ASSERT_TRUE(synopsis.ok());
+  EXPECT_GT(synopsis->sample().num_rows(), 0u);
+  auto answer = synopsis->Answer(SumQuery());
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(answer->num_groups(), 2u);
+}
+
+TEST(SynopsisManagerTest, RegisterAnswerDrop) {
+  Table base = MakeBase();
+  SynopsisManager manager;
+  ASSERT_TRUE(manager.Register("sales", base, BaseConfig()).ok());
+  EXPECT_TRUE(manager.Has("sales"));
+  EXPECT_FALSE(manager.Register("sales", base, BaseConfig()).ok());
+
+  auto answer = manager.Answer("sales", SumQuery());
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(answer->num_groups(), 2u);
+
+  auto via =
+      manager.AnswerVia("sales", SumQuery(), RewriteStrategy::kIntegrated);
+  EXPECT_TRUE(via.ok());
+
+  EXPECT_EQ(manager.Names().size(), 1u);
+  EXPECT_TRUE(manager.Drop("sales").ok());
+  EXPECT_FALSE(manager.Has("sales"));
+  EXPECT_FALSE(manager.Drop("sales").ok());
+}
+
+TEST(SynopsisManagerTest, UnknownNameErrors) {
+  SynopsisManager manager;
+  EXPECT_FALSE(manager.Answer("nope", SumQuery()).ok());
+  EXPECT_FALSE(
+      manager.AnswerVia("nope", SumQuery(), RewriteStrategy::kIntegrated)
+          .ok());
+  EXPECT_FALSE(manager.Insert("nope", {}).ok());
+  EXPECT_FALSE(manager.Refresh("nope").ok());
+  EXPECT_FALSE(manager.Get("nope").ok());
+}
+
+TEST(SynopsisManagerTest, InsertThroughManager) {
+  Table base = MakeBase();
+  SynopsisManager manager;
+  SynopsisConfig config = BaseConfig();
+  config.incremental = true;
+  ASSERT_TRUE(manager.Register("sales", base, config).ok());
+  ASSERT_TRUE(
+      manager.Insert("sales", {Value("east"), Value(int64_t{0}), Value(5.0)})
+          .ok());
+  ASSERT_TRUE(manager.Refresh("sales").ok());
+  auto synopsis = manager.Get("sales");
+  ASSERT_TRUE(synopsis.ok());
+  EXPECT_EQ((*synopsis)->sample().total_population(), 1001u);
+}
+
+}  // namespace
+}  // namespace congress

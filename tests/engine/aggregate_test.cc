@@ -1,0 +1,86 @@
+#include "engine/aggregate.h"
+
+#include <gtest/gtest.h>
+
+namespace congress {
+namespace {
+
+TEST(AggregateTest, SumAccumulates) {
+  Accumulator acc(AggregateKind::kSum);
+  acc.Add(1.0);
+  acc.Add(2.5);
+  acc.Add(-0.5);
+  EXPECT_DOUBLE_EQ(acc.Finish(), 3.0);
+}
+
+TEST(AggregateTest, CountCounts) {
+  Accumulator acc(AggregateKind::kCount);
+  for (int i = 0; i < 7; ++i) acc.Add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(acc.Finish(), 7.0);
+  EXPECT_EQ(acc.count(), 7);
+}
+
+TEST(AggregateTest, AvgDivides) {
+  Accumulator acc(AggregateKind::kAvg);
+  acc.Add(2.0);
+  acc.Add(4.0);
+  EXPECT_DOUBLE_EQ(acc.Finish(), 3.0);
+}
+
+TEST(AggregateTest, AvgEmptyIsZero) {
+  Accumulator acc(AggregateKind::kAvg);
+  EXPECT_DOUBLE_EQ(acc.Finish(), 0.0);
+}
+
+TEST(AggregateTest, MinTracksSmallest) {
+  Accumulator acc(AggregateKind::kMin);
+  acc.Add(5.0);
+  acc.Add(-3.0);
+  acc.Add(2.0);
+  EXPECT_DOUBLE_EQ(acc.Finish(), -3.0);
+}
+
+TEST(AggregateTest, MaxTracksLargest) {
+  Accumulator acc(AggregateKind::kMax);
+  acc.Add(5.0);
+  acc.Add(-3.0);
+  acc.Add(8.0);
+  EXPECT_DOUBLE_EQ(acc.Finish(), 8.0);
+}
+
+TEST(AggregateTest, MinMaxEmptyAreZero) {
+  EXPECT_DOUBLE_EQ(Accumulator(AggregateKind::kMin).Finish(), 0.0);
+  EXPECT_DOUBLE_EQ(Accumulator(AggregateKind::kMax).Finish(), 0.0);
+}
+
+TEST(AggregateTest, SumExposed) {
+  Accumulator acc(AggregateKind::kAvg);
+  acc.Add(1.5);
+  acc.Add(2.5);
+  EXPECT_DOUBLE_EQ(acc.sum(), 4.0);
+}
+
+TEST(AggregateSpecTest, ToStringFormats) {
+  EXPECT_EQ((AggregateSpec{AggregateKind::kCount, 0}).ToString(), "COUNT(*)");
+  EXPECT_EQ((AggregateSpec{AggregateKind::kSum, 3}).ToString(), "SUM(col3)");
+  EXPECT_EQ((AggregateSpec{AggregateKind::kAvg, 1}).ToString(), "AVG(col1)");
+}
+
+TEST(AggregateSpecTest, KindNames) {
+  EXPECT_STREQ(AggregateKindToString(AggregateKind::kSum), "SUM");
+  EXPECT_STREQ(AggregateKindToString(AggregateKind::kCount), "COUNT");
+  EXPECT_STREQ(AggregateKindToString(AggregateKind::kAvg), "AVG");
+  EXPECT_STREQ(AggregateKindToString(AggregateKind::kMin), "MIN");
+  EXPECT_STREQ(AggregateKindToString(AggregateKind::kMax), "MAX");
+}
+
+TEST(AggregateSpecTest, Equality) {
+  AggregateSpec a{AggregateKind::kSum, 2};
+  AggregateSpec b{AggregateKind::kSum, 2};
+  AggregateSpec c{AggregateKind::kAvg, 2};
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+}  // namespace
+}  // namespace congress

@@ -1,0 +1,88 @@
+#include "engine/query.h"
+
+#include <gtest/gtest.h>
+
+namespace congress {
+namespace {
+
+TEST(GroupByQueryTest, ToStringNoGroupBy) {
+  GroupByQuery q;
+  q.aggregates = {AggregateSpec{AggregateKind::kSum, 2}};
+  std::string s = q.ToString();
+  EXPECT_NE(s.find("SELECT"), std::string::npos);
+  EXPECT_NE(s.find("SUM(col2)"), std::string::npos);
+  EXPECT_EQ(s.find("GROUP BY"), std::string::npos);
+  EXPECT_EQ(s.find("WHERE"), std::string::npos);
+}
+
+TEST(GroupByQueryTest, ToStringFullQuery) {
+  GroupByQuery q;
+  q.group_columns = {0, 1};
+  q.aggregates = {AggregateSpec{AggregateKind::kSum, 2},
+                  AggregateSpec{AggregateKind::kCount, 0}};
+  q.predicate = MakeRangePredicate(3, 1.0, 2.0);
+  std::string s = q.ToString();
+  EXPECT_NE(s.find("GROUP BY col0, col1"), std::string::npos);
+  EXPECT_NE(s.find("WHERE"), std::string::npos);
+  EXPECT_NE(s.find("COUNT(*)"), std::string::npos);
+}
+
+TEST(GroupByQueryTest, HasPredicate) {
+  GroupByQuery q;
+  EXPECT_FALSE(q.HasPredicate());
+  q.predicate = MakeTruePredicate();
+  EXPECT_TRUE(q.HasPredicate());
+}
+
+TEST(QueryResultTest, AddAndFind) {
+  QueryResult r;
+  r.Add({Value(int64_t{1})}, {10.0, 20.0});
+  r.Add({Value(int64_t{2})}, {30.0, 40.0});
+  EXPECT_EQ(r.num_groups(), 2u);
+  const GroupResult* row = r.Find({Value(int64_t{2})});
+  ASSERT_NE(row, nullptr);
+  EXPECT_DOUBLE_EQ(row->aggregates[1], 40.0);
+  EXPECT_EQ(r.Find({Value(int64_t{3})}), nullptr);
+}
+
+TEST(QueryResultTest, SortByKeyOrdersAndReindexes) {
+  QueryResult r;
+  r.Add({Value(int64_t{3})}, {3.0});
+  r.Add({Value(int64_t{1})}, {1.0});
+  r.Add({Value(int64_t{2})}, {2.0});
+  r.SortByKey();
+  EXPECT_EQ(r.rows()[0].key[0], Value(int64_t{1}));
+  EXPECT_EQ(r.rows()[2].key[0], Value(int64_t{3}));
+  // Index still valid after sorting.
+  const GroupResult* row = r.Find({Value(int64_t{3})});
+  ASSERT_NE(row, nullptr);
+  EXPECT_DOUBLE_EQ(row->aggregates[0], 3.0);
+}
+
+TEST(QueryResultTest, EmptyKeySingleton) {
+  QueryResult r;
+  r.Add({}, {42.0});
+  const GroupResult* row = r.Find({});
+  ASSERT_NE(row, nullptr);
+  EXPECT_DOUBLE_EQ(row->aggregates[0], 42.0);
+}
+
+TEST(QueryResultTest, ToStringTruncates) {
+  QueryResult r;
+  for (int i = 0; i < 30; ++i) {
+    r.Add({Value(static_cast<int64_t>(i))}, {1.0});
+  }
+  std::string s = r.ToString(5);
+  EXPECT_NE(s.find("25 more groups"), std::string::npos);
+}
+
+TEST(QueryResultTest, StringKeys) {
+  QueryResult r;
+  r.Add({Value("alpha"), Value(int64_t{1})}, {5.0});
+  const GroupResult* row = r.Find({Value("alpha"), Value(int64_t{1})});
+  ASSERT_NE(row, nullptr);
+  EXPECT_EQ(r.Find({Value("alpha"), Value(int64_t{2})}), nullptr);
+}
+
+}  // namespace
+}  // namespace congress

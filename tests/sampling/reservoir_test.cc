@@ -1,0 +1,170 @@
+#include "sampling/reservoir.h"
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace congress {
+namespace {
+
+TEST(ReservoirTest, FillsToCapacity) {
+  Random rng(1);
+  ReservoirSampler<int> res(5);
+  for (int i = 0; i < 3; ++i) res.Offer(i, &rng);
+  EXPECT_EQ(res.size(), 3u);
+  for (int i = 3; i < 100; ++i) res.Offer(i, &rng);
+  EXPECT_EQ(res.size(), 5u);
+  EXPECT_EQ(res.seen(), 100u);
+}
+
+TEST(ReservoirTest, ZeroCapacityKeepsNothing) {
+  Random rng(2);
+  ReservoirSampler<int> res(0);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(res.Offer(i, &rng));
+  }
+  EXPECT_EQ(res.size(), 0u);
+  EXPECT_EQ(res.seen(), 10u);
+}
+
+TEST(ReservoirTest, StreamShorterThanCapacityKeepsAll) {
+  Random rng(3);
+  ReservoirSampler<int> res(100);
+  for (int i = 0; i < 7; ++i) res.Offer(i, &rng);
+  EXPECT_EQ(res.size(), 7u);
+  std::set<int> items(res.items().begin(), res.items().end());
+  EXPECT_EQ(items.size(), 7u);
+}
+
+TEST(ReservoirTest, ItemsAreFromStream) {
+  Random rng(4);
+  ReservoirSampler<int> res(10);
+  for (int i = 0; i < 1000; ++i) res.Offer(i, &rng);
+  std::set<int> distinct(res.items().begin(), res.items().end());
+  EXPECT_EQ(distinct.size(), 10u);  // No duplicates possible.
+  for (int v : res.items()) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 1000);
+  }
+}
+
+TEST(ReservoirTest, InclusionProbabilityUniform) {
+  // Every stream element should be retained with probability k/n.
+  const int n = 50;
+  const size_t k = 10;
+  const int trials = 20000;
+  std::vector<int> counts(n, 0);
+  Random rng(5);
+  for (int t = 0; t < trials; ++t) {
+    ReservoirSampler<int> res(k);
+    for (int i = 0; i < n; ++i) res.Offer(i, &rng);
+    for (int v : res.items()) counts[v]++;
+  }
+  const double expect = static_cast<double>(k) / n;
+  for (int i = 0; i < n; ++i) {
+    double freq = static_cast<double>(counts[i]) / trials;
+    EXPECT_NEAR(freq, expect, 0.02) << "element " << i;
+  }
+}
+
+TEST(ReservoirTest, EvictRandomShrinksByOne) {
+  Random rng(6);
+  ReservoirSampler<int> res(5);
+  for (int i = 0; i < 5; ++i) res.Offer(i, &rng);
+  int evicted = res.EvictRandom(&rng);
+  EXPECT_EQ(res.size(), 4u);
+  EXPECT_GE(evicted, 0);
+  EXPECT_LT(evicted, 5);
+  // The evicted item is gone.
+  for (int v : res.items()) EXPECT_NE(v, evicted);
+}
+
+TEST(ReservoirTest, EvictRandomIsUniform) {
+  const int trials = 20000;
+  std::vector<int> counts(5, 0);
+  Random rng(7);
+  for (int t = 0; t < trials; ++t) {
+    ReservoirSampler<int> res(5);
+    for (int i = 0; i < 5; ++i) res.Offer(i, &rng);
+    counts[res.EvictRandom(&rng)]++;
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / trials, 0.2, 0.02);
+  }
+}
+
+TEST(ReservoirTest, ShrinkToEnforcesCapacity) {
+  Random rng(8);
+  ReservoirSampler<int> res(10);
+  for (int i = 0; i < 10; ++i) res.Offer(i, &rng);
+  res.ShrinkTo(4, &rng);
+  EXPECT_EQ(res.size(), 4u);
+  EXPECT_EQ(res.capacity(), 4u);
+}
+
+TEST(ReservoirTest, ShrinkToLargerIsNoop) {
+  Random rng(9);
+  ReservoirSampler<int> res(5);
+  for (int i = 0; i < 5; ++i) res.Offer(i, &rng);
+  res.ShrinkTo(8, &rng);
+  EXPECT_EQ(res.size(), 5u);
+  EXPECT_EQ(res.capacity(), 8u);
+}
+
+TEST(ReservoirTest, OfferTrackedReportsEviction) {
+  Random rng(10);
+  ReservoirSampler<int> res(2);
+  bool had = false;
+  int victim = -1;
+  EXPECT_TRUE(res.OfferTracked(1, &rng, &had, &victim));
+  EXPECT_FALSE(had);  // Filling phase: no eviction.
+  EXPECT_TRUE(res.OfferTracked(2, &rng, &had, &victim));
+  EXPECT_FALSE(had);
+
+  int evictions = 0;
+  int admissions = 0;
+  for (int i = 3; i < 200; ++i) {
+    bool admitted = res.OfferTracked(i, &rng, &had, &victim);
+    EXPECT_EQ(admitted, had);  // Post-fill, admission implies eviction.
+    if (admitted) {
+      ++admissions;
+      EXPECT_GE(victim, 1);
+    }
+    if (had) ++evictions;
+  }
+  EXPECT_GT(admissions, 0);
+  EXPECT_EQ(admissions, evictions);
+  EXPECT_EQ(res.size(), 2u);
+}
+
+TEST(ReservoirTest, UniformAfterShrink) {
+  // Shrinking preserves uniformity: each of the first-10 elements equally
+  // likely to survive a shrink to 3.
+  const int trials = 30000;
+  std::vector<int> counts(10, 0);
+  Random rng(11);
+  for (int t = 0; t < trials; ++t) {
+    ReservoirSampler<int> res(10);
+    for (int i = 0; i < 10; ++i) res.Offer(i, &rng);
+    res.ShrinkTo(3, &rng);
+    for (int v : res.items()) counts[v]++;
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / trials, 0.3, 0.02);
+  }
+}
+
+TEST(ReservoirTest, SetCapacityGrowsTarget) {
+  Random rng(12);
+  ReservoirSampler<int> res(2);
+  for (int i = 0; i < 10; ++i) res.Offer(i, &rng);
+  EXPECT_EQ(res.size(), 2u);
+  res.set_capacity(5);
+  // New offers can now grow the reservoir to the new capacity.
+  for (int i = 10; i < 2000; ++i) res.Offer(i, &rng);
+  EXPECT_EQ(res.size(), 5u);
+}
+
+}  // namespace
+}  // namespace congress

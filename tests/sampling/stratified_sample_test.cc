@@ -1,0 +1,173 @@
+#include "sampling/stratified_sample.h"
+
+#include <gtest/gtest.h>
+
+namespace congress {
+namespace {
+
+Schema BaseSchema() {
+  return Schema({Field{"g", DataType::kString},
+                 Field{"h", DataType::kInt64},
+                 Field{"v", DataType::kDouble}});
+}
+
+Table BaseTable() {
+  Table t{BaseSchema()};
+  auto add = [&t](const char* g, int64_t h, double v) {
+    ASSERT_TRUE(t.AppendRow({Value(g), Value(h), Value(v)}).ok());
+  };
+  add("x", 1, 1.0);
+  add("x", 1, 2.0);
+  add("y", 2, 3.0);
+  add("y", 2, 4.0);
+  return t;
+}
+
+TEST(StratifiedSampleTest, DeclareAndAppend) {
+  Table base = BaseTable();
+  StratifiedSample sample(BaseSchema(), {0, 1});
+  ASSERT_TRUE(
+      sample.DeclareStratum({Value("x"), Value(int64_t{1})}, 100).ok());
+  ASSERT_TRUE(
+      sample.DeclareStratum({Value("y"), Value(int64_t{2})}, 50).ok());
+  ASSERT_TRUE(sample.Append(base, 0).ok());
+  ASSERT_TRUE(sample.Append(base, 2).ok());
+  ASSERT_TRUE(sample.Append(base, 3).ok());
+
+  EXPECT_EQ(sample.num_rows(), 3u);
+  EXPECT_EQ(sample.strata().size(), 2u);
+  EXPECT_EQ(sample.total_population(), 150u);
+
+  auto x_idx = sample.StratumIndex({Value("x"), Value(int64_t{1})});
+  ASSERT_TRUE(x_idx.ok());
+  const Stratum& x = sample.strata()[*x_idx];
+  EXPECT_EQ(x.population, 100u);
+  EXPECT_EQ(x.sample_count, 1u);
+  EXPECT_DOUBLE_EQ(x.ScaleFactor(), 100.0);
+  EXPECT_DOUBLE_EQ(x.SamplingRate(), 0.01);
+}
+
+TEST(StratifiedSampleTest, RedeclareSamePopulationIsIdempotent) {
+  StratifiedSample sample(BaseSchema(), {0});
+  ASSERT_TRUE(sample.DeclareStratum({Value("x")}, 10).ok());
+  EXPECT_TRUE(sample.DeclareStratum({Value("x")}, 10).ok());
+  EXPECT_FALSE(sample.DeclareStratum({Value("x")}, 11).ok());
+  EXPECT_EQ(sample.total_population(), 10u);
+}
+
+TEST(StratifiedSampleTest, AppendUndeclaredStratumFails) {
+  Table base = BaseTable();
+  StratifiedSample sample(BaseSchema(), {0, 1});
+  Status st = sample.Append(base, 0);
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+}
+
+TEST(StratifiedSampleTest, AppendRowValues) {
+  StratifiedSample sample(BaseSchema(), {0});
+  ASSERT_TRUE(sample.DeclareStratum({Value("x")}, 10).ok());
+  ASSERT_TRUE(
+      sample
+          .AppendRowValues({Value("x"), Value(int64_t{1}), Value(5.0)})
+          .ok());
+  EXPECT_EQ(sample.num_rows(), 1u);
+  EXPECT_EQ(sample.strata()[0].sample_count, 1u);
+  EXPECT_FALSE(
+      sample
+          .AppendRowValues({Value("z"), Value(int64_t{1}), Value(5.0)})
+          .ok());
+}
+
+TEST(StratifiedSampleTest, EmptyStratumScaleFactorZero) {
+  Stratum s{GroupKey{Value("x")}, 100, 0};
+  EXPECT_DOUBLE_EQ(s.ScaleFactor(), 0.0);
+  EXPECT_DOUBLE_EQ(s.SamplingRate(), 0.0);
+}
+
+TEST(StratifiedSampleTest, MaterializeIntegratedAppendsSf) {
+  Table base = BaseTable();
+  StratifiedSample sample(BaseSchema(), {0, 1});
+  ASSERT_TRUE(
+      sample.DeclareStratum({Value("x"), Value(int64_t{1})}, 100).ok());
+  ASSERT_TRUE(
+      sample.DeclareStratum({Value("y"), Value(int64_t{2})}, 60).ok());
+  ASSERT_TRUE(sample.Append(base, 0).ok());
+  ASSERT_TRUE(sample.Append(base, 2).ok());
+  ASSERT_TRUE(sample.Append(base, 3).ok());
+
+  Table integrated = sample.MaterializeIntegrated();
+  EXPECT_EQ(integrated.num_columns(), 4u);
+  EXPECT_EQ(integrated.schema().field(3).name, "sf");
+  EXPECT_EQ(integrated.num_rows(), 3u);
+  // Row 0 is the x-stratum tuple (sf = 100/1); rows 1-2 are y (sf = 30).
+  EXPECT_DOUBLE_EQ(integrated.DoubleColumn(3)[0], 100.0);
+  EXPECT_DOUBLE_EQ(integrated.DoubleColumn(3)[1], 30.0);
+  EXPECT_DOUBLE_EQ(integrated.DoubleColumn(3)[2], 30.0);
+}
+
+TEST(StratifiedSampleTest, MaterializeAuxNormalized) {
+  Table base = BaseTable();
+  StratifiedSample sample(BaseSchema(), {0, 1});
+  ASSERT_TRUE(
+      sample.DeclareStratum({Value("x"), Value(int64_t{1})}, 100).ok());
+  ASSERT_TRUE(
+      sample.DeclareStratum({Value("y"), Value(int64_t{2})}, 60).ok());
+  ASSERT_TRUE(sample.Append(base, 0).ok());
+
+  Table aux = sample.MaterializeAuxNormalized();
+  // Only strata with sampled tuples appear.
+  EXPECT_EQ(aux.num_rows(), 1u);
+  EXPECT_EQ(aux.num_columns(), 3u);  // g, h, sf.
+  EXPECT_EQ(aux.schema().field(0).name, "g");
+  EXPECT_EQ(aux.schema().field(2).name, "sf");
+  EXPECT_DOUBLE_EQ(aux.DoubleColumn(2)[0], 100.0);
+}
+
+TEST(StratifiedSampleTest, MaterializeKeyNormalized) {
+  Table base = BaseTable();
+  StratifiedSample sample(BaseSchema(), {0, 1});
+  ASSERT_TRUE(
+      sample.DeclareStratum({Value("x"), Value(int64_t{1})}, 100).ok());
+  ASSERT_TRUE(
+      sample.DeclareStratum({Value("y"), Value(int64_t{2})}, 60).ok());
+  ASSERT_TRUE(sample.Append(base, 0).ok());
+  ASSERT_TRUE(sample.Append(base, 2).ok());
+
+  auto form = sample.MaterializeKeyNormalized();
+  EXPECT_EQ(form.samp_rel.num_columns(), 4u);
+  EXPECT_EQ(form.samp_rel.schema().field(3).name, "gid");
+  EXPECT_EQ(form.aux_rel.num_rows(), 2u);
+  // Each samp row's gid exists in aux.
+  for (size_t r = 0; r < form.samp_rel.num_rows(); ++r) {
+    int64_t gid = form.samp_rel.Int64Column(3)[r];
+    bool found = false;
+    for (size_t a = 0; a < form.aux_rel.num_rows(); ++a) {
+      if (form.aux_rel.Int64Column(0)[a] == gid) found = true;
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(StratifiedSampleTest, RowStrataAligned) {
+  Table base = BaseTable();
+  StratifiedSample sample(BaseSchema(), {0, 1});
+  ASSERT_TRUE(
+      sample.DeclareStratum({Value("x"), Value(int64_t{1})}, 2).ok());
+  ASSERT_TRUE(
+      sample.DeclareStratum({Value("y"), Value(int64_t{2})}, 2).ok());
+  ASSERT_TRUE(sample.Append(base, 0).ok());
+  ASSERT_TRUE(sample.Append(base, 3).ok());
+  ASSERT_EQ(sample.row_strata().size(), 2u);
+  EXPECT_EQ(sample.strata()[sample.row_strata()[0]].key[0], Value("x"));
+  EXPECT_EQ(sample.strata()[sample.row_strata()[1]].key[0], Value("y"));
+}
+
+TEST(StratifiedSampleTest, ToStringSummarizes) {
+  StratifiedSample sample(BaseSchema(), {0});
+  ASSERT_TRUE(sample.DeclareStratum({Value("x")}, 5).ok());
+  std::string s = sample.ToString();
+  EXPECT_NE(s.find("1 strata"), std::string::npos);
+  EXPECT_NE(s.find("population 5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace congress

@@ -1,0 +1,151 @@
+#include "sql/emitter.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+
+namespace congress::sql {
+namespace {
+
+Schema RelSchema() {
+  // The five-column example relation of Figure 6 in the paper.
+  return Schema({Field{"k", DataType::kInt64},
+                 Field{"a", DataType::kInt64},
+                 Field{"b", DataType::kInt64},
+                 Field{"c", DataType::kInt64},
+                 Field{"q", DataType::kDouble}});
+}
+
+GroupByQuery Q2() {
+  // Figure 7: SELECT A, B, sum(Q) FROM Rel GROUP BY A, B.
+  auto query = ParseQuery("SELECT a, b, SUM(q) FROM rel GROUP BY a, b",
+                          RelSchema());
+  EXPECT_TRUE(query.ok());
+  return std::move(query).value();
+}
+
+GroupByQuery Q3() {
+  // Figure 12: AVG variant.
+  auto query = ParseQuery("SELECT a, b, AVG(q) FROM rel GROUP BY a, b",
+                          RelSchema());
+  EXPECT_TRUE(query.ok());
+  return std::move(query).value();
+}
+
+TEST(EmitterTest, EmitQueryRoundTrips) {
+  std::string sql = EmitQuery(Q2(), RelSchema(), "rel");
+  EXPECT_NE(sql.find("select a, b, sum(q)"), std::string::npos);
+  EXPECT_NE(sql.find("from rel"), std::string::npos);
+  EXPECT_NE(sql.find("group by a, b"), std::string::npos);
+  // The emitted text re-parses to the same structure.
+  auto reparsed = ParseQuery(sql, RelSchema());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString() << "\n" << sql;
+  EXPECT_EQ(reparsed->group_columns, Q2().group_columns);
+  EXPECT_EQ(reparsed->aggregates, Q2().aggregates);
+}
+
+TEST(EmitterTest, IntegratedMatchesFigure8) {
+  std::string sql =
+      EmitRewritten(Q2(), RelSchema(), RewriteStrategy::kIntegrated);
+  // Figure 8: select A,B, sum(Q*SF) from SampRel group by A,B.
+  EXPECT_NE(sql.find("sum(q*sf)"), std::string::npos);
+  EXPECT_NE(sql.find("from samp_rel"), std::string::npos);
+  EXPECT_NE(sql.find("group by a, b"), std::string::npos);
+  EXPECT_EQ(sql.find("aux_rel"), std::string::npos);  // No join.
+}
+
+TEST(EmitterTest, NestedIntegratedMatchesFigure11) {
+  std::string sql =
+      EmitRewritten(Q2(), RelSchema(), RewriteStrategy::kNestedIntegrated);
+  // Figure 11: outer sum(SQ*SF) over an inner group by A,B,SF.
+  EXPECT_NE(sql.find("sum(sq0*sf)"), std::string::npos);
+  EXPECT_NE(sql.find("from (select"), std::string::npos);
+  EXPECT_NE(sql.find("group by a, b, sf)"), std::string::npos);
+  EXPECT_NE(sql.find("sum(q) as sq0"), std::string::npos);
+}
+
+TEST(EmitterTest, NestedIntegratedAvgMatchesFigure13) {
+  std::string sql =
+      EmitRewritten(Q3(), RelSchema(), RewriteStrategy::kNestedIntegrated);
+  // Figure 13: sum(SQ*SF)/sum(CNT*SF) with inner count(*).
+  EXPECT_NE(sql.find("sum(sq0*sf)/sum(cnt*sf)"), std::string::npos);
+  EXPECT_NE(sql.find("count(*) as cnt"), std::string::npos);
+}
+
+TEST(EmitterTest, NormalizedMatchesFigure9) {
+  std::string sql =
+      EmitRewritten(Q2(), RelSchema(), RewriteStrategy::kNormalized);
+  // Figure 9: join SampRel with AuxRel on the grouping columns.
+  EXPECT_NE(sql.find("from samp_rel s, aux_rel a"), std::string::npos);
+  EXPECT_NE(sql.find("s.a = a.a"), std::string::npos);
+  EXPECT_NE(sql.find("s.b = a.b"), std::string::npos);
+  EXPECT_NE(sql.find("sum(q*sf)"), std::string::npos);
+}
+
+TEST(EmitterTest, KeyNormalizedMatchesFigure10) {
+  std::string sql =
+      EmitRewritten(Q2(), RelSchema(), RewriteStrategy::kKeyNormalized);
+  // Figure 10: single-attribute join on gid.
+  EXPECT_NE(sql.find("s.gid = a.gid"), std::string::npos);
+  EXPECT_EQ(sql.find("s.a = a.a"), std::string::npos);
+}
+
+TEST(EmitterTest, CountAndAvgScaling) {
+  auto count_query = ParseQuery(
+      "SELECT a, COUNT(*) FROM rel GROUP BY a", RelSchema());
+  ASSERT_TRUE(count_query.ok());
+  std::string count_sql = EmitRewritten(*count_query, RelSchema(),
+                                        RewriteStrategy::kIntegrated);
+  // COUNT rewrites to sum(SF) (Section 5.2).
+  EXPECT_NE(count_sql.find("sum(sf)"), std::string::npos);
+
+  auto avg_query =
+      ParseQuery("SELECT a, AVG(q) FROM rel GROUP BY a", RelSchema());
+  ASSERT_TRUE(avg_query.ok());
+  std::string avg_sql = EmitRewritten(*avg_query, RelSchema(),
+                                      RewriteStrategy::kIntegrated);
+  // AVG rewrites to sum(Q*SF)/sum(SF).
+  EXPECT_NE(avg_sql.find("sum(q*sf)/sum(sf)"), std::string::npos);
+}
+
+TEST(EmitterTest, ErrorBoundExpressions) {
+  EmitOptions options;
+  options.with_error_bounds = true;
+  std::string sql = EmitRewritten(Q2(), RelSchema(),
+                                  RewriteStrategy::kIntegrated, options);
+  // Figure 2(b): an error expression is appended per aggregate.
+  EXPECT_NE(sql.find("sum_error(q) as error1"), std::string::npos);
+}
+
+TEST(EmitterTest, CustomTableNames) {
+  EmitOptions options;
+  options.sample_table = "bs_lineitem";
+  std::string sql = EmitRewritten(Q2(), RelSchema(),
+                                  RewriteStrategy::kIntegrated, options);
+  EXPECT_NE(sql.find("from bs_lineitem"), std::string::npos);
+}
+
+TEST(EmitterTest, PredicatePropagates) {
+  auto query = ParseQuery(
+      "SELECT a, SUM(q) FROM rel WHERE q <= 100 GROUP BY a", RelSchema());
+  ASSERT_TRUE(query.ok());
+  for (auto strategy :
+       {RewriteStrategy::kIntegrated, RewriteStrategy::kNestedIntegrated,
+        RewriteStrategy::kNormalized, RewriteStrategy::kKeyNormalized}) {
+    std::string sql = EmitRewritten(*query, RelSchema(), strategy);
+    EXPECT_NE(sql.find("<= 100"), std::string::npos)
+        << RewriteStrategyToString(strategy);
+  }
+}
+
+TEST(EmitterTest, NoGroupByQuery) {
+  auto query = ParseQuery("SELECT SUM(q) FROM rel", RelSchema());
+  ASSERT_TRUE(query.ok());
+  std::string sql =
+      EmitRewritten(*query, RelSchema(), RewriteStrategy::kIntegrated);
+  EXPECT_EQ(sql.find("group by"), std::string::npos);
+  EXPECT_NE(sql.find("sum(q*sf)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace congress::sql

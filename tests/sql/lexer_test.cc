@@ -1,0 +1,129 @@
+#include "sql/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace congress::sql {
+namespace {
+
+std::vector<Token> MustTokenize(const std::string& input) {
+  auto tokens = Tokenize(input);
+  EXPECT_TRUE(tokens.ok()) << tokens.status().ToString();
+  return std::move(tokens).value();
+}
+
+TEST(LexerTest, EmptyInputYieldsEnd) {
+  auto tokens = MustTokenize("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, KeywordsCaseInsensitive) {
+  auto tokens = MustTokenize("select SELECT SeLeCt from GROUP by");
+  ASSERT_EQ(tokens.size(), 7u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(tokens[i].kind, TokenKind::kKeyword);
+    EXPECT_EQ(tokens[i].text, "SELECT");
+  }
+  EXPECT_EQ(tokens[3].text, "FROM");
+  EXPECT_EQ(tokens[4].text, "GROUP");
+  EXPECT_EQ(tokens[5].text, "BY");
+}
+
+TEST(LexerTest, IdentifiersKeepCase) {
+  auto tokens = MustTokenize("l_ReturnFlag lineitem_2");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "l_ReturnFlag");
+  EXPECT_EQ(tokens[1].text, "lineitem_2");
+}
+
+TEST(LexerTest, Numbers) {
+  auto tokens = MustTokenize("42 3.14");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kNumber);
+  EXPECT_EQ(tokens[0].text, "42");
+  EXPECT_EQ(tokens[1].text, "3.14");
+}
+
+TEST(LexerTest, MinusIsSignOnlyAfterNonOperands) {
+  // After '=' (not an operand) the '-' signs the literal...
+  auto tokens = MustTokenize("x = -7");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kNumber);
+  EXPECT_EQ(tokens[2].text, "-7");
+  // ...but after an identifier or number it is the binary operator.
+  tokens = MustTokenize("price -3");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kSymbol);
+  EXPECT_EQ(tokens[1].text, "-");
+  EXPECT_EQ(tokens[2].text, "3");
+  tokens = MustTokenize("(1) - 2");
+  EXPECT_EQ(tokens[3].kind, TokenKind::kSymbol);
+  EXPECT_EQ(tokens[3].text, "-");
+}
+
+TEST(LexerTest, ArithmeticOperators) {
+  auto tokens = MustTokenize("a + b / 2");
+  EXPECT_EQ(tokens[1].kind, TokenKind::kSymbol);
+  EXPECT_EQ(tokens[1].text, "+");
+  EXPECT_EQ(tokens[3].text, "/");
+}
+
+TEST(LexerTest, Strings) {
+  auto tokens = MustTokenize("'01-SEP-98' 'it''s'");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[0].text, "01-SEP-98");
+  EXPECT_EQ(tokens[1].text, "it's");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  auto tokens = Tokenize("select 'oops");
+  EXPECT_FALSE(tokens.ok());
+  EXPECT_NE(tokens.status().message().find("unterminated"),
+            std::string::npos);
+}
+
+TEST(LexerTest, SymbolsIncludingTwoChar) {
+  auto tokens = MustTokenize("( ) , ; * = < <= > >= <>");
+  std::vector<std::string> expected = {"(", ")", ",", ";", "*", "=",
+                                       "<", "<=", ">", ">=", "<>"};
+  ASSERT_EQ(tokens.size(), expected.size() + 1);
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(tokens[i].kind, TokenKind::kSymbol);
+    EXPECT_EQ(tokens[i].text, expected[i]);
+  }
+}
+
+TEST(LexerTest, UnexpectedCharacterFails) {
+  auto tokens = Tokenize("select @ from t");
+  EXPECT_FALSE(tokens.ok());
+  EXPECT_EQ(tokens.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(LexerTest, PositionsRecorded) {
+  auto tokens = MustTokenize("select x");
+  EXPECT_EQ(tokens[0].position, 0u);
+  EXPECT_EQ(tokens[1].position, 7u);
+}
+
+TEST(LexerTest, AggregateKeywords) {
+  auto tokens = MustTokenize("sum count avg min max");
+  for (const auto& expected :
+       {std::string("SUM"), std::string("COUNT"), std::string("AVG"),
+        std::string("MIN"), std::string("MAX")}) {
+    bool found = false;
+    for (const Token& t : tokens) {
+      if (t.kind == TokenKind::kKeyword && t.text == expected) found = true;
+    }
+    EXPECT_TRUE(found) << expected;
+  }
+}
+
+TEST(LexerTest, FullQueryTokenizes) {
+  auto tokens = MustTokenize(
+      "SELECT l_returnflag, SUM(l_quantity) FROM lineitem "
+      "WHERE l_shipdate <= 900000 GROUP BY l_returnflag;");
+  EXPECT_GT(tokens.size(), 10u);
+  EXPECT_EQ(tokens.back().kind, TokenKind::kEnd);
+}
+
+}  // namespace
+}  // namespace congress::sql

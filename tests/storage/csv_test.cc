@@ -1,0 +1,148 @@
+#include "storage/csv.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace congress {
+namespace {
+
+Schema TestSchema() {
+  return Schema({Field{"id", DataType::kInt64},
+                 Field{"name", DataType::kString},
+                 Field{"score", DataType::kDouble}});
+}
+
+Table TestTable() {
+  Table t{TestSchema()};
+  EXPECT_TRUE(t.AppendRow({Value(int64_t{1}), Value("alpha"), Value(1.5)}).ok());
+  EXPECT_TRUE(
+      t.AppendRow({Value(int64_t{-2}), Value("beta,comma"), Value(2.25)}).ok());
+  EXPECT_TRUE(
+      t.AppendRow({Value(int64_t{3}), Value("say \"hi\""), Value(0.0)}).ok());
+  return t;
+}
+
+TEST(CsvTest, WriteProducesHeaderAndRows) {
+  std::ostringstream out;
+  ASSERT_TRUE(WriteCsv(TestTable(), &out).ok());
+  std::string csv = out.str();
+  EXPECT_EQ(csv.substr(0, csv.find('\n')), "id,name,score");
+  EXPECT_NE(csv.find("1,alpha,1.5"), std::string::npos);
+  EXPECT_NE(csv.find("\"beta,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(CsvTest, RoundTripPreservesData) {
+  Table original = TestTable();
+  std::ostringstream out;
+  ASSERT_TRUE(WriteCsv(original, &out).ok());
+  std::istringstream in(out.str());
+  auto loaded = ReadCsv(&in, TestSchema());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->num_rows(), original.num_rows());
+  for (size_t r = 0; r < original.num_rows(); ++r) {
+    for (size_t c = 0; c < original.num_columns(); ++c) {
+      EXPECT_EQ(loaded->GetValue(r, c), original.GetValue(r, c))
+          << "row " << r << " col " << c;
+    }
+  }
+}
+
+TEST(CsvTest, NoHeaderMode) {
+  CsvOptions options;
+  options.header = false;
+  std::ostringstream out;
+  ASSERT_TRUE(WriteCsv(TestTable(), &out, options).ok());
+  EXPECT_EQ(out.str().substr(0, out.str().find('\n')), "1,alpha,1.5");
+  std::istringstream in(out.str());
+  auto loaded = ReadCsv(&in, TestSchema(), options);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_rows(), 3u);
+}
+
+TEST(CsvTest, CustomDelimiter) {
+  CsvOptions options;
+  options.delimiter = '|';
+  std::ostringstream out;
+  ASSERT_TRUE(WriteCsv(TestTable(), &out, options).ok());
+  EXPECT_NE(out.str().find("id|name|score"), std::string::npos);
+  // The comma-containing cell no longer needs quotes.
+  EXPECT_NE(out.str().find("|beta,comma|"), std::string::npos);
+  std::istringstream in(out.str());
+  auto loaded = ReadCsv(&in, TestSchema(), options);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->GetValue(1, 1), Value("beta,comma"));
+}
+
+TEST(CsvTest, ReadRejectsHeaderMismatch) {
+  std::istringstream in("id,wrong,score\n1,a,2.0\n");
+  auto loaded = ReadCsv(&in, TestSchema());
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("wrong"), std::string::npos);
+}
+
+TEST(CsvTest, ReadRejectsBadCells) {
+  {
+    std::istringstream in("id,name,score\nnotanint,a,2.0\n");
+    auto loaded = ReadCsv(&in, TestSchema());
+    EXPECT_FALSE(loaded.ok());
+    EXPECT_NE(loaded.status().message().find("line 2"), std::string::npos);
+  }
+  {
+    std::istringstream in("id,name,score\n1,a,notadouble\n");
+    EXPECT_FALSE(ReadCsv(&in, TestSchema()).ok());
+  }
+  {
+    std::istringstream in("id,name,score\n1,a\n");
+    auto loaded = ReadCsv(&in, TestSchema());
+    EXPECT_FALSE(loaded.ok());
+    EXPECT_NE(loaded.status().message().find("cells"), std::string::npos);
+  }
+}
+
+TEST(CsvTest, ReadSkipsBlankLinesAndHandlesCrlf) {
+  std::istringstream in("id,name,score\r\n1,a,2.0\r\n\r\n2,b,3.0\r\n");
+  auto loaded = ReadCsv(&in, TestSchema());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_rows(), 2u);
+  EXPECT_EQ(loaded->GetValue(1, 1), Value("b"));
+}
+
+TEST(CsvTest, ReadRejectsMissingHeader) {
+  std::istringstream in("");
+  EXPECT_FALSE(ReadCsv(&in, TestSchema()).ok());
+}
+
+TEST(CsvTest, ReadRejectsUnterminatedQuote) {
+  std::istringstream in("id,name,score\n1,\"oops,2.0\n");
+  auto loaded = ReadCsv(&in, TestSchema());
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  std::string path = ::testing::TempDir() + "/congress_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(TestTable(), path).ok());
+  auto loaded = ReadCsvFile(path, TestSchema());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_rows(), 3u);
+  EXPECT_FALSE(ReadCsvFile("/no/such/dir/f.csv", TestSchema()).ok());
+}
+
+TEST(CsvTest, DoublePrecisionSurvivesRoundTrip) {
+  Table t{Schema({Field{"v", DataType::kDouble}})};
+  ASSERT_TRUE(t.AppendRow({Value(0.1)}).ok());
+  ASSERT_TRUE(t.AppendRow({Value(1.0 / 3.0)}).ok());
+  ASSERT_TRUE(t.AppendRow({Value(1e-300)}).ok());
+  std::ostringstream out;
+  ASSERT_TRUE(WriteCsv(t, &out).ok());
+  std::istringstream in(out.str());
+  auto loaded = ReadCsv(&in, t.schema());
+  ASSERT_TRUE(loaded.ok());
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    EXPECT_DOUBLE_EQ(loaded->DoubleColumn(0)[r], t.DoubleColumn(0)[r]);
+  }
+}
+
+}  // namespace
+}  // namespace congress

@@ -1,0 +1,89 @@
+#include "storage/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace congress {
+namespace {
+
+Schema MakeSchema() {
+  return Schema({Field{"id", DataType::kInt64},
+                 Field{"name", DataType::kString},
+                 Field{"score", DataType::kDouble}});
+}
+
+TEST(SchemaTest, FieldsAccessible) {
+  Schema s = MakeSchema();
+  EXPECT_EQ(s.num_fields(), 3u);
+  EXPECT_EQ(s.field(0).name, "id");
+  EXPECT_EQ(s.field(1).type, DataType::kString);
+}
+
+TEST(SchemaTest, FieldIndexFindsByName) {
+  Schema s = MakeSchema();
+  auto idx = s.FieldIndex("score");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(*idx, 2u);
+}
+
+TEST(SchemaTest, FieldIndexMissing) {
+  Schema s = MakeSchema();
+  auto idx = s.FieldIndex("nope");
+  EXPECT_FALSE(idx.ok());
+  EXPECT_EQ(idx.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, HasField) {
+  Schema s = MakeSchema();
+  EXPECT_TRUE(s.HasField("id"));
+  EXPECT_FALSE(s.HasField("missing"));
+}
+
+TEST(SchemaTest, AddFieldAppends) {
+  Schema s = MakeSchema();
+  auto extended = s.AddField(Field{"extra", DataType::kDouble});
+  ASSERT_TRUE(extended.ok());
+  EXPECT_EQ(extended->num_fields(), 4u);
+  EXPECT_EQ(extended->field(3).name, "extra");
+  // Original untouched.
+  EXPECT_EQ(s.num_fields(), 3u);
+}
+
+TEST(SchemaTest, AddFieldRejectsDuplicate) {
+  Schema s = MakeSchema();
+  auto bad = s.AddField(Field{"id", DataType::kInt64});
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(SchemaTest, ProjectSelectsAndReorders) {
+  Schema s = MakeSchema();
+  Schema p = s.Project({2, 0});
+  EXPECT_EQ(p.num_fields(), 2u);
+  EXPECT_EQ(p.field(0).name, "score");
+  EXPECT_EQ(p.field(1).name, "id");
+  auto idx = p.FieldIndex("id");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(*idx, 1u);
+}
+
+TEST(SchemaTest, Equality) {
+  EXPECT_EQ(MakeSchema(), MakeSchema());
+  Schema other({Field{"id", DataType::kInt64}});
+  EXPECT_FALSE(MakeSchema() == other);
+}
+
+TEST(SchemaTest, ToStringListsFields) {
+  std::string str = MakeSchema().ToString();
+  EXPECT_NE(str.find("id: int64"), std::string::npos);
+  EXPECT_NE(str.find("name: string"), std::string::npos);
+  EXPECT_NE(str.find("score: double"), std::string::npos);
+}
+
+TEST(SchemaTest, EmptySchema) {
+  Schema s;
+  EXPECT_EQ(s.num_fields(), 0u);
+  EXPECT_FALSE(s.HasField("x"));
+}
+
+}  // namespace
+}  // namespace congress

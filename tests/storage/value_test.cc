@@ -1,0 +1,109 @@
+#include "storage/value.h"
+
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+namespace congress {
+namespace {
+
+TEST(ValueTest, DefaultIsInt64Zero) {
+  Value v;
+  EXPECT_TRUE(v.is_int64());
+  EXPECT_EQ(v.AsInt64(), 0);
+}
+
+TEST(ValueTest, TypedConstruction) {
+  EXPECT_TRUE(Value(int64_t{5}).is_int64());
+  EXPECT_TRUE(Value(2.5).is_double());
+  EXPECT_TRUE(Value(std::string("x")).is_string());
+  EXPECT_TRUE(Value("literal").is_string());
+}
+
+TEST(ValueTest, Accessors) {
+  EXPECT_EQ(Value(int64_t{-7}).AsInt64(), -7);
+  EXPECT_DOUBLE_EQ(Value(3.25).AsDouble(), 3.25);
+  EXPECT_EQ(Value("abc").AsString(), "abc");
+}
+
+TEST(ValueTest, ToNumericWidensInt) {
+  EXPECT_DOUBLE_EQ(Value(int64_t{4}).ToNumeric(), 4.0);
+  EXPECT_DOUBLE_EQ(Value(1.5).ToNumeric(), 1.5);
+}
+
+TEST(ValueTest, EqualityRequiresSameType) {
+  EXPECT_EQ(Value(int64_t{1}), Value(int64_t{1}));
+  EXPECT_NE(Value(int64_t{1}), Value(1.0));
+  EXPECT_NE(Value(int64_t{1}), Value(int64_t{2}));
+  EXPECT_EQ(Value("a"), Value("a"));
+  EXPECT_NE(Value("a"), Value("b"));
+}
+
+TEST(ValueTest, OrderingIsTotalWithinType) {
+  EXPECT_LT(Value(int64_t{1}), Value(int64_t{2}));
+  EXPECT_LT(Value(1.0), Value(2.0));
+  EXPECT_LT(Value("a"), Value("b"));
+  // Cross-type order is by type index: int64 < double < string.
+  EXPECT_LT(Value(int64_t{100}), Value(0.0));
+  EXPECT_LT(Value(100.0), Value(""));
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value(int64_t{42}).Hash(), Value(int64_t{42}).Hash());
+  EXPECT_EQ(Value("zebra").Hash(), Value("zebra").Hash());
+  // Same payload, different type must not collide systematically.
+  EXPECT_NE(Value(int64_t{0}).Hash(), Value(0.0).Hash());
+}
+
+TEST(ValueTest, ToStringRendersAllTypes) {
+  EXPECT_EQ(Value(int64_t{12}).ToString(), "12");
+  EXPECT_EQ(Value("hi").ToString(), "hi");
+  EXPECT_NE(Value(2.5).ToString().find("2.5"), std::string::npos);
+}
+
+TEST(ValueTest, DataTypeNames) {
+  EXPECT_STREQ(DataTypeToString(DataType::kInt64), "int64");
+  EXPECT_STREQ(DataTypeToString(DataType::kDouble), "double");
+  EXPECT_STREQ(DataTypeToString(DataType::kString), "string");
+}
+
+TEST(GroupKeyTest, HashAndEquality) {
+  GroupKey a = {Value(int64_t{1}), Value("x")};
+  GroupKey b = {Value(int64_t{1}), Value("x")};
+  GroupKey c = {Value(int64_t{1}), Value("y")};
+  GroupKeyHash hash;
+  EXPECT_EQ(hash(a), hash(b));
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(GroupKeyTest, OrderIsSignificant) {
+  GroupKey a = {Value(int64_t{1}), Value(int64_t{2})};
+  GroupKey b = {Value(int64_t{2}), Value(int64_t{1})};
+  EXPECT_FALSE(a == b);
+  GroupKeyHash hash;
+  EXPECT_NE(hash(a), hash(b));
+}
+
+TEST(GroupKeyTest, EmptyKey) {
+  GroupKey empty;
+  GroupKeyHash hash;
+  EXPECT_EQ(hash(empty), hash(GroupKey{}));
+  EXPECT_EQ(GroupKeyToString(empty), "()");
+}
+
+TEST(GroupKeyTest, ToStringFormats) {
+  GroupKey key = {Value(int64_t{3}), Value("ab")};
+  EXPECT_EQ(GroupKeyToString(key), "(3, ab)");
+}
+
+TEST(GroupKeyTest, UsableInUnorderedSet) {
+  std::unordered_set<GroupKey, GroupKeyHash> set;
+  set.insert({Value(int64_t{1})});
+  set.insert({Value(int64_t{1})});
+  set.insert({Value(int64_t{2})});
+  EXPECT_EQ(set.size(), 2u);
+}
+
+}  // namespace
+}  // namespace congress

@@ -1,0 +1,189 @@
+#include "tpcd/lineitem.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "engine/executor.h"
+
+namespace congress::tpcd {
+namespace {
+
+LineitemConfig SmallConfig() {
+  LineitemConfig config;
+  config.num_tuples = 20000;
+  config.num_groups = 27;  // d = 3.
+  config.group_skew_z = 0.86;
+  config.seed = 5;
+  return config;
+}
+
+TEST(LineitemTest, GeneratesRequestedRows) {
+  auto data = GenerateLineitem(SmallConfig());
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->table.num_rows(), 20000u);
+  EXPECT_EQ(data->realized_num_groups, 27u);
+  EXPECT_EQ(data->distinct_per_column, 3u);
+}
+
+TEST(LineitemTest, SchemaMatchesPaper) {
+  auto data = GenerateLineitem(SmallConfig());
+  ASSERT_TRUE(data.ok());
+  const Schema& s = data->table.schema();
+  EXPECT_EQ(s.num_fields(), 6u);
+  EXPECT_EQ(s.field(kLId).name, "l_id");
+  EXPECT_EQ(s.field(kLReturnFlag).name, "l_returnflag");
+  EXPECT_EQ(s.field(kLLineStatus).name, "l_linestatus");
+  EXPECT_EQ(s.field(kLShipDate).name, "l_shipdate");
+  EXPECT_EQ(s.field(kLQuantity).name, "l_quantity");
+  EXPECT_EQ(s.field(kLExtendedPrice).name, "l_extendedprice");
+  EXPECT_EQ(s.field(kLQuantity).type, DataType::kDouble);
+}
+
+TEST(LineitemTest, LIdIsSequentialPrimaryKey) {
+  auto data = GenerateLineitem(SmallConfig());
+  ASSERT_TRUE(data.ok());
+  const auto& ids = data->table.Int64Column(kLId);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(ids[i], static_cast<int64_t>(i + 1));
+  }
+}
+
+TEST(LineitemTest, GroupStructureIsCrossProduct) {
+  auto data = GenerateLineitem(SmallConfig());
+  ASSERT_TRUE(data.ok());
+  auto counts = CountGroups(data->table, LineitemGroupingColumns());
+  EXPECT_EQ(counts.size(), 27u);
+  std::set<int64_t> flags, statuses, dates;
+  for (const auto& [key, count] : counts) {
+    EXPECT_GE(count, 1u);
+    flags.insert(key[0].AsInt64());
+    statuses.insert(key[1].AsInt64());
+    dates.insert(key[2].AsInt64());
+  }
+  EXPECT_EQ(flags.size(), 3u);
+  EXPECT_EQ(statuses.size(), 3u);
+  EXPECT_EQ(dates.size(), 3u);
+}
+
+TEST(LineitemTest, GroupSkewShowsInLargestGroup) {
+  LineitemConfig flat = SmallConfig();
+  flat.group_skew_z = 0.0;
+  LineitemConfig steep = SmallConfig();
+  steep.group_skew_z = 1.5;
+  auto flat_data = GenerateLineitem(flat);
+  auto steep_data = GenerateLineitem(steep);
+  ASSERT_TRUE(flat_data.ok() && steep_data.ok());
+  auto largest = [](const Table& t) {
+    auto counts = CountGroups(t, LineitemGroupingColumns());
+    uint64_t best = 0;
+    for (const auto& [key, count] : counts) best = std::max(best, count);
+    return best;
+  };
+  EXPECT_GT(largest(steep_data->table), 2 * largest(flat_data->table));
+}
+
+TEST(LineitemTest, ZeroSkewGroupsEqualSized) {
+  LineitemConfig config = SmallConfig();
+  config.group_skew_z = 0.0;
+  config.num_tuples = 27000;
+  auto data = GenerateLineitem(config);
+  ASSERT_TRUE(data.ok());
+  auto counts = CountGroups(data->table, LineitemGroupingColumns());
+  for (const auto& [key, count] : counts) {
+    EXPECT_EQ(count, 1000u);
+  }
+}
+
+TEST(LineitemTest, QuantityDomainBounded) {
+  auto data = GenerateLineitem(SmallConfig());
+  ASSERT_TRUE(data.ok());
+  for (double q : data->table.DoubleColumn(kLQuantity)) {
+    EXPECT_GE(q, 1.0);
+    EXPECT_LE(q, 50.0);
+  }
+  for (double p : data->table.DoubleColumn(kLExtendedPrice)) {
+    EXPECT_GE(p, 100.0);
+    EXPECT_LE(p, 100000.0);
+  }
+}
+
+TEST(LineitemTest, ValueSkewConcentratesMass) {
+  // With z = 0.86 the most common quantity value should dominate.
+  auto data = GenerateLineitem(SmallConfig());
+  ASSERT_TRUE(data.ok());
+  std::unordered_map<double, int> freq;
+  for (double q : data->table.DoubleColumn(kLQuantity)) freq[q]++;
+  int max_freq = 0;
+  for (const auto& [v, c] : freq) max_freq = std::max(max_freq, c);
+  // Uniform would give ~2% per value; Zipf(0.86) head takes >5%.
+  EXPECT_GT(max_freq, static_cast<int>(0.05 * 20000));
+}
+
+TEST(LineitemTest, DeterministicBySeed) {
+  auto a = GenerateLineitem(SmallConfig());
+  auto b = GenerateLineitem(SmallConfig());
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->table.num_rows(), b->table.num_rows());
+  for (size_t r = 0; r < 100; ++r) {
+    EXPECT_EQ(a->table.Int64Column(kLReturnFlag)[r],
+              b->table.Int64Column(kLReturnFlag)[r]);
+    EXPECT_DOUBLE_EQ(a->table.DoubleColumn(kLQuantity)[r],
+                     b->table.DoubleColumn(kLQuantity)[r]);
+  }
+  LineitemConfig other = SmallConfig();
+  other.seed = 99;
+  auto c = GenerateLineitem(other);
+  ASSERT_TRUE(c.ok());
+  bool any_diff = false;
+  for (size_t r = 0; r < 100 && !any_diff; ++r) {
+    any_diff = a->table.Int64Column(kLReturnFlag)[r] !=
+               c->table.Int64Column(kLReturnFlag)[r];
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(LineitemTest, RowsShuffledAcrossGroups) {
+  // The first 100 rows should span several groups (not one contiguous
+  // group) thanks to the shuffle.
+  auto data = GenerateLineitem(SmallConfig());
+  ASSERT_TRUE(data.ok());
+  std::set<int64_t> flags_in_head;
+  for (size_t r = 0; r < 100; ++r) {
+    flags_in_head.insert(data->table.Int64Column(kLReturnFlag)[r]);
+  }
+  EXPECT_GE(flags_in_head.size(), 2u);
+}
+
+TEST(LineitemTest, NumGroupsRoundsToCube) {
+  LineitemConfig config = SmallConfig();
+  config.num_groups = 1000;  // d = 10.
+  config.num_tuples = 50000;
+  auto data = GenerateLineitem(config);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->realized_num_groups, 1000u);
+  config.num_groups = 10;  // d = round(2.15) = 2 -> 8 groups.
+  auto small = GenerateLineitem(config);
+  ASSERT_TRUE(small.ok());
+  EXPECT_EQ(small->realized_num_groups, 8u);
+}
+
+TEST(LineitemTest, Validation) {
+  LineitemConfig config = SmallConfig();
+  config.num_tuples = 0;
+  EXPECT_FALSE(GenerateLineitem(config).ok());
+  config = SmallConfig();
+  config.num_groups = 0;
+  EXPECT_FALSE(GenerateLineitem(config).ok());
+  config = SmallConfig();
+  config.group_skew_z = -1.0;
+  EXPECT_FALSE(GenerateLineitem(config).ok());
+  config = SmallConfig();
+  config.num_tuples = 10;
+  config.num_groups = 1000;
+  EXPECT_FALSE(GenerateLineitem(config).ok());
+}
+
+}  // namespace
+}  // namespace congress::tpcd

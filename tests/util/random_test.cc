@@ -1,0 +1,176 @@
+#include "util/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace congress {
+namespace {
+
+TEST(RandomTest, DeterministicFromSeed) {
+  Random a(123);
+  Random b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RandomTest, DifferentSeedsDiffer) {
+  Random a(1);
+  Random b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Random rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, NextDoubleMeanNearHalf) {
+  Random rng(6);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RandomTest, UniformIntInBounds) {
+  Random rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.UniformInt(17), 17u);
+  }
+}
+
+TEST(RandomTest, UniformIntCoversAllValues) {
+  Random rng(8);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RandomTest, UniformIntRoughlyUniform) {
+  Random rng(9);
+  const uint64_t buckets = 8;
+  const int draws = 80000;
+  std::vector<int> counts(buckets, 0);
+  for (int i = 0; i < draws; ++i) counts[rng.UniformInt(buckets)]++;
+  // Chi-square with 7 dof; 99.9th percentile ~ 24.3.
+  double expected = static_cast<double>(draws) / buckets;
+  double chi2 = 0.0;
+  for (int c : counts) {
+    double d = c - expected;
+    chi2 += d * d / expected;
+  }
+  EXPECT_LT(chi2, 24.3);
+}
+
+TEST(RandomTest, UniformRangeInclusive) {
+  Random rng(10);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = rng.UniformRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    if (v == -3) saw_lo = true;
+    if (v == 3) saw_hi = true;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RandomTest, BernoulliEdgeCases) {
+  Random rng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+    EXPECT_FALSE(rng.Bernoulli(-0.5));
+    EXPECT_TRUE(rng.Bernoulli(1.5));
+  }
+}
+
+TEST(RandomTest, BernoulliFrequency) {
+  Random rng(12);
+  const int n = 100000;
+  int hits = 0;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  // stderr = sqrt(0.3*0.7/1e5) ~ 0.00145; 5 sigma ~ 0.0072.
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.008);
+}
+
+TEST(RandomTest, ShuffleIsPermutation) {
+  Random rng(13);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[i] = i;
+  std::vector<int> original = v;
+  rng.Shuffle(&v);
+  EXPECT_NE(v, original);  // Astronomically unlikely to be identity.
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(RandomTest, ShuffleUniformFirstPosition) {
+  // Each element should land in position 0 about n/k of the time.
+  Random rng(14);
+  const int k = 5;
+  const int trials = 50000;
+  std::vector<int> counts(k, 0);
+  for (int t = 0; t < trials; ++t) {
+    std::vector<int> v = {0, 1, 2, 3, 4};
+    rng.Shuffle(&v);
+    counts[v[0]]++;
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / trials, 0.2, 0.015);
+  }
+}
+
+TEST(RandomTest, SampleWithoutReplacementBasics) {
+  Random rng(15);
+  auto s = rng.SampleWithoutReplacement(100, 10);
+  EXPECT_EQ(s.size(), 10u);
+  std::set<uint64_t> distinct(s.begin(), s.end());
+  EXPECT_EQ(distinct.size(), 10u);
+  for (uint64_t v : s) EXPECT_LT(v, 100u);
+}
+
+TEST(RandomTest, SampleWithoutReplacementFull) {
+  Random rng(16);
+  auto s = rng.SampleWithoutReplacement(20, 20);
+  std::set<uint64_t> distinct(s.begin(), s.end());
+  EXPECT_EQ(distinct.size(), 20u);
+}
+
+TEST(RandomTest, SampleWithoutReplacementUniform) {
+  Random rng(17);
+  const int trials = 30000;
+  std::vector<int> counts(10, 0);
+  for (int t = 0; t < trials; ++t) {
+    for (uint64_t v : rng.SampleWithoutReplacement(10, 3)) counts[v]++;
+  }
+  // Each element has inclusion probability 3/10.
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / trials, 0.3, 0.02);
+  }
+}
+
+TEST(RandomTest, SampleWithoutReplacementZero) {
+  Random rng(18);
+  EXPECT_TRUE(rng.SampleWithoutReplacement(10, 0).empty());
+}
+
+}  // namespace
+}  // namespace congress

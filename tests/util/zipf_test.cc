@@ -1,0 +1,129 @@
+#include "util/zipf.h"
+
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace congress {
+namespace {
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfDistribution dist(100, 0.86);
+  double sum = 0.0;
+  for (uint64_t i = 0; i < 100; ++i) sum += dist.Pmf(i);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, PmfMonotoneNonIncreasing) {
+  ZipfDistribution dist(50, 1.2);
+  for (uint64_t i = 1; i < 50; ++i) {
+    EXPECT_LE(dist.Pmf(i), dist.Pmf(i - 1) + 1e-12);
+  }
+}
+
+TEST(ZipfTest, ZeroSkewIsUniform) {
+  ZipfDistribution dist(10, 0.0);
+  for (uint64_t i = 0; i < 10; ++i) {
+    EXPECT_NEAR(dist.Pmf(i), 0.1, 1e-9);
+  }
+}
+
+TEST(ZipfTest, SingleElement) {
+  ZipfDistribution dist(1, 1.0);
+  EXPECT_NEAR(dist.Pmf(0), 1.0, 1e-12);
+  Random rng(1);
+  EXPECT_EQ(dist.Sample(&rng), 0u);
+}
+
+TEST(ZipfTest, PmfMatchesClosedForm) {
+  const double z = 0.86;
+  const uint64_t n = 20;
+  ZipfDistribution dist(n, z);
+  double norm = 0.0;
+  for (uint64_t i = 1; i <= n; ++i) norm += 1.0 / std::pow(i, z);
+  for (uint64_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(dist.Pmf(i), (1.0 / std::pow(i + 1, z)) / norm, 1e-9);
+  }
+}
+
+TEST(ZipfTest, SampleFrequenciesMatchPmf) {
+  ZipfDistribution dist(8, 1.0);
+  Random rng(99);
+  const int draws = 200000;
+  std::vector<int> counts(8, 0);
+  for (int i = 0; i < draws; ++i) counts[dist.Sample(&rng)]++;
+  for (uint64_t i = 0; i < 8; ++i) {
+    double freq = static_cast<double>(counts[i]) / draws;
+    EXPECT_NEAR(freq, dist.Pmf(i), 0.01) << "rank " << i;
+  }
+}
+
+TEST(ZipfTest, SampleInRange) {
+  ZipfDistribution dist(5, 1.5);
+  Random rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(dist.Sample(&rng), 5u);
+  }
+}
+
+TEST(ZipfGroupSizesTest, SumsToTotal) {
+  for (double z : {0.0, 0.5, 0.86, 1.5}) {
+    auto sizes = ZipfGroupSizes(100000, 64, z);
+    EXPECT_EQ(std::accumulate(sizes.begin(), sizes.end(), uint64_t{0}),
+              100000u)
+        << "z=" << z;
+  }
+}
+
+TEST(ZipfGroupSizesTest, AllGroupsNonEmpty) {
+  auto sizes = ZipfGroupSizes(10000, 1000, 1.5);
+  for (uint64_t s : sizes) EXPECT_GE(s, 1u);
+}
+
+TEST(ZipfGroupSizesTest, UniformWhenZeroSkew) {
+  auto sizes = ZipfGroupSizes(1000, 10, 0.0);
+  for (uint64_t s : sizes) EXPECT_EQ(s, 100u);
+}
+
+TEST(ZipfGroupSizesTest, SkewIncreasesLargestShare) {
+  auto flat = ZipfGroupSizes(100000, 100, 0.0);
+  auto mild = ZipfGroupSizes(100000, 100, 0.86);
+  auto steep = ZipfGroupSizes(100000, 100, 1.5);
+  auto max_of = [](const std::vector<uint64_t>& v) {
+    return *std::max_element(v.begin(), v.end());
+  };
+  EXPECT_LT(max_of(flat), max_of(mild));
+  EXPECT_LT(max_of(mild), max_of(steep));
+}
+
+TEST(ZipfGroupSizesTest, SizesNonIncreasingByRank) {
+  auto sizes = ZipfGroupSizes(100000, 50, 1.0);
+  for (size_t i = 1; i < sizes.size(); ++i) {
+    // Largest-remainder rounding may bump a later group by at most 1.
+    EXPECT_LE(sizes[i], sizes[i - 1] + 1);
+  }
+}
+
+TEST(ZipfGroupSizesTest, FewerTuplesThanGroups) {
+  auto sizes = ZipfGroupSizes(5, 10, 1.0);
+  EXPECT_EQ(std::accumulate(sizes.begin(), sizes.end(), uint64_t{0}), 5u);
+}
+
+class ZipfSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfSweep, GroupSizesSumAndCoverAcrossSkews) {
+  const double z = GetParam();
+  auto sizes = ZipfGroupSizes(50000, 333, z);
+  EXPECT_EQ(std::accumulate(sizes.begin(), sizes.end(), uint64_t{0}), 50000u);
+  for (uint64_t s : sizes) EXPECT_GE(s, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(SkewRange, ZipfSweep,
+                         ::testing::Values(0.0, 0.25, 0.5, 0.86, 1.0, 1.25,
+                                           1.5));
+
+}  // namespace
+}  // namespace congress
