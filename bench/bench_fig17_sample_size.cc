@@ -46,6 +46,7 @@ int Run(int argc, char** argv) {
   std::printf("\n");
 
   GroupByQuery qg2 = tpcd::MakeQg2();
+  bench::JsonReport report(argc, argv);
   for (double sp : sample_percents) {
     std::printf("%-8.0f", 100.0 * sp);
     for (const auto& [name, strategy] : strategies) {
@@ -54,16 +55,25 @@ int Run(int argc, char** argv) {
       sconfig.sample_fraction = sp;
       sconfig.grouping_columns = tpcd::LineitemGroupingColumnNames();
       sconfig.seed = 7;
+      Stopwatch watch;
       auto synopsis = AquaSynopsis::Build(base, sconfig);
       if (!synopsis.ok()) {
         std::printf(" %14s", "ERR");
         continue;
       }
-      std::printf(" %14.2f", bench::L1Error(base, *synopsis, qg2));
+      double l1 = bench::L1Error(base, *synopsis, qg2);
+      std::printf(" %14.2f", l1);
+      report.Add(name,
+                 {{"tuples", static_cast<double>(base.num_rows())},
+                  {"groups", static_cast<double>(data->realized_num_groups)},
+                  {"skew", config.group_skew_z},
+                  {"sp", sp}},
+                 watch.ElapsedSeconds(), l1);
     }
     std::printf("\n");
   }
   std::printf("\n(avg %% error per group, L1 norm)\n");
+  report.Write();
   return 0;
 }
 

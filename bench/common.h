@@ -27,15 +27,24 @@ inline void PrintHeader(const std::string& title,
 }
 
 /// Times `fn` the paper's way (Section 7.3): run `runs` times, discard the
-/// first (warm-up / caching), average the rest. Returns seconds.
+/// first (warm-up / caching), average the rest. Returns seconds. With a
+/// single run there is nothing to discard: the one measurement is
+/// returned as-is (the old code divided by zero here).
 inline double MeasureSeconds(const std::function<void()>& fn, int runs = 5) {
+  if (runs < 1) return 0.0;
   double total = 0.0;
+  double first = 0.0;
   for (int i = 0; i < runs; ++i) {
     Stopwatch sw;
     fn();
     double elapsed = sw.ElapsedSeconds();
-    if (i > 0) total += elapsed;
+    if (i > 0) {
+      total += elapsed;
+    } else {
+      first = elapsed;
+    }
   }
+  if (runs == 1) return first;
   return total / static_cast<double>(runs - 1);
 }
 
@@ -67,6 +76,79 @@ inline double ArgOrDouble(int argc, char** argv, const std::string& key,
   }
   return fallback;
 }
+
+inline std::string ArgOrString(int argc, char** argv, const std::string& key,
+                               const std::string& fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (key == argv[i]) return argv[i + 1];
+  }
+  return fallback;
+}
+
+/// Machine-readable bench output: each Add() records one measurement
+/// (name, numeric params, seconds, L1 error); Write() dumps the records
+/// as a JSON array to the path given by `--json <path>`. Without the
+/// flag the report is a no-op, so every bench can carry one
+/// unconditionally.
+class JsonReport {
+ public:
+  JsonReport(int argc, char** argv) : path_(ArgOrString(argc, argv, "--json", "")) {}
+
+  void Add(const std::string& name,
+           const std::vector<std::pair<std::string, double>>& params,
+           double seconds, double l1_error) {
+    if (path_.empty()) return;
+    std::string record = "  {\"name\": \"" + Escape(name) + "\", \"params\": {";
+    for (size_t i = 0; i < params.size(); ++i) {
+      if (i > 0) record += ", ";
+      record += "\"" + Escape(params[i].first) + "\": " + Num(params[i].second);
+    }
+    record += "}, \"seconds\": " + Num(seconds) +
+              ", \"l1_error\": " + Num(l1_error) + "}";
+    records_.push_back(std::move(record));
+  }
+
+  /// Writes the report; returns false (after warning on stderr) if the
+  /// file cannot be opened. Call once at the end of main().
+  bool Write() const {
+    if (path_.empty()) return true;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write JSON report to %s\n", path_.c_str());
+      return false;
+    }
+    std::fprintf(f, "[\n");
+    for (size_t i = 0; i < records_.size(); ++i) {
+      std::fprintf(f, "%s%s\n", records_[i].c_str(),
+                   i + 1 < records_.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+    std::printf("JSON report written to %s (%zu records)\n", path_.c_str(),
+                records_.size());
+    return true;
+  }
+
+  bool enabled() const { return !path_.empty(); }
+
+ private:
+  static std::string Num(double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    return buf;
+  }
+  static std::string Escape(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string path_;
+  std::vector<std::string> records_;
+};
 
 }  // namespace congress::bench
 

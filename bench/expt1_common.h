@@ -61,7 +61,9 @@ inline int RunExpt1(int argc, char** argv, Expt1Query which,
   };
 
   const uint64_t reps = ArgOr(argc, argv, "--reps", 3);
+  JsonReport report(argc, argv);
   for (Row& row : rows) {
+    Stopwatch strategy_watch;
     for (uint64_t rep = 0; rep < reps; ++rep) {
       SynopsisConfig sconfig;
       sconfig.strategy = row.strategy;
@@ -112,6 +114,13 @@ inline int RunExpt1(int argc, char** argv, Expt1Query which,
     }
     row.l1 /= static_cast<double>(reps);
     row.l2 /= static_cast<double>(reps);
+    report.Add(row.name,
+               {{"tuples", static_cast<double>(base.num_rows())},
+                {"groups", static_cast<double>(data->realized_num_groups)},
+                {"skew", config.group_skew_z},
+                {"sp", sp},
+                {"reps", static_cast<double>(reps)}},
+               strategy_watch.ElapsedSeconds(), row.l1);
   }
   std::printf("(averaged over %llu independent sample draws; Linf is the "
               "worst group across draws)\n",
@@ -123,6 +132,7 @@ inline int RunExpt1(int argc, char** argv, Expt1Query which,
     std::printf("%-15s %14.2f %14.2f %14.2f\n", row.name, row.l1, row.l2,
                 row.linf);
   }
+  report.Write();
   return 0;
 }
 

@@ -40,6 +40,9 @@ int main() {
   config.grouping_columns = {"l_returnflag", "l_linestatus", "l_shipdate"};
   config.estimator.confidence = 0.90;
   config.seed = 1;
+  // Scans (build, estimation, exact baselines) run on the morsel engine;
+  // 0 = all hardware threads. Answers are bit-identical for any value.
+  config.execution.num_threads = 0;
   auto synopsis = AquaSynopsis::Build(lineitem, config);
   if (!synopsis.ok()) {
     std::printf("synopsis build failed: %s\n",
@@ -53,7 +56,7 @@ int main() {
   // 3a. A two-attribute group-by (the paper's Qg2).
   GroupByQuery query = tpcd::MakeQg2();
   auto approx = synopsis->Answer(query);
-  auto exact = ExecuteExact(lineitem, query);
+  auto exact = ExecuteExact(lineitem, query, config.execution);
   if (!approx.ok() || !exact.ok()) {
     std::printf("query failed\n");
     return 1;

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "storage/group_index.h"
+
 namespace congress {
 
 const char* BoundMethodToString(BoundMethod method) {
@@ -145,7 +147,8 @@ double ChebyshevMultiplier(double confidence) {
 
 Result<ApproximateResult> EstimateGroupBy(const StratifiedSample& sample,
                                           const GroupByQuery& query,
-                                          const EstimatorOptions& options) {
+                                          const EstimatorOptions& options,
+                                          const ExecutorOptions& execution) {
   const Table& rows = sample.rows();
   if (query.aggregates.empty()) {
     return Status::InvalidArgument("query has no aggregates");
@@ -175,29 +178,46 @@ Result<ApproximateResult> EstimateGroupBy(const StratifiedSample& sample,
   const auto& strata = sample.strata();
   const auto& row_strata = sample.row_strata();
 
-  // Pass over the sample rows, accumulating per-(group, stratum) cells.
-  std::unordered_map<GroupKey, GroupAccum, GroupKeyHash> groups;
-  for (size_t r = 0; r < rows.num_rows(); ++r) {
-    if (query.predicate != nullptr && !query.predicate->Matches(rows, r)) {
-      continue;
+  // Intern the output groups once, then accumulate each group's
+  // per-stratum cells over its rows in ascending row order, parallel
+  // across disjoint groups. Row order matches a serial scan, so both the
+  // floating-point sums and each group's stratum insertion order — which
+  // fixes the estimate loop's iteration order below — are bit-identical
+  // for every thread count.
+  auto index = GroupIndex::Build(rows, query.group_columns, execution);
+  if (!index.ok()) return index.status();
+  const size_t num_groups = index->num_groups();
+  std::vector<GroupAccum> accums(num_groups);
+  GroupIndex::RowLists lists = index->GroupRows();
+  std::vector<std::pair<size_t, size_t>> chunks = BalancedGroupChunks(
+      lists.offsets, std::max<uint64_t>(rows.num_rows() / 64 + 1, 1024));
+  const size_t threads = execution.ResolvedThreads();
+  ParallelFor(threads, chunks.size(), [&](size_t c) {
+    for (size_t g = chunks[c].first; g < chunks[c].second; ++g) {
+      GroupAccum& acc = accums[g];
+      for (uint64_t i = lists.offsets[g]; i < lists.offsets[g + 1]; ++i) {
+        const size_t r = lists.rows[static_cast<size_t>(i)];
+        if (query.predicate != nullptr && !query.predicate->Matches(rows, r)) {
+          continue;
+        }
+        acc.support += 1;
+        auto cell_it = acc.cells.find(row_strata[r]);
+        if (cell_it == acc.cells.end()) {
+          cell_it = acc.cells
+                        .emplace(row_strata[r], std::vector<CellStats>(num_aggs))
+                        .first;
+        }
+        for (size_t a = 0; a < num_aggs; ++a) {
+          double v = AggregateInput(query.aggregates[a], rows, r);
+          CellStats& cs = cell_it->second[a];
+          cs.matches += 1;
+          cs.sum_v += v;
+          cs.sum_v2 += v * v;
+          cs.max_abs = std::max(cs.max_abs, std::fabs(v));
+        }
+      }
     }
-    GroupKey key = rows.KeyForRow(r, query.group_columns);
-    GroupAccum& acc = groups[key];
-    acc.support += 1;
-    auto cell_it = acc.cells.find(row_strata[r]);
-    if (cell_it == acc.cells.end()) {
-      cell_it = acc.cells.emplace(row_strata[r], std::vector<CellStats>(num_aggs))
-                    .first;
-    }
-    for (size_t a = 0; a < num_aggs; ++a) {
-      double v = AggregateInput(query.aggregates[a], rows, r);
-      CellStats& cs = cell_it->second[a];
-      cs.matches += 1;
-      cs.sum_v += v;
-      cs.sum_v2 += v * v;
-      cs.max_abs = std::max(cs.max_abs, std::fabs(v));
-    }
-  }
+  });
 
   const double cheb = ChebyshevMultiplier(options.confidence);
   // Hoeffding: P(|est - E| >= t) <= 2 exp(-2 t^2 / sum_i c_i^2) with
@@ -205,10 +225,16 @@ Result<ApproximateResult> EstimateGroupBy(const StratifiedSample& sample,
   // target confidence gives t = sqrt(ln(2/(1-conf))/2 * sum c_i^2).
   const double hoeff_ln = std::log(2.0 / (1.0 - options.confidence)) / 2.0;
 
-  ApproximateResult result;
-  for (auto& [key, acc] : groups) {
+  // Per-group estimator math, parallel across groups; groups whose rows
+  // all fail the predicate are dropped, exactly as the serial scan never
+  // created them.
+  std::vector<ApproximateGroupRow> out_rows(num_groups);
+  ParallelFor(threads, chunks.size(), [&](size_t c) {
+    for (size_t g = chunks[c].first; g < chunks[c].second; ++g) {
+    GroupAccum& acc = accums[g];
+    if (acc.support == 0) continue;
     ApproximateGroupRow out;
-    out.key = key;
+    out.key = index->keys()[g];
     out.support = acc.support;
     out.estimates.resize(num_aggs, 0.0);
     out.std_errors.resize(num_aggs, 0.0);
@@ -285,7 +311,14 @@ Result<ApproximateResult> EstimateGroupBy(const StratifiedSample& sample,
           break;
       }
     }
-    result.Add(std::move(out));
+    out_rows[g] = std::move(out);
+    }
+  });
+
+  ApproximateResult result;
+  for (size_t g = 0; g < num_groups; ++g) {
+    if (accums[g].support == 0) continue;
+    result.Add(std::move(out_rows[g]));
   }
   result.FilterHaving(query.having);
   result.SortByKey();

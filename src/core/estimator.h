@@ -7,6 +7,7 @@
 
 #include "engine/query.h"
 #include "sampling/stratified_sample.h"
+#include "util/parallel.h"
 #include "util/status.h"
 
 namespace congress {
@@ -75,9 +76,15 @@ class ApproximateResult {
 ///
 /// Groups with no sampled tuples do not appear in the answer (the
 /// uniform-sample failure mode the paper's Figure 4 illustrates).
+///
+/// The sample scan interns the output groups once and accumulates each
+/// group's per-stratum cells over its rows in ascending row order,
+/// morsel-parallel per `execution`; estimates are bit-identical to the
+/// serial path for every thread count.
 Result<ApproximateResult> EstimateGroupBy(
     const StratifiedSample& sample, const GroupByQuery& query,
-    const EstimatorOptions& options = EstimatorOptions{});
+    const EstimatorOptions& options = EstimatorOptions{},
+    const ExecutorOptions& execution = {});
 
 }  // namespace congress
 

@@ -1,8 +1,10 @@
 #include "core/rewriter.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "engine/executor.h"
+#include "storage/group_index.h"
 
 namespace congress {
 
@@ -75,55 +77,70 @@ Status ValidateForRewrite(const GroupByQuery& query, const Schema& schema,
 /// grouped by the query's group columns. This is the Integrated plan, and
 /// also the post-join plan of the Normalized variants.
 Result<QueryResult> AggregateScaled(const Table& rel, const GroupByQuery& query,
-                                    size_t sf_col) {
-  struct Acc {
-    std::vector<double> scaled_sum;  // sum(v * sf) per aggregate.
-    std::vector<double> scaled_cnt;  // sum(sf) per aggregate.
-  };
+                                    size_t sf_col,
+                                    const ExecutorOptions& options) {
   const size_t num_aggs = query.aggregates.size();
-  std::unordered_map<GroupKey, Acc, GroupKeyHash> groups;
   const std::vector<double>& sf = rel.DoubleColumn(sf_col);
 
-  for (size_t r = 0; r < rel.num_rows(); ++r) {
-    if (query.predicate != nullptr && !query.predicate->Matches(rel, r)) {
-      continue;
+  // Intern the group columns once; accumulate each group's scaled sums
+  // over its rows in ascending row order, parallel across disjoint
+  // groups (bit-identical to the serial scan for every thread count).
+  auto index = GroupIndex::Build(rel, query.group_columns, options);
+  if (!index.ok()) return index.status();
+  const size_t num_groups = index->num_groups();
+  // Empty scaled_sum[g] marks a group none of whose rows matched the
+  // predicate; it is omitted, as the serial scan never created it.
+  std::vector<std::vector<double>> scaled_sum(num_groups);
+  std::vector<std::vector<double>> scaled_cnt(num_groups);
+  GroupIndex::RowLists lists = index->GroupRows();
+  std::vector<std::pair<size_t, size_t>> chunks = BalancedGroupChunks(
+      lists.offsets, std::max<uint64_t>(rel.num_rows() / 64 + 1, 1024));
+  ParallelFor(options.ResolvedThreads(), chunks.size(), [&](size_t c) {
+    for (size_t g = chunks[c].first; g < chunks[c].second; ++g) {
+      std::vector<double> sum;
+      std::vector<double> cnt;
+      for (uint64_t i = lists.offsets[g]; i < lists.offsets[g + 1]; ++i) {
+        const size_t r = lists.rows[static_cast<size_t>(i)];
+        if (query.predicate != nullptr && !query.predicate->Matches(rel, r)) {
+          continue;
+        }
+        if (sum.empty()) {
+          sum.assign(num_aggs, 0.0);
+          cnt.assign(num_aggs, 0.0);
+        }
+        for (size_t a = 0; a < num_aggs; ++a) {
+          double v = AggregateInput(query.aggregates[a], rel, r);
+          sum[a] += v * sf[r];
+          cnt[a] += sf[r];
+        }
+      }
+      scaled_sum[g] = std::move(sum);
+      scaled_cnt[g] = std::move(cnt);
     }
-    GroupKey key = rel.KeyForRow(r, query.group_columns);
-    auto it = groups.find(key);
-    if (it == groups.end()) {
-      Acc acc;
-      acc.scaled_sum.assign(num_aggs, 0.0);
-      acc.scaled_cnt.assign(num_aggs, 0.0);
-      it = groups.emplace(std::move(key), std::move(acc)).first;
-    }
-    for (size_t a = 0; a < num_aggs; ++a) {
-      double v = AggregateInput(query.aggregates[a], rel, r);
-      it->second.scaled_sum[a] += v * sf[r];
-      it->second.scaled_cnt[a] += sf[r];
-    }
-  }
+  });
 
   QueryResult result;
-  for (auto& [key, acc] : groups) {
+  for (size_t g = 0; g < num_groups; ++g) {
+    if (scaled_sum[g].empty()) continue;
     std::vector<double> finals(num_aggs, 0.0);
     for (size_t a = 0; a < num_aggs; ++a) {
       switch (query.aggregates[a].kind) {
         case AggregateKind::kSum:
-          finals[a] = acc.scaled_sum[a];
+          finals[a] = scaled_sum[g][a];
           break;
         case AggregateKind::kCount:
-          finals[a] = acc.scaled_cnt[a];
+          finals[a] = scaled_cnt[g][a];
           break;
         case AggregateKind::kAvg:
-          finals[a] = acc.scaled_cnt[a] > 0.0
-                          ? acc.scaled_sum[a] / acc.scaled_cnt[a]
+          finals[a] = scaled_cnt[g][a] > 0.0
+                          ? scaled_sum[g][a] / scaled_cnt[g][a]
                           : 0.0;
           break;
         default:
           break;
       }
     }
-    result.Add(key, std::move(finals));
+    result.Add(index->keys()[g], std::move(finals));
   }
   // HAVING filters the *scaled estimates*, mirroring how Aqua's
   // rewritten SQL would apply it to the scaled expressions.
@@ -135,29 +152,30 @@ Result<QueryResult> AggregateScaled(const Table& rel, const GroupByQuery& query,
 }  // namespace
 
 Result<QueryResult> Rewriter::Answer(const GroupByQuery& query,
-                                     RewriteStrategy strategy) const {
+                                     RewriteStrategy strategy,
+                                     const ExecutorOptions& options) const {
   CONGRESS_RETURN_NOT_OK(
       ValidateForRewrite(query, integrated_.schema(), base_num_columns_));
   switch (strategy) {
     case RewriteStrategy::kIntegrated:
-      return AnswerIntegrated(query);
+      return AnswerIntegrated(query, options);
     case RewriteStrategy::kNestedIntegrated:
-      return AnswerNestedIntegrated(query);
+      return AnswerNestedIntegrated(query, options);
     case RewriteStrategy::kNormalized:
-      return AnswerNormalized(query);
+      return AnswerNormalized(query, options);
     case RewriteStrategy::kKeyNormalized:
-      return AnswerKeyNormalized(query);
+      return AnswerKeyNormalized(query, options);
   }
   return Status::InvalidArgument("unknown rewrite strategy");
 }
 
 Result<QueryResult> Rewriter::AnswerIntegrated(
-    const GroupByQuery& query) const {
-  return AggregateScaled(integrated_, query, base_num_columns_);
+    const GroupByQuery& query, const ExecutorOptions& options) const {
+  return AggregateScaled(integrated_, query, base_num_columns_, options);
 }
 
 Result<QueryResult> Rewriter::AnswerNestedIntegrated(
-    const GroupByQuery& query) const {
+    const GroupByQuery& query, const ExecutorOptions& options) const {
   // Inner query: group by (query group columns, SF) and compute the raw
   // per-group sums/counts; outer query: one multiply by SF per inner
   // group (Figure 11 / Figure 13 of the paper).
@@ -170,34 +188,49 @@ Result<QueryResult> Rewriter::AnswerNestedIntegrated(
   const std::vector<double>& sf = rel.DoubleColumn(sf_col);
   const size_t num_aggs = query.aggregates.size();
 
-  // Inner key = group key + SF value.
-  std::unordered_map<GroupKey, InnerAcc, GroupKeyHash> inner;
-  for (size_t r = 0; r < rel.num_rows(); ++r) {
-    if (query.predicate != nullptr && !query.predicate->Matches(rel, r)) {
-      continue;
+  // Inner key = group key + SF value, interned once. Each inner group's
+  // raw sums accumulate over its rows in ascending row order (parallel
+  // across disjoint inner groups — thread-count independent).
+  std::vector<size_t> inner_cols = query.group_columns;
+  inner_cols.push_back(sf_col);
+  auto index = GroupIndex::Build(rel, inner_cols, options);
+  if (!index.ok()) return index.status();
+  const size_t num_inner = index->num_groups();
+  std::vector<InnerAcc> inner(num_inner);
+  GroupIndex::RowLists lists = index->GroupRows();
+  std::vector<std::pair<size_t, size_t>> chunks = BalancedGroupChunks(
+      lists.offsets, std::max<uint64_t>(rel.num_rows() / 64 + 1, 1024));
+  ParallelFor(options.ResolvedThreads(), chunks.size(), [&](size_t c) {
+    for (size_t g = chunks[c].first; g < chunks[c].second; ++g) {
+      InnerAcc& acc = inner[g];
+      for (uint64_t i = lists.offsets[g]; i < lists.offsets[g + 1]; ++i) {
+        const size_t r = lists.rows[static_cast<size_t>(i)];
+        if (query.predicate != nullptr && !query.predicate->Matches(rel, r)) {
+          continue;
+        }
+        if (acc.sum.empty()) {
+          acc.sum.assign(num_aggs, 0.0);
+          acc.cnt.assign(num_aggs, 0);
+        }
+        for (size_t a = 0; a < num_aggs; ++a) {
+          acc.sum[a] += AggregateInput(query.aggregates[a], rel, r);
+          acc.cnt[a] += 1;
+        }
+      }
     }
-    GroupKey key = rel.KeyForRow(r, query.group_columns);
-    key.push_back(Value(sf[r]));
-    auto it = inner.find(key);
-    if (it == inner.end()) {
-      InnerAcc acc;
-      acc.sum.assign(num_aggs, 0.0);
-      acc.cnt.assign(num_aggs, 0);
-      it = inner.emplace(std::move(key), std::move(acc)).first;
-    }
-    for (size_t a = 0; a < num_aggs; ++a) {
-      it->second.sum[a] += AggregateInput(query.aggregates[a], rel, r);
-      it->second.cnt[a] += 1;
-    }
-  }
+  });
 
-  // Outer query: scale each inner group once and re-aggregate.
+  // Outer query: scale each inner group once and re-aggregate, serially
+  // in inner first-occurrence order (deterministic).
   struct OuterAcc {
     std::vector<double> scaled_sum;
     std::vector<double> scaled_cnt;
   };
   std::unordered_map<GroupKey, OuterAcc, GroupKeyHash> outer;
-  for (const auto& [inner_key, acc] : inner) {
+  for (size_t g = 0; g < num_inner; ++g) {
+    const InnerAcc& acc = inner[g];
+    if (acc.sum.empty()) continue;  // All rows failed the predicate.
+    const GroupKey& inner_key = index->keys()[g];
     GroupKey key(inner_key.begin(), inner_key.end() - 1);
     double group_sf = inner_key.back().AsDouble();
     auto it = outer.find(key);
@@ -243,25 +276,26 @@ Result<QueryResult> Rewriter::AnswerNestedIntegrated(
 }
 
 Result<QueryResult> Rewriter::AnswerNormalized(
-    const GroupByQuery& query) const {
+    const GroupByQuery& query, const ExecutorOptions& options) const {
   // Join SampRel with AuxRel on the sample's grouping columns; the join
   // output appends AuxRel's sf as the last column. This join is paid on
   // every query — the cost the paper's Table 3 attributes to Normalized.
   std::vector<size_t> right_keys(grouping_columns_.size());
   for (size_t i = 0; i < right_keys.size(); ++i) right_keys[i] = i;
-  auto joined =
-      HashJoin(normalized_samp_, grouping_columns_, normalized_aux_, right_keys);
+  auto joined = HashJoin(normalized_samp_, grouping_columns_, normalized_aux_,
+                         right_keys, options);
   if (!joined.ok()) return joined.status();
-  return AggregateScaled(*joined, query, joined->num_columns() - 1);
+  return AggregateScaled(*joined, query, joined->num_columns() - 1, options);
 }
 
 Result<QueryResult> Rewriter::AnswerKeyNormalized(
-    const GroupByQuery& query) const {
+    const GroupByQuery& query, const ExecutorOptions& options) const {
   // Join SampRel (with its gid column) against AuxRel(gid, sf) on the
   // single-attribute key — the paper's shorter join predicate.
-  auto joined = HashJoin(key_samp_, {base_num_columns_}, key_aux_, {0});
+  auto joined =
+      HashJoin(key_samp_, {base_num_columns_}, key_aux_, {0}, options);
   if (!joined.ok()) return joined.status();
-  return AggregateScaled(*joined, query, joined->num_columns() - 1);
+  return AggregateScaled(*joined, query, joined->num_columns() - 1, options);
 }
 
 }  // namespace congress

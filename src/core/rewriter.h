@@ -5,6 +5,7 @@
 
 #include "engine/query.h"
 #include "sampling/stratified_sample.h"
+#include "util/parallel.h"
 #include "util/status.h"
 
 namespace congress {
@@ -39,9 +40,12 @@ class Rewriter {
   explicit Rewriter(const StratifiedSample& sample);
 
   /// Answers `query` (expressed against the base schema) using the given
-  /// strategy. Supports SUM, COUNT, and AVG aggregates.
+  /// strategy. Supports SUM, COUNT, and AVG aggregates. The scans and
+  /// joins are morsel-parallel per `options`; answers are identical for
+  /// every thread count.
   Result<QueryResult> Answer(const GroupByQuery& query,
-                             RewriteStrategy strategy) const;
+                             RewriteStrategy strategy,
+                             const ExecutorOptions& options = {}) const;
 
   /// The materialized relations, exposed for size accounting in benches.
   const Table& integrated_rel() const { return integrated_; }
@@ -51,10 +55,14 @@ class Rewriter {
   const Table& key_normalized_aux_rel() const { return key_aux_; }
 
  private:
-  Result<QueryResult> AnswerIntegrated(const GroupByQuery& query) const;
-  Result<QueryResult> AnswerNestedIntegrated(const GroupByQuery& query) const;
-  Result<QueryResult> AnswerNormalized(const GroupByQuery& query) const;
-  Result<QueryResult> AnswerKeyNormalized(const GroupByQuery& query) const;
+  Result<QueryResult> AnswerIntegrated(const GroupByQuery& query,
+                                       const ExecutorOptions& options) const;
+  Result<QueryResult> AnswerNestedIntegrated(
+      const GroupByQuery& query, const ExecutorOptions& options) const;
+  Result<QueryResult> AnswerNormalized(const GroupByQuery& query,
+                                       const ExecutorOptions& options) const;
+  Result<QueryResult> AnswerKeyNormalized(
+      const GroupByQuery& query, const ExecutorOptions& options) const;
 
   std::vector<size_t> grouping_columns_;
   size_t base_num_columns_ = 0;

@@ -64,7 +64,8 @@ Result<AquaSynopsis> AquaSynopsis::Build(const Table& base,
   } else {
     Random rng(config.seed);
     auto sample = BuildSample(base, indices, config.strategy,
-                              static_cast<double>(sample_size), &rng);
+                              static_cast<double>(sample_size), &rng,
+                              config.execution);
     if (!sample.ok()) return sample.status();
     synopsis.sample_ = std::move(sample).value();
     synopsis.rewriter_ = std::make_shared<Rewriter>(synopsis.sample_);
@@ -74,12 +75,13 @@ Result<AquaSynopsis> AquaSynopsis::Build(const Table& base,
 
 Result<ApproximateResult> AquaSynopsis::Answer(
     const GroupByQuery& query) const {
-  return EstimateGroupBy(sample_, query, config_.estimator);
+  return EstimateGroupBy(sample_, query, config_.estimator,
+                         config_.execution);
 }
 
 Result<QueryResult> AquaSynopsis::AnswerVia(const GroupByQuery& query,
                                             RewriteStrategy strategy) const {
-  return rewriter_->Answer(query, strategy);
+  return rewriter_->Answer(query, strategy, config_.execution);
 }
 
 Status AquaSynopsis::Insert(const std::vector<Value>& row) {

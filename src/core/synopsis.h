@@ -45,6 +45,11 @@ struct SynopsisConfig {
   bool incremental = false;
 
   uint64_t seed = 42;
+
+  /// Parallelism for build scans and query answering (num_threads = 1 is
+  /// the serial engine; 0 uses all hardware threads). Samples, estimates,
+  /// and rewritten answers are bit-identical for every thread count.
+  ExecutorOptions execution;
 };
 
 /// An Aqua-style synopsis over one base relation: a stratified sample,

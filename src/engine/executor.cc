@@ -1,6 +1,10 @@
 #include "engine/executor.h"
 
+#include <algorithm>
+#include <cassert>
 #include <string>
+
+#include "storage/group_index.h"
 
 namespace congress {
 
@@ -30,40 +34,64 @@ Status ValidateQuery(const Table& table, const GroupByQuery& query) {
   return Status::OK();
 }
 
+/// Rows per worker chunk when fanning an aggregation out over groups.
+uint64_t ChunkTarget(uint64_t total_rows, const ExecutorOptions& options) {
+  uint64_t lanes = static_cast<uint64_t>(options.ResolvedThreads());
+  // 8 chunks per lane keeps skewed groups from serializing a worker.
+  uint64_t target = total_rows / (lanes * 8 + 1) + 1;
+  return std::max<uint64_t>(target, 1024);
+}
+
 }  // namespace
 
-Result<QueryResult> ExecuteExact(const Table& table,
-                                 const GroupByQuery& query) {
+Result<QueryResult> ExecuteExact(const Table& table, const GroupByQuery& query,
+                                 const ExecutorOptions& options) {
   CONGRESS_RETURN_NOT_OK(ValidateQuery(table, query));
 
-  std::unordered_map<GroupKey, std::vector<Accumulator>, GroupKeyHash> groups;
+  // Stage 1: intern every row's composite key into a dense group id.
+  auto index = GroupIndex::Build(table, query.group_columns, options);
+  if (!index.ok()) return index.status();
+  const size_t num_groups = index->num_groups();
   const size_t num_aggs = query.aggregates.size();
+  const GroupIndex::RowLists lists = index->GroupRows();
 
-  for (size_t row = 0; row < table.num_rows(); ++row) {
-    if (query.predicate != nullptr && !query.predicate->Matches(table, row)) {
-      continue;
-    }
-    GroupKey key = table.KeyForRow(row, query.group_columns);
-    auto it = groups.find(key);
-    if (it == groups.end()) {
-      std::vector<Accumulator> accs;
-      accs.reserve(num_aggs);
-      for (const AggregateSpec& spec : query.aggregates) {
-        accs.emplace_back(spec.kind);
+  // Stage 2: aggregate each group over its own rows, in ascending row
+  // order, fanned out across balanced group chunks. Visiting a group's
+  // rows in row order makes every accumulator fold values in exactly the
+  // order the serial full-table scan did, so results are bit-identical
+  // for every thread count.
+  std::vector<std::vector<Accumulator>> groups(num_groups);
+  const auto chunks =
+      BalancedGroupChunks(lists.offsets, ChunkTarget(table.num_rows(), options));
+  ParallelFor(options.ResolvedThreads(), chunks.size(), [&](size_t c) {
+    for (size_t g = chunks[c].first; g < chunks[c].second; ++g) {
+      std::vector<Accumulator>& accs = groups[g];
+      for (uint64_t i = lists.offsets[g]; i < lists.offsets[g + 1]; ++i) {
+        const size_t row = lists.rows[i];
+        if (query.predicate != nullptr &&
+            !query.predicate->Matches(table, row)) {
+          continue;
+        }
+        if (accs.empty()) {
+          accs.reserve(num_aggs);
+          for (const AggregateSpec& spec : query.aggregates) {
+            accs.emplace_back(spec.kind);
+          }
+        }
+        for (size_t a = 0; a < num_aggs; ++a) {
+          accs[a].Add(AggregateInput(query.aggregates[a], table, row));
+        }
       }
-      it = groups.emplace(std::move(key), std::move(accs)).first;
     }
-    for (size_t a = 0; a < num_aggs; ++a) {
-      it->second[a].Add(AggregateInput(query.aggregates[a], table, row));
-    }
-  }
+  });
 
   QueryResult result;
-  for (auto& [key, accs] : groups) {
+  for (size_t g = 0; g < num_groups; ++g) {
+    if (groups[g].empty()) continue;  // No row matched the predicate.
     std::vector<double> finals;
     finals.reserve(num_aggs);
-    for (const Accumulator& acc : accs) finals.push_back(acc.Finish());
-    result.Add(key, std::move(finals));
+    for (const Accumulator& acc : groups[g]) finals.push_back(acc.Finish());
+    result.Add(index->keys()[g], std::move(finals));
   }
   result.FilterHaving(query.having);
   result.SortByKey();
@@ -71,17 +99,22 @@ Result<QueryResult> ExecuteExact(const Table& table,
 }
 
 std::unordered_map<GroupKey, uint64_t, GroupKeyHash> CountGroups(
-    const Table& table, const std::vector<size_t>& group_columns) {
+    const Table& table, const std::vector<size_t>& group_columns,
+    const ExecutorOptions& options) {
   std::unordered_map<GroupKey, uint64_t, GroupKeyHash> counts;
-  for (size_t row = 0; row < table.num_rows(); ++row) {
-    counts[table.KeyForRow(row, group_columns)] += 1;
+  auto index = GroupIndex::Build(table, group_columns, options);
+  assert(index.ok());
+  counts.reserve(index->num_groups());
+  for (size_t g = 0; g < index->num_groups(); ++g) {
+    counts.emplace(index->keys()[g], index->counts()[g]);
   }
   return counts;
 }
 
 Result<Table> HashJoin(const Table& left, const std::vector<size_t>& left_keys,
                        const Table& right,
-                       const std::vector<size_t>& right_keys) {
+                       const std::vector<size_t>& right_keys,
+                       const ExecutorOptions& options) {
   if (left_keys.size() != right_keys.size()) {
     return Status::InvalidArgument("join key arity mismatch");
   }
@@ -123,20 +156,51 @@ Result<Table> HashJoin(const Table& left, const std::vector<size_t>& left_keys,
   }
   Table out{Schema(std::move(fields))};
 
-  // Probe side: left table.
-  std::vector<Value> row_values;
-  for (size_t row = 0; row < left.num_rows(); ++row) {
-    auto it = build.find(left.KeyForRow(row, left_keys));
-    if (it == build.end()) continue;
-    for (size_t match : it->second) {
-      row_values.clear();
-      for (size_t c = 0; c < left.num_columns(); ++c) {
-        row_values.push_back(left.GetValue(row, c));
+  // Probe side: intern the left key columns once, resolve each distinct
+  // key against the build table once, then fan the probe out over
+  // morsels. Per-morsel outputs are concatenated in morsel order, so the
+  // output row order matches the serial left-to-right probe.
+  auto probe_index = GroupIndex::Build(left, left_keys, options);
+  if (!probe_index.ok()) return probe_index.status();
+  std::vector<const std::vector<size_t>*> matches(probe_index->num_groups(),
+                                                  nullptr);
+  for (size_t g = 0; g < probe_index->num_groups(); ++g) {
+    auto it = build.find(probe_index->keys()[g]);
+    if (it != build.end()) matches[g] = &it->second;
+  }
+
+  const auto ranges = MorselRanges(left.num_rows(), options.morsel_size);
+  std::vector<Table> partials;
+  partials.reserve(ranges.size());
+  for (size_t m = 0; m < ranges.size(); ++m) partials.push_back(out.CloneEmpty());
+  std::vector<Status> statuses(ranges.size());
+  const std::vector<uint32_t>& row_ids = probe_index->row_ids();
+  ParallelFor(options.ResolvedThreads(), ranges.size(), [&](size_t m) {
+    Table& partial = partials[m];
+    std::vector<Value> row_values;
+    for (size_t row = ranges[m].first; row < ranges[m].second; ++row) {
+      const std::vector<size_t>* found = matches[row_ids[row]];
+      if (found == nullptr) continue;
+      for (size_t match : *found) {
+        row_values.clear();
+        for (size_t c = 0; c < left.num_columns(); ++c) {
+          row_values.push_back(left.GetValue(row, c));
+        }
+        for (size_t c : right_payload_cols) {
+          row_values.push_back(right.GetValue(match, c));
+        }
+        Status st = partial.AppendRow(row_values);
+        if (!st.ok()) {
+          statuses[m] = st;
+          return;
+        }
       }
-      for (size_t c : right_payload_cols) {
-        row_values.push_back(right.GetValue(match, c));
-      }
-      CONGRESS_RETURN_NOT_OK(out.AppendRow(row_values));
+    }
+  });
+  for (size_t m = 0; m < ranges.size(); ++m) {
+    CONGRESS_RETURN_NOT_OK(statuses[m]);
+    for (size_t r = 0; r < partials[m].num_rows(); ++r) {
+      out.AppendRowFrom(partials[m], r);
     }
   }
   return out;

@@ -3,28 +3,38 @@
 
 #include "engine/query.h"
 #include "storage/table.h"
+#include "util/parallel.h"
 #include "util/status.h"
 
 namespace congress {
 
-/// Executes `query` exactly over `table` with hash aggregation. This is
-/// the ground-truth oracle the accuracy experiments compare against, and
-/// the building block of the rewrite strategies' physical plans.
-Result<QueryResult> ExecuteExact(const Table& table, const GroupByQuery& query);
+/// Executes `query` exactly over `table`. This is the ground-truth oracle
+/// the accuracy experiments compare against, and the building block of
+/// the rewrite strategies' physical plans.
+///
+/// Two-stage morsel engine: the grouping columns are interned into dense
+/// group ids in one parallel pass (GroupIndex), then each group is
+/// aggregated over its own rows in ascending row order. Results are
+/// bit-identical for every `options.num_threads`.
+Result<QueryResult> ExecuteExact(const Table& table, const GroupByQuery& query,
+                                 const ExecutorOptions& options = {});
 
 /// Computes the number of tuples in each group at the grouping
 /// `group_columns` (COUNT(*) group-by without predicate). Used by the
 /// two-pass sample builders to learn the strata sizes.
 std::unordered_map<GroupKey, uint64_t, GroupKeyHash> CountGroups(
-    const Table& table, const std::vector<size_t>& group_columns);
+    const Table& table, const std::vector<size_t>& group_columns,
+    const ExecutorOptions& options = {});
 
 /// Hash-joins `left` and `right` on left.left_keys == right.right_keys and
 /// returns a table whose columns are all of `left`'s columns followed by
 /// `right`'s non-key columns. The Normalized / Key-Normalized rewrite
-/// strategies pay exactly this join (Section 5.2 of the paper).
+/// strategies pay exactly this join (Section 5.2 of the paper). The probe
+/// side is morsel-parallel; output row order matches the serial probe.
 Result<Table> HashJoin(const Table& left, const std::vector<size_t>& left_keys,
                        const Table& right,
-                       const std::vector<size_t>& right_keys);
+                       const std::vector<size_t>& right_keys,
+                       const ExecutorOptions& options = {});
 
 }  // namespace congress
 

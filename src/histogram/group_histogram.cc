@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sampling/allocation.h"
+#include "storage/group_index.h"
 
 namespace congress {
 
@@ -28,25 +29,46 @@ Result<GroupHistogram> GroupHistogram::Build(
   }
 
   // Census of the finest groups (sorted by key, as GroupStatistics does).
-  GroupStatistics stats = GroupStatistics::Compute(table, grouping_columns);
+  GroupStatistics stats =
+      GroupStatistics::Compute(table, grouping_columns, options.execution);
 
   GroupHistogram histogram;
   histogram.grouping_columns_ = grouping_columns;
   histogram.measure_columns_ = options.measure_columns;
   histogram.group_keys_ = stats.keys();
 
-  // Per-group measure sums (one table pass).
+  // Per-group measure sums: intern the grouping columns once, then
+  // accumulate each group's rows in ascending row order (parallel across
+  // disjoint groups, so sums are bit-identical to a serial scan).
   const size_t m = stats.num_groups();
   const size_t num_measures = options.measure_columns.size();
   std::vector<std::vector<double>> group_sums(
       m, std::vector<double>(num_measures, 0.0));
-  for (size_t row = 0; row < table.num_rows(); ++row) {
-    auto idx = stats.IndexOf(table.KeyForRow(row, grouping_columns));
+  auto index = GroupIndex::Build(table, grouping_columns, options.execution);
+  if (!index.ok()) return index.status();
+  std::vector<size_t> stats_index(index->num_groups());
+  for (size_t g = 0; g < index->num_groups(); ++g) {
+    auto idx = stats.IndexOf(index->keys()[g]);
     if (!idx.ok()) return idx.status();
-    for (size_t k = 0; k < num_measures; ++k) {
-      group_sums[*idx][k] += table.NumericAt(row, options.measure_columns[k]);
-    }
+    stats_index[g] = *idx;
   }
+  GroupIndex::RowLists lists = index->GroupRows();
+  std::vector<std::pair<size_t, size_t>> chunks = BalancedGroupChunks(
+      lists.offsets, std::max<uint64_t>(table.num_rows() / 64 + 1, 1024));
+  ParallelFor(options.execution.ResolvedThreads(), chunks.size(),
+              [&](size_t c) {
+                for (size_t g = chunks[c].first; g < chunks[c].second; ++g) {
+                  std::vector<double>& sums = group_sums[stats_index[g]];
+                  for (uint64_t r = lists.offsets[g]; r < lists.offsets[g + 1];
+                       ++r) {
+                    const size_t row = lists.rows[static_cast<size_t>(r)];
+                    for (size_t k = 0; k < num_measures; ++k) {
+                      sums[k] +=
+                          table.NumericAt(row, options.measure_columns[k]);
+                    }
+                  }
+                }
+              });
 
   // Equi-depth bucketization over the sorted group sequence: close a
   // bucket when it holds >= total/num_buckets tuples.

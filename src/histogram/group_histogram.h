@@ -7,6 +7,7 @@
 #include "core/estimator.h"
 #include "engine/query.h"
 #include "storage/table.h"
+#include "util/parallel.h"
 #include "util/status.h"
 
 namespace congress {
@@ -30,6 +31,9 @@ class GroupHistogram {
     size_t num_buckets = 100;
     /// Measure columns to pre-aggregate (must be numeric).
     std::vector<size_t> measure_columns;
+    /// Parallelism for the build scans. Results are bit-identical for
+    /// every thread count (per-group sums accumulate in row order).
+    ExecutorOptions execution;
   };
 
   /// Builds the histogram over `table` stratified on `grouping_columns`.

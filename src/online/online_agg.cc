@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "storage/group_index.h"
 #include "util/random.h"
 
 namespace congress {
@@ -44,18 +45,22 @@ Result<OnlineAggregator> OnlineAggregator::Start(
   Random rng(options.seed);
   const size_t n = table->num_rows();
 
-  // Group membership (the "index" of index striding) and populations.
-  std::unordered_map<GroupKey, std::vector<uint32_t>, GroupKeyHash> members;
-  for (size_t row = 0; row < n; ++row) {
-    members[table->KeyForRow(row, agg.query_.group_columns)].push_back(
-        static_cast<uint32_t>(row));
-  }
-  for (auto& [key, rows] : members) {
-    GroupState state;
-    state.population = rows.size();
+  // Group membership (the "index" of index striding) and populations,
+  // interned once: Step() then resolves each scanned row to its group
+  // with one array load. Dense ids are assigned in first-occurrence row
+  // order, so the scan order depends only on the seed.
+  auto index = GroupIndex::Build(*table, agg.query_.group_columns,
+                                 options.execution);
+  if (!index.ok()) return index.status();
+  const size_t num_groups = index->num_groups();
+  agg.group_keys_ = index->keys();
+  agg.row_groups_ = index->row_ids();
+  agg.groups_.resize(num_groups);
+  for (size_t g = 0; g < num_groups; ++g) {
+    GroupState& state = agg.groups_[g];
+    state.population = index->counts()[g];
     state.sum.assign(agg.query_.aggregates.size(), 0.0);
     state.sum2.assign(agg.query_.aggregates.size(), 0.0);
-    agg.groups_.emplace(key, std::move(state));
   }
 
   agg.scan_order_.reserve(n);
@@ -68,26 +73,24 @@ Result<OnlineAggregator> OnlineAggregator::Start(
   } else {
     // Index striding: shuffle within each group, then take one tuple per
     // group per round, so every group's sample grows at the same rate
-    // until the group is exhausted.
-    std::vector<std::vector<uint32_t>*> lists;
-    for (auto& [key, rows] : members) {
-      rng.Shuffle(&rows);
-      lists.push_back(&rows);
+    // until the group is exhausted. Groups are visited in
+    // first-occurrence order (= ascending first row id), which is
+    // deterministic for a given table.
+    GroupIndex::RowLists lists = index->GroupRows();
+    std::vector<std::vector<uint32_t>> members(num_groups);
+    for (size_t g = 0; g < num_groups; ++g) {
+      members[g].assign(
+          lists.rows.begin() + static_cast<ptrdiff_t>(lists.offsets[g]),
+          lists.rows.begin() + static_cast<ptrdiff_t>(lists.offsets[g + 1]));
+      rng.Shuffle(&members[g]);
     }
-    // Deterministic order across the unordered_map: sort by first row id
-    // (stable under the same seed).
-    std::sort(lists.begin(), lists.end(),
-              [](const std::vector<uint32_t>* a,
-                 const std::vector<uint32_t>* b) {
-                return (*a)[0] < (*b)[0];
-              });
     size_t round = 0;
     bool any = true;
     while (any) {
       any = false;
-      for (auto* rows : lists) {
-        if (round < rows->size()) {
-          agg.scan_order_.push_back((*rows)[round]);
+      for (const auto& rows : members) {
+        if (round < rows.size()) {
+          agg.scan_order_.push_back(rows[round]);
           any = true;
         }
       }
@@ -104,8 +107,7 @@ size_t OnlineAggregator::Step(size_t batch) {
     size_t row = scan_order_[position_];
     ++position_;
     ++consumed;
-    GroupKey key = table_->KeyForRow(row, query_.group_columns);
-    GroupState& state = groups_[key];
+    GroupState& state = groups_[row_groups_[row]];
     state.processed += 1;
     if (query_.predicate != nullptr &&
         !query_.predicate->Matches(*table_, row)) {
@@ -132,7 +134,8 @@ Result<ApproximateResult> OnlineAggregator::CurrentEstimate() const {
   const double cheb = 1.0 / std::sqrt(1.0 - options_.confidence);
 
   ApproximateResult result;
-  for (const auto& [key, state] : groups_) {
+  for (size_t g = 0; g < groups_.size(); ++g) {
+    const GroupState& state = groups_[g];
     if (state.matched == 0) continue;  // Group not (yet) represented.
     // Per-group sampling fraction. Striding knows it exactly; the uniform
     // scan's per-group processed count is hypergeometric around the
@@ -143,7 +146,7 @@ Result<ApproximateResult> OnlineAggregator::CurrentEstimate() const {
     const double sf = big_n / n;
 
     ApproximateGroupRow row;
-    row.key = key;
+    row.key = group_keys_[g];
     row.support = state.matched;
     row.estimates.assign(num_aggs, 0.0);
     row.std_errors.assign(num_aggs, 0.0);

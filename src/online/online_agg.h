@@ -21,6 +21,9 @@ struct OnlineAggOptions {
   bool index_striding = false;
   double confidence = 0.90;
   uint64_t seed = 42;
+  /// Parallelism for the Start() group-index build. The scan order only
+  /// depends on `seed`, not on the thread count.
+  ExecutorOptions execution;
 };
 
 /// The paper's closest competitor (Section 9): Online Aggregation
@@ -74,7 +77,11 @@ class OnlineAggregator {
   OnlineAggOptions options_;
   std::vector<uint32_t> scan_order_;
   size_t position_ = 0;
-  std::unordered_map<GroupKey, GroupState, GroupKeyHash> groups_;
+  /// Interned group machinery: Step() resolves a row to its group with
+  /// one array load instead of materializing a GroupKey per tuple.
+  std::vector<GroupKey> group_keys_;   // Dense id -> key.
+  std::vector<uint32_t> row_groups_;   // Row -> dense id.
+  std::vector<GroupState> groups_;     // Dense id -> running state.
 };
 
 }  // namespace congress

@@ -5,7 +5,7 @@
 #include <cmath>
 #include <numeric>
 
-#include "engine/executor.h"
+#include "storage/group_index.h"
 
 namespace congress {
 
@@ -23,11 +23,16 @@ const char* AllocationStrategyToString(AllocationStrategy strategy) {
   return "Unknown";
 }
 
-GroupStatistics GroupStatistics::Compute(
-    const Table& table, const std::vector<size_t>& group_columns) {
-  auto counts = CountGroups(table, group_columns);
-  std::vector<std::pair<GroupKey, uint64_t>> pairs(counts.begin(),
-                                                   counts.end());
+GroupStatistics GroupStatistics::Compute(const Table& table,
+                                         const std::vector<size_t>& group_columns,
+                                         const ExecutorOptions& options) {
+  auto index = GroupIndex::Build(table, group_columns, options);
+  assert(index.ok());
+  std::vector<std::pair<GroupKey, uint64_t>> pairs;
+  pairs.reserve(index->num_groups());
+  for (size_t g = 0; g < index->num_groups(); ++g) {
+    pairs.emplace_back(index->keys()[g], index->counts()[g]);
+  }
   auto result = FromCounts(std::move(pairs));
   assert(result.ok());
   return std::move(result).value();

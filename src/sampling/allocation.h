@@ -8,6 +8,7 @@
 
 #include "storage/table.h"
 #include "storage/value.h"
+#include "util/parallel.h"
 #include "util/status.h"
 
 namespace congress {
@@ -30,9 +31,11 @@ class GroupStatistics {
  public:
   GroupStatistics() = default;
 
-  /// Scans `table` once and counts groups over `group_columns`.
+  /// Scans `table` once and counts groups over `group_columns`
+  /// (morsel-parallel per `options`).
   static GroupStatistics Compute(const Table& table,
-                                 const std::vector<size_t>& group_columns);
+                                 const std::vector<size_t>& group_columns,
+                                 const ExecutorOptions& options = {});
 
   /// Builds statistics directly from explicit (key, count) pairs; used by
   /// unit tests and the Figure 5 worked example.

@@ -1,12 +1,14 @@
 #include "sampling/builder.h"
 
 #include "sampling/reservoir.h"
+#include "storage/group_index.h"
 
 namespace congress {
 
 Result<StratifiedSample> BuildStratifiedSample(
     const Table& table, const std::vector<size_t>& grouping_columns,
-    const GroupStatistics& stats, const Allocation& allocation, Random* rng) {
+    const GroupStatistics& stats, const Allocation& allocation, Random* rng,
+    const ExecutorOptions& options) {
   if (allocation.expected_sizes.size() != stats.num_groups()) {
     return Status::InvalidArgument(
         "allocation does not align with group statistics");
@@ -20,15 +22,27 @@ Result<StratifiedSample> BuildStratifiedSample(
     reservoirs.emplace_back(static_cast<size_t>(k));
   }
 
-  for (size_t row = 0; row < table.num_rows(); ++row) {
-    GroupKey key = table.KeyForRow(row, grouping_columns);
-    auto idx = stats.IndexOf(key);
+  // Intern the grouping columns once (parallel), then resolve each
+  // distinct group against the statistics once instead of per row. The
+  // reservoir Offer loop itself stays serial and in row order, so the RNG
+  // stream — and therefore the sample — is reproducible and independent
+  // of the thread count.
+  auto index = GroupIndex::Build(table, grouping_columns, options);
+  if (!index.ok()) return index.status();
+  std::vector<size_t> stats_index(index->num_groups());
+  for (size_t g = 0; g < index->num_groups(); ++g) {
+    auto idx = stats.IndexOf(index->keys()[g]);
     if (!idx.ok()) {
       return Status::InvalidArgument("table contains group " +
-                                     GroupKeyToString(key) +
+                                     GroupKeyToString(index->keys()[g]) +
                                      " absent from statistics");
     }
-    reservoirs[*idx].Offer(static_cast<uint64_t>(row), rng);
+    stats_index[g] = *idx;
+  }
+  const std::vector<uint32_t>& row_ids = index->row_ids();
+  for (size_t row = 0; row < table.num_rows(); ++row) {
+    reservoirs[stats_index[row_ids[row]]].Offer(static_cast<uint64_t>(row),
+                                                rng);
   }
 
   StratifiedSample sample(table.schema(), grouping_columns);
@@ -36,11 +50,8 @@ Result<StratifiedSample> BuildStratifiedSample(
     CONGRESS_RETURN_NOT_OK(
         sample.DeclareStratum(stats.keys()[i], stats.counts()[i]));
   }
-  size_t total_rows = 0;
-  for (const auto& res : reservoirs) total_rows += res.size();
   // Append in stratum order: sampled tuples of a group are contiguous,
   // mirroring the paper's "stored compactly in a few disk blocks" point.
-  (void)total_rows;
   for (size_t i = 0; i < reservoirs.size(); ++i) {
     for (uint64_t row : reservoirs[i].items()) {
       CONGRESS_RETURN_NOT_OK(sample.Append(table, static_cast<size_t>(row)));
@@ -51,7 +62,8 @@ Result<StratifiedSample> BuildStratifiedSample(
 
 Result<StratifiedSample> BuildSample(
     const Table& table, const std::vector<size_t>& grouping_columns,
-    AllocationStrategy strategy, double sample_size, Random* rng) {
+    AllocationStrategy strategy, double sample_size, Random* rng,
+    const ExecutorOptions& options) {
   if (grouping_columns.empty()) {
     return Status::InvalidArgument("at least one grouping column required");
   }
@@ -63,13 +75,14 @@ Result<StratifiedSample> BuildSample(
   if (sample_size <= 0.0) {
     return Status::InvalidArgument("sample size must be positive");
   }
-  GroupStatistics stats = GroupStatistics::Compute(table, grouping_columns);
+  GroupStatistics stats =
+      GroupStatistics::Compute(table, grouping_columns, options);
   if (stats.num_groups() == 0) {
     return Status::FailedPrecondition("table is empty");
   }
   Allocation allocation = Allocate(strategy, stats, sample_size);
-  return BuildStratifiedSample(table, grouping_columns, stats, allocation,
-                               rng);
+  return BuildStratifiedSample(table, grouping_columns, stats, allocation, rng,
+                               options);
 }
 
 }  // namespace congress

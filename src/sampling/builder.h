@@ -15,10 +15,14 @@ namespace congress {
 /// `allocation` (which must align with `stats`). One pass over the data
 /// using an independent reservoir per group — the "constructing using a
 /// data cube" path of Section 6, where the cube (= `stats`) supplies the
-/// target sizes up front.
+/// target sizes up front. The row→stratum interning pass is
+/// morsel-parallel per `options`; the reservoir dispatch loop stays
+/// serial so the RNG stream (and thus the drawn sample) is identical for
+/// every thread count.
 Result<StratifiedSample> BuildStratifiedSample(
     const Table& table, const std::vector<size_t>& grouping_columns,
-    const GroupStatistics& stats, const Allocation& allocation, Random* rng);
+    const GroupStatistics& stats, const Allocation& allocation, Random* rng,
+    const ExecutorOptions& options = {});
 
 /// Convenience wrapper: computes the group census, allocates with
 /// `strategy` for `sample_size` expected tuples, and builds the sample.
@@ -26,7 +30,8 @@ Result<StratifiedSample> BuildStratifiedSample(
 Result<StratifiedSample> BuildSample(const Table& table,
                                      const std::vector<size_t>& grouping_columns,
                                      AllocationStrategy strategy,
-                                     double sample_size, Random* rng);
+                                     double sample_size, Random* rng,
+                                     const ExecutorOptions& options = {});
 
 }  // namespace congress
 

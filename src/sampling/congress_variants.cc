@@ -5,10 +5,25 @@
 #include <unordered_set>
 
 #include "sampling/builder.h"
+#include "storage/group_index.h"
 
 namespace congress {
 
 namespace {
+
+/// Maps every interned group id to its position in `stats`, failing on
+/// the first group (in first-occurrence row order) the statistics lack —
+/// the same group a serial per-row scan would have tripped on first.
+Result<std::vector<size_t>> MapToStats(const GroupIndex& index,
+                                       const GroupStatistics& stats) {
+  std::vector<size_t> stats_index(index.num_groups());
+  for (size_t g = 0; g < index.num_groups(); ++g) {
+    auto idx = stats.IndexOf(index.keys()[g]);
+    if (!idx.ok()) return idx.status();
+    stats_index[g] = *idx;
+  }
+  return stats_index;
+}
 
 Status Validate(const Table& table,
                 const std::vector<size_t>& grouping_columns,
@@ -41,16 +56,17 @@ StratifiedSample MakeEmptySample(const Table& table,
   return sample;
 }
 
-/// Per-tuple selection with per-finest-group probability `prob[g]`.
+/// Per-tuple selection with per-finest-group probability `prob[g]`. The
+/// Bernoulli loop is serial and in row order over precomputed ids, so the
+/// RNG stream matches the serial path exactly.
 Result<StratifiedSample> BuildPerTuple(
     const Table& table, const std::vector<size_t>& grouping_columns,
-    const GroupStatistics& stats, const std::vector<double>& prob,
-    Random* rng) {
+    const GroupStatistics& stats, const std::vector<double>& prob, Random* rng,
+    const GroupIndex& index, const std::vector<size_t>& stats_index) {
   StratifiedSample sample = MakeEmptySample(table, grouping_columns, stats);
+  const std::vector<uint32_t>& row_ids = index.row_ids();
   for (size_t row = 0; row < table.num_rows(); ++row) {
-    auto idx = stats.IndexOf(table.KeyForRow(row, grouping_columns));
-    if (!idx.ok()) return idx.status();
-    if (rng->Bernoulli(prob[*idx])) {
+    if (rng->Bernoulli(prob[stats_index[row_ids[row]]])) {
       CONGRESS_RETURN_NOT_OK(sample.Append(table, row));
     }
   }
@@ -86,13 +102,13 @@ std::vector<double> Eq8RawShares(const GroupStatistics& stats) {
 
 Result<StratifiedSample> BuildGroupFill(
     const Table& table, const std::vector<size_t>& grouping_columns,
-    const GroupStatistics& stats, double sample_size, Random* rng) {
+    const GroupStatistics& stats, double sample_size, Random* rng,
+    const GroupIndex& index, const std::vector<size_t>& stats_index) {
   // Row ids per finest group, for uniform draws from a super-group.
   std::vector<std::vector<uint64_t>> group_rows(stats.num_groups());
+  const std::vector<uint32_t>& row_ids = index.row_ids();
   for (size_t row = 0; row < table.num_rows(); ++row) {
-    auto idx = stats.IndexOf(table.KeyForRow(row, grouping_columns));
-    if (!idx.ok()) return idx.status();
-    group_rows[*idx].push_back(row);
+    group_rows[stats_index[row_ids[row]]].push_back(row);
   }
 
   Allocation congress = AllocateCongress(stats, sample_size);
@@ -180,15 +196,21 @@ const char* CongressVariantToString(CongressVariant variant) {
 
 Result<StratifiedSample> BuildCongressVariant(
     const Table& table, const std::vector<size_t>& grouping_columns,
-    double sample_size, CongressVariant variant, Random* rng) {
+    double sample_size, CongressVariant variant, Random* rng,
+    const ExecutorOptions& options) {
   CONGRESS_RETURN_NOT_OK(Validate(table, grouping_columns, sample_size));
-  GroupStatistics stats = GroupStatistics::Compute(table, grouping_columns);
+  auto index = GroupIndex::Build(table, grouping_columns, options);
+  if (!index.ok()) return index.status();
+  GroupStatistics stats =
+      GroupStatistics::Compute(table, grouping_columns, options);
+  auto stats_index = MapToStats(*index, stats);
+  if (!stats_index.ok()) return stats_index.status();
 
   switch (variant) {
     case CongressVariant::kExactSize: {
       Allocation allocation = AllocateCongress(stats, sample_size);
       return BuildStratifiedSample(table, grouping_columns, stats, allocation,
-                                   rng);
+                                   rng, options);
     }
     case CongressVariant::kBernoulli: {
       Allocation allocation = AllocateCongress(stats, sample_size);
@@ -197,7 +219,8 @@ Result<StratifiedSample> BuildCongressVariant(
         prob[i] = std::min(1.0, allocation.expected_sizes[i] /
                                     static_cast<double>(stats.counts()[i]));
       }
-      return BuildPerTuple(table, grouping_columns, stats, prob, rng);
+      return BuildPerTuple(table, grouping_columns, stats, prob, rng, *index,
+                           *stats_index);
     }
     case CongressVariant::kEq8: {
       // Eq. 8: normalize the raw shares so the expected total is X.
@@ -210,10 +233,12 @@ Result<StratifiedSample> BuildCongressVariant(
       for (size_t i = 0; i < stats.num_groups(); ++i) {
         prob[i] = std::min(1.0, sample_size * raw[i] / denom);
       }
-      return BuildPerTuple(table, grouping_columns, stats, prob, rng);
+      return BuildPerTuple(table, grouping_columns, stats, prob, rng, *index,
+                           *stats_index);
     }
     case CongressVariant::kGroupFill:
-      return BuildGroupFill(table, grouping_columns, stats, sample_size, rng);
+      return BuildGroupFill(table, grouping_columns, stats, sample_size, rng,
+                            *index, *stats_index);
   }
   return Status::InvalidArgument("unknown congress variant");
 }

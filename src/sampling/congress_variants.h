@@ -34,10 +34,14 @@ const char* CongressVariantToString(CongressVariant variant);
 
 /// Builds a congressional sample of `table` using the given construction
 /// variant with target space `sample_size`. All variants take one data
-/// pass after the group census.
+/// pass after the group census. The census and row→stratum interning are
+/// morsel-parallel per `options`; every random draw happens in a serial
+/// row-order loop over precomputed ids, so samples are reproducible for
+/// any thread count.
 Result<StratifiedSample> BuildCongressVariant(
     const Table& table, const std::vector<size_t>& grouping_columns,
-    double sample_size, CongressVariant variant, Random* rng);
+    double sample_size, CongressVariant variant, Random* rng,
+    const ExecutorOptions& options = {});
 
 }  // namespace congress
 

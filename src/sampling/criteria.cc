@@ -4,12 +4,14 @@
 #include <cmath>
 #include <limits>
 
+#include "storage/group_index.h"
+
 namespace congress {
 
 Result<std::vector<double>> DispersionWeightVector(
     const Table& table, const GroupStatistics& stats,
     const std::vector<size_t>& grouping_columns, size_t value_column,
-    VarianceCriterion criterion) {
+    VarianceCriterion criterion, const ExecutorOptions& options) {
   if (value_column >= table.num_columns()) {
     return Status::InvalidArgument("value column out of range");
   }
@@ -23,19 +25,38 @@ Result<std::vector<double>> DispersionWeightVector(
   std::vector<double> hi(m, -std::numeric_limits<double>::infinity());
   std::vector<uint64_t> n(m, 0);
 
-  for (size_t row = 0; row < table.num_rows(); ++row) {
-    auto idx = stats.IndexOf(table.KeyForRow(row, grouping_columns));
+  auto index = GroupIndex::Build(table, grouping_columns, options);
+  if (!index.ok()) return index.status();
+  std::vector<size_t> stats_index(index->num_groups());
+  for (size_t g = 0; g < index->num_groups(); ++g) {
+    auto idx = stats.IndexOf(index->keys()[g]);
     if (!idx.ok()) {
       return Status::InvalidArgument(
           "table contains a group absent from statistics");
     }
-    double v = table.NumericAt(row, value_column);
-    sum[*idx] += v;
-    sum2[*idx] += v * v;
-    lo[*idx] = std::min(lo[*idx], v);
-    hi[*idx] = std::max(hi[*idx], v);
-    n[*idx] += 1;
+    stats_index[g] = *idx;
   }
+  // Per-group moments, parallel across disjoint groups. Each group's rows
+  // are visited in ascending row order (GroupRows lists are sorted), so
+  // the floating-point accumulation order matches a serial table scan.
+  GroupIndex::RowLists lists = index->GroupRows();
+  std::vector<std::pair<size_t, size_t>> chunks = BalancedGroupChunks(
+      lists.offsets, std::max<uint64_t>(table.num_rows() / 64 + 1, 1024));
+  const size_t threads = options.ResolvedThreads();
+  ParallelFor(threads, chunks.size(), [&](size_t c) {
+    for (size_t g = chunks[c].first; g < chunks[c].second; ++g) {
+      const size_t slot = stats_index[g];
+      for (uint64_t r = lists.offsets[g]; r < lists.offsets[g + 1]; ++r) {
+        const size_t row = lists.rows[static_cast<size_t>(r)];
+        double v = table.NumericAt(row, value_column);
+        sum[slot] += v;
+        sum2[slot] += v * v;
+        lo[slot] = std::min(lo[slot], v);
+        hi[slot] = std::max(hi[slot], v);
+        n[slot] += 1;
+      }
+    }
+  });
 
   std::vector<double> weights(m, 0.0);
   for (size_t i = 0; i < m; ++i) {

@@ -1,0 +1,236 @@
+#include "storage/group_index.h"
+
+#include <cassert>
+#include <limits>
+#include <string>
+
+#include "util/hash.h"
+
+namespace congress {
+
+namespace {
+
+/// Type-resolved view of one grouping column, so the per-row hash/equality
+/// probes touch the column vectors directly instead of re-materializing
+/// Values.
+struct ColumnRef {
+  DataType type = DataType::kInt64;
+  const std::vector<int64_t>* i64 = nullptr;
+  const std::vector<double>* f64 = nullptr;
+  const std::vector<std::string>* str = nullptr;
+};
+
+std::vector<ColumnRef> ResolveColumns(const Table& table,
+                                      const std::vector<size_t>& cols) {
+  std::vector<ColumnRef> refs;
+  refs.reserve(cols.size());
+  for (size_t c : cols) {
+    ColumnRef ref;
+    ref.type = table.schema().field(c).type;
+    switch (ref.type) {
+      case DataType::kInt64:
+        ref.i64 = &table.Int64Column(c);
+        break;
+      case DataType::kDouble:
+        ref.f64 = &table.DoubleColumn(c);
+        break;
+      case DataType::kString:
+        ref.str = &table.StringColumn(c);
+        break;
+    }
+    refs.push_back(ref);
+  }
+  return refs;
+}
+
+size_t HashRow(const std::vector<ColumnRef>& refs, size_t row) {
+  size_t seed = refs.size();
+  for (const ColumnRef& ref : refs) {
+    switch (ref.type) {
+      case DataType::kInt64:
+        HashCombine(&seed, std::hash<int64_t>{}((*ref.i64)[row]));
+        break;
+      case DataType::kDouble:
+        HashCombine(&seed, std::hash<double>{}((*ref.f64)[row]));
+        break;
+      case DataType::kString:
+        HashCombine(&seed, std::hash<std::string>{}((*ref.str)[row]));
+        break;
+    }
+  }
+  return seed;
+}
+
+bool RowsEqual(const std::vector<ColumnRef>& refs, size_t a, size_t b) {
+  for (const ColumnRef& ref : refs) {
+    switch (ref.type) {
+      case DataType::kInt64:
+        if ((*ref.i64)[a] != (*ref.i64)[b]) return false;
+        break;
+      case DataType::kDouble:
+        if ((*ref.f64)[a] != (*ref.f64)[b]) return false;
+        break;
+      case DataType::kString:
+        if ((*ref.str)[a] != (*ref.str)[b]) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+/// Hash/equality functors keyed by representative row index.
+struct RowHash {
+  const std::vector<ColumnRef>* refs;
+  size_t operator()(uint32_t row) const { return HashRow(*refs, row); }
+};
+struct RowEq {
+  const std::vector<ColumnRef>* refs;
+  bool operator()(uint32_t a, uint32_t b) const {
+    return RowsEqual(*refs, a, b);
+  }
+};
+
+using RowDict = std::unordered_map<uint32_t, uint32_t, RowHash, RowEq>;
+
+/// Per-morsel interning state: a dictionary keyed by the first row seen
+/// with each key, plus local id assignments in first-occurrence order.
+struct LocalDict {
+  std::vector<uint32_t> reps;     ///< local id -> representative row.
+  std::vector<uint64_t> counts;   ///< local id -> rows in this morsel.
+};
+
+}  // namespace
+
+Result<GroupIndex> GroupIndex::Build(const Table& table,
+                                     const std::vector<size_t>& group_columns,
+                                     const ExecutorOptions& options) {
+  for (size_t c : group_columns) {
+    if (c >= table.num_columns()) {
+      return Status::InvalidArgument("group column " + std::to_string(c) +
+                                     " out of range");
+    }
+  }
+  const size_t n = table.num_rows();
+  if (n > std::numeric_limits<uint32_t>::max()) {
+    return Status::InvalidArgument("table exceeds 2^32 rows");
+  }
+
+  GroupIndex index;
+  if (n == 0) return index;
+
+  if (group_columns.empty()) {
+    // No-group-by: one group, the empty key.
+    index.row_ids_.assign(n, 0);
+    index.keys_.push_back(GroupKey{});
+    index.counts_.push_back(n);
+    index.index_.emplace(GroupKey{}, 0);
+    return index;
+  }
+
+  const std::vector<ColumnRef> refs = ResolveColumns(table, group_columns);
+  const auto ranges = MorselRanges(n, options.morsel_size);
+  index.row_ids_.resize(n);
+
+  // Phase 1 (parallel): intern each morsel against a local dictionary,
+  // writing morsel-local ids into the (disjoint) row id slots.
+  std::vector<LocalDict> locals(ranges.size());
+  uint32_t* row_ids = index.row_ids_.data();
+  ParallelFor(options.ResolvedThreads(), ranges.size(), [&](size_t m) {
+    const auto [begin, end] = ranges[m];
+    LocalDict& local = locals[m];
+    RowDict dict(/*bucket_count=*/16, RowHash{&refs}, RowEq{&refs});
+    for (size_t row = begin; row < end; ++row) {
+      auto [it, inserted] =
+          dict.emplace(static_cast<uint32_t>(row),
+                       static_cast<uint32_t>(local.reps.size()));
+      if (inserted) {
+        local.reps.push_back(static_cast<uint32_t>(row));
+        local.counts.push_back(0);
+      }
+      local.counts[it->second] += 1;
+      row_ids[row] = it->second;
+    }
+  });
+
+  // Phase 2 (serial, morsel order): merge local dictionaries into global
+  // ids. Global ids land in first-occurrence row order — identical to a
+  // serial one-pass intern, whatever the thread count.
+  std::vector<uint32_t> reps;  // global id -> representative row.
+  RowDict global(/*bucket_count=*/16, RowHash{&refs}, RowEq{&refs});
+  std::vector<std::vector<uint32_t>> remaps(ranges.size());
+  for (size_t m = 0; m < ranges.size(); ++m) {
+    const LocalDict& local = locals[m];
+    std::vector<uint32_t>& remap = remaps[m];
+    remap.resize(local.reps.size());
+    for (size_t l = 0; l < local.reps.size(); ++l) {
+      auto [it, inserted] =
+          global.emplace(local.reps[l], static_cast<uint32_t>(reps.size()));
+      if (inserted) {
+        reps.push_back(local.reps[l]);
+        index.counts_.push_back(0);
+      }
+      remap[l] = it->second;
+      index.counts_[it->second] += local.counts[l];
+    }
+  }
+
+  // Phase 3 (parallel): rewrite morsel-local ids to global ids.
+  ParallelFor(options.ResolvedThreads(), ranges.size(), [&](size_t m) {
+    const auto [begin, end] = ranges[m];
+    const std::vector<uint32_t>& remap = remaps[m];
+    for (size_t row = begin; row < end; ++row) {
+      row_ids[row] = remap[row_ids[row]];
+    }
+  });
+
+  index.keys_.reserve(reps.size());
+  for (uint32_t rep : reps) {
+    index.keys_.push_back(table.KeyForRow(rep, group_columns));
+  }
+  index.index_.reserve(index.keys_.size());
+  for (uint32_t g = 0; g < index.keys_.size(); ++g) {
+    index.index_.emplace(index.keys_[g], g);
+  }
+  return index;
+}
+
+Result<uint32_t> GroupIndex::IdOf(const GroupKey& key) const {
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    return Status::NotFound("group " + GroupKeyToString(key) + " not present");
+  }
+  return it->second;
+}
+
+GroupIndex::RowLists GroupIndex::GroupRows() const {
+  RowLists lists;
+  lists.offsets.resize(num_groups() + 1, 0);
+  for (size_t g = 0; g < num_groups(); ++g) {
+    lists.offsets[g + 1] = lists.offsets[g] + counts_[g];
+  }
+  lists.rows.resize(row_ids_.size());
+  std::vector<uint64_t> cursor(lists.offsets.begin(), lists.offsets.end() - 1);
+  for (size_t row = 0; row < row_ids_.size(); ++row) {
+    lists.rows[cursor[row_ids_[row]]++] = static_cast<uint32_t>(row);
+  }
+  return lists;
+}
+
+std::vector<std::pair<size_t, size_t>> BalancedGroupChunks(
+    const std::vector<uint64_t>& offsets, uint64_t target_rows) {
+  std::vector<std::pair<size_t, size_t>> chunks;
+  const size_t num_groups = offsets.empty() ? 0 : offsets.size() - 1;
+  if (num_groups == 0) return chunks;
+  if (target_rows == 0) target_rows = 1;
+  size_t start = 0;
+  for (size_t g = 0; g < num_groups; ++g) {
+    if (offsets[g + 1] - offsets[start] >= target_rows) {
+      chunks.emplace_back(start, g + 1);
+      start = g + 1;
+    }
+  }
+  if (start < num_groups) chunks.emplace_back(start, num_groups);
+  return chunks;
+}
+
+}  // namespace congress

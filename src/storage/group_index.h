@@ -1,0 +1,80 @@
+#ifndef CONGRESS_STORAGE_GROUP_INDEX_H_
+#define CONGRESS_STORAGE_GROUP_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "storage/table.h"
+#include "storage/value.h"
+#include "util/parallel.h"
+#include "util/status.h"
+
+namespace congress {
+
+/// A row→stratum mapping computed in one pass over the grouping columns:
+/// every distinct composite key is interned into a dense uint32_t group
+/// id, and each row carries its id. Scans that used to re-materialize a
+/// heap-allocated GroupKey per row (exact execution, group censuses,
+/// sample construction, estimator evaluation) instead index flat vectors
+/// by id.
+///
+/// Ids are assigned in first-occurrence row order, and the build is
+/// morsel-parallel with a deterministic in-order merge, so the mapping is
+/// identical for every thread count.
+class GroupIndex {
+ public:
+  GroupIndex() = default;
+
+  /// Interns the composite keys of `table` over `group_columns`. An empty
+  /// `group_columns` yields a single group holding every row (the
+  /// no-group-by case); an empty table yields zero groups.
+  static Result<GroupIndex> Build(const Table& table,
+                                  const std::vector<size_t>& group_columns,
+                                  const ExecutorOptions& options = {});
+
+  size_t num_rows() const { return row_ids_.size(); }
+  size_t num_groups() const { return keys_.size(); }
+  uint64_t total_rows() const { return row_ids_.size(); }
+
+  /// Distinct group keys, indexed by id (first-occurrence order).
+  const std::vector<GroupKey>& keys() const { return keys_; }
+  const GroupKey& KeyOf(uint32_t id) const { return keys_[id]; }
+
+  /// Per-row group ids, aligned with the table's rows.
+  const std::vector<uint32_t>& row_ids() const { return row_ids_; }
+
+  /// Per-group row counts, aligned with keys().
+  const std::vector<uint64_t>& counts() const { return counts_; }
+
+  /// Id of `key`, or NotFound.
+  Result<uint32_t> IdOf(const GroupKey& key) const;
+
+  /// Rows regrouped by id: group g owns rows()[offsets()[g] ..
+  /// offsets()[g+1]), each run in ascending row order. This is the layout
+  /// the parallel aggregators scan so per-group accumulation visits rows
+  /// in the same order as a serial full-table pass.
+  struct RowLists {
+    std::vector<uint64_t> offsets;  ///< num_groups + 1 entries.
+    std::vector<uint32_t> rows;     ///< num_rows entries.
+  };
+  RowLists GroupRows() const;
+
+ private:
+  std::vector<GroupKey> keys_;
+  std::vector<uint32_t> row_ids_;
+  std::vector<uint64_t> counts_;
+  std::unordered_map<GroupKey, uint32_t, GroupKeyHash> index_;
+};
+
+/// Splits groups [0, num_groups) into contiguous chunks of roughly
+/// `target_rows` rows each (per `offsets`, as returned by GroupRows), so
+/// a skewed group distribution still load-balances across workers. Always
+/// returns at least one chunk when num_groups > 0.
+std::vector<std::pair<size_t, size_t>> BalancedGroupChunks(
+    const std::vector<uint64_t>& offsets, uint64_t target_rows);
+
+}  // namespace congress
+
+#endif  // CONGRESS_STORAGE_GROUP_INDEX_H_

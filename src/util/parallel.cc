@@ -1,0 +1,157 @@
+#include "util/parallel.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace congress {
+
+size_t ExecutorOptions::ResolvedThreads() const {
+  if (num_threads != 0) return num_threads;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+std::vector<std::pair<size_t, size_t>> MorselRanges(size_t total,
+                                                    size_t morsel_size) {
+  if (morsel_size == 0) morsel_size = 1;
+  std::vector<std::pair<size_t, size_t>> ranges;
+  ranges.reserve(total / morsel_size + 1);
+  for (size_t begin = 0; begin < total; begin += morsel_size) {
+    ranges.emplace_back(begin, std::min(total, begin + morsel_size));
+  }
+  return ranges;
+}
+
+namespace {
+
+/// A lazily started, process-wide worker pool. One job runs at a time
+/// (scans do not nest); its tasks are claimed off a shared atomic counter,
+/// so a slow morsel never stalls the fast ones.
+class ThreadPool {
+ public:
+  static ThreadPool& Instance() {
+    static ThreadPool pool;
+    return pool;
+  }
+
+  /// Runs fn(0..num_tasks) using up to `helpers` pool threads plus the
+  /// calling thread. Blocks until every task completed and no worker still
+  /// references the job. Concurrent Run calls are serialized.
+  void Run(size_t helpers, size_t num_tasks,
+           const std::function<void(size_t)>& fn) {
+    std::lock_guard<std::mutex> run_lock(run_mutex_);
+    EnsureStarted(helpers);
+    Job job;
+    job.fn = &fn;
+    job.num_tasks = num_tasks;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      job_ = &job;
+      ++generation_;
+      claims_left_ = std::min(helpers, threads_.size());
+    }
+    cv_.notify_all();
+    Drain(&job);
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] {
+      return job.completed == num_tasks && job.checked_out == 0;
+    });
+    job_ = nullptr;
+    claims_left_ = 0;
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      shutdown_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+
+ private:
+  struct Job {
+    const std::function<void(size_t)>* fn = nullptr;
+    size_t num_tasks = 0;
+    std::atomic<size_t> next{0};
+    size_t completed = 0;    // Guarded by pool mutex.
+    size_t checked_out = 0;  // Workers currently draining; pool mutex.
+  };
+
+  void EnsureStarted(size_t helpers) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    while (threads_.size() < helpers) {
+      threads_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  /// Claims and runs tasks until the counter is exhausted, then records
+  /// how many this thread finished.
+  void Drain(Job* job) {
+    size_t finished = 0;
+    while (true) {
+      size_t task = job->next.fetch_add(1, std::memory_order_relaxed);
+      if (task >= job->num_tasks) break;
+      (*job->fn)(task);
+      ++finished;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    job->completed += finished;
+    if (job->completed == job->num_tasks) done_cv_.notify_all();
+  }
+
+  void WorkerLoop() {
+    uint64_t seen_generation = 0;
+    while (true) {
+      Job* job = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [&] {
+          return shutdown_ || (job_ != nullptr &&
+                               generation_ != seen_generation &&
+                               claims_left_ > 0);
+        });
+        if (shutdown_) return;
+        seen_generation = generation_;
+        --claims_left_;
+        job = job_;
+        ++job->checked_out;
+      }
+      Drain(job);
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        --job->checked_out;
+        if (job->checked_out == 0) done_cv_.notify_all();
+      }
+    }
+  }
+
+  std::mutex run_mutex_;  // Serializes Run callers.
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> threads_;
+  Job* job_ = nullptr;            // Guarded by mutex_.
+  uint64_t generation_ = 0;       // Bumped per job so workers claim once.
+  size_t claims_left_ = 0;        // Workers still allowed to join the job.
+  bool shutdown_ = false;
+};
+
+}  // namespace
+
+void ParallelFor(size_t num_threads, size_t num_tasks,
+                 const std::function<void(size_t)>& fn) {
+  if (num_tasks == 0) return;
+  if (num_threads <= 1 || num_tasks == 1) {
+    for (size_t i = 0; i < num_tasks; ++i) fn(i);
+    return;
+  }
+  // The caller participates, so request one fewer helper than requested
+  // lanes, and never more helpers than there are tasks to share.
+  size_t helpers = std::min(num_threads - 1, num_tasks - 1);
+  ThreadPool::Instance().Run(helpers, num_tasks, fn);
+}
+
+}  // namespace congress

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "sampling/allocation.h"
+#include "storage/group_index.h"
 
 namespace congress {
 
@@ -68,7 +69,8 @@ Result<WaveletSynopsis> WaveletSynopsis::Build(
     return Status::FailedPrecondition("table is empty");
   }
 
-  GroupStatistics stats = GroupStatistics::Compute(table, grouping_columns);
+  GroupStatistics stats =
+      GroupStatistics::Compute(table, grouping_columns, options.execution);
   const size_t m = stats.num_groups();
   const size_t padded = NextPowerOfTwo(m);
   const size_t num_vectors = 1 + options.measure_columns.size();
@@ -84,14 +86,35 @@ Result<WaveletSynopsis> WaveletSynopsis::Build(
   for (size_t g = 0; g < m; ++g) {
     vectors[0][g] = static_cast<double>(stats.counts()[g]);
   }
-  for (size_t row = 0; row < table.num_rows(); ++row) {
-    auto idx = stats.IndexOf(table.KeyForRow(row, grouping_columns));
+  // Intern the grouping columns once and accumulate each group's measure
+  // sums over its rows in ascending row order (parallel across disjoint
+  // groups — bit-identical to a serial table scan).
+  auto index = GroupIndex::Build(table, grouping_columns, options.execution);
+  if (!index.ok()) return index.status();
+  std::vector<size_t> stats_index(index->num_groups());
+  for (size_t g = 0; g < index->num_groups(); ++g) {
+    auto idx = stats.IndexOf(index->keys()[g]);
     if (!idx.ok()) return idx.status();
-    for (size_t k = 0; k < options.measure_columns.size(); ++k) {
-      vectors[1 + k][*idx] +=
-          table.NumericAt(row, options.measure_columns[k]);
-    }
+    stats_index[g] = *idx;
   }
+  GroupIndex::RowLists lists = index->GroupRows();
+  std::vector<std::pair<size_t, size_t>> chunks = BalancedGroupChunks(
+      lists.offsets, std::max<uint64_t>(table.num_rows() / 64 + 1, 1024));
+  ParallelFor(options.execution.ResolvedThreads(), chunks.size(),
+              [&](size_t c) {
+                for (size_t g = chunks[c].first; g < chunks[c].second; ++g) {
+                  const size_t slot = stats_index[g];
+                  for (uint64_t r = lists.offsets[g]; r < lists.offsets[g + 1];
+                       ++r) {
+                    const size_t row = lists.rows[static_cast<size_t>(r)];
+                    for (size_t k = 0; k < options.measure_columns.size();
+                         ++k) {
+                      vectors[1 + k][slot] +=
+                          table.NumericAt(row, options.measure_columns[k]);
+                    }
+                  }
+                }
+              });
 
   // Transform and rank every coefficient across all vectors jointly
   // (orthonormal Haar, so magnitudes are L2-comparable within a vector;

@@ -6,6 +6,7 @@
 
 #include "engine/query.h"
 #include "storage/table.h"
+#include "util/parallel.h"
 #include "util/status.h"
 
 namespace congress {
@@ -24,6 +25,9 @@ class WaveletSynopsis {
     /// Total retained coefficients across all transformed vectors.
     size_t coefficient_budget = 256;
     std::vector<size_t> measure_columns;
+    /// Parallelism for the build scans. Results are bit-identical for
+    /// every thread count (per-group sums accumulate in row order).
+    ExecutorOptions execution;
   };
 
   static Result<WaveletSynopsis> Build(

@@ -1,0 +1,143 @@
+#include "storage/group_index.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+#include "util/zipf.h"
+
+namespace congress {
+namespace {
+
+Table MakeTable() {
+  Table t{Schema({Field{"g1", DataType::kString},
+                  Field{"g2", DataType::kInt64},
+                  Field{"v", DataType::kDouble}})};
+  auto add = [&t](const char* g1, int64_t g2, double v) {
+    ASSERT_TRUE(t.AppendRow({Value(g1), Value(g2), Value(v)}).ok());
+  };
+  add("A", 1, 1.0);
+  add("A", 1, 2.0);
+  add("A", 2, 3.0);
+  add("B", 1, 4.0);
+  add("B", 1, 5.0);
+  add("A", 2, 6.0);
+  return t;
+}
+
+TEST(GroupIndexTest, IdsRoundTripToExactKeys) {
+  Table t = MakeTable();
+  auto index = GroupIndex::Build(t, {0, 1});
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->num_rows(), t.num_rows());
+  EXPECT_EQ(index->num_groups(), 3u);
+  for (size_t row = 0; row < t.num_rows(); ++row) {
+    GroupKey expected = t.KeyForRow(row, {0, 1});
+    EXPECT_EQ(index->KeyOf(index->row_ids()[row]), expected) << "row " << row;
+  }
+}
+
+TEST(GroupIndexTest, FirstOccurrenceOrderAndCounts) {
+  Table t = MakeTable();
+  auto index = GroupIndex::Build(t, {0, 1});
+  ASSERT_TRUE(index.ok());
+  // Groups in the order their first row appears: (A,1), (A,2), (B,1).
+  ASSERT_EQ(index->keys().size(), 3u);
+  EXPECT_EQ(index->keys()[0], GroupKey({Value("A"), Value(int64_t{1})}));
+  EXPECT_EQ(index->keys()[1], GroupKey({Value("A"), Value(int64_t{2})}));
+  EXPECT_EQ(index->keys()[2], GroupKey({Value("B"), Value(int64_t{1})}));
+  EXPECT_EQ(index->counts(), (std::vector<uint64_t>{2, 2, 2}));
+  EXPECT_EQ(index->total_rows(), 6u);
+}
+
+TEST(GroupIndexTest, IdOfLooksUpKeys) {
+  Table t = MakeTable();
+  auto index = GroupIndex::Build(t, {0, 1});
+  ASSERT_TRUE(index.ok());
+  auto id = index->IdOf({Value("B"), Value(int64_t{1})});
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id, 2u);
+  EXPECT_FALSE(index->IdOf({Value("C"), Value(int64_t{1})}).ok());
+}
+
+TEST(GroupIndexTest, GroupRowsAreAscendingPerGroup) {
+  Table t = MakeTable();
+  auto index = GroupIndex::Build(t, {0, 1});
+  ASSERT_TRUE(index.ok());
+  GroupIndex::RowLists lists = index->GroupRows();
+  ASSERT_EQ(lists.offsets.size(), index->num_groups() + 1);
+  EXPECT_EQ(lists.rows.size(), t.num_rows());
+  for (size_t g = 0; g < index->num_groups(); ++g) {
+    for (uint64_t i = lists.offsets[g]; i < lists.offsets[g + 1]; ++i) {
+      EXPECT_EQ(index->row_ids()[lists.rows[i]], g);
+      if (i > lists.offsets[g]) {
+        EXPECT_LT(lists.rows[i - 1], lists.rows[i]);
+      }
+    }
+  }
+}
+
+TEST(GroupIndexTest, EmptyTable) {
+  Table t{Schema({Field{"g", DataType::kInt64}})};
+  auto index = GroupIndex::Build(t, {0});
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->num_groups(), 0u);
+  EXPECT_EQ(index->num_rows(), 0u);
+  EXPECT_TRUE(index->GroupRows().rows.empty());
+}
+
+TEST(GroupIndexTest, NoColumnsYieldsSingleGroup) {
+  Table t = MakeTable();
+  auto index = GroupIndex::Build(t, {});
+  ASSERT_TRUE(index.ok());
+  ASSERT_EQ(index->num_groups(), 1u);
+  EXPECT_TRUE(index->keys()[0].empty());
+  for (uint32_t id : index->row_ids()) EXPECT_EQ(id, 0u);
+}
+
+TEST(GroupIndexTest, ColumnOutOfRangeFails) {
+  Table t = MakeTable();
+  EXPECT_FALSE(GroupIndex::Build(t, {7}).ok());
+}
+
+TEST(GroupIndexTest, ParallelBuildMatchesSerial) {
+  // A table large enough to span several morsels, with enough groups for
+  // morsel-local dictionaries to disagree before the merge.
+  Table t{Schema({Field{"g", DataType::kInt64}, Field{"v", DataType::kDouble}})};
+  Random rng(7);
+  ZipfDistribution zipf(50, 1.1);
+  for (size_t i = 0; i < 20'000; ++i) {
+    ASSERT_TRUE(t.AppendRow({Value(static_cast<int64_t>(zipf.Sample(&rng))),
+                             Value(static_cast<double>(i))})
+                    .ok());
+  }
+  ExecutorOptions serial;
+  serial.morsel_size = 1024;
+  auto reference = GroupIndex::Build(t, {0}, serial);
+  ASSERT_TRUE(reference.ok());
+  for (size_t threads : {2u, 4u, 8u}) {
+    ExecutorOptions options;
+    options.num_threads = threads;
+    options.morsel_size = 1024;
+    auto index = GroupIndex::Build(t, {0}, options);
+    ASSERT_TRUE(index.ok());
+    EXPECT_EQ(index->keys(), reference->keys()) << threads << " threads";
+    EXPECT_EQ(index->row_ids(), reference->row_ids()) << threads << " threads";
+    EXPECT_EQ(index->counts(), reference->counts()) << threads << " threads";
+  }
+}
+
+TEST(GroupIndexTest, BalancedGroupChunksCoverAllGroups) {
+  // Offsets for groups of sizes 100, 1, 1, 50, 200, 3.
+  std::vector<uint64_t> offsets = {0, 100, 101, 102, 152, 352, 355};
+  auto chunks = BalancedGroupChunks(offsets, 100);
+  ASSERT_FALSE(chunks.empty());
+  EXPECT_EQ(chunks.front().first, 0u);
+  EXPECT_EQ(chunks.back().second, 6u);
+  for (size_t i = 1; i < chunks.size(); ++i) {
+    EXPECT_EQ(chunks[i].first, chunks[i - 1].second);  // Contiguous.
+    EXPECT_LT(chunks[i].first, chunks[i].second);      // Non-empty.
+  }
+}
+
+}  // namespace
+}  // namespace congress
