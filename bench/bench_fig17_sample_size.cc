@@ -55,6 +55,8 @@ int Run(int argc, char** argv) {
       sconfig.sample_fraction = sp;
       sconfig.grouping_columns = tpcd::LineitemGroupingColumnNames();
       sconfig.seed = 7;
+      obs::Scope root(name);
+      sconfig.execution.scope = &root;
       Stopwatch watch;
       auto synopsis = AquaSynopsis::Build(base, sconfig);
       if (!synopsis.ok()) {
@@ -68,7 +70,7 @@ int Run(int argc, char** argv) {
                   {"groups", static_cast<double>(data->realized_num_groups)},
                   {"skew", config.group_skew_z},
                   {"sp", sp}},
-                 watch.ElapsedSeconds(), l1);
+                 watch.ElapsedSeconds(), l1, root.Flatten());
     }
     std::printf("\n");
   }

@@ -11,6 +11,7 @@
 #include "core/metrics.h"
 #include "core/synopsis.h"
 #include "engine/executor.h"
+#include "obs/scope.h"
 #include "util/stopwatch.h"
 
 namespace congress::bench {
@@ -97,6 +98,16 @@ class JsonReport {
   void Add(const std::string& name,
            const std::vector<std::pair<std::string, double>>& params,
            double seconds, double l1_error) {
+    Add(name, params, seconds, l1_error, {});
+  }
+
+  /// Like Add(), but also records per-stage span timings (path -> seconds)
+  /// as a "spans" object — pass `scope.Flatten()` from the obs::Scope the
+  /// measured code ran under.
+  void Add(const std::string& name,
+           const std::vector<std::pair<std::string, double>>& params,
+           double seconds, double l1_error,
+           const std::vector<std::pair<std::string, double>>& spans) {
     if (path_.empty()) return;
     std::string record = "  {\"name\": \"" + Escape(name) + "\", \"params\": {";
     for (size_t i = 0; i < params.size(); ++i) {
@@ -104,7 +115,16 @@ class JsonReport {
       record += "\"" + Escape(params[i].first) + "\": " + Num(params[i].second);
     }
     record += "}, \"seconds\": " + Num(seconds) +
-              ", \"l1_error\": " + Num(l1_error) + "}";
+              ", \"l1_error\": " + Num(l1_error);
+    if (!spans.empty()) {
+      record += ", \"spans\": {";
+      for (size_t i = 0; i < spans.size(); ++i) {
+        if (i > 0) record += ", ";
+        record += "\"" + Escape(spans[i].first) + "\": " + Num(spans[i].second);
+      }
+      record += "}";
+    }
+    record += "}";
     records_.push_back(std::move(record));
   }
 

@@ -64,12 +64,16 @@ inline int RunExpt1(int argc, char** argv, Expt1Query which,
   JsonReport report(argc, argv);
   for (Row& row : rows) {
     Stopwatch strategy_watch;
+    // Spans accumulate across reps: the reported per-stage seconds are
+    // totals over all sample draws for this strategy.
+    obs::Scope root(row.name);
     for (uint64_t rep = 0; rep < reps; ++rep) {
       SynopsisConfig sconfig;
       sconfig.strategy = row.strategy;
       sconfig.sample_fraction = sp;
       sconfig.grouping_columns = tpcd::LineitemGroupingColumnNames();
       sconfig.seed = config.seed + 7 + rep * 1000;
+      sconfig.execution.scope = &root;
       auto synopsis = AquaSynopsis::Build(base, sconfig);
       if (!synopsis.ok()) {
         std::printf("%s build failed: %s\n", row.name,
@@ -120,7 +124,7 @@ inline int RunExpt1(int argc, char** argv, Expt1Query which,
                 {"skew", config.group_skew_z},
                 {"sp", sp},
                 {"reps", static_cast<double>(reps)}},
-               strategy_watch.ElapsedSeconds(), row.l1);
+               strategy_watch.ElapsedSeconds(), row.l1, root.Flatten());
   }
   std::printf("(averaged over %llu independent sample draws; Linf is the "
               "worst group across draws)\n",

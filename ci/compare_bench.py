@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Compare a bench --json report against a checked-in baseline.
+
+Usage:
+    compare_bench.py BASELINE CURRENT... [--time-tolerance 0.25]
+                     [--l1-abs-tolerance 2.0] [--label NAME]
+
+Multiple CURRENT files are merged first (the baseline is one combined
+file covering several bench binaries). Records are matched by
+(name, params). For every baseline record the
+current report must contain a matching record, and:
+
+  * wall time must not regress by more than --time-tolerance
+    (fractional: 0.25 means "no more than 25% slower than baseline");
+  * l1_error must not drift by more than --l1-abs-tolerance percentage
+    points in either direction (error is a percentage, so absolute
+    comparison is the meaningful one — a 1.0% -> 1.5% move is 0.5);
+  * negative l1_error is a sentinel for "correctness check failed"
+    (e.g. the parallel answer was not bit-identical) and fails
+    immediately.
+
+Extra records in the current report are allowed (new benches don't
+invalidate old baselines). Timing comparisons are skipped for records
+whose baseline time is under MIN_COMPARABLE_SECONDS — shared-runner
+noise dominates sub-millisecond measurements.
+
+Exit code 0 = pass, 1 = regression or malformed input.
+"""
+
+import argparse
+import json
+import sys
+
+# Below this baseline duration, timing noise on shared CI runners
+# exceeds any signal; only the error/correctness checks apply.
+MIN_COMPARABLE_SECONDS = 0.005
+
+
+def key_of(record):
+    params = record.get("params", {})
+    return (record["name"], tuple(sorted(params.items())))
+
+
+def load(paths):
+    table = {}
+    for path in paths:
+        try:
+            with open(path) as f:
+                data = json.load(f)
+        except (OSError, json.JSONDecodeError) as exc:
+            sys.exit(f"FAIL: cannot read {path}: {exc}")
+        if not isinstance(data, list):
+            sys.exit(f"FAIL: {path}: expected a JSON array of records")
+        for record in data:
+            if "name" not in record or "seconds" not in record:
+                sys.exit(f"FAIL: {path}: record missing name/seconds: "
+                         f"{record}")
+            k = key_of(record)
+            if k in table:
+                sys.exit(f"FAIL: {path}: duplicate record {k}")
+            table[k] = record
+    return table
+
+
+def describe(key):
+    name, params = key
+    rendered = ", ".join(f"{k}={v:g}" for k, v in params)
+    return f"{name}({rendered})"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current", nargs="+")
+    parser.add_argument("--time-tolerance", type=float, default=0.25,
+                        help="max fractional wall-time regression (0.25 = 25%%)")
+    parser.add_argument("--l1-abs-tolerance", type=float, default=2.0,
+                        help="max absolute l1_error drift in percentage points")
+    parser.add_argument("--label", default="",
+                        help="prefix for log lines (e.g. the bench name)")
+    args = parser.parse_args()
+
+    baseline = load([args.baseline])
+    current = load(args.current)
+    prefix = f"[{args.label}] " if args.label else ""
+
+    failures = []
+    for key, base in baseline.items():
+        tag = describe(key)
+        cur = current.get(key)
+        if cur is None:
+            failures.append(f"{tag}: missing from current report")
+            continue
+
+        base_l1 = base.get("l1_error", 0.0)
+        cur_l1 = cur.get("l1_error", 0.0)
+        if cur_l1 < 0.0:
+            failures.append(f"{tag}: correctness check failed "
+                            f"(l1_error sentinel {cur_l1})")
+            continue
+        drift = abs(cur_l1 - max(base_l1, 0.0))
+        if drift > args.l1_abs_tolerance:
+            failures.append(
+                f"{tag}: l1_error drifted {base_l1:.3f} -> {cur_l1:.3f} "
+                f"(|delta| {drift:.3f} > {args.l1_abs_tolerance})")
+
+        base_s, cur_s = base["seconds"], cur["seconds"]
+        if base_s < MIN_COMPARABLE_SECONDS:
+            print(f"{prefix}SKIP-TIME {tag}: baseline {base_s * 1e3:.2f} ms "
+                  f"below noise floor")
+            continue
+        ratio = cur_s / base_s
+        verdict = "OK"
+        if ratio > 1.0 + args.time_tolerance:
+            verdict = "REGRESSION"
+            failures.append(
+                f"{tag}: wall time {base_s:.4f}s -> {cur_s:.4f}s "
+                f"({ratio:.2f}x > {1.0 + args.time_tolerance:.2f}x allowed)")
+        print(f"{prefix}{verdict} {tag}: {base_s:.4f}s -> {cur_s:.4f}s "
+              f"({ratio:.2f}x), l1 {base_l1:.3f} -> {cur_l1:.3f}")
+
+    if failures:
+        print(f"\n{prefix}{len(failures)} regression(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"{prefix}all {len(baseline)} baseline records within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

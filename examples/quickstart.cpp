@@ -10,6 +10,8 @@
 
 #include "core/synopsis.h"
 #include "engine/executor.h"
+#include "obs/metrics.h"
+#include "obs/scope.h"
 #include "tpcd/lineitem.h"
 #include "tpcd/workload.h"
 
@@ -93,5 +95,16 @@ int main() {
     std::printf("\nNested-Integrated rewrite agrees on %zu groups.\n",
                 rewritten->num_groups());
   }
+
+  // 4. Observability: hand the engine a scope to time each stage of one
+  //    query, and snapshot the process-wide metric registry.
+  obs::Scope root("quickstart_query");
+  auto timed = ExecuteExact(lineitem, query, config.execution.WithScope(&root));
+  if (timed.ok()) {
+    std::printf("\nper-stage timings of one exact query:\n%s",
+                root.ToText().c_str());
+  }
+  std::printf("\nprocess-wide metrics so far:\n%s",
+              obs::MetricsRegistry::Global().SnapshotText().c_str());
   return 0;
 }

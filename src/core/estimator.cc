@@ -5,6 +5,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "obs/metrics.h"
+#include "obs/scope.h"
 #include "storage/group_index.h"
 
 namespace congress {
@@ -173,6 +175,8 @@ Result<ApproximateResult> EstimateGroupBy(const StratifiedSample& sample,
       return Status::InvalidArgument("HAVING references a missing aggregate");
     }
   }
+  CONGRESS_METRIC_INCR("estimator.queries", 1);
+  CONGRESS_SPAN(estimate_span, execution.scope, "estimate");
 
   const size_t num_aggs = query.aggregates.size();
   const auto& strata = sample.strata();
@@ -184,7 +188,8 @@ Result<ApproximateResult> EstimateGroupBy(const StratifiedSample& sample,
   // floating-point sums and each group's stratum insertion order — which
   // fixes the estimate loop's iteration order below — are bit-identical
   // for every thread count.
-  auto index = GroupIndex::Build(rows, query.group_columns, execution);
+  auto index = GroupIndex::Build(rows, query.group_columns,
+                                 execution.WithScope(estimate_span.scope()));
   if (!index.ok()) return index.status();
   const size_t num_groups = index->num_groups();
   std::vector<GroupAccum> accums(num_groups);

@@ -5,6 +5,8 @@
 #include <limits>
 #include <sstream>
 
+#include "obs/metrics.h"
+
 namespace congress {
 
 std::string GroupByErrorReport::ToString() const {
@@ -60,6 +62,10 @@ GroupByErrorReport CompareAnswers(const QueryResult& exact,
     report.l1 = sum / static_cast<double>(counted);
     report.l2 = std::sqrt(sum_sq / static_cast<double>(counted));
   }
+  // The realized error, to read alongside the estimator's
+  // last_mean_relative_bound gauge (estimated vs. actual).
+  CONGRESS_METRIC_INCR("error.comparisons", 1);
+  CONGRESS_METRIC_SET("error.last_actual_l1_percent", report.l1);
   return report;
 }
 

@@ -4,6 +4,8 @@
 #include <cassert>
 
 #include "engine/executor.h"
+#include "obs/metrics.h"
+#include "obs/scope.h"
 #include "storage/group_index.h"
 
 namespace congress {
@@ -156,15 +158,29 @@ Result<QueryResult> Rewriter::Answer(const GroupByQuery& query,
                                      const ExecutorOptions& options) const {
   CONGRESS_RETURN_NOT_OK(
       ValidateForRewrite(query, integrated_.schema(), base_num_columns_));
+  // Spans are named per strategy so a snapshot shows which physical plans
+  // a workload actually exercised (and how their costs compare).
   switch (strategy) {
-    case RewriteStrategy::kIntegrated:
-      return AnswerIntegrated(query, options);
-    case RewriteStrategy::kNestedIntegrated:
-      return AnswerNestedIntegrated(query, options);
-    case RewriteStrategy::kNormalized:
-      return AnswerNormalized(query, options);
-    case RewriteStrategy::kKeyNormalized:
-      return AnswerKeyNormalized(query, options);
+    case RewriteStrategy::kIntegrated: {
+      CONGRESS_METRIC_INCR("rewriter.answers.integrated", 1);
+      CONGRESS_SPAN(span, options.scope, "rewrite_integrated");
+      return AnswerIntegrated(query, options.WithScope(span.scope()));
+    }
+    case RewriteStrategy::kNestedIntegrated: {
+      CONGRESS_METRIC_INCR("rewriter.answers.nested_integrated", 1);
+      CONGRESS_SPAN(span, options.scope, "rewrite_nested_integrated");
+      return AnswerNestedIntegrated(query, options.WithScope(span.scope()));
+    }
+    case RewriteStrategy::kNormalized: {
+      CONGRESS_METRIC_INCR("rewriter.answers.normalized", 1);
+      CONGRESS_SPAN(span, options.scope, "rewrite_normalized");
+      return AnswerNormalized(query, options.WithScope(span.scope()));
+    }
+    case RewriteStrategy::kKeyNormalized: {
+      CONGRESS_METRIC_INCR("rewriter.answers.key_normalized", 1);
+      CONGRESS_SPAN(span, options.scope, "rewrite_key_normalized");
+      return AnswerKeyNormalized(query, options.WithScope(span.scope()));
+    }
   }
   return Status::InvalidArgument("unknown rewrite strategy");
 }
@@ -185,7 +201,6 @@ Result<QueryResult> Rewriter::AnswerNestedIntegrated(
   };
   const Table& rel = integrated_;
   const size_t sf_col = base_num_columns_;
-  const std::vector<double>& sf = rel.DoubleColumn(sf_col);
   const size_t num_aggs = query.aggregates.size();
 
   // Inner key = group key + SF value, interned once. Each inner group's

@@ -2,6 +2,9 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/scope.h"
+
 namespace congress {
 
 Result<AquaSynopsis> AquaSynopsis::Build(const Table& base,
@@ -33,6 +36,8 @@ Result<AquaSynopsis> AquaSynopsis::Build(const Table& base,
   synopsis.grouping_indices_ = indices;
   synopsis.target_sample_size_ = sample_size;
 
+  CONGRESS_METRIC_INCR("synopsis.builds", 1);
+  CONGRESS_SPAN(build_span, config.execution.scope, "synopsis_build");
   if (config.incremental) {
     switch (config.strategy) {
       case AllocationStrategy::kHouse:
@@ -52,6 +57,7 @@ Result<AquaSynopsis> AquaSynopsis::Build(const Table& base,
             base.schema(), indices, sample_size, config.seed);
         break;
     }
+    CONGRESS_SPAN(maintain_span, build_span.scope(), "maintenance");
     std::vector<Value> row;
     for (size_t r = 0; r < base.num_rows(); ++r) {
       row.clear();
@@ -60,12 +66,13 @@ Result<AquaSynopsis> AquaSynopsis::Build(const Table& base,
       }
       CONGRESS_RETURN_NOT_OK(synopsis.maintainer_->Insert(row));
     }
+    maintain_span.Stop();
     CONGRESS_RETURN_NOT_OK(synopsis.Refresh());
   } else {
     Random rng(config.seed);
     auto sample = BuildSample(base, indices, config.strategy,
                               static_cast<double>(sample_size), &rng,
-                              config.execution);
+                              config.execution.WithScope(build_span.scope()));
     if (!sample.ok()) return sample.status();
     synopsis.sample_ = std::move(sample).value();
     synopsis.rewriter_ = std::make_shared<Rewriter>(synopsis.sample_);
@@ -75,8 +82,29 @@ Result<AquaSynopsis> AquaSynopsis::Build(const Table& base,
 
 Result<ApproximateResult> AquaSynopsis::Answer(
     const GroupByQuery& query) const {
-  return EstimateGroupBy(sample_, query, config_.estimator,
-                         config_.execution);
+  auto result =
+      EstimateGroupBy(sample_, query, config_.estimator, config_.execution);
+#ifndef CONGRESS_DISABLE_OBS
+  if (result.ok()) {
+    // Mean relative half-width of the error bounds across groups — the
+    // "estimated error" the system promises. Benches pair it with the
+    // actual error gauge CompareAnswers() sets, so a snapshot shows how
+    // honest the bounds were on the last query.
+    double total = 0.0;
+    size_t terms = 0;
+    for (const ApproximateGroupRow& row : result->rows()) {
+      for (size_t a = 0; a < row.estimates.size(); ++a) {
+        if (row.estimates[a] != 0.0) {
+          total += std::abs(row.bounds[a] / row.estimates[a]);
+          ++terms;
+        }
+      }
+    }
+    CONGRESS_METRIC_SET("estimator.last_mean_relative_bound",
+                        terms == 0 ? 0.0 : total / static_cast<double>(terms));
+  }
+#endif
+  return result;
 }
 
 Result<QueryResult> AquaSynopsis::AnswerVia(const GroupByQuery& query,
@@ -94,6 +122,8 @@ Status AquaSynopsis::Insert(const std::vector<Value>& row) {
 
 Status AquaSynopsis::Refresh() {
   if (maintainer_ == nullptr) return Status::OK();
+  CONGRESS_METRIC_INCR("synopsis.refreshes", 1);
+  CONGRESS_SPAN(refresh_span, config_.execution.scope, "synopsis_refresh");
   // The Eq.-8 Congress maintainer floats above its pre-scaling budget Y;
   // rescale its snapshot to the configured space (Section 6's one-pass
   // construction finisher). Other maintainers already target X.
@@ -134,8 +164,10 @@ Result<const AquaSynopsis*> SynopsisManager::Get(
     const std::string& name) const {
   auto it = synopses_.find(name);
   if (it == synopses_.end()) {
+    CONGRESS_METRIC_INCR("synopsis.lookup_misses", 1);
     return Status::NotFound("synopsis '" + name + "' not registered");
   }
+  CONGRESS_METRIC_INCR("synopsis.lookup_hits", 1);
   return static_cast<const AquaSynopsis*>(it->second.get());
 }
 

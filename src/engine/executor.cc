@@ -4,6 +4,8 @@
 #include <cassert>
 #include <string>
 
+#include "obs/metrics.h"
+#include "obs/scope.h"
 #include "storage/group_index.h"
 
 namespace congress {
@@ -47,19 +49,25 @@ uint64_t ChunkTarget(uint64_t total_rows, const ExecutorOptions& options) {
 Result<QueryResult> ExecuteExact(const Table& table, const GroupByQuery& query,
                                  const ExecutorOptions& options) {
   CONGRESS_RETURN_NOT_OK(ValidateQuery(table, query));
+  CONGRESS_METRIC_INCR("engine.exact_queries", 1);
+  CONGRESS_METRIC_INCR("engine.rows_scanned", table.num_rows());
 
-  // Stage 1: intern every row's composite key into a dense group id.
+  // Stage 1: intern every row's composite key into a dense group id. The
+  // intern/merge/remap spans land directly on options.scope.
   auto index = GroupIndex::Build(table, query.group_columns, options);
   if (!index.ok()) return index.status();
   const size_t num_groups = index->num_groups();
   const size_t num_aggs = query.aggregates.size();
+  CONGRESS_SPAN(regroup_span, options.scope, "regroup");
   const GroupIndex::RowLists lists = index->GroupRows();
+  regroup_span.Stop();
 
   // Stage 2: aggregate each group over its own rows, in ascending row
   // order, fanned out across balanced group chunks. Visiting a group's
   // rows in row order makes every accumulator fold values in exactly the
   // order the serial full-table scan did, so results are bit-identical
   // for every thread count.
+  CONGRESS_SPAN(aggregate_span, options.scope, "aggregate");
   std::vector<std::vector<Accumulator>> groups(num_groups);
   const auto chunks =
       BalancedGroupChunks(lists.offsets, ChunkTarget(table.num_rows(), options));
@@ -84,7 +92,9 @@ Result<QueryResult> ExecuteExact(const Table& table, const GroupByQuery& query,
       }
     }
   });
+  aggregate_span.Stop();
 
+  CONGRESS_SPAN(finalize_span, options.scope, "finalize");
   QueryResult result;
   for (size_t g = 0; g < num_groups; ++g) {
     if (groups[g].empty()) continue;  // No row matched the predicate.
@@ -118,12 +128,15 @@ Result<Table> HashJoin(const Table& left, const std::vector<size_t>& left_keys,
   if (left_keys.size() != right_keys.size()) {
     return Status::InvalidArgument("join key arity mismatch");
   }
+  CONGRESS_METRIC_INCR("engine.hash_joins", 1);
   // Build side: right table, assumed the smaller (AuxRel in the paper).
+  CONGRESS_SPAN(build_span, options.scope, "join_build");
   std::unordered_map<GroupKey, std::vector<size_t>, GroupKeyHash> build;
   build.reserve(right.num_rows());
   for (size_t row = 0; row < right.num_rows(); ++row) {
     build[right.KeyForRow(row, right_keys)].push_back(row);
   }
+  build_span.Stop();
 
   // Output schema: all left columns + right non-key columns.
   std::vector<Field> fields = left.schema().fields();
@@ -160,7 +173,9 @@ Result<Table> HashJoin(const Table& left, const std::vector<size_t>& left_keys,
   // key against the build table once, then fan the probe out over
   // morsels. Per-morsel outputs are concatenated in morsel order, so the
   // output row order matches the serial left-to-right probe.
-  auto probe_index = GroupIndex::Build(left, left_keys, options);
+  CONGRESS_SPAN(probe_span, options.scope, "join_probe");
+  auto probe_index =
+      GroupIndex::Build(left, left_keys, options.WithScope(probe_span.scope()));
   if (!probe_index.ok()) return probe_index.status();
   std::vector<const std::vector<size_t>*> matches(probe_index->num_groups(),
                                                   nullptr);
@@ -197,12 +212,16 @@ Result<Table> HashJoin(const Table& left, const std::vector<size_t>& left_keys,
       }
     }
   });
+  probe_span.Stop();
+  CONGRESS_SPAN(append_span, options.scope, "join_append");
   for (size_t m = 0; m < ranges.size(); ++m) {
     CONGRESS_RETURN_NOT_OK(statuses[m]);
     for (size_t r = 0; r < partials[m].num_rows(); ++r) {
       out.AppendRowFrom(partials[m], r);
     }
   }
+  append_span.Stop();
+  CONGRESS_METRIC_INCR("engine.join_rows_emitted", out.num_rows());
   return out;
 }
 

@@ -1,0 +1,130 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace congress::obs {
+
+namespace {
+
+std::string NumToString(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+uint64_t LatencyHistogram::ApproxQuantileNanos(double q) const {
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const uint64_t n = count();
+  if (n == 0) return 0;
+  // Nearest-rank: the q-th sample is at rank ceil(q*n), 1-based,
+  // clamped into [1, n].
+  uint64_t rank = static_cast<uint64_t>(std::ceil(q * static_cast<double>(n)));
+  if (rank == 0) rank = 1;
+  if (rank > n) rank = n;
+  uint64_t seen = 0;
+  for (size_t b = 0; b < kNumBuckets; ++b) {
+    seen += bucket_count(b);
+    if (seen >= rank) return BucketLowerNanos(b);
+  }
+  return BucketLowerNanos(kNumBuckets - 1);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+LatencyHistogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<LatencyHistogram>();
+  return *slot;
+}
+
+std::string MetricsRegistry::SnapshotText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, counter] : counters_) {
+    out += "counter " + name + " = " + std::to_string(counter->value()) + "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out += "gauge " + name + " = " + NumToString(gauge->value()) + "\n";
+  }
+  for (const auto& [name, hist] : histograms_) {
+    out += "histogram " + name + " count=" + std::to_string(hist->count()) +
+           " mean_ns=" + NumToString(hist->mean_nanos()) +
+           " p50_ns=" + std::to_string(hist->ApproxQuantileNanos(0.50)) +
+           " p99_ns=" + std::to_string(hist->ApproxQuantileNanos(0.99)) + "\n";
+  }
+  return out;
+}
+
+std::string MetricsRegistry::SnapshotJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + EscapeJson(name) + "\": " + std::to_string(counter->value());
+  }
+  out += "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + EscapeJson(name) + "\": " + NumToString(gauge->value());
+  }
+  out += "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, hist] : histograms_) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + EscapeJson(name) + "\": {\"count\": " +
+           std::to_string(hist->count()) +
+           ", \"sum_nanos\": " + std::to_string(hist->sum_nanos()) +
+           ", \"p50_nanos\": " +
+           std::to_string(hist->ApproxQuantileNanos(0.50)) +
+           ", \"p99_nanos\": " +
+           std::to_string(hist->ApproxQuantileNanos(0.99)) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) counter->Reset();
+  for (const auto& [name, gauge] : gauges_) gauge->Reset();
+  for (const auto& [name, hist] : histograms_) hist->Reset();
+}
+
+}  // namespace congress::obs

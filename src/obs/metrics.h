@@ -1,0 +1,172 @@
+#ifndef CONGRESS_OBS_METRICS_H_
+#define CONGRESS_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace congress::obs {
+
+/// A monotonically increasing event count. Increments are single relaxed
+/// atomic adds, so counters can be bumped from any number of threads
+/// without coordination; readers see a value that is exact once the
+/// writers have quiesced (the only moment snapshots are taken).
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// A last-value-wins instantaneous measurement (sizes, ratios, last
+/// observed error). Set/read are relaxed atomics.
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// A fixed log2-bucketed latency histogram over nanoseconds. Bucket b
+/// holds samples whose bit width is b (i.e. [2^(b-1), 2^b)); bucket 0
+/// holds zero. Record() is two relaxed atomic adds — no locks, no
+/// allocation — so it is safe on hot paths and under ThreadSanitizer.
+/// Percentiles are approximate (bucket lower bounds), which is the usual
+/// trade for a lock-free fixed-footprint histogram.
+class LatencyHistogram {
+ public:
+  /// 48 buckets cover [0, 2^47) ns — about 39 hours.
+  static constexpr size_t kNumBuckets = 48;
+
+  void Record(uint64_t nanos) {
+    buckets_[BucketFor(nanos)].fetch_add(1, std::memory_order_relaxed);
+    sum_nanos_.fetch_add(nanos, std::memory_order_relaxed);
+  }
+  void RecordSeconds(double seconds) {
+    if (seconds < 0.0) return;
+    Record(static_cast<uint64_t>(seconds * 1e9));
+  }
+
+  uint64_t count() const {
+    uint64_t total = 0;
+    for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
+    return total;
+  }
+  uint64_t sum_nanos() const {
+    return sum_nanos_.load(std::memory_order_relaxed);
+  }
+  double mean_nanos() const {
+    uint64_t n = count();
+    return n == 0 ? 0.0 : static_cast<double>(sum_nanos()) / n;
+  }
+  uint64_t bucket_count(size_t b) const {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+
+  /// Inclusive lower bound of bucket `b` in nanoseconds.
+  static uint64_t BucketLowerNanos(size_t b) {
+    return b == 0 ? 0 : uint64_t{1} << (b - 1);
+  }
+
+  /// Approximate quantile (`q` in [0, 1]): the lower bound of the bucket
+  /// containing the q-th sample. 0 when empty.
+  uint64_t ApproxQuantileNanos(double q) const;
+
+  void Reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    sum_nanos_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  static size_t BucketFor(uint64_t nanos) {
+    size_t bits = 0;
+    while (nanos != 0) {
+      nanos >>= 1;
+      ++bits;
+    }
+    return bits < kNumBuckets ? bits : kNumBuckets - 1;
+  }
+
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> sum_nanos_{0};
+};
+
+/// Process-wide registry of named metrics. Registration (the first
+/// GetX("name") for a name) takes a mutex; every instrumentation site
+/// caches the returned reference in a function-local static, so the
+/// steady-state cost of a metric update is just the atomic add.
+/// References stay valid for the life of the process.
+///
+/// Names are dot-separated, lowest-level subsystem first, e.g.
+/// "engine.exact_queries" or "maintenance.reservoir_swaps".
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  LatencyHistogram& GetHistogram(const std::string& name);
+
+  /// Human-readable dump, one metric per line, sorted by name.
+  std::string SnapshotText() const;
+
+  /// JSON object {"counters": {...}, "gauges": {...}, "histograms":
+  /// {name: {"count": c, "sum_nanos": s, "p50_nanos": ..,
+  /// "p99_nanos": ..}}}, keys sorted.
+  std::string SnapshotJson() const;
+
+  /// Zeroes every registered metric (bench/test isolation). Metrics stay
+  /// registered and references stay valid.
+  void ResetAll();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+};
+
+}  // namespace congress::obs
+
+// Counter convenience for instrumentation sites: resolves the registry
+// entry once (thread-safe static init), then pays one relaxed atomic add
+// per hit. Compiled out entirely under CONGRESS_DISABLE_OBS.
+// CONGRESS_METRIC_INCR requires a name that is constant at the call site
+// (the counter reference is cached in a function-local static). For names
+// computed at runtime use CONGRESS_METRIC_INCR_DYN, which pays the
+// registry lookup on every hit — fine off the per-row paths.
+#ifdef CONGRESS_DISABLE_OBS
+#define CONGRESS_METRIC_INCR(name, delta) ((void)0)
+#define CONGRESS_METRIC_INCR_DYN(name, delta) ((void)0)
+#define CONGRESS_METRIC_SET(name, value) ((void)0)
+#else
+#define CONGRESS_METRIC_INCR(name, delta)                                   \
+  do {                                                                      \
+    static ::congress::obs::Counter& congress_metric_counter =              \
+        ::congress::obs::MetricsRegistry::Global().GetCounter(name);        \
+    congress_metric_counter.Increment(delta);                               \
+  } while (0)
+#define CONGRESS_METRIC_INCR_DYN(name, delta)                               \
+  ::congress::obs::MetricsRegistry::Global().GetCounter(name).Increment(    \
+      delta)
+#define CONGRESS_METRIC_SET(name, value)                                    \
+  do {                                                                      \
+    static ::congress::obs::Gauge& congress_metric_gauge =                  \
+        ::congress::obs::MetricsRegistry::Global().GetGauge(name);          \
+    congress_metric_gauge.Set(value);                                       \
+  } while (0)
+#endif
+
+#endif  // CONGRESS_OBS_METRICS_H_

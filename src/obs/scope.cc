@@ -1,0 +1,109 @@
+#include "obs/scope.h"
+
+#include <cstdio>
+
+namespace congress::obs {
+
+namespace {
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+Scope* Scope::Child(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& child : children_) {
+    if (child->name_ == name) return child.get();
+  }
+  children_.push_back(std::make_unique<Scope>(std::string(name)));
+  return children_.back().get();
+}
+
+std::vector<const Scope*> Scope::children() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<const Scope*> out;
+  out.reserve(children_.size());
+  for (const auto& child : children_) out.push_back(child.get());
+  return out;
+}
+
+const Scope* Scope::Find(std::string_view path) const {
+  if (path.empty()) return this;
+  size_t slash = path.find('/');
+  std::string_view head =
+      slash == std::string_view::npos ? path : path.substr(0, slash);
+  std::string_view rest =
+      slash == std::string_view::npos ? std::string_view{}
+                                      : path.substr(slash + 1);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& child : children_) {
+    if (child->name_ == head) {
+      return rest.empty() ? child.get() : child->Find(rest);
+    }
+  }
+  return nullptr;
+}
+
+void Scope::FlattenInto(
+    const std::string& prefix,
+    std::vector<std::pair<std::string, double>>* out) const {
+  for (const Scope* child : children()) {
+    std::string path =
+        prefix.empty() ? child->name() : prefix + "/" + child->name();
+    if (child->invocations() > 0) out->emplace_back(path, child->seconds());
+    child->FlattenInto(path, out);
+  }
+}
+
+std::vector<std::pair<std::string, double>> Scope::Flatten() const {
+  std::vector<std::pair<std::string, double>> out;
+  FlattenInto("", &out);
+  return out;
+}
+
+std::string Scope::ToJson() const {
+  std::string out = "{\"name\": \"" + EscapeJson(name_) + "\", \"nanos\": " +
+                    std::to_string(total_nanos()) +
+                    ", \"count\": " + std::to_string(invocations()) +
+                    ", \"children\": [";
+  bool first = true;
+  for (const Scope* child : children()) {
+    if (!first) out += ", ";
+    first = false;
+    out += child->ToJson();
+  }
+  out += "]}";
+  return out;
+}
+
+void Scope::TextInto(size_t depth, std::string* out) const {
+  char line[160];
+  std::snprintf(line, sizeof(line), "%*s%s: %.3f ms (%llu calls)\n",
+                static_cast<int>(2 * depth), "", name_.c_str(),
+                static_cast<double>(total_nanos()) * 1e-6,
+                static_cast<unsigned long long>(invocations()));
+  *out += line;
+  for (const Scope* child : children()) child->TextInto(depth + 1, out);
+}
+
+std::string Scope::ToText() const {
+  std::string out;
+  TextInto(0, &out);
+  return out;
+}
+
+void Scope::Reset() {
+  nanos_.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  for (const Scope* child : children()) const_cast<Scope*>(child)->Reset();
+}
+
+}  // namespace congress::obs

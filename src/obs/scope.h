@@ -1,0 +1,134 @@
+#ifndef CONGRESS_OBS_SCOPE_H_
+#define CONGRESS_OBS_SCOPE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace congress::obs {
+
+/// A node in a per-query span tree: accumulated wall time plus invocation
+/// count, with named children created on first use. The caller owns the
+/// root (typically stack- or bench-scoped) and threads a `Scope*` through
+/// `ExecutorOptions::scope`; every instrumented stage then attributes its
+/// time to a child of that scope. A null scope pointer disables the whole
+/// mechanism — see ScopedTimer.
+///
+/// Thread safety: Child() takes a small mutex (children are created once
+/// and then cached by the timers); RecordNanos() is a pair of relaxed
+/// atomic adds, so concurrent spans from pool workers are TSan-clean.
+class Scope {
+ public:
+  explicit Scope(std::string name = "root") : name_(std::move(name)) {}
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+
+  /// Finds or creates the child named `name`. Children keep creation
+  /// order, which makes text/JSON dumps stable.
+  Scope* Child(std::string_view name);
+
+  void RecordNanos(uint64_t nanos) {
+    nanos_.fetch_add(nanos, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  const std::string& name() const { return name_; }
+  uint64_t total_nanos() const {
+    return nanos_.load(std::memory_order_relaxed);
+  }
+  uint64_t invocations() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double seconds() const { return static_cast<double>(total_nanos()) * 1e-9; }
+
+  /// Child pointers in creation order (snapshot; children are never
+  /// destroyed before the parent).
+  std::vector<const Scope*> children() const;
+
+  /// Descendant at a '/'-separated path, e.g. "census/intern"; nullptr if
+  /// absent. Span names must therefore not contain '/'.
+  const Scope* Find(std::string_view path) const;
+
+  /// Preorder ('/'-joined path, seconds) pairs over every descendant with
+  /// at least one recorded span. The root node itself is excluded — it is
+  /// a container, not a span.
+  std::vector<std::pair<std::string, double>> Flatten() const;
+
+  /// {"name": .., "nanos": .., "count": .., "children": [...]}.
+  std::string ToJson() const;
+
+  /// Indented human-readable tree (milliseconds).
+  std::string ToText() const;
+
+  /// Zeroes this node and every descendant (nodes stay allocated).
+  void Reset();
+
+ private:
+  void FlattenInto(const std::string& prefix,
+                   std::vector<std::pair<std::string, double>>* out) const;
+  void TextInto(size_t depth, std::string* out) const;
+
+  std::string name_;
+  std::atomic<uint64_t> nanos_{0};
+  std::atomic<uint64_t> count_{0};
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Scope>> children_;
+};
+
+/// RAII span: resolves `parent->Child(name)` at construction, reads the
+/// clock, and adds the elapsed nanoseconds on Stop()/destruction. When
+/// `parent` is null the constructor does nothing at all — no child
+/// lookup, no clock read — which is the zero-cost disabled mode every
+/// instrumentation site inherits from a default ExecutorOptions.
+///
+/// Nesting: pass `timer.scope()` as the parent of inner spans (or as
+/// `ExecutorOptions::scope` for a callee) to build the parent/child tree.
+class ScopedTimer {
+ public:
+  ScopedTimer(Scope* parent, std::string_view name)
+      : scope_(parent == nullptr ? nullptr : parent->Child(name)) {
+    if (scope_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() { Stop(); }
+
+  /// Ends the span early (idempotent).
+  void Stop() {
+    if (scope_ == nullptr) return;
+    auto elapsed = std::chrono::steady_clock::now() - start_;
+    scope_->RecordNanos(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+            .count()));
+    scope_ = nullptr;
+  }
+
+  /// The span's own scope (null when disabled or stopped) — the parent to
+  /// hand to nested spans.
+  Scope* scope() const { return scope_; }
+
+ private:
+  Scope* scope_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace congress::obs
+
+// Span convenience for instrumentation sites. Under CONGRESS_DISABLE_OBS
+// the parent expression is not evaluated and the timer is permanently
+// null, so the optimizer removes the site entirely.
+#ifdef CONGRESS_DISABLE_OBS
+#define CONGRESS_SPAN(var, parent, name) \
+  ::congress::obs::ScopedTimer var(nullptr, (name))
+#else
+#define CONGRESS_SPAN(var, parent, name) \
+  ::congress::obs::ScopedTimer var((parent), (name))
+#endif
+
+#endif  // CONGRESS_OBS_SCOPE_H_

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/scope.h"
 #include "storage/group_index.h"
 #include "util/random.h"
 
@@ -49,8 +51,11 @@ Result<OnlineAggregator> OnlineAggregator::Start(
   // interned once: Step() then resolves each scanned row to its group
   // with one array load. Dense ids are assigned in first-occurrence row
   // order, so the scan order depends only on the seed.
-  auto index = GroupIndex::Build(*table, agg.query_.group_columns,
-                                 options.execution);
+  CONGRESS_METRIC_INCR("online.starts", 1);
+  CONGRESS_SPAN(start_span, options.execution.scope, "online_start");
+  auto index =
+      GroupIndex::Build(*table, agg.query_.group_columns,
+                        options.execution.WithScope(start_span.scope()));
   if (!index.ok()) return index.status();
   const size_t num_groups = index->num_groups();
   agg.group_keys_ = index->keys();
@@ -103,6 +108,7 @@ Result<OnlineAggregator> OnlineAggregator::Start(
 size_t OnlineAggregator::Step(size_t batch) {
   size_t consumed = 0;
   const size_t num_aggs = query_.aggregates.size();
+  CONGRESS_METRIC_INCR("online.steps", 1);
   while (consumed < batch && position_ < scan_order_.size()) {
     size_t row = scan_order_[position_];
     ++position_;

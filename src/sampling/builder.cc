@@ -1,5 +1,7 @@
 #include "sampling/builder.h"
 
+#include "obs/metrics.h"
+#include "obs/scope.h"
 #include "sampling/reservoir.h"
 #include "storage/group_index.h"
 
@@ -27,8 +29,11 @@ Result<StratifiedSample> BuildStratifiedSample(
   // reservoir Offer loop itself stays serial and in row order, so the RNG
   // stream — and therefore the sample — is reproducible and independent
   // of the thread count.
-  auto index = GroupIndex::Build(table, grouping_columns, options);
+  CONGRESS_SPAN(index_span, options.scope, "sample_index");
+  auto index = GroupIndex::Build(table, grouping_columns,
+                                 options.WithScope(index_span.scope()));
   if (!index.ok()) return index.status();
+  index_span.Stop();
   std::vector<size_t> stats_index(index->num_groups());
   for (size_t g = 0; g < index->num_groups(); ++g) {
     auto idx = stats.IndexOf(index->keys()[g]);
@@ -39,12 +44,16 @@ Result<StratifiedSample> BuildStratifiedSample(
     }
     stats_index[g] = *idx;
   }
+  CONGRESS_SPAN(reservoir_span, options.scope, "reservoir");
   const std::vector<uint32_t>& row_ids = index->row_ids();
   for (size_t row = 0; row < table.num_rows(); ++row) {
     reservoirs[stats_index[row_ids[row]]].Offer(static_cast<uint64_t>(row),
                                                 rng);
   }
+  reservoir_span.Stop();
+  CONGRESS_METRIC_INCR("sampling.rows_offered", table.num_rows());
 
+  CONGRESS_SPAN(materialize_span, options.scope, "materialize");
   StratifiedSample sample(table.schema(), grouping_columns);
   for (size_t i = 0; i < stats.num_groups(); ++i) {
     CONGRESS_RETURN_NOT_OK(
@@ -75,12 +84,19 @@ Result<StratifiedSample> BuildSample(
   if (sample_size <= 0.0) {
     return Status::InvalidArgument("sample size must be positive");
   }
-  GroupStatistics stats =
-      GroupStatistics::Compute(table, grouping_columns, options);
+  CONGRESS_METRIC_INCR_DYN(std::string("sampling.builds.") +
+                               AllocationStrategyToString(strategy),
+                           1);
+  CONGRESS_SPAN(census_span, options.scope, "census");
+  GroupStatistics stats = GroupStatistics::Compute(
+      table, grouping_columns, options.WithScope(census_span.scope()));
+  census_span.Stop();
   if (stats.num_groups() == 0) {
     return Status::FailedPrecondition("table is empty");
   }
+  CONGRESS_SPAN(allocate_span, options.scope, "allocate");
   Allocation allocation = Allocate(strategy, stats, sample_size);
+  allocate_span.Stop();
   return BuildStratifiedSample(table, grouping_columns, stats, allocation, rng,
                                options);
 }

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "obs/metrics.h"
 #include "sampling/reservoir.h"
 
 namespace congress {
@@ -12,6 +13,30 @@ namespace congress {
 namespace {
 
 using RowValues = std::vector<Value>;
+
+/// Offer wrapper that also counts reservoir swaps (an admission that
+/// displaced a resident tuple) into the maintenance metrics.
+template <typename T>
+bool OfferCounted(ReservoirSampler<T>* reservoir, T item, Random* rng) {
+  const bool was_full = reservoir->size() >= reservoir->capacity();
+  const bool admitted = reservoir->Offer(std::move(item), rng);
+  if (was_full && admitted) {
+    CONGRESS_METRIC_INCR("maintenance.reservoir_swaps", 1);
+  }
+  return admitted;
+}
+
+/// ShrinkTo wrapper that counts lazy evictions.
+template <typename T>
+void ShrinkCounted(ReservoirSampler<T>* reservoir, size_t target,
+                   Random* rng) {
+  const size_t before = reservoir->size();
+  reservoir->ShrinkTo(target, rng);
+  if (before > reservoir->size()) {
+    CONGRESS_METRIC_INCR("maintenance.reservoir_evictions",
+                         before - reservoir->size());
+  }
+}
 
 GroupKey KeyOfRow(const RowValues& row,
                   const std::vector<size_t>& grouping_columns) {
@@ -49,8 +74,9 @@ class HouseMaintainer final : public SampleMaintainer {
 
   Status Insert(const RowValues& row) override {
     CONGRESS_RETURN_NOT_OK(ValidateRow(schema_, row));
+    CONGRESS_METRIC_INCR("maintenance.inserts", 1);
     populations_[KeyOfRow(row, grouping_columns_)] += 1;
-    reservoir_.Offer(row, &rng_);
+    OfferCounted(&reservoir_, row, &rng_);
     return Status::OK();
   }
 
@@ -91,6 +117,7 @@ class SenateMaintainer final : public SampleMaintainer {
 
   Status Insert(const RowValues& row) override {
     CONGRESS_RETURN_NOT_OK(ValidateRow(schema_, row));
+    CONGRESS_METRIC_INCR("maintenance.inserts", 1);
     ++seen_;
     GroupKey key = KeyOfRow(row, grouping_columns_);
     auto it = groups_.find(key);
@@ -106,15 +133,15 @@ class SenateMaintainer final : public SampleMaintainer {
     }
     GroupState& state = it->second;
     state.population += 1;
-    state.reservoir.ShrinkTo(target_, &rng_);  // Lazy eviction on touch.
-    state.reservoir.Offer(row, &rng_);
+    ShrinkCounted(&state.reservoir, target_, &rng_);  // Lazy eviction.
+    OfferCounted(&state.reservoir, row, &rng_);
     return Status::OK();
   }
 
   Result<StratifiedSample> Snapshot() override {
     StratifiedSample sample(schema_, grouping_columns_);
     for (auto& [key, state] : groups_) {
-      state.reservoir.ShrinkTo(target_, &rng_);
+      ShrinkCounted(&state.reservoir, target_, &rng_);
       CONGRESS_RETURN_NOT_OK(sample.DeclareStratum(key, state.population));
     }
     for (auto& [key, state] : groups_) {
@@ -170,6 +197,7 @@ class BasicCongressMaintainer final : public SampleMaintainer {
 
   Status Insert(const RowValues& row) override {
     CONGRESS_RETURN_NOT_OK(ValidateRow(schema_, row));
+    CONGRESS_METRIC_INCR("maintenance.inserts", 1);
     GroupKey key = KeyOfRow(row, grouping_columns_);
     auto it = groups_.find(key);
     if (it == groups_.end()) {
@@ -184,6 +212,7 @@ class BasicCongressMaintainer final : public SampleMaintainer {
     RowValues evicted;
     bool selected =
         reservoir_.OfferTracked(row, &rng_, &had_eviction, &evicted);
+    if (had_eviction) CONGRESS_METRIC_INCR("maintenance.reservoir_swaps", 1);
 
     if (!selected) {
       // Step 1 (common case) and step 4: if the group was still smaller
@@ -280,6 +309,7 @@ class BasicCongressMaintainer final : public SampleMaintainer {
       size_t victim = static_cast<size_t>(rng_.UniformInt(g->delta.size()));
       g->delta[victim] = std::move(g->delta.back());
       g->delta.pop_back();
+      CONGRESS_METRIC_INCR("maintenance.delta_evictions", 1);
     }
   }
 
@@ -310,6 +340,7 @@ class CongressTargetMaintainer final : public SampleMaintainer {
 
   Status Insert(const RowValues& row) override {
     CONGRESS_RETURN_NOT_OK(ValidateRow(schema_, row));
+    CONGRESS_METRIC_INCR("maintenance.inserts", 1);
     ++seen_;
     GroupKey key = KeyOfRow(row, grouping_columns_);
     for (size_t mask = 0; mask < subset_counts_.size(); ++mask) {
@@ -326,15 +357,15 @@ class CongressTargetMaintainer final : public SampleMaintainer {
     g.population += 1;
     // Lazy target refresh on touch: Eq. 4 maximum over all groupings.
     size_t target = CurrentTarget(it->first);
-    g.reservoir.ShrinkTo(target, &rng_);
-    g.reservoir.Offer(row, &rng_);
+    ShrinkCounted(&g.reservoir, target, &rng_);
+    OfferCounted(&g.reservoir, row, &rng_);
     return Status::OK();
   }
 
   Result<StratifiedSample> Snapshot() override {
     StratifiedSample sample(schema_, grouping_columns_);
     for (auto& [key, g] : groups_) {
-      g.reservoir.ShrinkTo(CurrentTarget(key), &rng_);
+      ShrinkCounted(&g.reservoir, CurrentTarget(key), &rng_);
       CONGRESS_RETURN_NOT_OK(sample.DeclareStratum(key, g.population));
     }
     for (auto& [key, g] : groups_) {
@@ -455,23 +486,33 @@ struct CongressMaintainer::Impl {
   /// Bernoulli thinning composes multiplicatively.
   void ThinGroup(GroupState* g, double p_now) {
     size_t write = 0;
+    uint64_t decayed = 0;
     for (size_t i = 0; i < g->rows.size(); ++i) {
       StoredRow& row = g->rows[i];
       bool keep = true;
       if (row.admit_p > p_now) {
         keep = rng.Bernoulli(p_now / row.admit_p);
         row.admit_p = p_now;
+        ++decayed;
       }
       if (keep) {
         if (write != i) g->rows[write] = std::move(g->rows[i]);
         ++write;
       }
     }
+    if (decayed > 0) {
+      CONGRESS_METRIC_INCR("maintenance.bernoulli_decays", decayed);
+    }
+    if (write < g->rows.size()) {
+      CONGRESS_METRIC_INCR("maintenance.bernoulli_evictions",
+                           g->rows.size() - write);
+    }
     g->rows.resize(write);
   }
 
   Status Insert(const RowValues& row) {
     CONGRESS_RETURN_NOT_OK(ValidateRow(schema, row));
+    CONGRESS_METRIC_INCR("maintenance.inserts", 1);
     ++seen;
     GroupKey key = KeyOfRow(row, grouping_columns);
     for (size_t mask = 0; mask < subset_counts.size(); ++mask) {

@@ -4,6 +4,8 @@
 #include <limits>
 #include <string>
 
+#include "obs/metrics.h"
+#include "obs/scope.h"
 #include "util/hash.h"
 
 namespace congress {
@@ -130,9 +132,12 @@ Result<GroupIndex> GroupIndex::Build(const Table& table,
   const std::vector<ColumnRef> refs = ResolveColumns(table, group_columns);
   const auto ranges = MorselRanges(n, options.morsel_size);
   index.row_ids_.resize(n);
+  CONGRESS_METRIC_INCR("group_index.builds", 1);
+  CONGRESS_METRIC_INCR("group_index.rows_interned", n);
 
   // Phase 1 (parallel): intern each morsel against a local dictionary,
   // writing morsel-local ids into the (disjoint) row id slots.
+  CONGRESS_SPAN(intern_span, options.scope, "intern");
   std::vector<LocalDict> locals(ranges.size());
   uint32_t* row_ids = index.row_ids_.data();
   ParallelFor(options.ResolvedThreads(), ranges.size(), [&](size_t m) {
@@ -151,10 +156,12 @@ Result<GroupIndex> GroupIndex::Build(const Table& table,
       row_ids[row] = it->second;
     }
   });
+  intern_span.Stop();
 
   // Phase 2 (serial, morsel order): merge local dictionaries into global
   // ids. Global ids land in first-occurrence row order — identical to a
   // serial one-pass intern, whatever the thread count.
+  CONGRESS_SPAN(merge_span, options.scope, "merge");
   std::vector<uint32_t> reps;  // global id -> representative row.
   RowDict global(/*bucket_count=*/16, RowHash{&refs}, RowEq{&refs});
   std::vector<std::vector<uint32_t>> remaps(ranges.size());
@@ -173,8 +180,10 @@ Result<GroupIndex> GroupIndex::Build(const Table& table,
       index.counts_[it->second] += local.counts[l];
     }
   }
+  merge_span.Stop();
 
   // Phase 3 (parallel): rewrite morsel-local ids to global ids.
+  CONGRESS_SPAN(remap_span, options.scope, "remap");
   ParallelFor(options.ResolvedThreads(), ranges.size(), [&](size_t m) {
     const auto [begin, end] = ranges[m];
     const std::vector<uint32_t>& remap = remaps[m];
@@ -182,6 +191,7 @@ Result<GroupIndex> GroupIndex::Build(const Table& table,
       row_ids[row] = remap[row_ids[row]];
     }
   });
+  remap_span.Stop();
 
   index.keys_.reserve(reps.size());
   for (uint32_t rep : reps) {

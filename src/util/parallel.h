@@ -8,6 +8,10 @@
 
 namespace congress {
 
+namespace obs {
+class Scope;
+}  // namespace obs
+
 /// Knobs for the morsel-driven scan engine, threaded through ExecuteExact,
 /// CountGroups, GroupIndex::Build, the HashJoin probe, and the synopsis
 /// estimators. The engine always decomposes a scan into fixed-size morsels
@@ -24,9 +28,24 @@ struct ExecutorOptions {
   /// in-order merge deterministic.
   size_t morsel_size = 64 * 1024;
 
+  /// Span sink for the observability layer: instrumented stages record
+  /// their wall time into children of this scope. nullptr (the default)
+  /// disables instrumentation — every span site degenerates to one
+  /// pointer test. The scope does not influence execution, so answers
+  /// are identical with and without it.
+  obs::Scope* scope = nullptr;
+
   /// Resolved thread count: num_threads, or the hardware concurrency
   /// (at least 1) when num_threads == 0.
   size_t ResolvedThreads() const;
+
+  /// Copy of these options with `scope` replaced — the idiom for nesting
+  /// a callee's spans under the caller's span.
+  ExecutorOptions WithScope(obs::Scope* nested) const {
+    ExecutorOptions options = *this;
+    options.scope = nested;
+    return options;
+  }
 };
 
 /// Half-open row ranges [begin, end) covering [0, total) in chunks of

@@ -1,0 +1,68 @@
+// End-to-end check that the hot paths actually emit telemetry: running
+// the exact engine over a 50k-row lineitem table under an obs::Scope
+// must attribute nonzero time to the intern / merge / aggregate stages
+// and bump the engine counters.
+
+#include <gtest/gtest.h>
+
+#include "engine/executor.h"
+#include "obs/metrics.h"
+#include "obs/scope.h"
+#include "tpcd/lineitem.h"
+#include "tpcd/workload.h"
+
+namespace congress {
+namespace {
+
+TEST(ObsIntegrationTest, ExactQueryEmitsStageSpans) {
+#ifdef CONGRESS_DISABLE_OBS
+  GTEST_SKIP() << "observability compiled out";
+#else
+  tpcd::LineitemConfig config;
+  config.num_tuples = 50'000;
+  config.num_groups = 200;
+  config.seed = 42;
+  auto data = tpcd::GenerateLineitem(config);
+  ASSERT_TRUE(data.ok());
+
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  uint64_t queries_before = registry.GetCounter("engine.exact_queries").value();
+  uint64_t rows_before = registry.GetCounter("engine.rows_scanned").value();
+
+  obs::Scope root("query");
+  ExecutorOptions options;
+  options.scope = &root;
+  options.num_threads = 4;
+  auto result = ExecuteExact(data->table, tpcd::MakeQg3(), options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->num_groups(), 0u);
+
+  for (const char* stage : {"intern", "merge", "aggregate"}) {
+    const obs::Scope* span = root.Find(stage);
+    ASSERT_NE(span, nullptr) << "missing span: " << stage;
+    EXPECT_GT(span->invocations(), 0u) << stage;
+    EXPECT_GT(span->total_nanos(), 0u) << stage;
+  }
+
+  EXPECT_EQ(registry.GetCounter("engine.exact_queries").value(),
+            queries_before + 1);
+  EXPECT_EQ(registry.GetCounter("engine.rows_scanned").value(),
+            rows_before + data->table.num_rows());
+
+  // The flattened report (what benches embed in --json) carries the same
+  // stages as top-level paths.
+  auto flat = root.Flatten();
+  auto has = [&flat](const std::string& path) {
+    for (const auto& [p, seconds] : flat) {
+      if (p == path && seconds > 0.0) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has("intern"));
+  EXPECT_TRUE(has("merge"));
+  EXPECT_TRUE(has("aggregate"));
+#endif
+}
+
+}  // namespace
+}  // namespace congress

@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/scope.h"
+
+namespace congress::obs {
+namespace {
+
+TEST(CounterTest, IncrementsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(GaugeTest, LastValueWins) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0.0);
+  g.Set(3.5);
+  g.Set(-1.25);
+  EXPECT_EQ(g.value(), -1.25);
+  g.Reset();
+  EXPECT_EQ(g.value(), 0.0);
+}
+
+TEST(LatencyHistogramTest, BucketsByBitWidth) {
+  LatencyHistogram h;
+  h.Record(0);    // bucket 0
+  h.Record(1);    // bucket 1: [1, 2)
+  h.Record(7);    // bucket 3: [4, 8)
+  h.Record(8);    // bucket 4: [8, 16)
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum_nanos(), 16u);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(3), 1u);
+  EXPECT_EQ(h.bucket_count(4), 1u);
+  EXPECT_EQ(LatencyHistogram::BucketLowerNanos(0), 0u);
+  EXPECT_EQ(LatencyHistogram::BucketLowerNanos(4), 8u);
+}
+
+TEST(LatencyHistogramTest, ApproxQuantiles) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.ApproxQuantileNanos(0.5), 0u);  // Empty.
+  for (int i = 0; i < 99; ++i) h.Record(4);    // bucket 3, lower bound 4.
+  h.Record(1'000'000);                         // One outlier.
+  EXPECT_EQ(h.ApproxQuantileNanos(0.5), 4u);
+  EXPECT_GE(h.ApproxQuantileNanos(0.999), uint64_t{1} << 19);
+}
+
+TEST(LatencyHistogramTest, HugeSampleLandsInLastBucket) {
+  LatencyHistogram h;
+  h.Record(~uint64_t{0});
+  EXPECT_EQ(h.bucket_count(LatencyHistogram::kNumBuckets - 1), 1u);
+}
+
+TEST(MetricsRegistryTest, ReturnsStableReferences) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("test.counter");
+  Counter& b = registry.GetCounter("test.counter");
+  EXPECT_EQ(&a, &b);
+  a.Increment(5);
+  EXPECT_EQ(b.value(), 5u);
+  Gauge& g = registry.GetGauge("test.counter");  // Separate namespace.
+  g.Set(1.0);
+  EXPECT_EQ(registry.GetCounter("test.counter").value(), 5u);
+}
+
+TEST(MetricsRegistryTest, ConcurrentIncrementsSumExactly) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 100'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      Counter& c = registry.GetCounter("concurrent.hits");
+      LatencyHistogram& h = registry.GetHistogram("concurrent.latency");
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        c.Increment();
+        h.Record(i & 1023);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(registry.GetCounter("concurrent.hits").value(),
+            kThreads * kPerThread);
+  EXPECT_EQ(registry.GetHistogram("concurrent.latency").count(),
+            kThreads * kPerThread);
+}
+
+TEST(MetricsRegistryTest, SnapshotJsonRoundTrips) {
+  MetricsRegistry registry;
+  registry.GetCounter("alpha.count").Increment(7);
+  registry.GetGauge("beta.gauge").Set(2.5);
+  registry.GetHistogram("gamma.latency").Record(100);
+  std::string json = registry.SnapshotJson();
+  // Spot-check the structure without a JSON parser: every registered
+  // metric appears under its section with its value.
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"alpha.count\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"beta.gauge\": 2.5"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"gamma.latency\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"sum_nanos\": 100"), std::string::npos);
+
+  std::string text = registry.SnapshotText();
+  EXPECT_NE(text.find("alpha.count"), std::string::npos);
+
+  registry.ResetAll();
+  EXPECT_EQ(registry.GetCounter("alpha.count").value(), 0u);
+  EXPECT_EQ(registry.GetGauge("beta.gauge").value(), 0.0);
+  EXPECT_EQ(registry.GetHistogram("gamma.latency").count(), 0u);
+}
+
+TEST(MetricsRegistryTest, GlobalSingletonAndMacros) {
+#ifndef CONGRESS_DISABLE_OBS
+  MetricsRegistry& global = MetricsRegistry::Global();
+  EXPECT_EQ(&global, &MetricsRegistry::Global());
+  uint64_t before = global.GetCounter("obs_test.macro_hits").value();
+  CONGRESS_METRIC_INCR("obs_test.macro_hits", 3);
+  CONGRESS_METRIC_INCR_DYN(std::string("obs_test.macro_hits"), 2);
+  EXPECT_EQ(global.GetCounter("obs_test.macro_hits").value(), before + 5);
+  CONGRESS_METRIC_SET("obs_test.macro_gauge", 1.5);
+  EXPECT_EQ(global.GetGauge("obs_test.macro_gauge").value(), 1.5);
+#endif
+}
+
+TEST(ScopeTest, ChildFindOrCreateKeepsCreationOrder) {
+  Scope root("root");
+  Scope* a = root.Child("a");
+  Scope* b = root.Child("b");
+  EXPECT_EQ(root.Child("a"), a);
+  auto children = root.children();
+  ASSERT_EQ(children.size(), 2u);
+  EXPECT_EQ(children[0], a);
+  EXPECT_EQ(children[1], b);
+}
+
+TEST(ScopeTest, NestedScopedTimersBuildParentage) {
+  Scope root("root");
+  {
+    ScopedTimer outer(&root, "outer");
+    ASSERT_NE(outer.scope(), nullptr);
+    {
+      ScopedTimer inner(outer.scope(), "inner");
+      ASSERT_NE(inner.scope(), nullptr);
+    }
+  }
+  const Scope* outer = root.Find("outer");
+  ASSERT_NE(outer, nullptr);
+  EXPECT_EQ(outer->invocations(), 1u);
+  const Scope* inner = root.Find("outer/inner");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->invocations(), 1u);
+  // The child is reachable from its parent, not from the root directly.
+  EXPECT_EQ(root.Find("inner"), nullptr);
+  // Outer's wall time includes inner's.
+  EXPECT_GE(outer->total_nanos(), inner->total_nanos());
+}
+
+TEST(ScopeTest, NullParentDisablesTimerEntirely) {
+  ScopedTimer timer(nullptr, "ignored");
+  EXPECT_EQ(timer.scope(), nullptr);
+  timer.Stop();  // No-op, must not crash.
+}
+
+TEST(ScopeTest, StopIsIdempotent) {
+  Scope root("root");
+  ScopedTimer timer(&root, "span");
+  timer.Stop();
+  timer.Stop();
+  EXPECT_EQ(root.Find("span")->invocations(), 1u);
+}
+
+TEST(ScopeTest, FlattenSkipsUnusedNodesAndRoot) {
+  Scope root("root");
+  {
+    ScopedTimer a(&root, "a");
+    ScopedTimer b(a.scope(), "b");
+  }
+  root.Child("never_used");  // Created but no spans recorded.
+  auto flat = root.Flatten();
+  ASSERT_EQ(flat.size(), 2u);
+  EXPECT_EQ(flat[0].first, "a");
+  EXPECT_EQ(flat[1].first, "a/b");
+  EXPECT_GE(flat[0].second, 0.0);
+}
+
+TEST(ScopeTest, JsonAndTextAndReset) {
+  Scope root("query");
+  {
+    ScopedTimer a(&root, "stage");
+  }
+  std::string json = root.ToJson();
+  EXPECT_NE(json.find("\"name\": \"query\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"stage\""), std::string::npos);
+  EXPECT_NE(root.ToText().find("stage"), std::string::npos);
+  root.Reset();
+  EXPECT_EQ(root.Find("stage")->invocations(), 0u);
+}
+
+TEST(ScopeTest, ConcurrentChildSpansAreCounted) {
+  Scope root("root");
+  constexpr int kThreads = 8;
+  constexpr int kSpansEach = 2'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&root] {
+      for (int i = 0; i < kSpansEach; ++i) {
+        ScopedTimer span(&root, "worker");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const Scope* worker = root.Find("worker");
+  ASSERT_NE(worker, nullptr);
+  EXPECT_EQ(worker->invocations(),
+            static_cast<uint64_t>(kThreads) * kSpansEach);
+}
+
+}  // namespace
+}  // namespace congress::obs
