@@ -41,11 +41,10 @@ int Run(int argc, char** argv) {
       "all maintainers sustain >100K inserts/s without touching the base "
       "relation; one-pass Congress tracks the batch allocation per group");
 
-  tpcd::LineitemConfig config;
-  config.num_tuples = bench::ArgOr(argc, argv, "--tuples", 500'000);
-  config.num_groups = 1000;
-  config.group_skew_z = 0.86;
-  config.seed = 42;
+  tpcd::LineitemConfig defaults;
+  defaults.num_tuples = 500'000;
+  const tpcd::LineitemConfig config =
+      bench::LineitemConfigFromArgs(argc, argv, defaults);
   auto data = tpcd::GenerateLineitem(config);
   if (!data.ok()) {
     std::printf("generation failed: %s\n", data.status().ToString().c_str());

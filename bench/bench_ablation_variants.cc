@@ -31,11 +31,11 @@ int Run(int argc, char** argv) {
       "negligible\" — all variants should land within noise of each "
       "other on both Qg2 and Qg3");
 
-  tpcd::LineitemConfig config;
-  config.num_tuples = bench::ArgOr(argc, argv, "--tuples", 300'000);
-  config.num_groups = 1000;
-  config.group_skew_z = 1.5;
-  config.seed = 42;
+  tpcd::LineitemConfig defaults;
+  defaults.num_tuples = 300'000;
+  defaults.group_skew_z = 1.5;
+  const tpcd::LineitemConfig config =
+      bench::LineitemConfigFromArgs(argc, argv, defaults);
   auto data = tpcd::GenerateLineitem(config);
   if (!data.ok()) {
     std::printf("generation failed: %s\n", data.status().ToString().c_str());

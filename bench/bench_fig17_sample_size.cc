@@ -18,11 +18,8 @@ int Run(int argc, char** argv) {
       "errors fall with sample size for all strategies; House flattens "
       "(extra space goes to large groups); Congress drops fastest");
 
-  tpcd::LineitemConfig config;
-  config.num_tuples = bench::ArgOr(argc, argv, "--tuples", 1'000'000);
-  config.num_groups = bench::ArgOr(argc, argv, "--groups", 1000);
-  config.group_skew_z = 0.86;
-  config.seed = 42;
+  const tpcd::LineitemConfig config =
+      bench::LineitemConfigFromArgs(argc, argv);
   auto data = tpcd::GenerateLineitem(config);
   if (!data.ok()) {
     std::printf("generation failed: %s\n", data.status().ToString().c_str());

@@ -54,11 +54,12 @@ int Run(int argc, char** argv) {
       "others on the uniform sample; a Congress sample of equal size "
       "fixes it");
 
-  LineitemConfig config;
-  config.num_tuples = bench::ArgOr(argc, argv, "--tuples", 1'000'000);
-  config.num_groups = 27;  // Few groups, like TPC-D's flag x status.
-  config.group_skew_z = 1.2;  // One group ~35x smaller, as in the paper.
-  config.seed = 1;
+  LineitemConfig defaults;
+  defaults.num_groups = 27;   // Few groups, like TPC-D's flag x status.
+  defaults.group_skew_z = 1.2;  // One group ~35x smaller, as in the paper.
+  defaults.seed = 1;
+  const LineitemConfig config =
+      bench::LineitemConfigFromArgs(argc, argv, defaults);
   auto data = GenerateLineitem(config);
   if (!data.ok()) {
     std::printf("generation failed: %s\n", data.status().ToString().c_str());

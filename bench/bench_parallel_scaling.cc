@@ -37,11 +37,10 @@ int Run(int argc, char** argv) {
       "morsel-driven scan speeds up with threads; answers stay "
       "bit-identical to the serial engine");
 
-  tpcd::LineitemConfig config;
-  config.num_tuples = bench::ArgOr(argc, argv, "--tuples", 1'000'000);
-  config.num_groups = bench::ArgOr(argc, argv, "--groups", 1000);
-  config.group_skew_z = bench::ArgOrDouble(argc, argv, "--skew", 1.2);
-  config.seed = bench::ArgOr(argc, argv, "--seed", 42);
+  tpcd::LineitemConfig defaults;
+  defaults.group_skew_z = 1.2;
+  const tpcd::LineitemConfig config =
+      bench::LineitemConfigFromArgs(argc, argv, defaults);
   auto data = tpcd::GenerateLineitem(config);
   if (!data.ok()) {
     std::printf("generation failed: %s\n", data.status().ToString().c_str());

@@ -21,11 +21,8 @@ int Run(int argc, char** argv) {
       "steeply with sample size (per-query join); Nested-Integrated edges "
       "Integrated at this group count");
 
-  tpcd::LineitemConfig config;
-  config.num_tuples = bench::ArgOr(argc, argv, "--tuples", 1'000'000);
-  config.num_groups = bench::ArgOr(argc, argv, "--groups", 1000);
-  config.group_skew_z = 0.86;
-  config.seed = 42;
+  const tpcd::LineitemConfig config =
+      bench::LineitemConfigFromArgs(argc, argv);
   auto data = tpcd::GenerateLineitem(config);
   if (!data.ok()) {
     std::printf("generation failed: %s\n", data.status().ToString().c_str());

@@ -12,9 +12,20 @@
 #include "core/synopsis.h"
 #include "engine/executor.h"
 #include "obs/scope.h"
+#include "testing/datagen.h"
 #include "util/stopwatch.h"
 
 namespace congress::bench {
+
+/// The "--key value" CLI overrides and the seeded lineitem-from-args
+/// construction are shared with the property-testing harness
+/// (src/testing/datagen.h) so a bench workload and a harness workload
+/// with equal parameters are the same table bit for bit.
+using ::congress::testing::ArgOr;
+using ::congress::testing::ArgOrDouble;
+using ::congress::testing::ArgOrString;
+using ::congress::testing::GenerateLineitemFromArgs;
+using ::congress::testing::LineitemConfigFromArgs;
 
 /// Prints a banner naming the paper artifact this binary regenerates and
 /// the result shape the paper reports, so bench_output.txt reads as a
@@ -57,33 +68,6 @@ inline double L1Error(const Table& base, const AquaSynopsis& synopsis,
   auto approx = synopsis.Answer(query);
   if (!exact.ok() || !approx.ok()) return -1.0;
   return CompareAnswers(*exact, *approx, 0).l1;
-}
-
-/// Parses "--key value" style overrides: returns value for `key` or
-/// `fallback`. Lets every bench scale down for quick runs, e.g.
-/// `bench_fig14_qg0_error --tuples 100000`.
-inline uint64_t ArgOr(int argc, char** argv, const std::string& key,
-                      uint64_t fallback) {
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (key == argv[i]) return std::strtoull(argv[i + 1], nullptr, 10);
-  }
-  return fallback;
-}
-
-inline double ArgOrDouble(int argc, char** argv, const std::string& key,
-                          double fallback) {
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (key == argv[i]) return std::strtod(argv[i + 1], nullptr);
-  }
-  return fallback;
-}
-
-inline std::string ArgOrString(int argc, char** argv, const std::string& key,
-                               const std::string& fallback) {
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (key == argv[i]) return argv[i + 1];
-  }
-  return fallback;
 }
 
 /// Machine-readable bench output: each Add() records one measurement

@@ -25,12 +25,10 @@ inline int RunExpt1(int argc, char** argv, Expt1Query which,
                     const std::string& expectation) {
   PrintHeader(title, expectation);
 
-  tpcd::LineitemConfig config;
-  config.num_tuples = ArgOr(argc, argv, "--tuples", 1'000'000);
-  config.num_groups = ArgOr(argc, argv, "--groups", 1000);
-  config.group_skew_z = ArgOrDouble(argc, argv, "--skew", 1.5);
-  config.value_skew_z = 0.86;
-  config.seed = ArgOr(argc, argv, "--seed", 42);
+  tpcd::LineitemConfig defaults;
+  defaults.group_skew_z = 1.5;  // Experiment 1 fixes z = 1.5.
+  const tpcd::LineitemConfig config =
+      LineitemConfigFromArgs(argc, argv, defaults);
   const double sp = ArgOrDouble(argc, argv, "--sp", 0.07);
 
   auto data = tpcd::GenerateLineitem(config);

@@ -1,0 +1,144 @@
+#include "testing/datagen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/random.h"
+#include "util/zipf.h"
+
+namespace congress::testing {
+
+Result<SyntheticData> GenerateSynthetic(const SyntheticSpec& spec) {
+  if (spec.num_rows == 0) {
+    return Status::InvalidArgument("num_rows must be positive");
+  }
+  if (spec.num_grouping_columns == 0 || spec.num_grouping_columns > 4) {
+    return Status::InvalidArgument("num_grouping_columns must be in [1, 4]");
+  }
+  if (spec.values_per_column == 0) {
+    return Status::InvalidArgument("values_per_column must be positive");
+  }
+  if (spec.null_fraction < 0.0 || spec.null_fraction >= 1.0) {
+    return Status::InvalidArgument("null_fraction must be in [0, 1)");
+  }
+  if (spec.group_skew_z < 0.0 || spec.value_skew_z < 0.0) {
+    return Status::InvalidArgument("skew parameters must be non-negative");
+  }
+
+  const size_t k = spec.num_grouping_columns;
+  const uint64_t d = spec.values_per_column;
+  uint64_t regular_groups = 1;
+  for (size_t c = 0; c < k; ++c) regular_groups *= d;
+
+  const uint64_t null_rows = static_cast<uint64_t>(
+      std::llround(spec.null_fraction * static_cast<double>(spec.num_rows)));
+  if (null_rows + spec.singleton_groups + regular_groups > spec.num_rows) {
+    return Status::InvalidArgument(
+        "num_rows too small for requested group structure: need at least " +
+        std::to_string(null_rows + spec.singleton_groups + regular_groups));
+  }
+  const uint64_t regular_rows =
+      spec.num_rows - null_rows - spec.singleton_groups;
+
+  Random rng(spec.seed);
+
+  // Finest-group sizes: Zipf over the regular groups, assigned in
+  // shuffled order so the largest group is not always key (0, 0, ...).
+  std::vector<uint64_t> sizes =
+      ZipfGroupSizes(regular_rows, regular_groups, spec.group_skew_z);
+  std::vector<uint64_t> order(regular_groups);
+  for (uint64_t g = 0; g < regular_groups; ++g) order[g] = g;
+  rng.Shuffle(&order);
+
+  ZipfDistribution v0_dist(100, spec.value_skew_z);
+  ZipfDistribution v1_dist(1000, spec.value_skew_z);
+
+  std::vector<Field> fields;
+  fields.push_back(Field{"id", DataType::kInt64});
+  for (size_t c = 0; c < k; ++c) {
+    fields.push_back(Field{"g" + std::to_string(c), DataType::kInt64});
+  }
+  fields.push_back(Field{"v0", DataType::kDouble});
+  fields.push_back(Field{"v1", DataType::kDouble});
+  Schema schema(std::move(fields));
+
+  // Materialize (group values, measures) per row, then shuffle and assign
+  // sequential ids — mirroring the lineitem generator's arrival-order
+  // randomization.
+  const size_t n = static_cast<size_t>(spec.num_rows);
+  std::vector<std::vector<int64_t>> gcols(k, std::vector<int64_t>(n));
+  std::vector<double> v0(n), v1(n);
+
+  size_t row = 0;
+  auto emit_row = [&](const std::vector<int64_t>& key) {
+    for (size_t c = 0; c < k; ++c) gcols[c][row] = key[c];
+    v0[row] = static_cast<double>(v0_dist.Sample(&rng) + 1);
+    v1[row] = static_cast<double>(v1_dist.Sample(&rng) + 1) * 10.0;
+    ++row;
+  };
+
+  std::vector<int64_t> key(k);
+  for (uint64_t rank = 0; rank < regular_groups; ++rank) {
+    uint64_t g = order[rank];
+    uint64_t rest = g;
+    for (size_t c = 0; c < k; ++c) {
+      key[c] = static_cast<int64_t>(rest % d);
+      rest /= d;
+    }
+    for (uint64_t i = 0; i < sizes[rank]; ++i) emit_row(key);
+  }
+  // Singleton strata: one tuple each, keys outside the regular domain so
+  // they never collide with a regular group.
+  for (uint64_t s = 0; s < spec.singleton_groups; ++s) {
+    for (size_t c = 0; c < k; ++c) {
+      key[c] = static_cast<int64_t>(d + s);
+    }
+    emit_row(key);
+  }
+  // The null-heavy stratum: every grouping column at the -1 sentinel.
+  std::fill(key.begin(), key.end(), int64_t{-1});
+  for (uint64_t i = 0; i < null_rows; ++i) emit_row(key);
+
+  std::vector<uint32_t> perm(n);
+  for (size_t i = 0; i < n; ++i) perm[i] = static_cast<uint32_t>(i);
+  rng.Shuffle(&perm);
+
+  Table table(schema);
+  table.Reserve(n);
+  std::vector<Value> values(schema.num_fields());
+  for (size_t i = 0; i < n; ++i) {
+    size_t src = perm[i];
+    values[0] = Value(static_cast<int64_t>(i + 1));
+    for (size_t c = 0; c < k; ++c) values[1 + c] = Value(gcols[c][src]);
+    values[1 + k] = Value(v0[src]);
+    values[2 + k] = Value(v1[src]);
+    CONGRESS_RETURN_NOT_OK(table.AppendRow(values));
+  }
+
+  SyntheticData data;
+  data.table = std::move(table);
+  for (size_t c = 0; c < k; ++c) data.grouping_columns.push_back(1 + c);
+  data.numeric_columns = {0, 1 + k, 2 + k};
+  data.id_column = 0;
+  data.realized_num_groups = regular_groups + spec.singleton_groups +
+                             (null_rows > 0 ? 1 : 0);
+  return data;
+}
+
+tpcd::LineitemConfig LineitemConfigFromArgs(
+    int argc, char** argv, const tpcd::LineitemConfig& defaults) {
+  tpcd::LineitemConfig config = defaults;
+  config.num_tuples = ArgOr(argc, argv, "--tuples", defaults.num_tuples);
+  config.num_groups = ArgOr(argc, argv, "--groups", defaults.num_groups);
+  config.group_skew_z =
+      ArgOrDouble(argc, argv, "--skew", defaults.group_skew_z);
+  config.seed = ArgOr(argc, argv, "--seed", defaults.seed);
+  return config;
+}
+
+Result<tpcd::LineitemData> GenerateLineitemFromArgs(
+    int argc, char** argv, const tpcd::LineitemConfig& defaults) {
+  return tpcd::GenerateLineitem(LineitemConfigFromArgs(argc, argv, defaults));
+}
+
+}  // namespace congress::testing

@@ -1,0 +1,115 @@
+#ifndef CONGRESS_TESTING_DATAGEN_H_
+#define CONGRESS_TESTING_DATAGEN_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "storage/table.h"
+#include "tpcd/lineitem.h"
+#include "util/status.h"
+
+namespace congress::testing {
+
+/// Spec for a seeded random synthetic table, the property harness's
+/// workload generator. Unlike the TPC-D lineitem generator (fixed schema,
+/// d^3 groups), this one dials in the regimes where sample-based AQP
+/// fails silently: heavy Zipf skew, strata with a single tuple, and
+/// "null-heavy" data where a large share of rows collapses into one
+/// sentinel group (the storage layer has no SQL NULL; a reserved -1
+/// sentinel in every grouping column stands in for it).
+struct SyntheticSpec {
+  uint64_t num_rows = 5000;
+
+  /// Grouping columns g0..g{k-1} (kInt64). 1 <= k <= 4 keeps the Congress
+  /// 2^|G| sub-grouping enumeration cheap.
+  size_t num_grouping_columns = 2;
+
+  /// Distinct non-sentinel values per grouping column; the finest
+  /// grouping has up to values_per_column^k regular groups.
+  uint64_t values_per_column = 3;
+
+  /// Zipf skew of regular-group sizes (0 = uniform).
+  double group_skew_z = 1.0;
+
+  /// Fraction of rows assigned to the all-sentinel group (every grouping
+  /// column = -1). 0 disables the null-heavy regime.
+  double null_fraction = 0.0;
+
+  /// Number of extra groups holding exactly one tuple each, with key
+  /// values disjoint from the regular domain — the small-group regime
+  /// where House starves strata.
+  uint64_t singleton_groups = 0;
+
+  /// Zipf skew of the measure columns.
+  double value_skew_z = 0.86;
+
+  uint64_t seed = 42;
+};
+
+/// A generated table plus the column roles the query generator needs.
+struct SyntheticData {
+  Table table;
+  std::string table_name = "t";
+  std::vector<size_t> grouping_columns;
+  /// Columns usable as aggregate arguments (kInt64 id + kDouble measures).
+  std::vector<size_t> numeric_columns;
+  /// Sequential primary key column (for uniform range predicates).
+  size_t id_column = 0;
+  uint64_t realized_num_groups = 0;
+};
+
+/// Generates a table with schema
+///   id | g0..g{k-1} | v0 (double) | v1 (double)
+/// Row order is shuffled, so one-pass maintainers see random arrival
+/// order and id ranges select group-independent subsets. Deterministic
+/// per seed.
+Result<SyntheticData> GenerateSynthetic(const SyntheticSpec& spec);
+
+/// --- Shared "--key value" CLI overrides -----------------------------------
+///
+/// Every bench and the property runner parse the same scale-down flags;
+/// these helpers are the single implementation (bench/common.h re-exports
+/// them for the bench namespace).
+
+inline uint64_t ArgOr(int argc, char** argv, const std::string& key,
+                      uint64_t fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (key == argv[i]) return std::strtoull(argv[i + 1], nullptr, 10);
+  }
+  return fallback;
+}
+
+inline double ArgOrDouble(int argc, char** argv, const std::string& key,
+                          double fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (key == argv[i]) return std::strtod(argv[i + 1], nullptr);
+  }
+  return fallback;
+}
+
+inline std::string ArgOrString(int argc, char** argv, const std::string& key,
+                               const std::string& fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (key == argv[i]) return argv[i + 1];
+  }
+  return fallback;
+}
+
+/// The seeded lineitem construction every bench used to hand-roll:
+/// applies --tuples/--groups/--skew/--seed overrides on top of `defaults`
+/// and generates. The property harness uses the same entry point, so a
+/// bench workload and a harness workload with equal parameters are the
+/// same table bit for bit.
+tpcd::LineitemConfig LineitemConfigFromArgs(
+    int argc, char** argv,
+    const tpcd::LineitemConfig& defaults = tpcd::LineitemConfig{});
+
+Result<tpcd::LineitemData> GenerateLineitemFromArgs(
+    int argc, char** argv,
+    const tpcd::LineitemConfig& defaults = tpcd::LineitemConfig{});
+
+}  // namespace congress::testing
+
+#endif  // CONGRESS_TESTING_DATAGEN_H_

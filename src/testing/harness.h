@@ -1,0 +1,67 @@
+#ifndef CONGRESS_TESTING_HARNESS_H_
+#define CONGRESS_TESTING_HARNESS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "testing/datagen.h"
+#include "testing/query_gen.h"
+#include "tpcd/lineitem.h"
+#include "util/status.h"
+
+namespace congress::testing {
+
+/// One named workload regime the property runner iterates over. A config
+/// plus a seed is a complete, reproducible test case:
+///   prop_runner --seed=S --config=NAME
+struct PropConfig {
+  std::string name;
+  std::string description;
+
+  /// Synthetic regime (default) or the TPC-D lineitem generator.
+  bool use_lineitem = false;
+  SyntheticSpec spec;             ///< Used when !use_lineitem; seed overridden.
+  tpcd::LineitemConfig lineitem;  ///< Used when use_lineitem; seed overridden.
+
+  QueryGenConfig querygen;
+  /// Expected sample size as a fraction of the table.
+  double sample_fraction = 0.10;
+  /// Random queries drawn per (config, seed) case; strategies rotate so
+  /// four queries cover all four allocation strategies.
+  size_t queries_per_seed = 4;
+};
+
+/// The built-in regimes: uniform, Zipf-skewed, null-heavy, singleton-rich,
+/// single-column, and TPC-D lineitem. Every default config exercises all
+/// four allocation strategies and all four rewrite strategies.
+const std::vector<PropConfig>& DefaultConfigs();
+
+/// Looks up a built-in config by name.
+Result<PropConfig> FindConfig(const std::string& name);
+
+/// A reproducible oracle failure: which oracle tripped, on what, the
+/// one-line repro command, and a minimized CSV dump of a table that still
+/// triggers it.
+struct PropFailure {
+  std::string config;
+  uint64_t seed = 0;
+  std::string oracle;
+  std::string detail;
+  std::string repro;       ///< "prop_runner --seed=S --config=NAME"
+  std::string table_dump;  ///< Minimized table as CSV (possibly truncated).
+
+  std::string ToString() const;
+};
+
+/// Runs every differential oracle for one (config, seed) case. On the
+/// first failure, returns its status and (if `failure` is non-null) fills
+/// in the repro command and a minimized table dump; the minimizer shrinks
+/// the synthetic spec (fewer rows, columns, special strata) as long as
+/// the same oracle keeps failing.
+Status RunPropCase(const PropConfig& config, uint64_t seed,
+                   PropFailure* failure);
+
+}  // namespace congress::testing
+
+#endif  // CONGRESS_TESTING_HARNESS_H_

@@ -1,0 +1,578 @@
+#include "testing/oracles.h"
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/estimator.h"
+#include "core/rewriter.h"
+#include "engine/executor.h"
+#include "sampling/builder.h"
+#include "sampling/maintenance.h"
+#include "sql/parser.h"
+#include "util/random.h"
+
+namespace congress::testing {
+
+namespace {
+
+/// Near-threshold allowance for approximate-HAVING membership: two plans
+/// may legitimately disagree about a group whose aggregate sits within
+/// floating-point slack of the threshold.
+double HavingSlack(double value, double threshold) {
+  return 1e-5 * (std::fabs(value) + std::fabs(threshold) + 1.0);
+}
+
+bool PassesWithSlack(const HavingCondition& cond, double value) {
+  return cond.Matches(value) ||
+         std::fabs(value - cond.value) <= HavingSlack(value, cond.value);
+}
+
+bool PassesRobustly(const HavingCondition& cond, double value) {
+  return cond.Matches(value) &&
+         std::fabs(value - cond.value) > HavingSlack(value, cond.value);
+}
+
+/// Post-HAVING membership of `filtered` must be consistent with the
+/// reference (having-stripped) values: every surviving group passes every
+/// condition at least within slack, and every robustly-passing reference
+/// group survives.
+Status CheckHavingMembership(const QueryResult& reference,
+                             const std::vector<HavingCondition>& having,
+                             const QueryResult& filtered,
+                             const std::string& label) {
+  for (const GroupResult& row : filtered.rows()) {
+    const GroupResult* ref = reference.Find(row.key);
+    if (ref == nullptr) {
+      return Status::Internal(label + " HAVING kept group " +
+                              GroupKeyToString(row.key) +
+                              " absent from the unfiltered answer");
+    }
+    for (const HavingCondition& cond : having) {
+      double value = ref->aggregates[cond.aggregate_index];
+      if (!PassesWithSlack(cond, value)) {
+        return Status::Internal(
+            label + " HAVING kept group " + GroupKeyToString(row.key) +
+            " whose aggregate " + std::to_string(value) +
+            " clearly fails " + cond.ToString());
+      }
+    }
+  }
+  for (const GroupResult& ref : reference.rows()) {
+    bool robust = true;
+    for (const HavingCondition& cond : having) {
+      robust = robust &&
+               PassesRobustly(cond, ref.aggregates[cond.aggregate_index]);
+    }
+    if (robust && filtered.Find(ref.key) == nullptr) {
+      return Status::Internal(label + " HAVING dropped group " +
+                              GroupKeyToString(ref.key) +
+                              " that clearly passes every condition");
+    }
+  }
+  return Status::OK();
+}
+
+/// Bit-for-bit equality of two stratified samples: rows, row->stratum
+/// mapping, and strata metadata.
+Status CheckSamplesIdentical(const StratifiedSample& a,
+                             const StratifiedSample& b,
+                             const std::string& label_a,
+                             const std::string& label_b) {
+  auto mismatch = [&](const std::string& what) {
+    return Status::Internal("samples disagree (" + label_a + " vs " +
+                            label_b + "): " + what);
+  };
+  if (a.num_rows() != b.num_rows()) {
+    return mismatch("row counts " + std::to_string(a.num_rows()) + " vs " +
+                    std::to_string(b.num_rows()));
+  }
+  if (a.strata().size() != b.strata().size()) {
+    return mismatch("stratum counts " + std::to_string(a.strata().size()) +
+                    " vs " + std::to_string(b.strata().size()));
+  }
+  for (size_t s = 0; s < a.strata().size(); ++s) {
+    const Stratum& sa = a.strata()[s];
+    const Stratum& sb = b.strata()[s];
+    if (sa.key != sb.key || sa.population != sb.population ||
+        sa.sample_count != sb.sample_count) {
+      return mismatch("stratum " + std::to_string(s) + ": " +
+                      GroupKeyToString(sa.key) + " pop=" +
+                      std::to_string(sa.population) + " n=" +
+                      std::to_string(sa.sample_count) + " vs " +
+                      GroupKeyToString(sb.key) + " pop=" +
+                      std::to_string(sb.population) + " n=" +
+                      std::to_string(sb.sample_count));
+    }
+  }
+  if (a.row_strata() != b.row_strata()) {
+    return mismatch("row->stratum mappings differ");
+  }
+  for (size_t r = 0; r < a.num_rows(); ++r) {
+    for (size_t c = 0; c < a.rows().num_columns(); ++c) {
+      if (a.rows().GetValue(r, c) != b.rows().GetValue(r, c)) {
+        return mismatch("row " + std::to_string(r) + " column " +
+                        std::to_string(c) + ": " +
+                        a.rows().GetValue(r, c).ToString() + " vs " +
+                        b.rows().GetValue(r, c).ToString());
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::unique_ptr<SampleMaintainer> MakeMaintainer(
+    const Table& table, const std::vector<size_t>& grouping,
+    AllocationStrategy strategy, uint64_t sample_size, uint64_t seed) {
+  switch (strategy) {
+    case AllocationStrategy::kHouse:
+      return MakeHouseMaintainer(table.schema(), grouping, sample_size, seed);
+    case AllocationStrategy::kSenate:
+      return MakeSenateMaintainer(table.schema(), grouping, sample_size, seed);
+    case AllocationStrategy::kBasicCongress:
+      return MakeBasicCongressMaintainer(table.schema(), grouping,
+                                         sample_size, seed);
+    case AllocationStrategy::kCongress:
+      return MakeCongressMaintainer(table.schema(), grouping, sample_size,
+                                    seed);
+  }
+  return nullptr;
+}
+
+Status FeedRows(SampleMaintainer* maintainer, const Table& table,
+                size_t begin, size_t end) {
+  std::vector<Value> row;
+  for (size_t r = begin; r < end; ++r) {
+    row.clear();
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      row.push_back(table.GetValue(r, c));
+    }
+    CONGRESS_RETURN_NOT_OK(maintainer->Insert(row));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status CheckResultsEqual(const QueryResult& a, const QueryResult& b,
+                         double rel_tol, const std::string& label_a,
+                         const std::string& label_b) {
+  if (a.num_groups() != b.num_groups()) {
+    return Status::Internal(label_a + " has " +
+                            std::to_string(a.num_groups()) + " groups, " +
+                            label_b + " has " +
+                            std::to_string(b.num_groups()));
+  }
+  for (const GroupResult& row : a.rows()) {
+    const GroupResult* other = b.Find(row.key);
+    if (other == nullptr) {
+      return Status::Internal("group " + GroupKeyToString(row.key) +
+                              " present in " + label_a + " but missing from " +
+                              label_b);
+    }
+    if (row.aggregates.size() != other->aggregates.size()) {
+      return Status::Internal("group " + GroupKeyToString(row.key) +
+                              ": aggregate counts differ between " + label_a +
+                              " and " + label_b);
+    }
+    for (size_t i = 0; i < row.aggregates.size(); ++i) {
+      double x = row.aggregates[i];
+      double y = other->aggregates[i];
+      bool equal;
+      if (rel_tol == 0.0) {
+        equal = x == y;
+      } else {
+        double scale = std::max(std::fabs(x), std::fabs(y));
+        equal = std::fabs(x - y) <= rel_tol * scale + 1e-9;
+      }
+      if (!equal) {
+        return Status::Internal(
+            "group " + GroupKeyToString(row.key) + " aggregate " +
+            std::to_string(i) + ": " + label_a + "=" + std::to_string(x) +
+            " vs " + label_b + "=" + std::to_string(y) +
+            (rel_tol == 0.0 ? " (bit-exact required)"
+                            : " (rel_tol=" + std::to_string(rel_tol) + ")"));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckRewriterAgreement(const StratifiedSample& sample,
+                              const GroupByQuery& query) {
+  GroupByQuery stripped = query;
+  stripped.having.clear();
+
+  Rewriter rewriter(sample);
+  auto integrated = rewriter.Answer(stripped, RewriteStrategy::kIntegrated);
+  CONGRESS_RETURN_NOT_OK(integrated.status());
+
+  const RewriteStrategy others[] = {RewriteStrategy::kNestedIntegrated,
+                                    RewriteStrategy::kNormalized,
+                                    RewriteStrategy::kKeyNormalized};
+  for (RewriteStrategy strategy : others) {
+    auto answer = rewriter.Answer(stripped, strategy);
+    CONGRESS_RETURN_NOT_OK(answer.status());
+    CONGRESS_RETURN_NOT_OK(CheckResultsEqual(
+        *integrated, *answer, 1e-6, "Integrated",
+        RewriteStrategyToString(strategy)));
+  }
+
+  auto estimate = EstimateGroupBy(sample, stripped);
+  CONGRESS_RETURN_NOT_OK(estimate.status());
+  CONGRESS_RETURN_NOT_OK(CheckResultsEqual(*integrated,
+                                           estimate->ToQueryResult(), 1e-6,
+                                           "Integrated", "estimator"));
+
+  if (query.having.empty()) return Status::OK();
+
+  // HAVING is evaluated on estimates, so membership is only
+  // bound-respecting: each plan's survivors must be defensible against the
+  // shared unfiltered values.
+  const RewriteStrategy all[] = {RewriteStrategy::kIntegrated,
+                                 RewriteStrategy::kNestedIntegrated,
+                                 RewriteStrategy::kNormalized,
+                                 RewriteStrategy::kKeyNormalized};
+  for (RewriteStrategy strategy : all) {
+    auto filtered = rewriter.Answer(query, strategy);
+    CONGRESS_RETURN_NOT_OK(filtered.status());
+    CONGRESS_RETURN_NOT_OK(CheckHavingMembership(
+        *integrated, query.having, *filtered,
+        RewriteStrategyToString(strategy)));
+  }
+  auto filtered_estimate = EstimateGroupBy(sample, query);
+  CONGRESS_RETURN_NOT_OK(filtered_estimate.status());
+  return CheckHavingMembership(*integrated, query.having,
+                               filtered_estimate->ToQueryResult(),
+                               "estimator");
+}
+
+Status CheckFullSampleMatchesExact(const Table& table,
+                                   const std::vector<size_t>& grouping,
+                                   AllocationStrategy strategy,
+                                   const GroupByQuery& query, uint64_t seed) {
+  Random rng(seed);
+  auto sample = BuildSample(table, grouping, strategy,
+                            static_cast<double>(table.num_rows()), &rng);
+  CONGRESS_RETURN_NOT_OK(sample.status());
+  for (const Stratum& stratum : sample->strata()) {
+    if (stratum.sample_count != stratum.population) {
+      return Status::Internal(
+          std::string(AllocationStrategyToString(strategy)) +
+          " did not fully sample group " + GroupKeyToString(stratum.key) +
+          " at X = N: " + std::to_string(stratum.sample_count) + "/" +
+          std::to_string(stratum.population));
+    }
+  }
+
+  auto exact = ExecuteExact(table, query);
+  CONGRESS_RETURN_NOT_OK(exact.status());
+
+  auto estimate = EstimateGroupBy(*sample, query);
+  CONGRESS_RETURN_NOT_OK(estimate.status());
+  CONGRESS_RETURN_NOT_OK(CheckResultsEqual(*exact,
+                                           estimate->ToQueryResult(), 1e-9,
+                                           "exact", "estimator@100%"));
+
+  Rewriter rewriter(*sample);
+  const RewriteStrategy all[] = {RewriteStrategy::kIntegrated,
+                                 RewriteStrategy::kNestedIntegrated,
+                                 RewriteStrategy::kNormalized,
+                                 RewriteStrategy::kKeyNormalized};
+  for (RewriteStrategy rewrite : all) {
+    auto answer = rewriter.Answer(query, rewrite);
+    CONGRESS_RETURN_NOT_OK(answer.status());
+    CONGRESS_RETURN_NOT_OK(CheckResultsEqual(
+        *exact, *answer, 1e-9, "exact",
+        std::string(RewriteStrategyToString(rewrite)) + "@100%"));
+  }
+  return Status::OK();
+}
+
+Status CheckThreadInvariance(const Table& table,
+                             const StratifiedSample& sample,
+                             const GroupByQuery& query) {
+  // A small morsel size forces real fan-out even on harness-sized tables.
+  ExecutorOptions serial;
+  serial.num_threads = 1;
+  serial.morsel_size = 512;
+
+  auto exact1 = ExecuteExact(table, query, serial);
+  CONGRESS_RETURN_NOT_OK(exact1.status());
+  auto estimate1 = EstimateGroupBy(sample, query, {}, serial);
+  CONGRESS_RETURN_NOT_OK(estimate1.status());
+  Rewriter rewriter(sample);
+  auto integrated1 =
+      rewriter.Answer(query, RewriteStrategy::kIntegrated, serial);
+  CONGRESS_RETURN_NOT_OK(integrated1.status());
+  auto normalized1 =
+      rewriter.Answer(query, RewriteStrategy::kNormalized, serial);
+  CONGRESS_RETURN_NOT_OK(normalized1.status());
+
+  for (size_t threads : {size_t{4}, size_t{8}}) {
+    ExecutorOptions parallel = serial;
+    parallel.num_threads = threads;
+    const std::string suffix = "@" + std::to_string(threads) + "t";
+
+    auto exact_t = ExecuteExact(table, query, parallel);
+    CONGRESS_RETURN_NOT_OK(exact_t.status());
+    CONGRESS_RETURN_NOT_OK(
+        CheckResultsEqual(*exact1, *exact_t, 0.0, "exact@1t",
+                          "exact" + suffix));
+
+    auto estimate_t = EstimateGroupBy(sample, query, {}, parallel);
+    CONGRESS_RETURN_NOT_OK(estimate_t.status());
+    CONGRESS_RETURN_NOT_OK(CheckResultsEqual(
+        estimate1->ToQueryResult(), estimate_t->ToQueryResult(), 0.0,
+        "estimator@1t", "estimator" + suffix));
+    // The determinism contract covers the error bounds too, not just the
+    // point estimates.
+    for (size_t g = 0; g < estimate1->rows().size(); ++g) {
+      const ApproximateGroupRow& r1 = estimate1->rows()[g];
+      const ApproximateGroupRow& rt = estimate_t->rows()[g];
+      if (r1.support != rt.support || r1.std_errors != rt.std_errors ||
+          r1.bounds != rt.bounds) {
+        return Status::Internal(
+            "estimator bounds for group " + GroupKeyToString(r1.key) +
+            " differ between 1 and " + std::to_string(threads) + " threads");
+      }
+    }
+
+    auto integrated_t =
+        rewriter.Answer(query, RewriteStrategy::kIntegrated, parallel);
+    CONGRESS_RETURN_NOT_OK(integrated_t.status());
+    CONGRESS_RETURN_NOT_OK(CheckResultsEqual(*integrated1, *integrated_t, 0.0,
+                                             "Integrated@1t",
+                                             "Integrated" + suffix));
+    auto normalized_t =
+        rewriter.Answer(query, RewriteStrategy::kNormalized, parallel);
+    CONGRESS_RETURN_NOT_OK(normalized_t.status());
+    CONGRESS_RETURN_NOT_OK(CheckResultsEqual(*normalized1, *normalized_t, 0.0,
+                                             "Normalized@1t",
+                                             "Normalized" + suffix));
+  }
+  return Status::OK();
+}
+
+Status CheckSqlAgreement(const Table& table, const std::string& table_name,
+                         const GroupByQuery& query, const std::string& sql) {
+  std::string parsed_name;
+  auto parsed = sql::ParseQuery(sql, table.schema(), &parsed_name);
+  if (!parsed.ok()) {
+    return Status::Internal("generated SQL failed to parse/bind: " +
+                            parsed.status().ToString() + " — SQL: " + sql);
+  }
+  if (parsed_name != table_name) {
+    return Status::Internal("parser bound table '" + parsed_name +
+                            "', expected '" + table_name + "'");
+  }
+  auto from_program = ExecuteExact(table, query);
+  CONGRESS_RETURN_NOT_OK(from_program.status());
+  auto from_sql = ExecuteExact(table, *parsed);
+  CONGRESS_RETURN_NOT_OK(from_sql.status());
+  Status st = CheckResultsEqual(*from_program, *from_sql, 0.0,
+                                "programmatic", "sql-parsed");
+  if (!st.ok()) {
+    return Status::Internal(st.message() + " — SQL: " + sql);
+  }
+  return Status::OK();
+}
+
+Status CheckMaintenanceDeterminism(const Table& table,
+                                   const std::vector<size_t>& grouping,
+                                   AllocationStrategy strategy,
+                                   uint64_t sample_size, uint64_t seed) {
+  auto first = BuildSampleOnePass(table, grouping, strategy, sample_size,
+                                  seed);
+  CONGRESS_RETURN_NOT_OK(first.status());
+  auto second = BuildSampleOnePass(table, grouping, strategy, sample_size,
+                                   seed);
+  CONGRESS_RETURN_NOT_OK(second.status());
+  CONGRESS_RETURN_NOT_OK(CheckSamplesIdentical(
+      *first, *second,
+      std::string(AllocationStrategyToString(strategy)) + " run 1",
+      "run 2"));
+
+  // Snapshot() must be idempotent: lazy evictions settle on the first
+  // call, so a second snapshot without intervening inserts is identical.
+  auto maintainer =
+      MakeMaintainer(table, grouping, strategy, sample_size, seed);
+  CONGRESS_RETURN_NOT_OK(FeedRows(maintainer.get(), table, 0,
+                                  table.num_rows()));
+  auto snap_a = maintainer->Snapshot();
+  CONGRESS_RETURN_NOT_OK(snap_a.status());
+  auto snap_b = maintainer->Snapshot();
+  CONGRESS_RETURN_NOT_OK(snap_b.status());
+  return CheckSamplesIdentical(
+      *snap_a, *snap_b,
+      std::string(AllocationStrategyToString(strategy)) + " snapshot 1",
+      "snapshot 2");
+}
+
+Status CheckMaintenanceVsRebuild(const Table& table,
+                                 const std::vector<size_t>& grouping,
+                                 AllocationStrategy strategy,
+                                 uint64_t sample_size, uint64_t seed) {
+  const size_t n = table.num_rows();
+  const size_t half = n / 2;
+  auto maintainer =
+      MakeMaintainer(table, grouping, strategy, sample_size, seed);
+
+  CONGRESS_RETURN_NOT_OK(FeedRows(maintainer.get(), table, 0, half));
+  auto mid = maintainer->Snapshot();
+  CONGRESS_RETURN_NOT_OK(mid.status());
+
+  // The mid-stream snapshot sees exactly the prefix populations.
+  std::unordered_map<GroupKey, uint64_t, GroupKeyHash> prefix_counts;
+  for (size_t r = 0; r < half; ++r) {
+    ++prefix_counts[table.KeyForRow(r, grouping)];
+  }
+  if (mid->strata().size() != prefix_counts.size()) {
+    return Status::Internal(
+        "mid-stream snapshot has " + std::to_string(mid->strata().size()) +
+        " strata, prefix has " + std::to_string(prefix_counts.size()) +
+        " groups");
+  }
+  for (const Stratum& stratum : mid->strata()) {
+    auto it = prefix_counts.find(stratum.key);
+    if (it == prefix_counts.end() || it->second != stratum.population) {
+      return Status::Internal(
+          "mid-stream population of group " + GroupKeyToString(stratum.key) +
+          " is " + std::to_string(stratum.population) +
+          ", prefix truth is " +
+          std::to_string(it == prefix_counts.end() ? 0 : it->second));
+    }
+  }
+
+  // Theorem 6.1: the maintainer keeps absorbing inserts after a snapshot.
+  CONGRESS_RETURN_NOT_OK(FeedRows(maintainer.get(), table, half, n));
+  auto final_snap = maintainer->Snapshot();
+  CONGRESS_RETURN_NOT_OK(final_snap.status());
+
+  auto truth = CountGroups(table, grouping);
+  if (final_snap->strata().size() != truth.size()) {
+    return Status::Internal(
+        "final snapshot has " + std::to_string(final_snap->strata().size()) +
+        " strata, relation has " + std::to_string(truth.size()) + " groups");
+  }
+  uint64_t total_kept = 0;
+  for (const Stratum& stratum : final_snap->strata()) {
+    auto it = truth.find(stratum.key);
+    uint64_t pop = it == truth.end() ? 0 : it->second;
+    if (stratum.population != pop) {
+      return Status::Internal(
+          "final population of group " + GroupKeyToString(stratum.key) +
+          " is " + std::to_string(stratum.population) + ", truth is " +
+          std::to_string(pop));
+    }
+    if (stratum.sample_count > stratum.population) {
+      return Status::Internal(
+          "group " + GroupKeyToString(stratum.key) + " oversampled: " +
+          std::to_string(stratum.sample_count) + " > " +
+          std::to_string(stratum.population));
+    }
+    total_kept += stratum.sample_count;
+  }
+
+  // House and Senate land on deterministic per-group sizes, so the
+  // interrupted maintainer must agree exactly with a rebuild from scratch
+  // — Snapshot() mid-stream may not perturb *how much* is kept.
+  auto rebuild = BuildSampleOnePass(table, grouping, strategy, sample_size,
+                                    seed);
+  CONGRESS_RETURN_NOT_OK(rebuild.status());
+  if (strategy == AllocationStrategy::kHouse) {
+    if (total_kept != rebuild->num_rows()) {
+      return Status::Internal(
+          "House with mid-stream snapshot kept " +
+          std::to_string(total_kept) + " tuples, rebuild kept " +
+          std::to_string(rebuild->num_rows()));
+    }
+  } else if (strategy == AllocationStrategy::kSenate) {
+    for (const Stratum& stratum : final_snap->strata()) {
+      auto idx = rebuild->StratumIndex(stratum.key);
+      CONGRESS_RETURN_NOT_OK(idx.status());
+      uint64_t rebuilt = rebuild->strata()[*idx].sample_count;
+      if (stratum.sample_count != rebuilt) {
+        return Status::Internal(
+            "Senate group " + GroupKeyToString(stratum.key) +
+            " keeps " + std::to_string(stratum.sample_count) +
+            " with a mid-stream snapshot but " + std::to_string(rebuilt) +
+            " on rebuild");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckAllocationInvariants(const Table& table,
+                                 const std::vector<size_t>& grouping,
+                                 AllocationStrategy strategy,
+                                 double sample_size) {
+  GroupStatistics stats = GroupStatistics::Compute(table, grouping);
+  Allocation alloc = Allocate(strategy, stats, sample_size);
+  const std::string name = AllocationStrategyToString(strategy);
+
+  if (alloc.expected_sizes.size() != stats.num_groups()) {
+    return Status::Internal(name + " allocated " +
+                            std::to_string(alloc.expected_sizes.size()) +
+                            " groups, census has " +
+                            std::to_string(stats.num_groups()));
+  }
+  const bool space_for_all =
+      strategy != AllocationStrategy::kHouse &&
+      sample_size >= static_cast<double>(stats.num_groups());
+  for (size_t g = 0; g < alloc.expected_sizes.size(); ++g) {
+    double size = alloc.expected_sizes[g];
+    if (!std::isfinite(size) || size < 0.0) {
+      return Status::Internal(name + " allocated non-finite or negative " +
+                              std::to_string(size) + " to group " +
+                              GroupKeyToString(stats.keys()[g]));
+    }
+    if (space_for_all && size <= 0.0) {
+      return Status::Internal(name + " starved group " +
+                              GroupKeyToString(stats.keys()[g]) +
+                              " despite X >= m");
+    }
+  }
+  if (!(alloc.scale_down_factor > 0.0 && alloc.scale_down_factor <= 1.0)) {
+    return Status::Internal(name + " scale-down factor " +
+                            std::to_string(alloc.scale_down_factor) +
+                            " outside (0, 1]");
+  }
+
+  // Eqs. 4-6: after rescaling, the expected total is min(X, N).
+  const double target = std::min(
+      sample_size, static_cast<double>(stats.total_tuples()));
+  if (std::fabs(alloc.Total() - target) >
+      1e-6 * std::max(1.0, sample_size)) {
+    return Status::Internal(
+        name + " expected total " + std::to_string(alloc.Total()) +
+        " != min(X, N) = " + std::to_string(target));
+  }
+
+  std::vector<uint64_t> rounded = RoundAllocation(stats, alloc);
+  uint64_t rounded_total = 0;
+  for (size_t g = 0; g < rounded.size(); ++g) {
+    if (rounded[g] > stats.counts()[g]) {
+      return Status::Internal(
+          name + " rounding gave group " + GroupKeyToString(stats.keys()[g]) +
+          " " + std::to_string(rounded[g]) + " slots for " +
+          std::to_string(stats.counts()[g]) + " tuples");
+    }
+    rounded_total += rounded[g];
+  }
+  const uint64_t rounded_target =
+      std::min(static_cast<uint64_t>(std::llround(alloc.Total())),
+               stats.total_tuples());
+  if (rounded_total != rounded_target) {
+    return Status::Internal(name + " rounded total " +
+                            std::to_string(rounded_total) + " != " +
+                            std::to_string(rounded_target));
+  }
+  return Status::OK();
+}
+
+}  // namespace congress::testing

@@ -1,0 +1,86 @@
+#ifndef CONGRESS_TESTING_ORACLES_H_
+#define CONGRESS_TESTING_ORACLES_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/query.h"
+#include "sampling/allocation.h"
+#include "sampling/stratified_sample.h"
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace congress::testing {
+
+/// Differential oracles: each one runs a query (or a sample build)
+/// through two independent code paths and returns OK iff they agree —
+/// bit-for-bit where the engine guarantees it, within a relative
+/// tolerance where only the math is shared. A failure Status carries a
+/// human-readable description of the first disagreement.
+
+/// Asserts `a` and `b` contain the same groups with the same aggregates.
+/// rel_tol == 0 demands bit-for-bit equality (the thread-invariance and
+/// SQL oracles); otherwise |a - b| <= rel_tol * |a| + abs_floor.
+Status CheckResultsEqual(const QueryResult& a, const QueryResult& b,
+                         double rel_tol, const std::string& label_a,
+                         const std::string& label_b);
+
+/// All four Section 5.2 rewrite strategies and the Section 5.1 estimator
+/// produce the same point estimates on `sample`. HAVING is compared
+/// bound-respectingly: membership may differ between plans only for
+/// groups whose aggregate lies within tolerance of the threshold.
+Status CheckRewriterAgreement(const StratifiedSample& sample,
+                              const GroupByQuery& query);
+
+/// With a 100% sample (every group fully sampled, all scale factors 1),
+/// the estimator and every rewrite strategy must reproduce the exact
+/// executor's answer — the exact-vs-approximate differential collapses
+/// to equality.
+Status CheckFullSampleMatchesExact(const Table& table,
+                                   const std::vector<size_t>& grouping,
+                                   AllocationStrategy strategy,
+                                   const GroupByQuery& query, uint64_t seed);
+
+/// ExecuteExact, EstimateGroupBy and the Integrated/Normalized rewrites
+/// are bit-identical at 1, 4 and 8 threads (the morsel engine's
+/// determinism contract).
+Status CheckThreadInvariance(const Table& table,
+                             const StratifiedSample& sample,
+                             const GroupByQuery& query);
+
+/// The SQL front end agrees with the programmatic query builder: `sql`
+/// must parse, bind against `table`'s schema, name `table_name`, and
+/// execute to the bit-identical exact answer of `query`.
+Status CheckSqlAgreement(const Table& table, const std::string& table_name,
+                         const GroupByQuery& query, const std::string& sql);
+
+/// Two identical maintainers fed the same tuple stream with the same
+/// seed snapshot to bit-identical samples, and the plain streamed build
+/// equals BuildSampleOnePass (rebuild-from-scratch) bit for bit.
+Status CheckMaintenanceDeterminism(const Table& table,
+                                   const std::vector<size_t>& grouping,
+                                   AllocationStrategy strategy,
+                                   uint64_t sample_size, uint64_t seed);
+
+/// Incremental maintenance with a mid-stream Snapshot() (Theorem 6.1:
+/// the maintainer keeps absorbing inserts afterwards) still yields exact
+/// per-stratum populations, never oversamples a stratum, and — for the
+/// deterministic House/Senate targets — lands on the same per-group
+/// sizes as a rebuild from scratch.
+Status CheckMaintenanceVsRebuild(const Table& table,
+                                 const std::vector<size_t>& grouping,
+                                 AllocationStrategy strategy,
+                                 uint64_t sample_size, uint64_t seed);
+
+/// Section 4 allocation invariants for one strategy: the allocation
+/// totals min(X, N) (Eqs. 4-6), never exceeds a group's population,
+/// keeps the scale-down factor in (0, 1], and rounds to a feasible
+/// integer apportionment that starves no group when space permits.
+Status CheckAllocationInvariants(const Table& table,
+                                 const std::vector<size_t>& grouping,
+                                 AllocationStrategy strategy,
+                                 double sample_size);
+
+}  // namespace congress::testing
+
+#endif  // CONGRESS_TESTING_ORACLES_H_

@@ -1,0 +1,70 @@
+#ifndef CONGRESS_TESTING_STAT_VALIDATOR_H_
+#define CONGRESS_TESTING_STAT_VALIDATOR_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "core/estimator.h"
+#include "sampling/allocation.h"
+#include "testing/datagen.h"
+#include "util/status.h"
+
+namespace congress::testing {
+
+/// One coverage experiment: K independently seeded (table, sample) draws
+/// of the same configuration, each estimated at the finest grouping with
+/// SUM/COUNT/AVG, each (run, group, aggregate) scored as one Bernoulli
+/// trial of "did the confidence interval cover the exact answer".
+struct CoverageConfig {
+  /// Table shape; `data.seed` is the base seed, run r uses seed
+  /// data.seed + r for both the table draw and the sample draw.
+  SyntheticSpec data;
+  AllocationStrategy strategy = AllocationStrategy::kCongress;
+  /// Expected sample size = fraction * num_rows.
+  double sample_fraction = 0.10;
+  /// Nominal CI level; the validator checks coverage >= this (Chebyshev
+  /// intervals over-cover, so only the lower side is a correctness claim).
+  double confidence = 0.95;
+  BoundMethod bound_method = BoundMethod::kChebyshev;
+  uint64_t num_runs = 200;
+};
+
+/// Tallied coverage. Trials where the variance is not estimable (fewer
+/// than 2 sampled tuples in the group) are counted as `degenerate` and
+/// excluded: the estimator reports bound 0 there by design, which is a
+/// statement of ignorance, not an interval.
+struct CoverageReport {
+  uint64_t trials = 0;
+  uint64_t covered = 0;
+  uint64_t degenerate = 0;
+  /// Exact-answer groups with no sampled tuple at all (the paper's
+  /// missing-group failure mode; expected for House on skewed data).
+  uint64_t missing_groups = 0;
+
+  /// Trials split by the group's population decile within its run
+  /// (decile 0 = smallest groups, 9 = largest).
+  std::array<uint64_t, 10> decile_trials{};
+  std::array<uint64_t, 10> decile_covered{};
+
+  double coverage() const {
+    return trials == 0 ? 1.0
+                       : static_cast<double>(covered) /
+                             static_cast<double>(trials);
+  }
+  std::string ToString() const;
+};
+
+/// Runs the experiment. Deterministic in CoverageConfig.
+Result<CoverageReport> RunCoverage(const CoverageConfig& config);
+
+/// One-sided binomial check at ~4-sigma: overall coverage, and the
+/// coverage of every decile with at least `min_decile_trials` trials,
+/// must each be >= confidence - z * sqrt(c(1-c)/trials). The upper side
+/// is deliberately unchecked — Chebyshev intervals over-cover.
+Status ValidateCoverage(const CoverageReport& report, double confidence,
+                        double z = 4.0, uint64_t min_decile_trials = 50);
+
+}  // namespace congress::testing
+
+#endif  // CONGRESS_TESTING_STAT_VALIDATOR_H_

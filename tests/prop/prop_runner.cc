@@ -1,0 +1,173 @@
+// Property-testing harness CLI.
+//
+//   prop_runner                      sweep all configs x default seeds,
+//                                    then validate CI coverage
+//   prop_runner --sweep              oracle sweep only
+//   prop_runner --coverage           statistical validator only
+//   prop_runner --seed=S --config=C  re-run one failing case (the repro
+//                                    command printed on failure)
+//   prop_runner --list               list built-in configs
+//
+// Flags: --seeds N (default seeds per config, default 3), --runs N
+// (coverage runs per strategy/confidence, default 200). Both --key=value
+// and --key value spellings are accepted. Exit code 0 iff everything
+// passed.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "testing/harness.h"
+#include "testing/stat_validator.h"
+
+namespace {
+
+using congress::AllocationStrategy;
+using congress::AllocationStrategyToString;
+using congress::Status;
+using congress::testing::CoverageConfig;
+using congress::testing::DefaultConfigs;
+using congress::testing::FindConfig;
+using congress::testing::PropConfig;
+using congress::testing::PropFailure;
+using congress::testing::RunCoverage;
+using congress::testing::RunPropCase;
+using congress::testing::ValidateCoverage;
+
+/// Accepts both "--key=value" and "--key value"; bare "--key" is a
+/// boolean flag.
+struct Flags {
+  std::vector<std::pair<std::string, std::string>> kv;
+
+  bool Has(const std::string& key) const {
+    for (const auto& [k, v] : kv) {
+      if (k == key) return true;
+    }
+    return false;
+  }
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    for (const auto& [k, v] : kv) {
+      if (k == key) return v;
+    }
+    return fallback;
+  }
+  uint64_t GetInt(const std::string& key, uint64_t fallback) const {
+    std::string v = Get(key, "");
+    return v.empty() ? fallback : std::strtoull(v.c_str(), nullptr, 10);
+  }
+};
+
+Flags ParseFlags(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags.kv.emplace_back(arg.substr(0, eq), arg.substr(eq + 1));
+    } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+      flags.kv.emplace_back(arg, argv[i + 1]);
+      ++i;
+    } else {
+      flags.kv.emplace_back(arg, "");
+    }
+  }
+  return flags;
+}
+
+bool RunCase(const PropConfig& config, uint64_t seed) {
+  PropFailure failure;
+  Status status = RunPropCase(config, seed, &failure);
+  if (status.ok()) {
+    std::printf("PASS  %-10s seed=%llu\n", config.name.c_str(),
+                static_cast<unsigned long long>(seed));
+    return true;
+  }
+  std::printf("FAIL  %s\n", failure.ToString().c_str());
+  return false;
+}
+
+bool RunSweep(uint64_t num_seeds) {
+  bool ok = true;
+  for (const PropConfig& config : DefaultConfigs()) {
+    for (uint64_t seed = 1; seed <= num_seeds; ++seed) {
+      ok = RunCase(config, seed) && ok;
+    }
+  }
+  return ok;
+}
+
+bool RunCoverageSuite(uint64_t runs) {
+  const AllocationStrategy strategies[] = {
+      AllocationStrategy::kHouse, AllocationStrategy::kSenate,
+      AllocationStrategy::kBasicCongress, AllocationStrategy::kCongress};
+  bool ok = true;
+  for (AllocationStrategy strategy : strategies) {
+    for (double confidence : {0.90, 0.95}) {
+      CoverageConfig config;
+      config.data.num_rows = 4000;
+      config.data.num_grouping_columns = 2;
+      config.data.values_per_column = 3;
+      config.data.group_skew_z = 1.0;
+      config.data.seed = 1;
+      config.strategy = strategy;
+      config.confidence = confidence;
+      config.num_runs = runs;
+
+      auto report = RunCoverage(config);
+      if (!report.ok()) {
+        std::printf("FAIL  coverage %s@%.2f: %s\n",
+                    AllocationStrategyToString(strategy), confidence,
+                    report.status().ToString().c_str());
+        ok = false;
+        continue;
+      }
+      Status valid = ValidateCoverage(*report, confidence);
+      if (valid.ok()) {
+        std::printf("PASS  coverage %-13s @%.2f over %llu runs: %s\n",
+                    AllocationStrategyToString(strategy), confidence,
+                    static_cast<unsigned long long>(runs),
+                    report->ToString().c_str());
+      } else {
+        std::printf("FAIL  coverage %-13s @%.2f: %s\n%s\n",
+                    AllocationStrategyToString(strategy), confidence,
+                    valid.ToString().c_str(), report->ToString().c_str());
+        ok = false;
+      }
+    }
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags = ParseFlags(argc, argv);
+
+  if (flags.Has("--list")) {
+    for (const PropConfig& config : DefaultConfigs()) {
+      std::printf("%-12s %s\n", config.name.c_str(),
+                  config.description.c_str());
+    }
+    return 0;
+  }
+
+  if (flags.Has("--config") || flags.Has("--seed")) {
+    auto config = FindConfig(flags.Get("--config", "uniform"));
+    if (!config.ok()) {
+      std::printf("%s\n", config.status().ToString().c_str());
+      return 2;
+    }
+    return RunCase(*config, flags.GetInt("--seed", 1)) ? 0 : 1;
+  }
+
+  const bool sweep_only = flags.Has("--sweep");
+  const bool coverage_only = flags.Has("--coverage");
+  bool ok = true;
+  if (!coverage_only) ok = RunSweep(flags.GetInt("--seeds", 3)) && ok;
+  if (!sweep_only) ok = RunCoverageSuite(flags.GetInt("--runs", 200)) && ok;
+  std::printf("%s\n", ok ? "ALL PASS" : "FAILURES");
+  return ok ? 0 : 1;
+}

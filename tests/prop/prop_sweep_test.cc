@@ -1,0 +1,59 @@
+// Wide property sweep (ctest label: prop, slow): every built-in config
+// across several seeds, and the statistical validator at both nominal
+// confidence levels for all four allocation strategies over 200 seeded
+// runs each. CI runs this as its own job; it is excluded from tier1.
+
+#include <gtest/gtest.h>
+
+#include "testing/harness.h"
+#include "testing/stat_validator.h"
+
+namespace congress::testing {
+namespace {
+
+TEST(PropSweepTest, AllConfigsAcrossSeeds) {
+  for (const PropConfig& config : DefaultConfigs()) {
+    for (uint64_t seed = 1; seed <= 5; ++seed) {
+      PropFailure failure;
+      Status status = RunPropCase(config, seed, &failure);
+      EXPECT_TRUE(status.ok()) << failure.ToString();
+    }
+  }
+}
+
+class CoverageSweepTest
+    : public ::testing::TestWithParam<AllocationStrategy> {};
+
+TEST_P(CoverageSweepTest, NominalCoverageAtBothConfidences) {
+  for (double confidence : {0.90, 0.95}) {
+    CoverageConfig config;
+    config.data.num_rows = 4000;
+    config.data.num_grouping_columns = 2;
+    config.data.values_per_column = 3;
+    config.data.group_skew_z = 1.0;
+    config.data.seed = 1;
+    config.strategy = GetParam();
+    config.confidence = confidence;
+    config.num_runs = 200;
+
+    auto report = RunCoverage(config);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_GE(report->trials, 200u);
+    Status valid = ValidateCoverage(*report, confidence);
+    EXPECT_TRUE(valid.ok())
+        << AllocationStrategyToString(GetParam()) << " @" << confidence
+        << ": " << valid.ToString() << "\n" << report->ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategies, CoverageSweepTest,
+    ::testing::Values(AllocationStrategy::kHouse, AllocationStrategy::kSenate,
+                      AllocationStrategy::kBasicCongress,
+                      AllocationStrategy::kCongress),
+    [](const ::testing::TestParamInfo<AllocationStrategy>& info) {
+      return AllocationStrategyToString(info.param);
+    });
+
+}  // namespace
+}  // namespace congress::testing

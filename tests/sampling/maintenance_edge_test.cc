@@ -1,0 +1,145 @@
+// Edge cases of the Section 6 maintenance algorithms: shrinking a
+// reservoir all the way to zero tuples, the [GM98] q/p subsampling
+// no-op when the new inclusion probability is not lower (q >= p), and
+// the Basic Congress delta-sample merge when a brand-new group arrives
+// mid-stream.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "sampling/maintenance.h"
+#include "sampling/reservoir.h"
+
+namespace congress {
+namespace {
+
+Schema TwoColSchema() {
+  return Schema({Field{"g", DataType::kInt64}, Field{"v", DataType::kDouble}});
+}
+
+std::vector<Value> Row(int64_t g, double v) {
+  return {Value(g), Value(v)};
+}
+
+TEST(ReservoirEdgeTest, ShrinkToZeroEvictsEveryTuple) {
+  Random rng(1);
+  ReservoirSampler<int> reservoir(8);
+  for (int i = 0; i < 20; ++i) reservoir.Offer(i, &rng);
+  ASSERT_EQ(reservoir.size(), 8u);
+
+  reservoir.ShrinkTo(0, &rng);
+  EXPECT_EQ(reservoir.size(), 0u);
+  EXPECT_EQ(reservoir.capacity(), 0u);
+
+  // A dead reservoir stays dead: offers are rejected, nothing readmitted.
+  EXPECT_FALSE(reservoir.Offer(99, &rng));
+  EXPECT_EQ(reservoir.size(), 0u);
+}
+
+TEST(SenateEdgeTest, TargetCollapseNeverEmptiesAGroup) {
+  // X = 8 with 32 groups drives the per-group target to X/m < 1; the
+  // maintainer must clamp at one tuple, not evict groups to zero.
+  auto m = MakeSenateMaintainer(TwoColSchema(), {0}, 8, 3);
+  for (int64_t g = 0; g < 32; ++g) {
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(m->Insert(Row(g, 100.0 * g + i)).ok());
+    }
+  }
+  auto snap = m->Snapshot();
+  ASSERT_TRUE(snap.ok());
+  ASSERT_EQ(snap->strata().size(), 32u);
+  for (const Stratum& s : snap->strata()) {
+    EXPECT_EQ(s.population, 5u);
+    EXPECT_EQ(s.sample_count, 1u) << GroupKeyToString(s.key);
+  }
+}
+
+TEST(CongressEdgeTest, NoDecayWhenNewProbabilityIsNotLower) {
+  // With Y at least the stream size, Eq. 8 keeps the inclusion
+  // probability pinned at 1, so every q/p thinning pass hits the q >= p
+  // guard and must keep every admitted tuple — the sample IS the stream.
+  CongressMaintainer m(TwoColSchema(), {0}, 1000, 4);
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(m.Insert(Row(i % 3, i)).ok());
+  }
+  auto snap = m.Snapshot();
+  ASSERT_TRUE(snap.ok());
+  EXPECT_EQ(snap->num_rows(), 300u);
+  for (const Stratum& s : snap->strata()) {
+    EXPECT_EQ(s.sample_count, s.population);
+  }
+}
+
+TEST(CongressEdgeTest, SnapshotScaledToIsNoOpWithoutOversampling) {
+  // SnapshotScaledTo(x) with x >= the retained size has q/p ratio 1:
+  // no extra thinning may occur.
+  CongressMaintainer m(TwoColSchema(), {0}, 1000, 5);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(m.Insert(Row(i % 4, i)).ok());
+  }
+  auto snap = m.SnapshotScaledTo(1000);
+  ASSERT_TRUE(snap.ok());
+  EXPECT_EQ(snap->num_rows(), 200u);
+}
+
+TEST(BasicCongressEdgeTest, BrandNewGroupMidStreamLandsInDelta) {
+  // 500 tuples of group 0 first; then group 1 appears mid-stream with 30
+  // tuples. The new group is under the per-group target ceil(Y/m) = 50,
+  // so its delta sample must merge every one of its tuples into the
+  // snapshot (step 1/4 of the Section 6 algorithm).
+  auto m = MakeBasicCongressMaintainer(TwoColSchema(), {0}, 100, 6);
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(m->Insert(Row(0, i)).ok());
+  }
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(m->Insert(Row(1, 1000 + i)).ok());
+  }
+  auto snap = m->Snapshot();
+  ASSERT_TRUE(snap.ok());
+  ASSERT_EQ(snap->strata().size(), 2u);
+
+  auto idx0 = snap->StratumIndex({Value(int64_t{0})});
+  auto idx1 = snap->StratumIndex({Value(int64_t{1})});
+  ASSERT_TRUE(idx0.ok());
+  ASSERT_TRUE(idx1.ok());
+  EXPECT_EQ(snap->strata()[*idx0].population, 500u);
+  EXPECT_EQ(snap->strata()[*idx1].population, 30u);
+  EXPECT_EQ(snap->strata()[*idx1].sample_count, 30u);
+
+  // Every group-1 tuple made it, each exactly once.
+  std::set<double> group1_values;
+  for (size_t r = 0; r < snap->num_rows(); ++r) {
+    if (snap->rows().GetValue(r, 0) == Value(int64_t{1})) {
+      double v = snap->rows().GetValue(r, 1).AsDouble();
+      EXPECT_TRUE(group1_values.insert(v).second) << "duplicate tuple " << v;
+      EXPECT_GE(v, 1000.0);
+    }
+  }
+  EXPECT_EQ(group1_values.size(), 30u);
+}
+
+TEST(BasicCongressEdgeTest, DeltaRespectsTargetWhenGroupOutgrowsIt) {
+  // A late group that keeps growing past the target must stop merging
+  // whole-delta and settle at (approximately) the per-group cap — the
+  // delta invariant |delta_g| <= max(0, ceil(Y/m) - x_g).
+  auto m = MakeBasicCongressMaintainer(TwoColSchema(), {0}, 60, 7);
+  for (int i = 0; i < 400; ++i) {
+    ASSERT_TRUE(m->Insert(Row(0, i)).ok());
+  }
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(m->Insert(Row(1, 1000 + i)).ok());
+  }
+  auto snap = m->Snapshot();
+  ASSERT_TRUE(snap.ok());
+  auto idx1 = snap->StratumIndex({Value(int64_t{1})});
+  ASSERT_TRUE(idx1.ok());
+  // Target is ceil(60/2) = 30; the group's sample may exceed it only by
+  // whatever its share of the shared reservoir adds.
+  EXPECT_GE(snap->strata()[*idx1].sample_count, 1u);
+  EXPECT_LE(snap->strata()[*idx1].sample_count, 60u);
+  EXPECT_EQ(snap->strata()[*idx1].population, 300u);
+}
+
+}  // namespace
+}  // namespace congress

@@ -1,0 +1,91 @@
+// Negative-path coverage for the SQL front end: every malformed input
+// must come back as a diagnostic Status — never a crash, never a
+// silently wrong plan. Split by stage: lexer (unterminated strings),
+// parser (malformed aggregates and clauses), binder (unknown columns and
+// semantic rule violations).
+
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+
+namespace congress::sql {
+namespace {
+
+Schema TestSchema() {
+  return Schema({Field{"a", DataType::kInt64},
+                 Field{"v", DataType::kDouble},
+                 Field{"s", DataType::kString}});
+}
+
+/// The statement must fail with a non-empty diagnostic.
+void ExpectDiagnostic(const std::string& sql) {
+  auto result = ParseQuery(sql, TestSchema());
+  ASSERT_FALSE(result.ok()) << "expected failure for: " << sql;
+  EXPECT_FALSE(result.status().message().empty()) << sql;
+}
+
+TEST(SqlNegativeTest, UnterminatedStrings) {
+  ExpectDiagnostic("SELECT a, COUNT(*) FROM t WHERE s = 'abc GROUP BY a");
+  ExpectDiagnostic("SELECT a, COUNT(*) FROM t WHERE s = ' GROUP BY a");
+  // An escaped quote that never closes is still unterminated.
+  ExpectDiagnostic("SELECT a, COUNT(*) FROM t WHERE s = 'it''s GROUP BY a");
+
+  auto result = ParseSelect("SELECT a FROM t WHERE s = 'oops");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("unterminated"),
+            std::string::npos)
+      << result.status().message();
+}
+
+TEST(SqlNegativeTest, MalformedAggregates) {
+  ExpectDiagnostic("SELECT SUM( FROM t");
+  ExpectDiagnostic("SELECT SUM() FROM t");
+  ExpectDiagnostic("SELECT SUM(v FROM t");
+  ExpectDiagnostic("SELECT AVG(*) FROM t");   // '*' only valid for COUNT.
+  ExpectDiagnostic("SELECT COUNT(v,) FROM t");
+  ExpectDiagnostic("SELECT SUM(v) v2 extra FROM t");
+}
+
+TEST(SqlNegativeTest, MalformedClauses) {
+  ExpectDiagnostic("");
+  ExpectDiagnostic("SELECT");
+  ExpectDiagnostic("SELECT COUNT(*) FROM");
+  ExpectDiagnostic("SELECT COUNT(*)");
+  ExpectDiagnostic("SELECT a, COUNT(*) FROM t GROUP BY");
+  ExpectDiagnostic("SELECT a, COUNT(*) FROM t WHERE GROUP BY a");
+  ExpectDiagnostic("SELECT a, COUNT(*) FROM t WHERE v BETWEEN 1 GROUP BY a");
+  ExpectDiagnostic("SELECT a, COUNT(*) FROM t GROUP BY a HAVING v > 3");
+  ExpectDiagnostic("SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) >");
+}
+
+TEST(SqlNegativeTest, UnknownColumns) {
+  ExpectDiagnostic("SELECT nosuch, COUNT(*) FROM t GROUP BY nosuch");
+  ExpectDiagnostic("SELECT a, SUM(nosuch) FROM t GROUP BY a");
+  ExpectDiagnostic("SELECT a, COUNT(*) FROM t WHERE nosuch > 3 GROUP BY a");
+  ExpectDiagnostic("SELECT a, COUNT(*) FROM t GROUP BY a, nosuch");
+}
+
+TEST(SqlNegativeTest, BinderSemanticRules) {
+  // Non-aggregate SELECT item missing from GROUP BY (and vice versa).
+  ExpectDiagnostic("SELECT a, COUNT(*) FROM t");
+  ExpectDiagnostic("SELECT COUNT(*) FROM t GROUP BY a");
+  // Aggregating a string column.
+  ExpectDiagnostic("SELECT a, SUM(s) FROM t GROUP BY a");
+  // Ordering / BETWEEN comparisons require numeric columns.
+  ExpectDiagnostic("SELECT a, COUNT(*) FROM t WHERE s < 'x' GROUP BY a");
+  ExpectDiagnostic(
+      "SELECT a, COUNT(*) FROM t WHERE s BETWEEN 'a' AND 'b' GROUP BY a");
+  // HAVING references an aggregate that is not in the SELECT list.
+  ExpectDiagnostic(
+      "SELECT a, COUNT(*) FROM t GROUP BY a HAVING SUM(v) > 5");
+}
+
+TEST(SqlNegativeTest, DiagnosticsCarryPosition) {
+  auto result = ParseSelect("SELECT AVG(*) FROM t");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("position"), std::string::npos)
+      << result.status().message();
+}
+
+}  // namespace
+}  // namespace congress::sql
