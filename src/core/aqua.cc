@@ -1,10 +1,47 @@
 #include "core/aqua.h"
 
 #include "engine/executor.h"
+#include "obs/metrics.h"
+#include "resilience/failpoint.h"
 #include "sql/emitter.h"
 #include "sql/parser.h"
 
 namespace congress {
+
+namespace {
+
+/// Bound-widening factors for the non-exact fallback rungs. BasicCongress
+/// still balances groups against uniformity; House abandons small-group
+/// guarantees entirely, so its bounds get the larger haircut.
+constexpr double kBasicCongressWidening = 1.25;
+constexpr double kHouseWidening = 1.5;
+
+ApproximateResult WidenBounds(const ApproximateResult& in, double factor) {
+  ApproximateResult out;
+  for (ApproximateGroupRow row : in.rows()) {
+    for (double& e : row.std_errors) e *= factor;
+    for (double& b : row.bounds) b *= factor;
+    out.Add(std::move(row));
+  }
+  return out;
+}
+
+/// An exact answer wearing the approximate-answer interface: the point
+/// estimates are the truth and every bound is zero-width.
+ApproximateResult FromExact(const QueryResult& exact) {
+  ApproximateResult out;
+  for (const GroupResult& row : exact.rows()) {
+    ApproximateGroupRow approx;
+    approx.key = row.key;
+    approx.estimates = row.aggregates;
+    approx.std_errors.assign(row.aggregates.size(), 0.0);
+    approx.bounds.assign(row.aggregates.size(), 0.0);
+    out.Add(std::move(approx));
+  }
+  return out;
+}
+
+}  // namespace
 
 Status AquaEngine::RegisterTable(const std::string& name, Table table,
                                  const SynopsisConfig& config) {
@@ -74,6 +111,105 @@ Result<QueryResult> AquaEngine::QueryVia(const std::string& sql,
   auto routed = Route(sql);
   if (!routed.ok()) return routed.status();
   return routed->first->synopsis->AnswerVia(routed->second, strategy);
+}
+
+Result<ResilientAnswer> AquaEngine::QueryResilient(const std::string& sql) {
+  // Parse/bind errors are the caller's bug, not a synopsis failure — no
+  // ladder for those.
+  auto statement = sql::ParseSelect(sql);
+  if (!statement.ok()) return statement.status();
+  auto it = tables_.find(statement->table);
+  if (it == tables_.end()) {
+    return Status::NotFound("table '" + statement->table + "' not registered");
+  }
+  Entry& entry = it->second;
+  auto bound = sql::Bind(*statement, entry.table.schema());
+  if (!bound.ok()) return bound.status();
+  const GroupByQuery& query = *bound;
+
+  ResilientAnswer answer;
+  std::string causes;
+  auto note = [&causes](const char* rung, const Status& st) {
+    if (!causes.empty()) causes += "; ";
+    causes += std::string(rung) + ": " + st.ToString();
+  };
+
+  // Rung 0: the configured synopsis.
+  if (CONGRESS_FAILPOINT_HIT("aqua/primary_answer")) {
+    note("primary", resilience::FailpointError("aqua/primary_answer"));
+  } else {
+    auto primary = entry.synopsis->Answer(query);
+    if (primary.ok()) {
+      answer.result = std::move(primary).value();
+      return answer;
+    }
+    note("primary", primary.status());
+  }
+
+  // Rungs 1-2: progressively simpler synopses rebuilt from the retained
+  // base relation, cached after the first degraded query.
+  struct Rung {
+    std::unique_ptr<AquaSynopsis>* cache;
+    AllocationStrategy strategy;
+    const char* name;
+    const char* site;
+    DegradationLevel level;
+    double widening;
+  };
+  const Rung rungs[] = {
+      {&entry.fallback_basic, AllocationStrategy::kBasicCongress,
+       "basic_congress", "aqua/fallback_basic",
+       DegradationLevel::kBasicCongress, kBasicCongressWidening},
+      {&entry.fallback_house, AllocationStrategy::kHouse, "house",
+       "aqua/fallback_house", DegradationLevel::kHouse, kHouseWidening},
+  };
+  for (const Rung& rung : rungs) {
+    if (CONGRESS_FAILPOINT_HIT(rung.site)) {
+      note(rung.name, resilience::FailpointError(rung.site));
+      continue;
+    }
+    if (*rung.cache == nullptr) {
+      SynopsisConfig fallback = entry.synopsis->config();
+      fallback.strategy = rung.strategy;
+      fallback.incremental = false;
+      auto built = AquaSynopsis::Build(entry.table, fallback);
+      if (!built.ok()) {
+        note(rung.name, built.status());
+        continue;
+      }
+      *rung.cache =
+          std::make_unique<AquaSynopsis>(std::move(built).value());
+    }
+    auto result = (*rung.cache)->Answer(query);
+    if (!result.ok()) {
+      note(rung.name, result.status());
+      continue;
+    }
+    answer.result = WidenBounds(*result, rung.widening);
+    answer.degradation.level = rung.level;
+    answer.degradation.bound_widening = rung.widening;
+    answer.degradation.cause = causes;
+    CONGRESS_METRIC_INCR("resilience.degraded_answers", 1);
+    return answer;
+  }
+
+  // Last rung: exact scan of the base relation — slow but always right.
+  if (CONGRESS_FAILPOINT_HIT("aqua/exact_rebuild")) {
+    note("exact", resilience::FailpointError("aqua/exact_rebuild"));
+    return Status::Internal("all degradation rungs failed: " + causes);
+  }
+  auto exact = ExecuteExact(entry.table, query);
+  if (!exact.ok()) {
+    note("exact", exact.status());
+    return Status::Internal("all degradation rungs failed: " + causes);
+  }
+  answer.result = FromExact(*exact);
+  answer.degradation.level = DegradationLevel::kExactRebuild;
+  answer.degradation.bound_widening = 1.0;
+  answer.degradation.cause = causes;
+  CONGRESS_METRIC_INCR("resilience.degraded_answers", 1);
+  CONGRESS_METRIC_INCR("resilience.exact_rebuilds", 1);
+  return answer;
 }
 
 Result<std::string> AquaEngine::ExplainRewrite(const std::string& sql,

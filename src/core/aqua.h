@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/degradation.h"
 #include "core/synopsis.h"
 #include "util/status.h"
 
@@ -45,6 +46,22 @@ class AquaEngine {
   Result<QueryResult> QueryVia(const std::string& sql,
                                RewriteStrategy strategy) const;
 
+  /// Like Query(), but never gives up just because the primary synopsis
+  /// cannot answer: walks the degradation ladder Congress (whatever the
+  /// configured synopsis is) → rebuilt BasicCongress → rebuilt House →
+  /// exact scan of the retained base relation. Fallback synopses are
+  /// built on first use from the base table and cached; their error
+  /// bounds are widened to reflect the weaker allocation guarantees, and
+  /// the exact rung reports zero-width bounds. The returned
+  /// DegradationReason says which rung answered and why the rungs above
+  /// it failed; `resilience.degraded_answers` counts non-primary answers.
+  /// Fails only when every rung (including the exact scan) fails, or the
+  /// SQL itself does not parse/bind.
+  ///
+  /// Failpoint sites, one per rung: "aqua/primary_answer",
+  /// "aqua/fallback_basic", "aqua/fallback_house", "aqua/exact_rebuild".
+  Result<ResilientAnswer> QueryResilient(const std::string& sql);
+
   /// The rewritten SQL text the strategy would send to the back-end DBMS
   /// (Figures 8-11), with the synopsis relation named "bs_<table>".
   Result<std::string> ExplainRewrite(const std::string& sql,
@@ -65,6 +82,10 @@ class AquaEngine {
   struct Entry {
     Table table;
     std::unique_ptr<AquaSynopsis> synopsis;
+    /// Degradation-ladder synopses, built lazily on the first fallback
+    /// and kept so repeated degraded queries stay cheap.
+    std::unique_ptr<AquaSynopsis> fallback_basic;
+    std::unique_ptr<AquaSynopsis> fallback_house;
   };
 
   Result<const Entry*> Lookup(const std::string& name) const;

@@ -1,0 +1,54 @@
+#ifndef CONGRESS_CORE_DEGRADATION_H_
+#define CONGRESS_CORE_DEGRADATION_H_
+
+#include <string>
+
+#include "core/estimator.h"
+
+namespace congress {
+
+/// How far down the answer ladder a resilient query had to walk when its
+/// primary synopsis could not answer. Each rung trades group-level
+/// accuracy guarantees for availability:
+///   kNone          — the configured synopsis answered; nothing degraded.
+///   kBasicCongress — answered from a BasicCongress synopsis rebuilt from
+///                    the retained base relation (weaker sub-grouping
+///                    guarantees than full Congress).
+///   kHouse         — answered from a uniform House sample (small groups
+///                    may be badly estimated or missing entirely).
+///   kExactRebuild  — all sampling rungs failed; the answer is an exact
+///                    scan of the base relation (slow but always right).
+enum class DegradationLevel {
+  kNone = 0,
+  kBasicCongress = 1,
+  kHouse = 2,
+  kExactRebuild = 3,
+};
+
+const char* DegradationLevelToString(DegradationLevel level);
+
+/// Machine-readable account of a degraded answer: which rung served it,
+/// why every rung above failed, and the factor by which the reported
+/// error bounds were widened to reflect the weaker strategy.
+struct DegradationReason {
+  DegradationLevel level = DegradationLevel::kNone;
+  /// "rung: Status; rung: Status; ..." for each rung that failed, in
+  /// ladder order. Empty when level == kNone.
+  std::string cause;
+  /// Multiplier applied to every std_error and bound in the answer
+  /// (1.0 for kNone; exact answers carry zero-width bounds).
+  double bound_widening = 1.0;
+
+  bool degraded() const { return level != DegradationLevel::kNone; }
+  std::string ToString() const;
+};
+
+/// An approximate answer plus the story of how it was produced.
+struct ResilientAnswer {
+  ApproximateResult result;
+  DegradationReason degradation;
+};
+
+}  // namespace congress
+
+#endif  // CONGRESS_CORE_DEGRADATION_H_

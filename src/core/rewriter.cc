@@ -6,6 +6,7 @@
 #include "engine/executor.h"
 #include "obs/metrics.h"
 #include "obs/scope.h"
+#include "resilience/failpoint.h"
 #include "storage/group_index.h"
 
 namespace congress {
@@ -156,6 +157,7 @@ Result<QueryResult> AggregateScaled(const Table& rel, const GroupByQuery& query,
 Result<QueryResult> Rewriter::Answer(const GroupByQuery& query,
                                      RewriteStrategy strategy,
                                      const ExecutorOptions& options) const {
+  CONGRESS_FAILPOINT("rewriter/answer");
   CONGRESS_RETURN_NOT_OK(
       ValidateForRewrite(query, integrated_.schema(), base_num_columns_));
   // Spans are named per strategy so a snapshot shows which physical plans

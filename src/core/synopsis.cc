@@ -4,6 +4,7 @@
 
 #include "obs/metrics.h"
 #include "obs/scope.h"
+#include "resilience/failpoint.h"
 
 namespace congress {
 
@@ -80,8 +81,52 @@ Result<AquaSynopsis> AquaSynopsis::Build(const Table& base,
   return synopsis;
 }
 
+Result<AquaSynopsis> AquaSynopsis::Restore(StratifiedSample sample,
+                                           const SynopsisConfig& config,
+                                           uint64_t tuples_seen) {
+  if (sample.grouping_columns().empty()) {
+    return Status::InvalidArgument(
+        "recovered sample declares no grouping columns");
+  }
+  AquaSynopsis synopsis;
+  synopsis.config_ = config;
+  // The sample is the source of truth for grouping structure; re-derive
+  // the configured names from its schema so config() stays consistent.
+  synopsis.grouping_indices_ = sample.grouping_columns();
+  synopsis.config_.grouping_columns.clear();
+  for (size_t c : synopsis.grouping_indices_) {
+    if (c >= sample.base_schema().num_fields()) {
+      return Status::InvalidArgument("recovered grouping column " +
+                                     std::to_string(c) + " out of range");
+    }
+    synopsis.config_.grouping_columns.push_back(
+        sample.base_schema().field(c).name);
+  }
+  synopsis.config_.incremental = false;
+  synopsis.target_sample_size_ =
+      config.sample_size != 0 ? config.sample_size : sample.num_rows();
+  synopsis.sample_ = std::move(sample);
+  synopsis.rewriter_ = std::make_shared<Rewriter>(synopsis.sample_);
+  synopsis.restored_ = true;
+  synopsis.restored_tuples_seen_ = tuples_seen;
+  CONGRESS_METRIC_INCR("synopsis.restores", 1);
+  return synopsis;
+}
+
+SynopsisHealth AquaSynopsis::Health() const {
+  SynopsisHealth health;
+  health.restored_from_snapshot = restored_;
+  health.can_insert = maintainer_ != nullptr;
+  health.num_strata = sample_.strata().size();
+  health.num_rows = sample_.num_rows();
+  health.tuples_seen =
+      maintainer_ != nullptr ? maintainer_->tuples_seen() : restored_tuples_seen_;
+  return health;
+}
+
 Result<ApproximateResult> AquaSynopsis::Answer(
     const GroupByQuery& query) const {
+  CONGRESS_FAILPOINT("synopsis/answer");
   auto result =
       EstimateGroupBy(sample_, query, config_.estimator, config_.execution);
 #ifndef CONGRESS_DISABLE_OBS

@@ -52,6 +52,16 @@ struct SynopsisConfig {
   ExecutorOptions execution;
 };
 
+/// A synopsis's vital signs, for health endpoints and the degradation
+/// ladder's decision making.
+struct SynopsisHealth {
+  bool restored_from_snapshot = false;  ///< Came from RecoverSnapshot.
+  bool can_insert = false;              ///< Has a live maintainer.
+  size_t num_strata = 0;
+  size_t num_rows = 0;
+  uint64_t tuples_seen = 0;  ///< Stream position (maintainer or snapshot).
+};
+
 /// An Aqua-style synopsis over one base relation: a stratified sample,
 /// its precomputed rewrite materializations, and (optionally) a live
 /// incremental maintainer. This is the library's main facade.
@@ -61,6 +71,17 @@ class AquaSynopsis {
   /// the build; it is not retained.
   static Result<AquaSynopsis> Build(const Table& base,
                                     const SynopsisConfig& config);
+
+  /// Reconstructs a read-only synopsis from a recovered sample (see
+  /// resilience/recovery.h): the rewrite materializations are rebuilt,
+  /// queries are served, but Insert() is rejected — maintainer RNG state
+  /// is not persisted, so the stream cannot resume; rebuild when the base
+  /// relation becomes available again. `tuples_seen` records the stream
+  /// position the snapshot captured. Grouping columns come from the
+  /// sample itself, not `config`.
+  static Result<AquaSynopsis> Restore(StratifiedSample sample,
+                                      const SynopsisConfig& config,
+                                      uint64_t tuples_seen);
 
   /// Approximate answer with per-group error bounds, computed from the
   /// stratified estimators (Section 5.1).
@@ -87,6 +108,9 @@ class AquaSynopsis {
     return grouping_indices_;
   }
 
+  bool restored_from_snapshot() const { return restored_; }
+  SynopsisHealth Health() const;
+
  private:
   AquaSynopsis() = default;
 
@@ -96,6 +120,8 @@ class AquaSynopsis {
   std::shared_ptr<Rewriter> rewriter_;
   std::shared_ptr<SampleMaintainer> maintainer_;  // Null unless incremental.
   uint64_t target_sample_size_ = 0;
+  bool restored_ = false;
+  uint64_t restored_tuples_seen_ = 0;
 };
 
 /// A registry of synopses by relation name — the middleware face of Aqua

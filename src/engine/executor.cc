@@ -113,7 +113,9 @@ std::unordered_map<GroupKey, uint64_t, GroupKeyHash> CountGroups(
     const ExecutorOptions& options) {
   std::unordered_map<GroupKey, uint64_t, GroupKeyHash> counts;
   auto index = GroupIndex::Build(table, group_columns, options);
-  assert(index.ok());
+  // Out-of-range grouping columns yield an empty count map rather than
+  // dereferencing an error Result.
+  if (!index.ok()) return counts;
   counts.reserve(index->num_groups());
   for (size_t g = 0; g < index->num_groups(); ++g) {
     counts.emplace(index->keys()[g], index->counts()[g]);

@@ -1,0 +1,86 @@
+#include "resilience/checkpoint.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "resilience/snapshot_io.h"
+
+namespace congress::resilience {
+
+CheckpointingMaintainer::CheckpointingMaintainer(
+    std::unique_ptr<SampleMaintainer> inner, AllocationStrategy strategy,
+    uint64_t target_size, uint64_t seed, CheckpointPolicy policy)
+    : inner_(std::move(inner)),
+      strategy_(strategy),
+      target_size_(target_size),
+      seed_(seed),
+      policy_(std::move(policy)) {}
+
+Status CheckpointingMaintainer::Checkpoint() {
+  Result<StratifiedSample> sample = inner_->Snapshot();
+  if (!sample.ok()) {
+    checkpoints_failed_ += 1;
+    last_checkpoint_status_ = sample.status();
+    CONGRESS_METRIC_INCR("resilience.checkpoint_fail", 1);
+    return sample.status();
+  }
+  SnapshotImage image;
+  image.strategy = static_cast<uint32_t>(strategy_);
+  image.target_size = target_size_;
+  image.seed = seed_;
+  image.tuples_seen = inner_->tuples_seen();
+  image.sample = std::move(sample).value();
+
+  Status st = Status::OK();
+  uint64_t backoff_ms = policy_.backoff_initial_ms;
+  const int attempts = policy_.max_attempts < 1 ? 1 : policy_.max_attempts;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      CONGRESS_METRIC_INCR("resilience.checkpoint_retry", 1);
+      if (backoff_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+        backoff_ms *= 2;
+      }
+    }
+    st = WriteSnapshot(image, policy_.path);
+    if (st.ok()) break;
+  }
+  last_checkpoint_status_ = st;
+  if (st.ok()) {
+    checkpoints_written_ += 1;
+    CONGRESS_METRIC_INCR("resilience.checkpoint_ok", 1);
+  } else {
+    checkpoints_failed_ += 1;
+    CONGRESS_METRIC_INCR("resilience.checkpoint_fail", 1);
+  }
+  return st;
+}
+
+Status CheckpointingMaintainer::Insert(const std::vector<Value>& row) {
+  CONGRESS_RETURN_NOT_OK(inner_->Insert(row));
+  if (policy_.every_n_inserts > 0 &&
+      ++inserts_since_checkpoint_ >= policy_.every_n_inserts) {
+    inserts_since_checkpoint_ = 0;
+    // A failed checkpoint is deliberately swallowed: the stream must keep
+    // flowing and the previous on-disk snapshot is still valid. The
+    // failure is visible via last_checkpoint_status() and metrics.
+    (void)Checkpoint();
+  }
+  return Status::OK();
+}
+
+Result<StratifiedSample> CheckpointingMaintainer::Snapshot() {
+  return inner_->Snapshot();
+}
+
+uint64_t CheckpointingMaintainer::tuples_seen() const {
+  return inner_->tuples_seen();
+}
+
+size_t CheckpointingMaintainer::current_sample_size() const {
+  return inner_->current_sample_size();
+}
+
+}  // namespace congress::resilience

@@ -1,0 +1,71 @@
+#ifndef CONGRESS_RESILIENCE_CHECKPOINT_H_
+#define CONGRESS_RESILIENCE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "sampling/allocation.h"
+#include "sampling/maintenance.h"
+#include "util/status.h"
+
+namespace congress::resilience {
+
+/// How often and where a CheckpointingMaintainer persists its sample.
+struct CheckpointPolicy {
+  std::string path;                  ///< Snapshot file (atomically replaced).
+  uint64_t every_n_inserts = 10000;  ///< Checkpoint cadence, in inserts.
+  int max_attempts = 3;              ///< Write attempts per checkpoint.
+  uint64_t backoff_initial_ms = 0;   ///< Sleep before retry #1; doubles.
+};
+
+/// Decorates any SampleMaintainer with periodic crash-safe persistence:
+/// every `every_n_inserts` inserts the inner maintainer's Snapshot() is
+/// serialized through WriteSnapshot (temp file + fsync + atomic rename).
+/// A failed checkpoint never fails the insert — the stream keeps flowing
+/// and the previous on-disk snapshot stays valid; the failure is retried
+/// with bounded exponential backoff, recorded in last_checkpoint_status()
+/// and the `resilience.checkpoint_{ok,retry,fail}` counters.
+///
+/// Because Snapshot() may advance the inner maintainer's RNG (lazy
+/// evictions draw randomness), a checkpointed run and an uncheckpointed
+/// run of the same stream diverge after the first checkpoint. Recovery
+/// therefore compares against a reference run snapshotted at the same
+/// insert positions — see the crash_recovery property config.
+class CheckpointingMaintainer : public SampleMaintainer {
+ public:
+  CheckpointingMaintainer(std::unique_ptr<SampleMaintainer> inner,
+                          AllocationStrategy strategy, uint64_t target_size,
+                          uint64_t seed, CheckpointPolicy policy);
+
+  Status Insert(const std::vector<Value>& row) override;
+  Result<StratifiedSample> Snapshot() override;
+  uint64_t tuples_seen() const override;
+  size_t current_sample_size() const override;
+
+  /// Writes a checkpoint now, independent of the cadence. Retries up to
+  /// `max_attempts` times. Returns the final attempt's status.
+  Status Checkpoint();
+
+  uint64_t checkpoints_written() const { return checkpoints_written_; }
+  uint64_t checkpoints_failed() const { return checkpoints_failed_; }
+  const Status& last_checkpoint_status() const {
+    return last_checkpoint_status_;
+  }
+  const CheckpointPolicy& policy() const { return policy_; }
+
+ private:
+  std::unique_ptr<SampleMaintainer> inner_;
+  AllocationStrategy strategy_;
+  uint64_t target_size_;
+  uint64_t seed_;
+  CheckpointPolicy policy_;
+  uint64_t inserts_since_checkpoint_ = 0;
+  uint64_t checkpoints_written_ = 0;
+  uint64_t checkpoints_failed_ = 0;
+  Status last_checkpoint_status_ = Status::OK();
+};
+
+}  // namespace congress::resilience
+
+#endif  // CONGRESS_RESILIENCE_CHECKPOINT_H_

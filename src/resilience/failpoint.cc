@@ -1,0 +1,180 @@
+#include "resilience/failpoint.h"
+
+#include <cstdlib>
+
+namespace congress::resilience {
+
+namespace {
+
+constexpr char kFailpointMessagePrefix[] = "failpoint '";
+
+}  // namespace
+
+FailpointRegistry::FailpointRegistry() {
+  const char* env = std::getenv("CONGRESS_FAILPOINTS");
+  if (env != nullptr && env[0] != '\0') {
+    // Environment arming is best-effort: a malformed spec must not crash
+    // the process at static-init time, so it is silently ignored (tests
+    // cover ParseAndEnable's diagnostics directly).
+    (void)ParseAndEnable(env);
+  }
+}
+
+FailpointRegistry& FailpointRegistry::Global() {
+  static FailpointRegistry* registry = new FailpointRegistry();
+  return *registry;
+}
+
+void FailpointRegistry::Enable(const std::string& name, FailpointSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  State state;
+  state.spec = spec;
+  state.rng = Random(spec.seed);
+  auto [it, inserted] = armed_.insert_or_assign(name, std::move(state));
+  (void)it;
+  if (inserted) armed_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FailpointRegistry::EnableAlways(const std::string& name) {
+  FailpointSpec spec;
+  spec.mode = FailpointSpec::Mode::kAlways;
+  Enable(name, spec);
+}
+
+void FailpointRegistry::EnableNthHit(const std::string& name, uint64_t nth) {
+  FailpointSpec spec;
+  spec.mode = FailpointSpec::Mode::kNthHit;
+  spec.nth = nth;
+  Enable(name, spec);
+}
+
+void FailpointRegistry::EnableProbability(const std::string& name,
+                                          double probability, uint64_t seed) {
+  FailpointSpec spec;
+  spec.mode = FailpointSpec::Mode::kProbability;
+  spec.probability = probability;
+  spec.seed = seed;
+  Enable(name, spec);
+}
+
+void FailpointRegistry::Disable(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (armed_.erase(name) > 0) {
+    armed_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FailpointRegistry::DisableAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_count_.fetch_sub(armed_.size(), std::memory_order_relaxed);
+  armed_.clear();
+}
+
+bool FailpointRegistry::ShouldFail(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = armed_.find(name);
+  if (it == armed_.end()) return false;
+  State& state = it->second;
+  state.hits += 1;
+  bool fire = false;
+  switch (state.spec.mode) {
+    case FailpointSpec::Mode::kAlways:
+      fire = true;
+      break;
+    case FailpointSpec::Mode::kNthHit:
+      fire = state.hits == state.spec.nth;
+      break;
+    case FailpointSpec::Mode::kProbability:
+      fire = state.rng.Bernoulli(state.spec.probability);
+      break;
+  }
+  if (fire) state.fires += 1;
+  return fire;
+}
+
+uint64_t FailpointRegistry::HitCount(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = armed_.find(name);
+  return it == armed_.end() ? 0 : it->second.hits;
+}
+
+uint64_t FailpointRegistry::FireCount(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = armed_.find(name);
+  return it == armed_.end() ? 0 : it->second.fires;
+}
+
+std::vector<std::string> FailpointRegistry::ArmedSites() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(armed_.size());
+  for (const auto& [name, state] : armed_) names.push_back(name);
+  return names;
+}
+
+Status FailpointRegistry::ParseAndEnable(const std::string& spec_list) {
+  size_t pos = 0;
+  while (pos < spec_list.size()) {
+    size_t end = spec_list.find(';', pos);
+    if (end == std::string::npos) end = spec_list.size();
+    std::string entry = spec_list.substr(pos, end - pos);
+    pos = end + 1;
+    if (entry.empty()) continue;
+
+    size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("failpoint entry '" + entry +
+                                     "' is not name=rule");
+    }
+    std::string name = entry.substr(0, eq);
+    std::string rule = entry.substr(eq + 1);
+
+    if (rule == "always") {
+      EnableAlways(name);
+    } else if (rule.rfind("nth:", 0) == 0) {
+      char* parse_end = nullptr;
+      uint64_t nth = std::strtoull(rule.c_str() + 4, &parse_end, 10);
+      if (parse_end == rule.c_str() + 4 || *parse_end != '\0' || nth == 0) {
+        return Status::InvalidArgument("bad nth rule '" + rule + "' for '" +
+                                       name + "'");
+      }
+      EnableNthHit(name, nth);
+    } else if (rule.rfind("prob:", 0) == 0) {
+      std::string body = rule.substr(5);
+      uint64_t seed = 0;
+      size_t colon = body.find(':');
+      if (colon != std::string::npos) {
+        std::string seed_part = body.substr(colon + 1);
+        if (seed_part.rfind("seed", 0) != 0) {
+          return Status::InvalidArgument("bad prob seed '" + rule + "'");
+        }
+        seed = std::strtoull(seed_part.c_str() + 4, nullptr, 10);
+        body = body.substr(0, colon);
+      }
+      char* parse_end = nullptr;
+      double p = std::strtod(body.c_str(), &parse_end);
+      if (parse_end == body.c_str() || *parse_end != '\0' || p < 0.0 ||
+          p > 1.0) {
+        return Status::InvalidArgument("bad probability '" + rule +
+                                       "' for '" + name + "'");
+      }
+      EnableProbability(name, p, seed);
+    } else {
+      return Status::InvalidArgument("unknown failpoint rule '" + rule +
+                                     "' for '" + name +
+                                     "' (want always | nth:N | prob:P[:seedS])");
+    }
+  }
+  return Status::OK();
+}
+
+Status FailpointError(const std::string& name) {
+  return Status::IOError(kFailpointMessagePrefix + name + "' fired");
+}
+
+bool IsFailpointError(const Status& status) {
+  return status.code() == StatusCode::kIOError &&
+         status.message().rfind(kFailpointMessagePrefix, 0) == 0;
+}
+
+}  // namespace congress::resilience

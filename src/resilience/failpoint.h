@@ -1,0 +1,152 @@
+#ifndef CONGRESS_RESILIENCE_FAILPOINT_H_
+#define CONGRESS_RESILIENCE_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/random.h"
+#include "util/status.h"
+
+namespace congress::resilience {
+
+/// How an armed failpoint decides whether a given hit fires.
+struct FailpointSpec {
+  enum class Mode {
+    kAlways,       ///< Every hit fires.
+    kNthHit,       ///< Exactly the nth hit (1-based) fires, once.
+    kProbability,  ///< Each hit fires with probability `probability`,
+                   ///< drawn from a per-site deterministic stream.
+  };
+  Mode mode = Mode::kAlways;
+  uint64_t nth = 1;
+  double probability = 0.0;
+  uint64_t seed = 0;
+};
+
+/// Process-wide registry of named, deterministic fault-injection sites.
+///
+/// Instrumented code declares a site with CONGRESS_FAILPOINT("subsystem/
+/// operation"); nothing happens unless a test (or the CONGRESS_FAILPOINTS
+/// environment variable) arms that name. Arming is by nth-hit or seeded
+/// probability, so every failure a failpoint produces is reproducible
+/// from (site, spec) alone — the backbone of the crash-recovery oracle.
+///
+/// Cost when nothing is armed: one relaxed atomic load per site hit (the
+/// armed-site count), no lock, no lookup. Under
+/// -DCONGRESS_DISABLE_FAILPOINTS=ON the macros compile to no-ops and even
+/// that load disappears.
+///
+/// Site names are '/'-separated, subsystem first: "snapshot_io/fsync",
+/// "maintenance/insert". Hit counts are tracked for armed sites only.
+class FailpointRegistry {
+ public:
+  static FailpointRegistry& Global();
+
+  /// Arms `name` with the given firing rule (replacing any previous rule
+  /// and resetting its hit counter).
+  void Enable(const std::string& name, FailpointSpec spec);
+  void EnableAlways(const std::string& name);
+  void EnableNthHit(const std::string& name, uint64_t nth);
+  void EnableProbability(const std::string& name, double probability,
+                         uint64_t seed);
+
+  void Disable(const std::string& name);
+  void DisableAll();
+
+  /// Called by instrumented sites on every hit. Returns true iff the
+  /// fault fires. Counts the hit when the site is armed.
+  bool ShouldFail(const std::string& name);
+
+  /// Hits observed at `name` since it was last armed (0 if not armed).
+  uint64_t HitCount(const std::string& name) const;
+
+  /// Times `name` actually fired since it was last armed.
+  uint64_t FireCount(const std::string& name) const;
+
+  std::vector<std::string> ArmedSites() const;
+
+  /// Parses a CONGRESS_FAILPOINTS-style spec list and arms each entry:
+  ///   "site=always;site2=nth:3;site3=prob:0.01:seed7"
+  /// Entries are ';'-separated; "prob" takes probability and an optional
+  /// ":seed<N>" suffix. Unparseable entries fail the whole string.
+  Status ParseAndEnable(const std::string& spec_list);
+
+  /// True if any site is armed — the fast-path gate used by the macro.
+  bool AnyArmed() const {
+    return armed_count_.load(std::memory_order_relaxed) > 0;
+  }
+
+ private:
+  FailpointRegistry();
+
+  struct State {
+    FailpointSpec spec;
+    uint64_t hits = 0;
+    uint64_t fires = 0;
+    Random rng{0};
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, State> armed_;
+  std::atomic<uint64_t> armed_count_{0};
+};
+
+/// RAII site arming for tests: arms on construction, disarms on scope
+/// exit.
+class ScopedFailpoint {
+ public:
+  ScopedFailpoint(std::string name, FailpointSpec spec) : name_(std::move(name)) {
+    FailpointRegistry::Global().Enable(name_, spec);
+  }
+  explicit ScopedFailpoint(std::string name) : name_(std::move(name)) {
+    FailpointRegistry::Global().EnableAlways(name_);
+  }
+  ScopedFailpoint(std::string name, uint64_t nth) : name_(std::move(name)) {
+    FailpointRegistry::Global().EnableNthHit(name_, nth);
+  }
+  ~ScopedFailpoint() { FailpointRegistry::Global().Disable(name_); }
+  ScopedFailpoint(const ScopedFailpoint&) = delete;
+  ScopedFailpoint& operator=(const ScopedFailpoint&) = delete;
+
+ private:
+  std::string name_;
+};
+
+/// The Status an instrumented site returns when its failpoint fires.
+/// Always kIOError with a "failpoint '<name>' fired" message so callers
+/// (and the checkpoint retry loop) can recognize injected faults.
+Status FailpointError(const std::string& name);
+
+/// True iff `status` was produced by FailpointError.
+bool IsFailpointError(const Status& status);
+
+}  // namespace congress::resilience
+
+// CONGRESS_FAILPOINT(name): declares a fault site inside a function
+// returning Status or Result<T>; if the site fires, the function returns
+// FailpointError(name). CONGRESS_FAILPOINT_HIT(name) is the expression
+// form for sites that need custom handling (void functions, loops).
+#ifdef CONGRESS_DISABLE_FAILPOINTS
+#define CONGRESS_FAILPOINT(name) \
+  do {                           \
+  } while (0)
+#define CONGRESS_FAILPOINT_HIT(name) (false)
+#else
+#define CONGRESS_FAILPOINT(name)                                           \
+  do {                                                                     \
+    if (::congress::resilience::FailpointRegistry::Global().AnyArmed() &&  \
+        ::congress::resilience::FailpointRegistry::Global().ShouldFail(    \
+            name)) {                                                       \
+      return ::congress::resilience::FailpointError(name);                 \
+    }                                                                      \
+  } while (0)
+#define CONGRESS_FAILPOINT_HIT(name)                                   \
+  (::congress::resilience::FailpointRegistry::Global().AnyArmed() &&   \
+   ::congress::resilience::FailpointRegistry::Global().ShouldFail(name))
+#endif
+
+#endif  // CONGRESS_RESILIENCE_FAILPOINT_H_

@@ -1,0 +1,327 @@
+#include "resilience/recovery.h"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "obs/metrics.h"
+#include "resilience/failpoint.h"
+#include "resilience/wire.h"
+#include "util/crc32c.h"
+
+namespace congress::resilience {
+
+namespace {
+
+struct MetaSection {
+  uint32_t strategy = 0;
+  uint64_t target_size = 0;
+  uint64_t seed = 0;
+  uint64_t tuples_seen = 0;
+  Schema schema;
+  std::vector<size_t> grouping_columns;
+};
+
+struct StratumSection {
+  GroupKey key;
+  uint64_t population = 0;
+  /// (original global row index, row values) in on-disk order.
+  std::vector<std::pair<uint64_t, std::vector<Value>>> rows;
+};
+
+bool ParseMeta(const std::string& payload, MetaSection* meta) {
+  wire::Cursor in(payload.data(), payload.size());
+  if (!in.GetU32(&meta->strategy)) return false;
+  if (!in.GetU64(&meta->target_size)) return false;
+  if (!in.GetU64(&meta->seed)) return false;
+  if (!in.GetU64(&meta->tuples_seen)) return false;
+  uint32_t num_fields;
+  if (!in.GetU32(&num_fields)) return false;
+  std::vector<Field> fields;
+  fields.reserve(num_fields);
+  for (uint32_t f = 0; f < num_fields; ++f) {
+    Field field;
+    uint8_t type;
+    if (!in.GetString(&field.name) || !in.GetU8(&type)) return false;
+    if (type > static_cast<uint8_t>(DataType::kString)) return false;
+    field.type = static_cast<DataType>(type);
+    fields.push_back(std::move(field));
+  }
+  meta->schema = Schema(std::move(fields));
+  uint32_t num_grouping;
+  if (!in.GetU32(&num_grouping)) return false;
+  for (uint32_t c = 0; c < num_grouping; ++c) {
+    uint64_t idx;
+    if (!in.GetU64(&idx)) return false;
+    if (idx >= meta->schema.num_fields()) return false;
+    meta->grouping_columns.push_back(static_cast<size_t>(idx));
+  }
+  return in.remaining() == 0;
+}
+
+bool ParseStratum(const std::string& payload, size_t num_fields,
+                  StratumSection* stratum) {
+  wire::Cursor in(payload.data(), payload.size());
+  uint32_t arity;
+  if (!in.GetU32(&arity)) return false;
+  stratum->key.reserve(arity);
+  for (uint32_t k = 0; k < arity; ++k) {
+    Value v;
+    if (!wire::GetValue(&in, &v)) return false;
+    stratum->key.push_back(std::move(v));
+  }
+  if (!in.GetU64(&stratum->population)) return false;
+  uint64_t num_rows;
+  if (!in.GetU64(&num_rows)) return false;
+  stratum->rows.reserve(num_rows);
+  for (uint64_t r = 0; r < num_rows; ++r) {
+    uint64_t global_index;
+    if (!in.GetU64(&global_index)) return false;
+    std::vector<Value> row(num_fields);
+    for (size_t c = 0; c < num_fields; ++c) {
+      if (!wire::GetValue(&in, &row[c])) return false;
+    }
+    stratum->rows.emplace_back(global_index, std::move(row));
+  }
+  return in.remaining() == 0;
+}
+
+}  // namespace
+
+std::string RecoveryReport::ToString() const {
+  std::ostringstream out;
+  out << (clean ? "clean" : "damaged") << ": " << salvaged_strata
+      << " strata salvaged, " << lost_strata << " lost, " << corrupt_sections
+      << " corrupt sections" << (truncated ? ", truncated" : "")
+      << (footer_ok ? "" : ", footer missing/invalid");
+  for (const std::string& detail : details) out << "\n  " << detail;
+  return out.str();
+}
+
+Result<RecoveredSnapshot> RecoverSnapshotFromBytes(const std::string& bytes) {
+  CONGRESS_METRIC_INCR("resilience.recoveries", 1);
+  if (bytes.size() < sizeof(kSnapshotMagic) + 4) {
+    return Status::IOError("snapshot too short to hold magic + version (" +
+                           std::to_string(bytes.size()) + " bytes)");
+  }
+  if (std::memcmp(bytes.data(), kSnapshotMagic, sizeof(kSnapshotMagic)) != 0) {
+    return Status::IOError("bad snapshot magic");
+  }
+  wire::Cursor in(bytes.data() + sizeof(kSnapshotMagic),
+                  bytes.size() - sizeof(kSnapshotMagic));
+  uint32_t version;
+  (void)in.GetU32(&version);
+  if (version != kSnapshotVersion) {
+    return Status::IOError("unsupported snapshot version " +
+                           std::to_string(version));
+  }
+
+  RecoveredSnapshot out;
+  RecoveryReport& report = out.report;
+  bool have_meta = false;
+  MetaSection meta;
+  std::vector<StratumSection> strata;
+  bool have_footer = false;
+  uint64_t footer_strata = 0;
+  uint64_t footer_rows = 0;
+  size_t section_index = 0;
+
+  while (in.remaining() > 0) {
+    const char* frame_start = in.p;
+    uint32_t tag;
+    uint64_t payload_len;
+    if (!in.GetU32(&tag) || !in.GetU64(&payload_len)) {
+      report.clean = false;
+      report.truncated = true;
+      report.details.push_back("file ends mid section header (section " +
+                               std::to_string(section_index) + ")");
+      break;
+    }
+    if (payload_len + 4 > in.remaining()) {
+      report.clean = false;
+      report.truncated = true;
+      report.details.push_back(
+          "section " + std::to_string(section_index) + " (tag " +
+          std::to_string(tag) + ") cut off: wants " +
+          std::to_string(payload_len) + " payload bytes, file has " +
+          std::to_string(in.remaining() >= 4 ? in.remaining() - 4 : 0));
+      break;
+    }
+    std::string payload(in.p, payload_len);
+    in.p += payload_len;
+    uint32_t stored_crc;
+    (void)in.GetU32(&stored_crc);
+    const size_t frame_len = 4 + 8 + static_cast<size_t>(payload_len);
+    const bool crc_ok =
+        UnmaskCrc32c(stored_crc) == Crc32c(frame_start, frame_len);
+
+    if (tag != kSectionMeta && tag != kSectionStratum &&
+        tag != kSectionFooter) {
+      report.clean = false;
+      report.corrupt_sections += 1;
+      report.details.push_back("section " + std::to_string(section_index) +
+                               " has unknown tag " + std::to_string(tag) +
+                               "; framing untrustworthy, parse stops here");
+      break;
+    }
+    if (!crc_ok) {
+      report.clean = false;
+      report.corrupt_sections += 1;
+      if (tag == kSectionMeta) {
+        return Status::IOError(
+            "snapshot META section checksum mismatch; schema unrecoverable");
+      }
+      if (tag == kSectionStratum) {
+        report.lost_strata += 1;
+        report.details.push_back("stratum section " +
+                                 std::to_string(section_index) +
+                                 " dropped: checksum mismatch");
+      } else {
+        report.details.push_back("footer checksum mismatch");
+      }
+      ++section_index;
+      continue;
+    }
+
+    switch (tag) {
+      case kSectionMeta: {
+        if (have_meta) {
+          report.clean = false;
+          report.details.push_back("duplicate META section ignored");
+          break;
+        }
+        if (!ParseMeta(payload, &meta)) {
+          return Status::IOError("snapshot META section malformed");
+        }
+        have_meta = true;
+        break;
+      }
+      case kSectionStratum: {
+        if (!have_meta) {
+          return Status::IOError("stratum section precedes META");
+        }
+        StratumSection stratum;
+        if (!ParseStratum(payload, meta.schema.num_fields(), &stratum)) {
+          report.clean = false;
+          report.corrupt_sections += 1;
+          report.lost_strata += 1;
+          report.details.push_back("stratum section " +
+                                   std::to_string(section_index) +
+                                   " dropped: malformed payload");
+          break;
+        }
+        strata.push_back(std::move(stratum));
+        break;
+      }
+      case kSectionFooter: {
+        wire::Cursor footer(payload.data(), payload.size());
+        if (!footer.GetU64(&footer_strata) || !footer.GetU64(&footer_rows)) {
+          report.clean = false;
+          report.details.push_back("footer malformed");
+          break;
+        }
+        have_footer = true;
+        break;
+      }
+      default:
+        break;
+    }
+    ++section_index;
+  }
+
+  if (!have_meta) {
+    return Status::IOError("snapshot has no intact META section");
+  }
+  if (!have_footer) {
+    report.clean = false;
+    report.details.push_back("footer absent (likely truncated write)");
+  }
+
+  // Rebuild the sample: declare surviving strata in on-disk order, then
+  // merge their rows back into the original global order.
+  SnapshotImage& image = out.image;
+  image.strategy = meta.strategy;
+  image.target_size = meta.target_size;
+  image.seed = meta.seed;
+  image.tuples_seen = meta.tuples_seen;
+  image.sample = StratifiedSample(meta.schema, meta.grouping_columns);
+  uint64_t recovered_rows = 0;
+  for (const StratumSection& stratum : strata) {
+    Status st = image.sample.DeclareStratum(stratum.key, stratum.population);
+    if (!st.ok()) {
+      report.clean = false;
+      report.details.push_back("stratum " + GroupKeyToString(stratum.key) +
+                               " not restored: " + st.ToString());
+      continue;
+    }
+    recovered_rows += stratum.rows.size();
+  }
+  std::vector<std::pair<uint64_t, const std::vector<Value>*>> ordered;
+  ordered.reserve(recovered_rows);
+  for (const StratumSection& stratum : strata) {
+    for (const auto& [global_index, row] : stratum.rows) {
+      ordered.emplace_back(global_index, &row);
+    }
+  }
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  for (const auto& [global_index, row] : ordered) {
+    Status st = image.sample.AppendRowValues(*row);
+    if (!st.ok()) {
+      report.clean = false;
+      report.details.push_back("row " + std::to_string(global_index) +
+                               " not restored: " + st.ToString());
+    }
+  }
+  report.salvaged_strata = image.sample.strata().size();
+
+  if (have_footer) {
+    report.footer_ok = true;
+    const uint64_t seen_sections = report.salvaged_strata +
+                                   static_cast<uint64_t>(report.lost_strata);
+    if (footer_strata != seen_sections) {
+      report.clean = false;
+      report.footer_ok = false;
+      report.details.push_back(
+          "footer declares " + std::to_string(footer_strata) +
+          " strata, file yielded " + std::to_string(seen_sections));
+    }
+    if (report.lost_strata == 0 && !report.truncated &&
+        footer_rows != image.sample.num_rows()) {
+      report.clean = false;
+      report.footer_ok = false;
+      report.details.push_back("footer declares " +
+                               std::to_string(footer_rows) +
+                               " rows, recovered " +
+                               std::to_string(image.sample.num_rows()));
+    }
+  }
+
+  if (!report.clean) {
+    CONGRESS_METRIC_INCR("resilience.recovery_salvaged_strata",
+                         report.salvaged_strata);
+    CONGRESS_METRIC_INCR("resilience.recovery_lost_strata",
+                         report.lost_strata);
+    CONGRESS_METRIC_INCR("resilience.damaged_recoveries", 1);
+  }
+  return out;
+}
+
+Result<RecoveredSnapshot> RecoverSnapshot(const std::string& path) {
+  CONGRESS_FAILPOINT("recovery/open");
+  std::ifstream file(path, std::ios::binary);
+  if (!file.is_open()) {
+    return Status::IOError("cannot open snapshot '" + path + "' for reading");
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  if (file.bad()) {
+    return Status::IOError("read of snapshot '" + path + "' failed");
+  }
+  return RecoverSnapshotFromBytes(buffer.str());
+}
+
+}  // namespace congress::resilience

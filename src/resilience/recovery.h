@@ -1,0 +1,52 @@
+#ifndef CONGRESS_RESILIENCE_RECOVERY_H_
+#define CONGRESS_RESILIENCE_RECOVERY_H_
+
+#include <string>
+#include <vector>
+
+#include "resilience/snapshot_io.h"
+#include "util/status.h"
+
+namespace congress::resilience {
+
+/// What the recovery loader found on disk. A snapshot loads as long as
+/// its META section is intact; damaged or truncated stratum sections are
+/// salvaged-out individually, so one flipped bit costs one stratum, not
+/// the synopsis.
+struct RecoveryReport {
+  bool clean = true;            ///< No corruption or truncation at all.
+  bool footer_ok = false;       ///< Footer present, valid, and consistent.
+  size_t salvaged_strata = 0;   ///< Strata recovered intact.
+  size_t lost_strata = 0;       ///< Stratum sections dropped (bad CRC).
+  size_t corrupt_sections = 0;  ///< Sections with CRC mismatches.
+  bool truncated = false;       ///< File ended mid-section.
+  std::vector<std::string> details;  ///< One line per anomaly.
+
+  std::string ToString() const;
+};
+
+/// A loaded snapshot plus the forensic report. When `report.clean`, the
+/// image is bit-identical to what WriteSnapshot serialized — same strata
+/// order, same interleaved row order.
+struct RecoveredSnapshot {
+  SnapshotImage image;
+  RecoveryReport report;
+};
+
+/// Loads and verifies a snapshot file. Returns an error only when
+/// nothing usable survives: missing/unreadable file, bad magic or
+/// version, or a damaged META section (without the schema there is no
+/// way to interpret stratum payloads). Otherwise returns the surviving
+/// strata and a report; `resilience.recovery_salvaged_strata` counts the
+/// strata rescued from damaged snapshots.
+///
+/// Failpoint site: "recovery/open" (simulates an unreadable file).
+Result<RecoveredSnapshot> RecoverSnapshot(const std::string& path);
+
+/// Same, over an in-memory byte buffer (for tests that corrupt bytes
+/// surgically).
+Result<RecoveredSnapshot> RecoverSnapshotFromBytes(const std::string& bytes);
+
+}  // namespace congress::resilience
+
+#endif  // CONGRESS_RESILIENCE_RECOVERY_H_

@@ -1,0 +1,197 @@
+#include "resilience/snapshot_io.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "resilience/failpoint.h"
+#include "resilience/wire.h"
+#include "util/crc32c.h"
+
+namespace congress::resilience {
+
+namespace {
+
+/// Appends one framed section: tag, length, payload, masked CRC over all
+/// three (so a corrupted length is caught, not trusted).
+void AppendSection(std::string* out, uint32_t tag, const std::string& payload) {
+  std::string frame;
+  wire::PutU32(&frame, tag);
+  wire::PutU64(&frame, static_cast<uint64_t>(payload.size()));
+  frame.append(payload);
+  uint32_t crc = Crc32c(frame.data(), frame.size());
+  out->append(frame);
+  wire::PutU32(out, MaskCrc32c(crc));
+}
+
+std::string MetaPayload(const SnapshotImage& image) {
+  std::string payload;
+  wire::PutU32(&payload, image.strategy);
+  wire::PutU64(&payload, image.target_size);
+  wire::PutU64(&payload, image.seed);
+  wire::PutU64(&payload, image.tuples_seen);
+  const Schema& schema = image.sample.base_schema();
+  wire::PutU32(&payload, static_cast<uint32_t>(schema.num_fields()));
+  for (size_t f = 0; f < schema.num_fields(); ++f) {
+    wire::PutString(&payload, schema.field(f).name);
+    wire::PutU8(&payload, static_cast<uint8_t>(schema.field(f).type));
+  }
+  const auto& grouping = image.sample.grouping_columns();
+  wire::PutU32(&payload, static_cast<uint32_t>(grouping.size()));
+  for (size_t c : grouping) wire::PutU64(&payload, static_cast<uint64_t>(c));
+  return payload;
+}
+
+std::string StratumPayload(const SnapshotImage& image, size_t stratum,
+                           const std::vector<size_t>& row_indices) {
+  const Stratum& s = image.sample.strata()[stratum];
+  const Table& rows = image.sample.rows();
+  std::string payload;
+  wire::PutU32(&payload, static_cast<uint32_t>(s.key.size()));
+  for (const Value& v : s.key) wire::PutValue(&payload, v);
+  wire::PutU64(&payload, s.population);
+  wire::PutU64(&payload, static_cast<uint64_t>(row_indices.size()));
+  for (size_t r : row_indices) {
+    wire::PutU64(&payload, static_cast<uint64_t>(r));
+    for (size_t c = 0; c < rows.num_columns(); ++c) {
+      wire::PutValue(&payload, rows.GetValue(r, c));
+    }
+  }
+  return payload;
+}
+
+Status SyncDirectoryOf(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  if (dir.empty()) dir = "/";
+  int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IOError("cannot open directory '" + dir +
+                           "' for fsync: " + std::strerror(errno));
+  }
+  int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return Status::IOError("fsync of directory '" + dir +
+                           "' failed: " + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+/// All sections of the snapshot, in file order, pre-framed.
+Status BuildSections(const SnapshotImage& image,
+                     std::vector<std::string>* sections) {
+  const StratifiedSample& sample = image.sample;
+  // Bucket sample rows by stratum, preserving global row order inside
+  // each bucket. The global index rides along so recovery can interleave
+  // the strata back into the original row order.
+  std::vector<std::vector<size_t>> rows_by_stratum(sample.strata().size());
+  const auto& row_strata = sample.row_strata();
+  for (size_t r = 0; r < row_strata.size(); ++r) {
+    uint32_t s = row_strata[r];
+    if (s >= rows_by_stratum.size()) {
+      return Status::Internal("row " + std::to_string(r) +
+                              " references stratum " + std::to_string(s) +
+                              " out of range");
+    }
+    rows_by_stratum[s].push_back(r);
+  }
+
+  std::string framed;
+  AppendSection(&framed, kSectionMeta, MetaPayload(image));
+  sections->push_back(std::move(framed));
+  for (size_t s = 0; s < sample.strata().size(); ++s) {
+    framed.clear();
+    AppendSection(&framed, kSectionStratum,
+                  StratumPayload(image, s, rows_by_stratum[s]));
+    sections->push_back(std::move(framed));
+  }
+  std::string footer;
+  wire::PutU64(&footer, static_cast<uint64_t>(sample.strata().size()));
+  wire::PutU64(&footer, static_cast<uint64_t>(sample.num_rows()));
+  framed.clear();
+  AppendSection(&framed, kSectionFooter, footer);
+  sections->push_back(std::move(framed));
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SerializeSnapshot(const SnapshotImage& image, std::string* out) {
+  if (out == nullptr) return Status::InvalidArgument("null output buffer");
+  std::vector<std::string> sections;
+  CONGRESS_RETURN_NOT_OK(BuildSections(image, &sections));
+  out->clear();
+  out->append(kSnapshotMagic, sizeof(kSnapshotMagic));
+  wire::PutU32(out, kSnapshotVersion);
+  for (const std::string& section : sections) out->append(section);
+  return Status::OK();
+}
+
+Status WriteSnapshot(const SnapshotImage& image, const std::string& path) {
+  std::vector<std::string> sections;
+  CONGRESS_RETURN_NOT_OK(BuildSections(image, &sections));
+
+  const std::string tmp_path = path + ".tmp";
+  auto fail = [&tmp_path](std::string msg) {
+    std::remove(tmp_path.c_str());
+    return Status::IOError(std::move(msg));
+  };
+
+  CONGRESS_FAILPOINT("snapshot_io/open_temp");
+  std::FILE* file = std::fopen(tmp_path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::IOError("cannot open temp snapshot '" + tmp_path +
+                           "': " + std::strerror(errno));
+  }
+
+  std::string header(kSnapshotMagic, sizeof(kSnapshotMagic));
+  wire::PutU32(&header, kSnapshotVersion);
+  bool write_ok =
+      std::fwrite(header.data(), 1, header.size(), file) == header.size();
+  for (const std::string& section : sections) {
+    if (!write_ok) break;
+    if (CONGRESS_FAILPOINT_HIT("snapshot_io/write_section")) {
+      // Simulate a torn write: leave whatever prefix made it out, as a
+      // real crash mid-write would.
+      std::fclose(file);
+      std::remove(tmp_path.c_str());
+      return FailpointError("snapshot_io/write_section");
+    }
+    write_ok =
+        std::fwrite(section.data(), 1, section.size(), file) == section.size();
+  }
+  if (!write_ok) {
+    std::fclose(file);
+    return fail("short write to '" + tmp_path + "': " + std::strerror(errno));
+  }
+
+  if (CONGRESS_FAILPOINT_HIT("snapshot_io/fsync")) {
+    std::fclose(file);
+    std::remove(tmp_path.c_str());
+    return FailpointError("snapshot_io/fsync");
+  }
+  if (std::fflush(file) != 0 || ::fsync(::fileno(file)) != 0) {
+    std::fclose(file);
+    return fail("fsync of '" + tmp_path + "' failed: " + std::strerror(errno));
+  }
+  if (std::fclose(file) != 0) {
+    return fail("close of '" + tmp_path + "' failed: " + std::strerror(errno));
+  }
+
+  if (CONGRESS_FAILPOINT_HIT("snapshot_io/rename")) {
+    std::remove(tmp_path.c_str());
+    return FailpointError("snapshot_io/rename");
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    return fail("rename '" + tmp_path + "' -> '" + path +
+                "' failed: " + std::strerror(errno));
+  }
+  return SyncDirectoryOf(path);
+}
+
+}  // namespace congress::resilience

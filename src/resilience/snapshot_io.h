@@ -1,0 +1,65 @@
+#ifndef CONGRESS_RESILIENCE_SNAPSHOT_IO_H_
+#define CONGRESS_RESILIENCE_SNAPSHOT_IO_H_
+
+#include <cstdint>
+#include <string>
+
+#include "sampling/stratified_sample.h"
+#include "util/status.h"
+
+namespace congress::resilience {
+
+/// The durable image of one synopsis: the stratified sample plus the
+/// maintainer counters a restarted process needs to resume serving.
+///
+/// On-disk layout (version 1, little-endian):
+///
+///   [magic "CGRSNP01" 8B] [version u32]
+///   section := [tag u32] [payload_len u64] [payload] [masked crc32c u32]
+///     tag 1 META    — strategy u32, target_size u64, seed u64,
+///                     tuples_seen u64, schema (field name/type list),
+///                     grouping column indices
+///     tag 2 STRATUM — one per stratum, in strata() order: group key,
+///                     population, rows as (global row index, values)
+///     tag 3 FOOTER  — stratum section count u64, total sample rows u64
+///
+/// Every section carries its own CRC-32C (masked, RocksDB-style) over
+/// tag + length + payload, so recovery can pinpoint exactly which
+/// stratum a torn write or bit flip destroyed and salvage the rest.
+/// Global row indices let a full recovery rebuild the sample with its
+/// original interleaved row order — bit-identical to the snapshot that
+/// was written.
+struct SnapshotImage {
+  uint32_t strategy = 0;     ///< AllocationStrategy, as written.
+  uint64_t target_size = 0;  ///< X (or pre-scaling Y) the maintainer targets.
+  uint64_t seed = 0;         ///< Maintainer seed, for provenance.
+  uint64_t tuples_seen = 0;  ///< Stream position the snapshot captures.
+  StratifiedSample sample;
+};
+
+/// Serialized-format constants, exposed for tests and the recovery
+/// loader.
+inline constexpr char kSnapshotMagic[8] = {'C', 'G', 'R', 'S',
+                                           'N', 'P', '0', '1'};
+inline constexpr uint32_t kSnapshotVersion = 1;
+inline constexpr uint32_t kSectionMeta = 1;
+inline constexpr uint32_t kSectionStratum = 2;
+inline constexpr uint32_t kSectionFooter = 3;
+
+/// Serializes `image` to `path` crash-safely: the bytes are written to a
+/// sibling temp file, flushed, fsync'd, and atomically renamed over
+/// `path`, so a crash at any point leaves either the old snapshot or the
+/// new one — never a torn mix. The parent directory is fsync'd after the
+/// rename so the new directory entry is durable too.
+///
+/// Failpoint sites: "snapshot_io/open_temp", "snapshot_io/write_section"
+/// (hit once per section), "snapshot_io/fsync", "snapshot_io/rename".
+Status WriteSnapshot(const SnapshotImage& image, const std::string& path);
+
+/// Serializes `image` into `out` (the format above, no temp-file dance).
+/// Exposed for tests that need raw bytes to corrupt.
+Status SerializeSnapshot(const SnapshotImage& image, std::string* out);
+
+}  // namespace congress::resilience
+
+#endif  // CONGRESS_RESILIENCE_SNAPSHOT_IO_H_

@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "obs/metrics.h"
+#include "resilience/failpoint.h"
 #include "sampling/reservoir.h"
 
 namespace congress {
@@ -73,6 +74,7 @@ class HouseMaintainer final : public SampleMaintainer {
         rng_(seed) {}
 
   Status Insert(const RowValues& row) override {
+    CONGRESS_FAILPOINT("maintenance/insert");
     CONGRESS_RETURN_NOT_OK(ValidateRow(schema_, row));
     CONGRESS_METRIC_INCR("maintenance.inserts", 1);
     populations_[KeyOfRow(row, grouping_columns_)] += 1;
@@ -81,6 +83,7 @@ class HouseMaintainer final : public SampleMaintainer {
   }
 
   Result<StratifiedSample> Snapshot() override {
+    CONGRESS_FAILPOINT("maintenance/snapshot");
     StratifiedSample sample(schema_, grouping_columns_);
     for (const auto& [key, n] : populations_) {
       CONGRESS_RETURN_NOT_OK(sample.DeclareStratum(key, n));
@@ -116,6 +119,7 @@ class SenateMaintainer final : public SampleMaintainer {
         rng_(seed) {}
 
   Status Insert(const RowValues& row) override {
+    CONGRESS_FAILPOINT("maintenance/insert");
     CONGRESS_RETURN_NOT_OK(ValidateRow(schema_, row));
     CONGRESS_METRIC_INCR("maintenance.inserts", 1);
     ++seen_;
@@ -139,6 +143,7 @@ class SenateMaintainer final : public SampleMaintainer {
   }
 
   Result<StratifiedSample> Snapshot() override {
+    CONGRESS_FAILPOINT("maintenance/snapshot");
     StratifiedSample sample(schema_, grouping_columns_);
     for (auto& [key, state] : groups_) {
       ShrinkCounted(&state.reservoir, target_, &rng_);
@@ -196,6 +201,7 @@ class BasicCongressMaintainer final : public SampleMaintainer {
         rng_(seed) {}
 
   Status Insert(const RowValues& row) override {
+    CONGRESS_FAILPOINT("maintenance/insert");
     CONGRESS_RETURN_NOT_OK(ValidateRow(schema_, row));
     CONGRESS_METRIC_INCR("maintenance.inserts", 1);
     GroupKey key = KeyOfRow(row, grouping_columns_);
@@ -258,6 +264,7 @@ class BasicCongressMaintainer final : public SampleMaintainer {
   }
 
   Result<StratifiedSample> Snapshot() override {
+    CONGRESS_FAILPOINT("maintenance/snapshot");
     // Final lazy trim of every delta, then emit reservoir + deltas.
     for (auto& [key, g] : groups_) TrimDelta(key, &g);
 
@@ -339,6 +346,7 @@ class CongressTargetMaintainer final : public SampleMaintainer {
   }
 
   Status Insert(const RowValues& row) override {
+    CONGRESS_FAILPOINT("maintenance/insert");
     CONGRESS_RETURN_NOT_OK(ValidateRow(schema_, row));
     CONGRESS_METRIC_INCR("maintenance.inserts", 1);
     ++seen_;
@@ -363,6 +371,7 @@ class CongressTargetMaintainer final : public SampleMaintainer {
   }
 
   Result<StratifiedSample> Snapshot() override {
+    CONGRESS_FAILPOINT("maintenance/snapshot");
     StratifiedSample sample(schema_, grouping_columns_);
     for (auto& [key, g] : groups_) {
       ShrinkCounted(&g.reservoir, CurrentTarget(key), &rng_);
@@ -511,6 +520,7 @@ struct CongressMaintainer::Impl {
   }
 
   Status Insert(const RowValues& row) {
+    CONGRESS_FAILPOINT("maintenance/insert");
     CONGRESS_RETURN_NOT_OK(ValidateRow(schema, row));
     CONGRESS_METRIC_INCR("maintenance.inserts", 1);
     ++seen;
@@ -536,6 +546,7 @@ struct CongressMaintainer::Impl {
   }
 
   Result<StratifiedSample> SnapshotImpl(double extra_thin) {
+    CONGRESS_FAILPOINT("maintenance/snapshot");
     StratifiedSample sample(schema, grouping_columns);
     for (auto& [key, g] : groups) {
       double p_now = InclusionProbability(key) * extra_thin;

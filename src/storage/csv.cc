@@ -6,6 +6,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "resilience/failpoint.h"
+
 namespace congress {
 
 namespace {
@@ -130,15 +132,16 @@ Status WriteCsv(const Table& table, std::ostream* out,
     }
     *out << '\n';
   }
-  if (!out->good()) return Status::Internal("write failed");
+  if (!out->good()) return Status::IOError("write failed");
   return Status::OK();
 }
 
 Status WriteCsvFile(const Table& table, const std::string& path,
                     const CsvOptions& options) {
+  CONGRESS_FAILPOINT("storage/csv_write_open");
   std::ofstream out(path);
   if (!out.is_open()) {
-    return Status::InvalidArgument("cannot open '" + path + "' for writing");
+    return Status::IOError("cannot open '" + path + "' for writing");
   }
   return WriteCsv(table, &out, options);
 }
@@ -196,14 +199,18 @@ Result<Table> ReadCsv(std::istream* in, const Schema& schema,
     }
     CONGRESS_RETURN_NOT_OK(table.AppendRow(row));
   }
+  if (in->bad()) {
+    return Status::IOError("read failed after line " + std::to_string(lineno));
+  }
   return table;
 }
 
 Result<Table> ReadCsvFile(const std::string& path, const Schema& schema,
                           const CsvOptions& options) {
+  CONGRESS_FAILPOINT("storage/csv_read_open");
   std::ifstream in(path);
   if (!in.is_open()) {
-    return Status::NotFound("cannot open '" + path + "' for reading");
+    return Status::IOError("cannot open '" + path + "' for reading");
   }
   return ReadCsv(&in, schema, options);
 }

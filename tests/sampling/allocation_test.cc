@@ -47,6 +47,17 @@ TEST(GroupStatisticsTest, ComputeFromTable) {
   EXPECT_EQ(stats.counts()[*idx], 2u);
 }
 
+TEST(GroupStatisticsTest, ComputeDegradesToEmptyOnBadColumn) {
+  // Regression: Compute used to assert on GroupIndex::Build failure,
+  // which was undefined behaviour in release builds. An out-of-range
+  // grouping column must now yield empty statistics.
+  Table t{Schema({Field{"g", DataType::kString}})};
+  ASSERT_TRUE(t.AppendRow({Value("x")}).ok());
+  GroupStatistics stats = GroupStatistics::Compute(t, {5});
+  EXPECT_EQ(stats.num_groups(), 0u);
+  EXPECT_EQ(stats.total_tuples(), 0u);
+}
+
 TEST(GroupStatisticsTest, FromCountsRejectsZeroAndDuplicates) {
   EXPECT_FALSE(GroupStatistics::FromCounts({{Key("a", "b"), 0}}).ok());
   EXPECT_FALSE(

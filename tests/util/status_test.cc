@@ -32,6 +32,7 @@ TEST(StatusTest, ErrorFactoriesCarryCodeAndMessage) {
       {Status::FailedPrecondition("e"), StatusCode::kFailedPrecondition,
        "FailedPrecondition"},
       {Status::Internal("f"), StatusCode::kInternal, "Internal"},
+      {Status::IOError("g"), StatusCode::kIOError, "IOError"},
   };
   for (const Case& c : cases) {
     EXPECT_FALSE(c.status.ok());
