@@ -1,15 +1,30 @@
-// Google-benchmark micro-benchmarks for the library's hot paths: reservoir
-// offers, Zipf sampling, group census, allocation, estimation, the four
-// rewrite plans, and maintainer inserts.
+// Micro-benchmarks for the library's hot paths: reservoir offers, Zipf
+// sampling, group census, allocation, estimation, the four rewrite
+// plans, and maintainer inserts — plus the batch kernel layer
+// (predicate selection vectors, group-id interning, hash-join probe).
+//
+// Two modes:
+//   * default: Google-benchmark suite (BM_* below), for interactive
+//     profiling with the usual --benchmark_filter flags;
+//   * --json <path>: the repo's JsonReport format over the kernel
+//     micro-ops, so CI can gate the vectorized layer against
+//     bench/baselines/ci_baseline.json via ci/compare_bench.py.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstring>
+
+#include "bench/common.h"
 #include "core/estimator.h"
 #include "core/rewriter.h"
 #include "engine/executor.h"
+#include "engine/kernels.h"
+#include "engine/predicate.h"
 #include "sampling/builder.h"
 #include "sampling/maintenance.h"
 #include "sampling/reservoir.h"
+#include "storage/group_index.h"
 #include "tpcd/lineitem.h"
 #include "tpcd/workload.h"
 #include "util/zipf.h"
@@ -169,7 +184,130 @@ void BM_MaintainerInsert(benchmark::State& state) {
 }
 BENCHMARK(BM_MaintainerInsert)->DenseRange(0, 3);
 
+// --json mode: the kernel micro-ops CI gates on. Each record times one
+// hot primitive of the vectorized batch layer on the shared 200K-tuple
+// lineitem table, scalar-vs-batch pairs side by side so the report
+// itself documents the kernel speedups.
+int RunJsonMicroBenches(int argc, char** argv) {
+  bench::PrintHeader(
+      "Kernel micro-ops: selection-vector filters, group interning, "
+      "join probe",
+      "batch kernels beat the per-row scalar paths they replaced while "
+      "staying bit-identical (asserted here via match counts)");
+  const Table& t = SharedData().table;
+  const double tuples = static_cast<double>(t.num_rows());
+  bench::JsonReport report(argc, argv);
+  const int runs =
+      std::max(1, static_cast<int>(bench::ArgOr(argc, argv, "--runs", 5)));
+
+  // Selective conjunction over two numeric columns — the shape every
+  // rewriter/estimator scan feeds MatchBatch.
+  PredicatePtr pred = MakeAndPredicate(
+      {MakeRangePredicate(tpcd::kLId, 0.25 * tuples, 0.75 * tuples),
+       MakeLessEqualPredicate(tpcd::kLQuantity, 25.0)});
+
+  size_t scalar_hits = 0;
+  double scalar_s = bench::MeasureSeconds(
+      [&] {
+        size_t hits = 0;
+        for (size_t row = 0; row < t.num_rows(); ++row) {
+          if (pred->Matches(t, row)) ++hits;
+        }
+        scalar_hits = hits;
+      },
+      runs);
+
+  size_t batch_hits = 0;
+  SelectionVector selected;
+  constexpr uint32_t kBatch = 2048;
+  double batch_s = bench::MeasureSeconds(
+      [&] {
+        size_t hits = 0;
+        const auto n = static_cast<uint32_t>(t.num_rows());
+        for (uint32_t begin = 0; begin < n; begin += kBatch) {
+          selected.clear();
+          pred->MatchBatch(t, begin, std::min(begin + kBatch, n),
+                           /*sel_in=*/nullptr, &selected);
+          hits += selected.size();
+        }
+        batch_hits = hits;
+      },
+      runs);
+  bool identical = scalar_hits == batch_hits;
+  std::printf("predicate   scalar %.4fs  batch %.4fs  (%.2fx, %zu rows "
+              "selected, identical=%s)\n",
+              scalar_s, batch_s, scalar_s / batch_s, batch_hits,
+              identical ? "yes" : "NO");
+  report.Add("micro_predicate_scalar", {{"tuples", tuples}}, scalar_s,
+             identical ? 0.0 : -1.0);
+  report.Add("micro_predicate_batch", {{"tuples", tuples}}, batch_s,
+             identical ? 0.0 : -1.0);
+
+  // Group-id interning: the composite three-column grouping key vs the
+  // single-int64 fast path (l_shipdate alone), both through the flat
+  // open-addressing dictionaries.
+  double composite_s = bench::MeasureSeconds(
+      [&] {
+        auto index = GroupIndex::Build(t, tpcd::LineitemGroupingColumns());
+        if (!index.ok()) std::abort();
+      },
+      runs);
+  double fastpath_s = bench::MeasureSeconds(
+      [&] {
+        auto index = GroupIndex::Build(t, {tpcd::kLShipDate});
+        if (!index.ok()) std::abort();
+      },
+      runs);
+  std::printf("intern      composite %.4fs  int64 fast path %.4fs\n",
+              composite_s, fastpath_s);
+  report.Add("micro_intern_composite", {{"tuples", tuples}}, composite_s,
+             0.0);
+  report.Add("micro_intern_fastpath", {{"tuples", tuples}}, fastpath_s, 0.0);
+
+  // Hash-join probe: fact table against a distinct-shipdate dimension,
+  // exercising the batch probe plus the columnar gather emit.
+  Table dim{Schema({Field{"d_shipdate", DataType::kInt64},
+                    Field{"d_payload", DataType::kDouble}})};
+  {
+    auto dim_index = GroupIndex::Build(t, {tpcd::kLShipDate});
+    if (!dim_index.ok()) std::abort();
+    for (const GroupKey& key : dim_index->keys()) {
+      if (!dim.AppendRow({key[0], Value(0.5)}).ok()) std::abort();
+    }
+  }
+  size_t join_rows = 0;
+  double join_s = bench::MeasureSeconds(
+      [&] {
+        auto joined =
+            HashJoin(t, {tpcd::kLShipDate}, dim, {0}, ExecutorOptions{});
+        if (!joined.ok()) std::abort();
+        join_rows = joined->num_rows();
+      },
+      runs);
+  identical = join_rows == t.num_rows();  // Every fact row matches once.
+  std::printf("join probe  %.4fs (%zu output rows, identical=%s)\n", join_s,
+              join_rows, identical ? "yes" : "NO");
+  report.Add("micro_join_probe", {{"tuples", tuples}}, join_s,
+             identical ? 0.0 : -1.0);
+
+  report.Write();
+  return 0;
+}
+
 }  // namespace
 }  // namespace congress
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // `--json <path>` selects the CI report mode; anything else falls
+  // through to the Google-benchmark driver.
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      return congress::RunJsonMicroBenches(argc, argv);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -4,11 +4,17 @@
 Usage:
     compare_bench.py BASELINE CURRENT... [--time-tolerance 0.25]
                      [--l1-abs-tolerance 2.0] [--label NAME]
+                     [--allow-missing NAME]...
 
 Multiple CURRENT files are merged first (the baseline is one combined
 file covering several bench binaries). Records are matched by
-(name, params). For every baseline record the
-current report must contain a matching record, and:
+(name, params). Every baseline record must appear in the current
+report — a benchmark that silently vanishes (renamed, deleted, bench
+binary dropped from CI) is itself a failure, reported grouped by
+benchmark name so a whole missing binary reads as one diagnostic per
+bench rather than one per parameter point. A deliberate retirement is
+declared with --allow-missing NAME (repeatable; matches the record
+name). For every matched record:
 
   * wall time must not regress by more than --time-tolerance
     (fractional: 0.25 means "no more than 25% slower than baseline");
@@ -78,6 +84,10 @@ def main():
                         help="max absolute l1_error drift in percentage points")
     parser.add_argument("--label", default="",
                         help="prefix for log lines (e.g. the bench name)")
+    parser.add_argument("--allow-missing", action="append", default=[],
+                        metavar="NAME",
+                        help="baseline benchmark name whose absence from the "
+                             "current report is deliberate (repeatable)")
     args = parser.parse_args()
 
     baseline = load([args.baseline])
@@ -85,11 +95,17 @@ def main():
     prefix = f"[{args.label}] " if args.label else ""
 
     failures = []
+    missing_by_name = {}
     for key, base in baseline.items():
         tag = describe(key)
         cur = current.get(key)
         if cur is None:
-            failures.append(f"{tag}: missing from current report")
+            name = key[0]
+            if name in args.allow_missing:
+                print(f"{prefix}SKIP-MISSING {tag}: retired via "
+                      f"--allow-missing")
+            else:
+                missing_by_name.setdefault(name, []).append(tag)
             continue
 
         base_l1 = base.get("l1_error", 0.0)
@@ -118,6 +134,12 @@ def main():
                 f"({ratio:.2f}x > {1.0 + args.time_tolerance:.2f}x allowed)")
         print(f"{prefix}{verdict} {tag}: {base_s:.4f}s -> {cur_s:.4f}s "
               f"({ratio:.2f}x), l1 {base_l1:.3f} -> {cur_l1:.3f}")
+
+    for name, tags in sorted(missing_by_name.items()):
+        failures.append(
+            f"{name}: {len(tags)} baseline record(s) missing from current "
+            f"report ({'; '.join(tags)}) — renamed/deleted benches must be "
+            f"retired explicitly with --allow-missing")
 
     if failures:
         print(f"\n{prefix}{len(failures)} regression(s):", file=sys.stderr)

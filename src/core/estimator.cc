@@ -5,6 +5,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "engine/kernels.h"
 #include "obs/metrics.h"
 #include "obs/scope.h"
 #include "storage/group_index.h"
@@ -197,24 +198,64 @@ Result<ApproximateResult> EstimateGroupBy(const StratifiedSample& sample,
   std::vector<std::pair<size_t, size_t>> chunks = BalancedGroupChunks(
       lists.offsets, std::max<uint64_t>(rows.num_rows() / 64 + 1, 1024));
   const size_t threads = execution.ResolvedThreads();
+  const bool tally_on = kernels::kObsEnabled && execution.scope != nullptr;
+  std::vector<kernels::KernelTally> tallies(chunks.size());
   ParallelFor(threads, chunks.size(), [&](size_t c) {
+    kernels::KernelTally& tally = tallies[c];
+    SelectionVector selected;
+    std::vector<double> inputs;
+    std::vector<CellStats*> row_cells;
     for (size_t g = chunks[c].first; g < chunks[c].second; ++g) {
       GroupAccum& acc = accums[g];
-      for (uint64_t i = lists.offsets[g]; i < lists.offsets[g + 1]; ++i) {
-        const size_t r = lists.rows[static_cast<size_t>(i)];
-        if (query.predicate != nullptr && !query.predicate->Matches(rows, r)) {
-          continue;
-        }
-        acc.support += 1;
+      const uint32_t run_begin = static_cast<uint32_t>(lists.offsets[g]);
+      const uint32_t run_end = static_cast<uint32_t>(lists.offsets[g + 1]);
+      const uint32_t* sel = lists.rows.data() + run_begin;
+      size_t n_sel = run_end - run_begin;
+      if (query.predicate != nullptr) {
+        selected.clear();
+        const uint64_t t0 = tally_on ? kernels::TallyClockNanos() : 0;
+        query.predicate->MatchBatch(rows, run_begin, run_end,
+                                    lists.rows.data(), &selected);
+        if (tally_on) tally.match_nanos += kernels::TallyClockNanos() - t0;
+        tally.match_batches += 1;
+        tally.match_rows_in += run_end - run_begin;
+        tally.match_rows_selected += selected.size();
+        sel = selected.data();
+        n_sel = selected.size();
+      }
+      if (n_sel == 0) continue;
+      acc.support += n_sel;
+      // Pass 1: resolve each selected row's stratum cell block, creating
+      // cells in stratum first-occurrence order — the same insertion
+      // order (and thus the same estimate-loop iteration order) the
+      // per-row scan produced. The map is node-based and the per-stratum
+      // vectors never grow, so the cached pointers stay valid.
+      row_cells.resize(n_sel);
+      for (size_t i = 0; i < n_sel; ++i) {
+        const uint32_t r = sel[i];
         auto cell_it = acc.cells.find(row_strata[r]);
         if (cell_it == acc.cells.end()) {
           cell_it = acc.cells
                         .emplace(row_strata[r], std::vector<CellStats>(num_aggs))
                         .first;
         }
-        for (size_t a = 0; a < num_aggs; ++a) {
-          double v = AggregateInput(query.aggregates[a], rows, r);
-          CellStats& cs = cell_it->second[a];
+        row_cells[i] = cell_it->second.data();
+      }
+      // Pass 2: one batched evaluation per aggregate, then a scalar
+      // update fold in row order. Each cell's running sums see the same
+      // values in the same order as before — aggregates were already
+      // independent of one another.
+      if (inputs.size() < n_sel) inputs.resize(n_sel);
+      for (size_t a = 0; a < num_aggs; ++a) {
+        const uint64_t t0 = tally_on ? kernels::TallyClockNanos() : 0;
+        AggregateInputBatch(query.aggregates[a], rows, sel, n_sel,
+                            inputs.data());
+        if (tally_on) tally.eval_nanos += kernels::TallyClockNanos() - t0;
+        tally.eval_batches += 1;
+        tally.eval_rows += n_sel;
+        for (size_t i = 0; i < n_sel; ++i) {
+          const double v = inputs[i];
+          CellStats& cs = row_cells[i][a];
           cs.matches += 1;
           cs.sum_v += v;
           cs.sum_v2 += v * v;
@@ -223,6 +264,11 @@ Result<ApproximateResult> EstimateGroupBy(const StratifiedSample& sample,
       }
     }
   });
+  {
+    kernels::KernelTally merged;
+    for (const kernels::KernelTally& t : tallies) merged.Merge(t);
+    kernels::RecordKernelTally(merged, estimate_span.scope());
+  }
 
   const double cheb = ChebyshevMultiplier(options.confidence);
   // Hoeffding: P(|est - E| >= t) <= 2 exp(-2 t^2 / sum_i c_i^2) with

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "engine/executor.h"
+#include "engine/kernels.h"
 #include "obs/metrics.h"
 #include "obs/scope.h"
 #include "resilience/failpoint.h"
@@ -99,22 +100,31 @@ Result<QueryResult> AggregateScaled(const Table& rel, const GroupByQuery& query,
   std::vector<std::pair<size_t, size_t>> chunks = BalancedGroupChunks(
       lists.offsets, std::max<uint64_t>(rel.num_rows() / 64 + 1, 1024));
   ParallelFor(options.ResolvedThreads(), chunks.size(), [&](size_t c) {
+    SelectionVector selected;
+    std::vector<double> inputs;
     for (size_t g = chunks[c].first; g < chunks[c].second; ++g) {
-      std::vector<double> sum;
-      std::vector<double> cnt;
-      for (uint64_t i = lists.offsets[g]; i < lists.offsets[g + 1]; ++i) {
-        const size_t r = lists.rows[static_cast<size_t>(i)];
-        if (query.predicate != nullptr && !query.predicate->Matches(rel, r)) {
-          continue;
-        }
-        if (sum.empty()) {
-          sum.assign(num_aggs, 0.0);
-          cnt.assign(num_aggs, 0.0);
-        }
-        for (size_t a = 0; a < num_aggs; ++a) {
-          double v = AggregateInput(query.aggregates[a], rel, r);
-          sum[a] += v * sf[r];
-          cnt[a] += sf[r];
+      const uint32_t run_begin = static_cast<uint32_t>(lists.offsets[g]);
+      const uint32_t run_end = static_cast<uint32_t>(lists.offsets[g + 1]);
+      const uint32_t* sel = lists.rows.data() + run_begin;
+      size_t n_sel = run_end - run_begin;
+      if (query.predicate != nullptr) {
+        selected.clear();
+        query.predicate->MatchBatch(rel, run_begin, run_end,
+                                    lists.rows.data(), &selected);
+        sel = selected.data();
+        n_sel = selected.size();
+      }
+      if (n_sel == 0) continue;
+      std::vector<double> sum(num_aggs, 0.0);
+      std::vector<double> cnt(num_aggs, 0.0);
+      if (inputs.size() < n_sel) inputs.resize(n_sel);
+      for (size_t a = 0; a < num_aggs; ++a) {
+        AggregateInputBatch(query.aggregates[a], rel, sel, n_sel,
+                            inputs.data());
+        for (size_t i = 0; i < n_sel; ++i) {
+          const double w = sf[sel[i]];
+          sum[a] += inputs[i] * w;
+          cnt[a] += w;
         }
       }
       scaled_sum[g] = std::move(sum);
@@ -218,21 +228,30 @@ Result<QueryResult> Rewriter::AnswerNestedIntegrated(
   std::vector<std::pair<size_t, size_t>> chunks = BalancedGroupChunks(
       lists.offsets, std::max<uint64_t>(rel.num_rows() / 64 + 1, 1024));
   ParallelFor(options.ResolvedThreads(), chunks.size(), [&](size_t c) {
+    SelectionVector selected;
+    std::vector<double> inputs;
     for (size_t g = chunks[c].first; g < chunks[c].second; ++g) {
+      const uint32_t run_begin = static_cast<uint32_t>(lists.offsets[g]);
+      const uint32_t run_end = static_cast<uint32_t>(lists.offsets[g + 1]);
+      const uint32_t* sel = lists.rows.data() + run_begin;
+      size_t n_sel = run_end - run_begin;
+      if (query.predicate != nullptr) {
+        selected.clear();
+        query.predicate->MatchBatch(rel, run_begin, run_end,
+                                    lists.rows.data(), &selected);
+        sel = selected.data();
+        n_sel = selected.size();
+      }
+      if (n_sel == 0) continue;
       InnerAcc& acc = inner[g];
-      for (uint64_t i = lists.offsets[g]; i < lists.offsets[g + 1]; ++i) {
-        const size_t r = lists.rows[static_cast<size_t>(i)];
-        if (query.predicate != nullptr && !query.predicate->Matches(rel, r)) {
-          continue;
-        }
-        if (acc.sum.empty()) {
-          acc.sum.assign(num_aggs, 0.0);
-          acc.cnt.assign(num_aggs, 0);
-        }
-        for (size_t a = 0; a < num_aggs; ++a) {
-          acc.sum[a] += AggregateInput(query.aggregates[a], rel, r);
-          acc.cnt[a] += 1;
-        }
+      acc.sum.assign(num_aggs, 0.0);
+      acc.cnt.assign(num_aggs, 0);
+      if (inputs.size() < n_sel) inputs.resize(n_sel);
+      for (size_t a = 0; a < num_aggs; ++a) {
+        AggregateInputBatch(query.aggregates[a], rel, sel, n_sel,
+                            inputs.data());
+        for (size_t i = 0; i < n_sel; ++i) acc.sum[a] += inputs[i];
+        acc.cnt[a] += n_sel;  // Integer count: order-free.
       }
     }
   });

@@ -61,6 +61,21 @@ inline double AggregateInput(const AggregateSpec& spec, const Table& table,
   return table.NumericAt(row, spec.column);
 }
 
+/// Batch form of AggregateInput: fills out[0..n) with the aggregate's
+/// input at rows[0..n). Bit-identical to the per-row form — COUNT fills
+/// the constant 1, expressions run EvalBatch, columns gather through the
+/// typed kernel.
+inline void AggregateInputBatch(const AggregateSpec& spec, const Table& table,
+                                const uint32_t* rows, size_t n, double* out) {
+  if (spec.kind == AggregateKind::kCount) {
+    kernels::FillConstant(1.0, n, out);
+  } else if (spec.expression != nullptr) {
+    spec.expression->EvalBatch(table, rows, n, out);
+  } else {
+    kernels::GatherNumeric(table, spec.column, rows, n, out);
+  }
+}
+
 /// Validates an aggregate against a schema: COUNT needs nothing;
 /// expression aggregates validate their expression; column aggregates
 /// need an in-range numeric column.

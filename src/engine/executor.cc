@@ -4,9 +4,11 @@
 #include <cassert>
 #include <string>
 
+#include "engine/kernels.h"
 #include "obs/metrics.h"
 #include "obs/scope.h"
 #include "storage/group_index.h"
+#include "util/flat_table.h"
 
 namespace congress {
 
@@ -63,35 +65,60 @@ Result<QueryResult> ExecuteExact(const Table& table, const GroupByQuery& query,
   regroup_span.Stop();
 
   // Stage 2: aggregate each group over its own rows, in ascending row
-  // order, fanned out across balanced group chunks. Visiting a group's
-  // rows in row order makes every accumulator fold values in exactly the
-  // order the serial full-table scan did, so results are bit-identical
-  // for every thread count.
+  // order, fanned out across balanced group chunks. Each group's row run
+  // is filtered in one MatchBatch call (the run itself is the candidate
+  // selection vector) and each aggregate's inputs are evaluated in one
+  // EvalBatch into a flat buffer; the Accumulator then folds that buffer
+  // in row order — exactly the values, and exactly the order, of the old
+  // per-row loop, so results stay bit-identical for every thread count.
   CONGRESS_SPAN(aggregate_span, options.scope, "aggregate");
   std::vector<std::vector<Accumulator>> groups(num_groups);
   const auto chunks =
       BalancedGroupChunks(lists.offsets, ChunkTarget(table.num_rows(), options));
+  const bool tally_on = kernels::kObsEnabled && options.scope != nullptr;
+  std::vector<kernels::KernelTally> tallies(chunks.size());
   ParallelFor(options.ResolvedThreads(), chunks.size(), [&](size_t c) {
+    kernels::KernelTally& tally = tallies[c];
+    SelectionVector selected;
+    std::vector<double> inputs;
     for (size_t g = chunks[c].first; g < chunks[c].second; ++g) {
+      const uint32_t run_begin = static_cast<uint32_t>(lists.offsets[g]);
+      const uint32_t run_end = static_cast<uint32_t>(lists.offsets[g + 1]);
+      const uint32_t* sel = lists.rows.data() + run_begin;
+      size_t n_sel = run_end - run_begin;
+      if (query.predicate != nullptr) {
+        selected.clear();
+        const uint64_t t0 = tally_on ? kernels::TallyClockNanos() : 0;
+        query.predicate->MatchBatch(table, run_begin, run_end,
+                                    lists.rows.data(), &selected);
+        if (tally_on) tally.match_nanos += kernels::TallyClockNanos() - t0;
+        tally.match_batches += 1;
+        tally.match_rows_in += run_end - run_begin;
+        tally.match_rows_selected += selected.size();
+        sel = selected.data();
+        n_sel = selected.size();
+      }
+      if (n_sel == 0) continue;  // No row matched the predicate.
       std::vector<Accumulator>& accs = groups[g];
-      for (uint64_t i = lists.offsets[g]; i < lists.offsets[g + 1]; ++i) {
-        const size_t row = lists.rows[i];
-        if (query.predicate != nullptr &&
-            !query.predicate->Matches(table, row)) {
-          continue;
-        }
-        if (accs.empty()) {
-          accs.reserve(num_aggs);
-          for (const AggregateSpec& spec : query.aggregates) {
-            accs.emplace_back(spec.kind);
-          }
-        }
-        for (size_t a = 0; a < num_aggs; ++a) {
-          accs[a].Add(AggregateInput(query.aggregates[a], table, row));
-        }
+      accs.reserve(num_aggs);
+      for (const AggregateSpec& spec : query.aggregates) {
+        accs.emplace_back(spec.kind);
+      }
+      if (inputs.size() < n_sel) inputs.resize(n_sel);
+      for (size_t a = 0; a < num_aggs; ++a) {
+        const uint64_t t0 = tally_on ? kernels::TallyClockNanos() : 0;
+        AggregateInputBatch(query.aggregates[a], table, sel, n_sel,
+                            inputs.data());
+        if (tally_on) tally.eval_nanos += kernels::TallyClockNanos() - t0;
+        tally.eval_batches += 1;
+        tally.eval_rows += n_sel;
+        for (size_t i = 0; i < n_sel; ++i) accs[a].Add(inputs[i]);
       }
     }
   });
+  kernels::KernelTally merged;
+  for (const kernels::KernelTally& t : tallies) merged.Merge(t);
+  kernels::RecordKernelTally(merged, aggregate_span.scope());
   aggregate_span.Stop();
 
   CONGRESS_SPAN(finalize_span, options.scope, "finalize");
@@ -132,12 +159,13 @@ Result<Table> HashJoin(const Table& left, const std::vector<size_t>& left_keys,
   }
   CONGRESS_METRIC_INCR("engine.hash_joins", 1);
   // Build side: right table, assumed the smaller (AuxRel in the paper).
+  // Interning the right keys gives per-key row lists in ascending row
+  // order — the same match order the per-row build map produced.
   CONGRESS_SPAN(build_span, options.scope, "join_build");
-  std::unordered_map<GroupKey, std::vector<size_t>, GroupKeyHash> build;
-  build.reserve(right.num_rows());
-  for (size_t row = 0; row < right.num_rows(); ++row) {
-    build[right.KeyForRow(row, right_keys)].push_back(row);
-  }
+  auto build_index =
+      GroupIndex::Build(right, right_keys, options.WithScope(build_span.scope()));
+  if (!build_index.ok()) return build_index.status();
+  const GroupIndex::RowLists build_lists = build_index->GroupRows();
   build_span.Stop();
 
   // Output schema: all left columns + right non-key columns.
@@ -172,55 +200,56 @@ Result<Table> HashJoin(const Table& left, const std::vector<size_t>& left_keys,
   Table out{Schema(std::move(fields))};
 
   // Probe side: intern the left key columns once, resolve each distinct
-  // key against the build table once, then fan the probe out over
-  // morsels. Per-morsel outputs are concatenated in morsel order, so the
-  // output row order matches the serial left-to-right probe.
+  // left key against the build index once, then fan the probe out over
+  // morsels. Each morsel gathers its (left row, right row) match pairs
+  // and emits them column-wise through the typed append kernel — no
+  // per-cell Value boxing. Per-morsel outputs are concatenated in morsel
+  // order, so the output row order matches the serial left-to-right
+  // probe, with right matches in ascending right-row order as before.
   CONGRESS_SPAN(probe_span, options.scope, "join_probe");
   auto probe_index =
       GroupIndex::Build(left, left_keys, options.WithScope(probe_span.scope()));
   if (!probe_index.ok()) return probe_index.status();
-  std::vector<const std::vector<size_t>*> matches(probe_index->num_groups(),
-                                                  nullptr);
+  // Probe group id -> build group id (kNoId when the key has no match).
+  std::vector<uint32_t> matches(probe_index->num_groups(), FlatIdTable::kNoId);
   for (size_t g = 0; g < probe_index->num_groups(); ++g) {
-    auto it = build.find(probe_index->keys()[g]);
-    if (it != build.end()) matches[g] = &it->second;
+    auto id = build_index->IdOf(probe_index->keys()[g]);
+    if (id.ok()) matches[g] = *id;
   }
 
   const auto ranges = MorselRanges(left.num_rows(), options.morsel_size);
   std::vector<Table> partials;
   partials.reserve(ranges.size());
   for (size_t m = 0; m < ranges.size(); ++m) partials.push_back(out.CloneEmpty());
-  std::vector<Status> statuses(ranges.size());
   const std::vector<uint32_t>& row_ids = probe_index->row_ids();
   ParallelFor(options.ResolvedThreads(), ranges.size(), [&](size_t m) {
     Table& partial = partials[m];
-    std::vector<Value> row_values;
+    SelectionVector left_rows;
+    SelectionVector right_rows;
     for (size_t row = ranges[m].first; row < ranges[m].second; ++row) {
-      const std::vector<size_t>* found = matches[row_ids[row]];
-      if (found == nullptr) continue;
-      for (size_t match : *found) {
-        row_values.clear();
-        for (size_t c = 0; c < left.num_columns(); ++c) {
-          row_values.push_back(left.GetValue(row, c));
-        }
-        for (size_t c : right_payload_cols) {
-          row_values.push_back(right.GetValue(match, c));
-        }
-        Status st = partial.AppendRow(row_values);
-        if (!st.ok()) {
-          statuses[m] = st;
-          return;
-        }
+      const uint32_t bg = matches[row_ids[row]];
+      if (bg == FlatIdTable::kNoId) continue;
+      for (uint64_t i = build_lists.offsets[bg];
+           i < build_lists.offsets[bg + 1]; ++i) {
+        left_rows.push_back(static_cast<uint32_t>(row));
+        right_rows.push_back(build_lists.rows[i]);
       }
     }
+    for (size_t c = 0; c < left.num_columns(); ++c) {
+      kernels::GatherAppendColumn(left, c, left_rows.data(), left_rows.size(),
+                                  &partial, c);
+    }
+    for (size_t i = 0; i < right_payload_cols.size(); ++i) {
+      kernels::GatherAppendColumn(right, right_payload_cols[i],
+                                  right_rows.data(), right_rows.size(),
+                                  &partial, left.num_columns() + i);
+    }
+    partial.SetRowCount(left_rows.size());
   });
   probe_span.Stop();
   CONGRESS_SPAN(append_span, options.scope, "join_append");
   for (size_t m = 0; m < ranges.size(); ++m) {
-    CONGRESS_RETURN_NOT_OK(statuses[m]);
-    for (size_t r = 0; r < partials[m].num_rows(); ++r) {
-      out.AppendRowFrom(partials[m], r);
-    }
+    out.AppendFrom(partials[m]);
   }
   append_span.Stop();
   CONGRESS_METRIC_INCR("engine.join_rows_emitted", out.num_rows());

@@ -1,6 +1,7 @@
 #include "engine/expression.h"
 
 #include <sstream>
+#include <vector>
 
 namespace congress {
 
@@ -12,6 +13,11 @@ class ColumnExpr final : public Expression {
 
   double Eval(const Table& table, size_t row) const override {
     return table.NumericAt(row, column_);
+  }
+
+  void EvalBatch(const Table& table, const uint32_t* rows, size_t n,
+                 double* out) const override {
+    kernels::GatherNumeric(table, column_, rows, n, out);
   }
 
   Status Validate(const Schema& schema) const override {
@@ -41,6 +47,12 @@ class LiteralExpr final : public Expression {
   explicit LiteralExpr(double value) : value_(value) {}
 
   double Eval(const Table&, size_t) const override { return value_; }
+
+  void EvalBatch(const Table&, const uint32_t*, size_t n,
+                 double* out) const override {
+    kernels::FillConstant(value_, n, out);
+  }
+
   Status Validate(const Schema&) const override { return Status::OK(); }
 
   std::string ToString(const Schema*) const override {
@@ -74,6 +86,32 @@ class BinaryExpr final : public Expression {
     return 0.0;
   }
 
+  void EvalBatch(const Table& table, const uint32_t* rows, size_t n,
+                 double* out) const override {
+    // Both operands are pure, so evaluating lhs for the whole batch
+    // before rhs sees the same per-row values as the scalar interleaved
+    // order; the combine loop then applies the identical IEEE op per row.
+    lhs_->EvalBatch(table, rows, n, out);
+    std::vector<double> rhs(n);
+    rhs_->EvalBatch(table, rows, n, rhs.data());
+    switch (op_) {
+      case ArithOp::kAdd:
+        for (size_t i = 0; i < n; ++i) out[i] += rhs[i];
+        break;
+      case ArithOp::kSub:
+        for (size_t i = 0; i < n; ++i) out[i] -= rhs[i];
+        break;
+      case ArithOp::kMul:
+        for (size_t i = 0; i < n; ++i) out[i] *= rhs[i];
+        break;
+      case ArithOp::kDiv:
+        for (size_t i = 0; i < n; ++i) {
+          out[i] = rhs[i] != 0.0 ? out[i] / rhs[i] : 0.0;
+        }
+        break;
+    }
+  }
+
   Status Validate(const Schema& schema) const override {
     CONGRESS_RETURN_NOT_OK(lhs_->Validate(schema));
     return rhs_->Validate(schema);
@@ -98,6 +136,12 @@ class NegateExpr final : public Expression {
     return -child_->Eval(table, row);
   }
 
+  void EvalBatch(const Table& table, const uint32_t* rows, size_t n,
+                 double* out) const override {
+    child_->EvalBatch(table, rows, n, out);
+    for (size_t i = 0; i < n; ++i) out[i] = -out[i];
+  }
+
   Status Validate(const Schema& schema) const override {
     return child_->Validate(schema);
   }
@@ -111,6 +155,11 @@ class NegateExpr final : public Expression {
 };
 
 }  // namespace
+
+void Expression::EvalBatch(const Table& table, const uint32_t* rows,
+                           size_t n, double* out) const {
+  for (size_t i = 0; i < n; ++i) out[i] = Eval(table, rows[i]);
+}
 
 const char* ArithOpToString(ArithOp op) {
   switch (op) {

@@ -4,6 +4,7 @@
 #include <memory>
 #include <string>
 
+#include "engine/kernels.h"
 #include "storage/table.h"
 #include "util/status.h"
 
@@ -19,6 +20,15 @@ class Expression {
 
   /// Evaluates the expression on row `row` of `table`.
   virtual double Eval(const Table& table, size_t row) const = 0;
+
+  /// Batch form: evaluates the expression at rows[0..n) into out[0..n),
+  /// bit-identical to calling Eval per row (same operations on the same
+  /// values in the same order; only the dispatch is hoisted out of the
+  /// loop). The built-in expressions override this with typed column
+  /// gathers and flat arithmetic loops; the default runs the per-row
+  /// loop, so custom Expression subclasses keep working unchanged.
+  virtual void EvalBatch(const Table& table, const uint32_t* rows, size_t n,
+                         double* out) const;
 
   /// Checks that every referenced column exists and is numeric.
   virtual Status Validate(const Schema& schema) const = 0;

@@ -1,0 +1,98 @@
+#include "engine/kernels.h"
+
+#include <cassert>
+#include <chrono>
+
+#include "obs/metrics.h"
+#include "obs/scope.h"
+
+namespace congress::kernels {
+
+void GatherNumeric(const Table& table, size_t col, const uint32_t* rows,
+                   size_t n, double* out) {
+  switch (table.schema().field(col).type) {
+    case DataType::kInt64: {
+      const std::vector<int64_t>& data = table.Int64Column(col);
+      for (size_t i = 0; i < n; ++i) {
+        out[i] = static_cast<double>(data[rows[i]]);
+      }
+      break;
+    }
+    case DataType::kDouble: {
+      const std::vector<double>& data = table.DoubleColumn(col);
+      for (size_t i = 0; i < n; ++i) out[i] = data[rows[i]];
+      break;
+    }
+    case DataType::kString:
+      // Mirrors Table::NumericAt on a string column: a programming error
+      // upstream validation rejects before any kernel runs.
+      assert(false && "GatherNumeric on a string column");
+      for (size_t i = 0; i < n; ++i) out[i] = 0.0;
+      break;
+  }
+}
+
+void FillConstant(double value, size_t n, double* out) {
+  for (size_t i = 0; i < n; ++i) out[i] = value;
+}
+
+void GatherAppendColumn(const Table& src, size_t src_col,
+                        const uint32_t* rows, size_t n, Table* dst,
+                        size_t dst_col) {
+  assert(src.schema().field(src_col).type ==
+         dst->schema().field(dst_col).type);
+  switch (src.schema().field(src_col).type) {
+    case DataType::kInt64: {
+      const std::vector<int64_t>& in = src.Int64Column(src_col);
+      std::vector<int64_t>& out = dst->MutableInt64Column(dst_col);
+      for (size_t i = 0; i < n; ++i) out.push_back(in[rows[i]]);
+      break;
+    }
+    case DataType::kDouble: {
+      const std::vector<double>& in = src.DoubleColumn(src_col);
+      std::vector<double>& out = dst->MutableDoubleColumn(dst_col);
+      for (size_t i = 0; i < n; ++i) out.push_back(in[rows[i]]);
+      break;
+    }
+    case DataType::kString: {
+      const std::vector<std::string>& in = src.StringColumn(src_col);
+      std::vector<std::string>& out = dst->MutableStringColumn(dst_col);
+      for (size_t i = 0; i < n; ++i) out.push_back(in[rows[i]]);
+      break;
+    }
+  }
+}
+
+uint64_t TallyClockNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void RecordKernelTally(const KernelTally& tally, obs::Scope* scope) {
+#ifdef CONGRESS_DISABLE_OBS
+  (void)tally;
+  (void)scope;
+#else
+  if (tally.empty()) return;
+  if (tally.match_batches > 0) {
+    CONGRESS_METRIC_INCR("kernels.match.batches", tally.match_batches);
+    CONGRESS_METRIC_INCR("kernels.match.rows_in", tally.match_rows_in);
+    CONGRESS_METRIC_INCR("kernels.match.rows_selected",
+                         tally.match_rows_selected);
+    if (scope != nullptr) {
+      scope->Child("match_batch")->RecordNanos(tally.match_nanos);
+    }
+  }
+  if (tally.eval_batches > 0) {
+    CONGRESS_METRIC_INCR("kernels.eval.batches", tally.eval_batches);
+    CONGRESS_METRIC_INCR("kernels.eval.rows", tally.eval_rows);
+    if (scope != nullptr) {
+      scope->Child("eval_batch")->RecordNanos(tally.eval_nanos);
+    }
+  }
+#endif
+}
+
+}  // namespace congress::kernels

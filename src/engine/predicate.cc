@@ -1,6 +1,7 @@
 #include "engine/predicate.h"
 
 #include <sstream>
+#include <utility>
 
 namespace congress {
 
@@ -13,9 +14,45 @@ std::string ColName(const Schema* schema, size_t col) {
   return "col" + std::to_string(col);
 }
 
+/// Runs `cmp` (a predicate over the widened double view) as a typed loop
+/// over a numeric column. Returns false — leaving `sel_out` untouched —
+/// when the column is not numeric, so the caller can fall back to the
+/// scalar default and misbehave exactly as Matches would.
+template <typename Cmp>
+bool FilterNumericColumn(const Table& table, size_t col, uint32_t begin,
+                         uint32_t end, const uint32_t* sel_in,
+                         SelectionVector* sel_out, const Cmp& cmp) {
+  switch (table.schema().field(col).type) {
+    case DataType::kInt64: {
+      const std::vector<int64_t>& data = table.Int64Column(col);
+      kernels::FilterGeneric(begin, end, sel_in, sel_out, [&](uint32_t row) {
+        return cmp(static_cast<double>(data[row]));
+      });
+      return true;
+    }
+    case DataType::kDouble: {
+      const std::vector<double>& data = table.DoubleColumn(col);
+      kernels::FilterGeneric(begin, end, sel_in, sel_out,
+                             [&](uint32_t row) { return cmp(data[row]); });
+      return true;
+    }
+    case DataType::kString:
+      return false;
+  }
+  return false;
+}
+
 class TruePredicate final : public Predicate {
  public:
   bool Matches(const Table&, size_t) const override { return true; }
+
+  void MatchBatch(const Table&, uint32_t begin, uint32_t end,
+                  const uint32_t* sel_in,
+                  SelectionVector* sel_out) const override {
+    kernels::FilterGeneric(begin, end, sel_in, sel_out,
+                           [](uint32_t) { return true; });
+  }
+
   std::string ToString(const Schema*) const override { return "TRUE"; }
 };
 
@@ -27,6 +64,16 @@ class RangePredicate final : public Predicate {
   bool Matches(const Table& table, size_t row) const override {
     double v = table.NumericAt(row, col_);
     return v >= lo_ && v <= hi_;
+  }
+
+  void MatchBatch(const Table& table, uint32_t begin, uint32_t end,
+                  const uint32_t* sel_in,
+                  SelectionVector* sel_out) const override {
+    if (!FilterNumericColumn(
+            table, col_, begin, end, sel_in, sel_out,
+            [this](double v) { return v >= lo_ && v <= hi_; })) {
+      Predicate::MatchBatch(table, begin, end, sel_in, sel_out);
+    }
   }
 
   std::string ToString(const Schema* schema) const override {
@@ -50,6 +97,40 @@ class EqualsPredicate final : public Predicate {
     return table.GetValue(row, col_) == value_;
   }
 
+  void MatchBatch(const Table& table, uint32_t begin, uint32_t end,
+                  const uint32_t* sel_in,
+                  SelectionVector* sel_out) const override {
+    // Value::operator== is false across types, so a type-mismatched
+    // constant matches nothing — no per-row work at all.
+    if (table.schema().field(col_).type != value_.type()) return;
+    switch (value_.type()) {
+      case DataType::kInt64: {
+        const std::vector<int64_t>& data = table.Int64Column(col_);
+        const int64_t want = value_.AsInt64();
+        kernels::FilterGeneric(begin, end, sel_in, sel_out, [&](uint32_t row) {
+          return data[row] == want;
+        });
+        break;
+      }
+      case DataType::kDouble: {
+        const std::vector<double>& data = table.DoubleColumn(col_);
+        const double want = value_.AsDouble();
+        kernels::FilterGeneric(begin, end, sel_in, sel_out, [&](uint32_t row) {
+          return data[row] == want;
+        });
+        break;
+      }
+      case DataType::kString: {
+        const std::vector<std::string>& data = table.StringColumn(col_);
+        const std::string& want = value_.AsString();
+        kernels::FilterGeneric(begin, end, sel_in, sel_out, [&](uint32_t row) {
+          return data[row] == want;
+        });
+        break;
+      }
+    }
+  }
+
   std::string ToString(const Schema* schema) const override {
     return ColName(schema, col_) + " = " + value_.ToString();
   }
@@ -69,6 +150,36 @@ class AndPredicate final : public Predicate {
       if (!child->Matches(table, row)) return false;
     }
     return true;
+  }
+
+  void MatchBatch(const Table& table, uint32_t begin, uint32_t end,
+                  const uint32_t* sel_in,
+                  SelectionVector* sel_out) const override {
+    // Chained filtering: each child's output selection is the next
+    // child's candidate slice. Predicates are pure, so this yields the
+    // same set, in the same order, as the scalar short-circuit AND.
+    if (children_.empty()) {
+      kernels::FilterGeneric(begin, end, sel_in, sel_out,
+                             [](uint32_t) { return true; });
+      return;
+    }
+    if (children_.size() == 1) {
+      children_[0]->MatchBatch(table, begin, end, sel_in, sel_out);
+      return;
+    }
+    SelectionVector current;
+    SelectionVector next;
+    children_[0]->MatchBatch(table, begin, end, sel_in, &current);
+    for (size_t i = 1; i + 1 < children_.size(); ++i) {
+      next.clear();
+      children_[i]->MatchBatch(table, 0,
+                               static_cast<uint32_t>(current.size()),
+                               current.data(), &next);
+      std::swap(current, next);
+    }
+    children_.back()->MatchBatch(table, 0,
+                                 static_cast<uint32_t>(current.size()),
+                                 current.data(), sel_out);
   }
 
   std::string ToString(const Schema* schema) const override {
@@ -91,6 +202,15 @@ class LessEqualPredicate final : public Predicate {
 
   bool Matches(const Table& table, size_t row) const override {
     return table.NumericAt(row, col_) <= bound_;
+  }
+
+  void MatchBatch(const Table& table, uint32_t begin, uint32_t end,
+                  const uint32_t* sel_in,
+                  SelectionVector* sel_out) const override {
+    if (!FilterNumericColumn(table, col_, begin, end, sel_in, sel_out,
+                             [this](double v) { return v <= bound_; })) {
+      Predicate::MatchBatch(table, begin, end, sel_in, sel_out);
+    }
   }
 
   std::string ToString(const Schema* schema) const override {
@@ -137,6 +257,70 @@ class ComparisonPredicate final : public Predicate {
     }
   }
 
+  void MatchBatch(const Table& table, uint32_t begin, uint32_t end,
+                  const uint32_t* sel_in,
+                  SelectionVector* sel_out) const override {
+    const DataType col_type = table.schema().field(col_).type;
+    if ((op_ == CompareOp::kEq || op_ == CompareOp::kNe) &&
+        value_.is_string()) {
+      const bool want_eq = op_ == CompareOp::kEq;
+      if (col_type != DataType::kString) {
+        // GetValue == value_ is false across types: = matches nothing,
+        // <> matches everything.
+        if (!want_eq) {
+          kernels::FilterGeneric(begin, end, sel_in, sel_out,
+                                 [](uint32_t) { return true; });
+        }
+        return;
+      }
+      const std::vector<std::string>& data = table.StringColumn(col_);
+      const std::string& rhs = value_.AsString();
+      kernels::FilterGeneric(begin, end, sel_in, sel_out, [&](uint32_t row) {
+        return (data[row] == rhs) == want_eq;
+      });
+      return;
+    }
+    const double rhs = value_.ToNumeric();
+    bool handled = false;
+    switch (op_) {
+      case CompareOp::kEq:
+        handled = FilterNumericColumn(table, col_, begin, end, sel_in,
+                                      sel_out,
+                                      [rhs](double v) { return v == rhs; });
+        break;
+      case CompareOp::kNe:
+        handled = FilterNumericColumn(table, col_, begin, end, sel_in,
+                                      sel_out,
+                                      [rhs](double v) { return v != rhs; });
+        break;
+      case CompareOp::kLt:
+        handled = FilterNumericColumn(table, col_, begin, end, sel_in,
+                                      sel_out,
+                                      [rhs](double v) { return v < rhs; });
+        break;
+      case CompareOp::kLe:
+        handled = FilterNumericColumn(table, col_, begin, end, sel_in,
+                                      sel_out,
+                                      [rhs](double v) { return v <= rhs; });
+        break;
+      case CompareOp::kGt:
+        handled = FilterNumericColumn(table, col_, begin, end, sel_in,
+                                      sel_out,
+                                      [rhs](double v) { return v > rhs; });
+        break;
+      case CompareOp::kGe:
+        handled = FilterNumericColumn(table, col_, begin, end, sel_in,
+                                      sel_out,
+                                      [rhs](double v) { return v >= rhs; });
+        break;
+    }
+    if (!handled) {
+      // Non-numeric column under a numeric comparison: defer to the
+      // scalar loop, which fails in exactly the way Matches always has.
+      Predicate::MatchBatch(table, begin, end, sel_in, sel_out);
+    }
+  }
+
   std::string ToString(const Schema* schema) const override {
     return ColName(schema, col_) + " " + CompareOpToString(op_) + " " +
            value_.ToString();
@@ -149,6 +333,14 @@ class ComparisonPredicate final : public Predicate {
 };
 
 }  // namespace
+
+void Predicate::MatchBatch(const Table& table, uint32_t begin, uint32_t end,
+                           const uint32_t* sel_in,
+                           SelectionVector* sel_out) const {
+  kernels::FilterGeneric(
+      begin, end, sel_in, sel_out,
+      [&](uint32_t row) { return Matches(table, row); });
+}
 
 const char* CompareOpToString(CompareOp op) {
   switch (op) {

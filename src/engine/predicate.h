@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/kernels.h"
 #include "storage/table.h"
 
 namespace congress {
@@ -18,6 +19,19 @@ class Predicate {
 
   /// True if row `row` of `table` satisfies the predicate.
   virtual bool Matches(const Table& table, size_t row) const = 0;
+
+  /// Batch form: appends to `sel_out` every candidate row that satisfies
+  /// the predicate, in candidate order. Candidates are the contiguous
+  /// rows [begin, end) when `sel_in` is null, else the slice
+  /// sel_in[begin..end) (ascending row indices). The result is
+  /// bit-identical to calling Matches per candidate — the built-in
+  /// predicates override this with typed column loops (range/compare/
+  /// equals/AND over int64 and double columns); the default below runs
+  /// exactly that per-row loop, so custom Predicate subclasses keep
+  /// working unchanged.
+  virtual void MatchBatch(const Table& table, uint32_t begin, uint32_t end,
+                          const uint32_t* sel_in,
+                          SelectionVector* sel_out) const;
 
   /// SQL-ish rendering for logging and debugging. When `schema` is
   /// non-null, columns render by name; otherwise as "colN".

@@ -52,9 +52,15 @@ size_t HashRow(const std::vector<ColumnRef>& refs, size_t row) {
       case DataType::kInt64:
         HashCombine(&seed, std::hash<int64_t>{}((*ref.i64)[row]));
         break;
-      case DataType::kDouble:
-        HashCombine(&seed, std::hash<double>{}((*ref.f64)[row]));
+      case DataType::kDouble: {
+        // Normalize -0.0: RowsEqual compares with ==, which treats the
+        // two zeros as equal, so they must hash equally on every stdlib
+        // (see Value::Hash).
+        double d = (*ref.f64)[row];
+        if (d == 0.0) d = 0.0;
+        HashCombine(&seed, std::hash<double>{}(d));
         break;
+      }
       case DataType::kString:
         HashCombine(&seed, std::hash<std::string>{}((*ref.str)[row]));
         break;
@@ -80,26 +86,85 @@ bool RowsEqual(const std::vector<ColumnRef>& refs, size_t a, size_t b) {
   return true;
 }
 
-/// Hash/equality functors keyed by representative row index.
-struct RowHash {
-  const std::vector<ColumnRef>* refs;
-  size_t operator()(uint32_t row) const { return HashRow(*refs, row); }
-};
-struct RowEq {
-  const std::vector<ColumnRef>* refs;
-  bool operator()(uint32_t a, uint32_t b) const {
-    return RowsEqual(*refs, a, b);
-  }
-};
-
-using RowDict = std::unordered_map<uint32_t, uint32_t, RowHash, RowEq>;
-
 /// Per-morsel interning state: a dictionary keyed by the first row seen
 /// with each key, plus local id assignments in first-occurrence order.
 struct LocalDict {
   std::vector<uint32_t> reps;     ///< local id -> representative row.
   std::vector<uint64_t> counts;   ///< local id -> rows in this morsel.
 };
+
+/// Phases 1–3 of the build, generic over the row hash/equality pair so
+/// the composite-key path and the single-int64 fast path share the same
+/// deterministic structure. `hash_of(row)` must be a pure function of the
+/// row's key and `rows_eq(a, b)` the matching equality; ids come out in
+/// first-occurrence row order regardless of either.
+template <typename HashFn, typename EqFn>
+std::vector<uint32_t> InternRows(
+    const std::vector<std::pair<size_t, size_t>>& ranges,
+    const ExecutorOptions& options, const HashFn& hash_of, const EqFn& rows_eq,
+    uint32_t* row_ids, std::vector<uint64_t>* counts) {
+  // Phase 1 (parallel): intern each morsel against a local flat table,
+  // writing morsel-local ids into the (disjoint) row id slots. The table
+  // stores (hash, id) only; representative rows live in the LocalDict.
+  CONGRESS_SPAN(intern_span, options.scope, "intern");
+  std::vector<LocalDict> locals(ranges.size());
+  ParallelFor(options.ResolvedThreads(), ranges.size(), [&](size_t m) {
+    const auto [begin, end] = ranges[m];
+    LocalDict& local = locals[m];
+    FlatIdTable dict;
+    for (size_t row = begin; row < end; ++row) {
+      auto [id, inserted] = dict.Emplace(
+          hash_of(row), static_cast<uint32_t>(local.reps.size()),
+          [&](uint32_t cand) { return rows_eq(local.reps[cand], row); });
+      if (inserted) {
+        local.reps.push_back(static_cast<uint32_t>(row));
+        local.counts.push_back(0);
+      }
+      local.counts[id] += 1;
+      row_ids[row] = id;
+    }
+  });
+  intern_span.Stop();
+
+  // Phase 2 (serial, morsel order): merge local dictionaries into global
+  // ids. Global ids land in first-occurrence row order — identical to a
+  // serial one-pass intern, whatever the thread count. Rep hashes are
+  // recomputed here (one per distinct key per morsel, not per row).
+  CONGRESS_SPAN(merge_span, options.scope, "merge");
+  std::vector<uint32_t> reps;  // global id -> representative row.
+  FlatIdTable global;
+  std::vector<std::vector<uint32_t>> remaps(ranges.size());
+  for (size_t m = 0; m < ranges.size(); ++m) {
+    const LocalDict& local = locals[m];
+    std::vector<uint32_t>& remap = remaps[m];
+    remap.resize(local.reps.size());
+    for (size_t l = 0; l < local.reps.size(); ++l) {
+      const uint32_t rep = local.reps[l];
+      auto [gid, inserted] = global.Emplace(
+          hash_of(rep), static_cast<uint32_t>(reps.size()),
+          [&](uint32_t cand) { return rows_eq(reps[cand], rep); });
+      if (inserted) {
+        reps.push_back(rep);
+        counts->push_back(0);
+      }
+      remap[l] = gid;
+      (*counts)[gid] += local.counts[l];
+    }
+  }
+  merge_span.Stop();
+
+  // Phase 3 (parallel): rewrite morsel-local ids to global ids.
+  CONGRESS_SPAN(remap_span, options.scope, "remap");
+  ParallelFor(options.ResolvedThreads(), ranges.size(), [&](size_t m) {
+    const auto [begin, end] = ranges[m];
+    const std::vector<uint32_t>& remap = remaps[m];
+    for (size_t row = begin; row < end; ++row) {
+      row_ids[row] = remap[row_ids[row]];
+    }
+  });
+  remap_span.Stop();
+  return reps;
+}
 
 }  // namespace
 
@@ -125,91 +190,68 @@ Result<GroupIndex> GroupIndex::Build(const Table& table,
     index.row_ids_.assign(n, 0);
     index.keys_.push_back(GroupKey{});
     index.counts_.push_back(n);
-    index.index_.emplace(GroupKey{}, 0);
+    index.lookup_.Emplace(GroupKeyHash{}(GroupKey{}), 0,
+                          [](uint32_t) { return false; });
     return index;
   }
 
-  const std::vector<ColumnRef> refs = ResolveColumns(table, group_columns);
   const auto ranges = MorselRanges(n, options.morsel_size);
   index.row_ids_.resize(n);
   CONGRESS_METRIC_INCR("group_index.builds", 1);
   CONGRESS_METRIC_INCR("group_index.rows_interned", n);
 
-  // Phase 1 (parallel): intern each morsel against a local dictionary,
-  // writing morsel-local ids into the (disjoint) row id slots.
-  CONGRESS_SPAN(intern_span, options.scope, "intern");
-  std::vector<LocalDict> locals(ranges.size());
-  uint32_t* row_ids = index.row_ids_.data();
-  ParallelFor(options.ResolvedThreads(), ranges.size(), [&](size_t m) {
-    const auto [begin, end] = ranges[m];
-    LocalDict& local = locals[m];
-    RowDict dict(/*bucket_count=*/16, RowHash{&refs}, RowEq{&refs});
-    for (size_t row = begin; row < end; ++row) {
-      auto [it, inserted] =
-          dict.emplace(static_cast<uint32_t>(row),
-                       static_cast<uint32_t>(local.reps.size()));
-      if (inserted) {
-        local.reps.push_back(static_cast<uint32_t>(row));
-        local.counts.push_back(0);
-      }
-      local.counts[it->second] += 1;
-      row_ids[row] = it->second;
-    }
-  });
-  intern_span.Stop();
-
-  // Phase 2 (serial, morsel order): merge local dictionaries into global
-  // ids. Global ids land in first-occurrence row order — identical to a
-  // serial one-pass intern, whatever the thread count.
-  CONGRESS_SPAN(merge_span, options.scope, "merge");
   std::vector<uint32_t> reps;  // global id -> representative row.
-  RowDict global(/*bucket_count=*/16, RowHash{&refs}, RowEq{&refs});
-  std::vector<std::vector<uint32_t>> remaps(ranges.size());
-  for (size_t m = 0; m < ranges.size(); ++m) {
-    const LocalDict& local = locals[m];
-    std::vector<uint32_t>& remap = remaps[m];
-    remap.resize(local.reps.size());
-    for (size_t l = 0; l < local.reps.size(); ++l) {
-      auto [it, inserted] =
-          global.emplace(local.reps[l], static_cast<uint32_t>(reps.size()));
-      if (inserted) {
-        reps.push_back(local.reps[l]);
-        index.counts_.push_back(0);
-      }
-      remap[l] = it->second;
-      index.counts_[it->second] += local.counts[l];
-    }
+  if (group_columns.size() == 1 &&
+      table.schema().field(group_columns[0]).type == DataType::kInt64) {
+    // Fast path: a single int64 grouping column probes the raw column
+    // directly — no ColumnRef dispatch per row. The hash matches the
+    // composite HashRow for a one-int64 key, so behavior (and every
+    // assigned id) is the same either way.
+    CONGRESS_METRIC_INCR("group_index.fastpath_builds", 1);
+    const std::vector<int64_t>& data = table.Int64Column(group_columns[0]);
+    const auto hash_of = [&data](size_t row) {
+      size_t seed = 1;
+      HashCombine(&seed, std::hash<int64_t>{}(data[row]));
+      return static_cast<uint64_t>(seed);
+    };
+    const auto rows_eq = [&data](size_t a, size_t b) {
+      return data[a] == data[b];
+    };
+    reps = InternRows(ranges, options, hash_of, rows_eq,
+                      index.row_ids_.data(), &index.counts_);
+  } else {
+    const std::vector<ColumnRef> refs = ResolveColumns(table, group_columns);
+    const auto hash_of = [&refs](size_t row) {
+      return static_cast<uint64_t>(HashRow(refs, row));
+    };
+    const auto rows_eq = [&refs](size_t a, size_t b) {
+      return RowsEqual(refs, a, b);
+    };
+    reps = InternRows(ranges, options, hash_of, rows_eq,
+                      index.row_ids_.data(), &index.counts_);
   }
-  merge_span.Stop();
-
-  // Phase 3 (parallel): rewrite morsel-local ids to global ids.
-  CONGRESS_SPAN(remap_span, options.scope, "remap");
-  ParallelFor(options.ResolvedThreads(), ranges.size(), [&](size_t m) {
-    const auto [begin, end] = ranges[m];
-    const std::vector<uint32_t>& remap = remaps[m];
-    for (size_t row = begin; row < end; ++row) {
-      row_ids[row] = remap[row_ids[row]];
-    }
-  });
-  remap_span.Stop();
 
   index.keys_.reserve(reps.size());
   for (uint32_t rep : reps) {
     index.keys_.push_back(table.KeyForRow(rep, group_columns));
   }
-  index.index_.reserve(index.keys_.size());
+  index.lookup_.Reserve(index.keys_.size());
   for (uint32_t g = 0; g < index.keys_.size(); ++g) {
-    index.index_.emplace(index.keys_[g], g);
+    // Keys are distinct by construction, so the insert never collides
+    // with an equal resident.
+    index.lookup_.Emplace(GroupKeyHash{}(index.keys_[g]), g,
+                          [](uint32_t) { return false; });
   }
   return index;
 }
 
 Result<uint32_t> GroupIndex::IdOf(const GroupKey& key) const {
-  auto it = index_.find(key);
-  if (it == index_.end()) {
+  const uint32_t id = lookup_.Find(
+      GroupKeyHash{}(key), [&](uint32_t cand) { return keys_[cand] == key; });
+  if (id == FlatIdTable::kNoId) {
     return Status::NotFound("group " + GroupKeyToString(key) + " not present");
   }
-  return it->second;
+  return id;
 }
 
 GroupIndex::RowLists GroupIndex::GroupRows() const {

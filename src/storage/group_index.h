@@ -2,12 +2,12 @@
 #define CONGRESS_STORAGE_GROUP_INDEX_H_
 
 #include <cstdint>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "storage/table.h"
 #include "storage/value.h"
+#include "util/flat_table.h"
 #include "util/parallel.h"
 #include "util/status.h"
 
@@ -22,7 +22,12 @@ namespace congress {
 ///
 /// Ids are assigned in first-occurrence row order, and the build is
 /// morsel-parallel with a deterministic in-order merge, so the mapping is
-/// identical for every thread count.
+/// identical for every thread count. The intern dictionaries are flat
+/// open-addressing tables over precomputed row hashes (FlatIdTable) —
+/// zero allocations per row, unlike the node-based std::unordered_map
+/// they replaced — and a single int64 grouping column takes a typed fast
+/// path that skips composite-key hashing entirely. Neither changes any
+/// id: assignment order is first-occurrence, independent of the table.
 class GroupIndex {
  public:
   GroupIndex() = default;
@@ -65,7 +70,8 @@ class GroupIndex {
   std::vector<GroupKey> keys_;
   std::vector<uint32_t> row_ids_;
   std::vector<uint64_t> counts_;
-  std::unordered_map<GroupKey, uint32_t, GroupKeyHash> index_;
+  /// Key lookup for IdOf: GroupKeyHash-hashed probe against keys_.
+  FlatIdTable lookup_;
 };
 
 /// Splits groups [0, num_groups) into contiguous chunks of roughly

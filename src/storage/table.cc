@@ -117,6 +117,46 @@ std::vector<double>& Table::MutableDoubleColumn(size_t col) {
   return std::get<std::vector<double>>(columns_[col]);
 }
 
+std::vector<std::string>& Table::MutableStringColumn(size_t col) {
+  return std::get<std::vector<std::string>>(columns_[col]);
+}
+
+void Table::SetRowCount(size_t n) {
+#ifndef NDEBUG
+  for (const auto& col : columns_) {
+    std::visit([n](const auto& vec) { assert(vec.size() == n); }, col);
+  }
+#endif
+  num_rows_ = n;
+}
+
+void Table::AppendFrom(const Table& src) {
+  assert(src.schema_.num_fields() == schema_.num_fields());
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    switch (schema_.field(i).type) {
+      case DataType::kInt64: {
+        const auto& in = std::get<std::vector<int64_t>>(src.columns_[i]);
+        auto& out = std::get<std::vector<int64_t>>(columns_[i]);
+        out.insert(out.end(), in.begin(), in.end());
+        break;
+      }
+      case DataType::kDouble: {
+        const auto& in = std::get<std::vector<double>>(src.columns_[i]);
+        auto& out = std::get<std::vector<double>>(columns_[i]);
+        out.insert(out.end(), in.begin(), in.end());
+        break;
+      }
+      case DataType::kString: {
+        const auto& in = std::get<std::vector<std::string>>(src.columns_[i]);
+        auto& out = std::get<std::vector<std::string>>(columns_[i]);
+        out.insert(out.end(), in.begin(), in.end());
+        break;
+      }
+    }
+  }
+  num_rows_ += src.num_rows_;
+}
+
 double Table::NumericAt(size_t row, size_t col) const {
   switch (schema_.field(col).type) {
     case DataType::kInt64:

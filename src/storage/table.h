@@ -49,6 +49,16 @@ class Table {
   const std::vector<std::string>& StringColumn(size_t col) const;
   std::vector<int64_t>& MutableInt64Column(size_t col);
   std::vector<double>& MutableDoubleColumn(size_t col);
+  std::vector<std::string>& MutableStringColumn(size_t col);
+
+  /// Commits `n` as the row count after columnar appends through the
+  /// mutable accessors. Every column must already hold exactly `n` cells
+  /// (checked by assert in debug builds).
+  void SetRowCount(size_t n);
+
+  /// Appends every row of `src` column-wise (same schema required for
+  /// correctness; checked by assert in debug builds).
+  void AppendFrom(const Table& src);
 
   /// Numeric view of cell (row, col): int64 widened to double.
   double NumericAt(size_t row, size_t col) const;

@@ -50,9 +50,18 @@ size_t Value::Hash() const {
     case DataType::kInt64:
       HashCombineValue(&seed, AsInt64());
       break;
-    case DataType::kDouble:
-      HashCombineValue(&seed, AsDouble());
+    case DataType::kDouble: {
+      // operator== treats -0.0 and 0.0 as equal, so they must hash
+      // equally too. libstdc++'s std::hash<double> happens to normalize
+      // zero already, but that is not guaranteed by the standard (MSVC
+      // hashes the bit pattern), so normalize explicitly: equal keys
+      // with different hashes would silently split a group in any
+      // hash-keyed container.
+      double d = AsDouble();
+      if (d == 0.0) d = 0.0;
+      HashCombineValue(&seed, d);
       break;
+    }
     case DataType::kString:
       HashCombineValue(&seed, AsString());
       break;

@@ -74,6 +74,24 @@ std::vector<PropConfig> BuildDefaultConfigs() {
   }
   {
     PropConfig c;
+    c.name = "vectorized";
+    c.description =
+        "predicate/expression-heavy queries pinning the batch kernels "
+        "against the scalar path";
+    c.spec.num_rows = 4000;
+    c.spec.num_grouping_columns = 2;
+    c.spec.values_per_column = 4;
+    c.spec.group_skew_z = 1.0;
+    c.spec.null_fraction = 0.1;
+    // Every query gets a WHERE clause and most get expression aggregates,
+    // so both MatchBatch and EvalBatch fast paths see real traffic.
+    c.querygen.predicate_probability = 1.0;
+    c.querygen.having_probability = 0.3;
+    c.querygen.max_aggregates = 3;
+    configs.push_back(c);
+  }
+  {
+    PropConfig c;
     c.name = "crash_recovery";
     c.description =
         "checkpoint / crash / recover round trips + corruption salvage, all "
@@ -209,6 +227,9 @@ Status RunOracles(const PropConfig& config, uint64_t seed,
 
     st = CheckThreadInvariance(table, samples[s], gen.query);
     if (!st.ok()) return fail("thread-invariance", context, st);
+
+    st = CheckVectorizedIdentity(table, samples[s], gen.query);
+    if (!st.ok()) return fail("vectorized-identity", context, st);
 
     st = CheckFullSampleMatchesExact(table, data->grouping_columns,
                                      kStrategies[s], gen.query, seed + q);

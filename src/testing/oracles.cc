@@ -366,6 +366,131 @@ Status CheckThreadInvariance(const Table& table,
   return Status::OK();
 }
 
+namespace {
+
+/// Forwarding wrapper that hides the concrete predicate type, so the
+/// virtual MatchBatch resolves to the Predicate base default — the pure
+/// per-row scalar loop. Running a query through this wrapper exercises
+/// the exact same executor code with the typed batch kernels disabled.
+class OpaquePredicate final : public Predicate {
+ public:
+  explicit OpaquePredicate(PredicatePtr inner) : inner_(std::move(inner)) {}
+  bool Matches(const Table& table, size_t row) const override {
+    return inner_->Matches(table, row);
+  }
+  std::string ToString(const Schema* schema) const override {
+    return inner_->ToString(schema);
+  }
+
+ private:
+  PredicatePtr inner_;
+};
+
+/// Same trick for expressions: only scalar Eval, so EvalBatch falls back
+/// to the per-row default.
+class OpaqueExpression final : public Expression {
+ public:
+  explicit OpaqueExpression(ExpressionPtr inner) : inner_(std::move(inner)) {}
+  double Eval(const Table& table, size_t row) const override {
+    return inner_->Eval(table, row);
+  }
+  Status Validate(const Schema& schema) const override {
+    return inner_->Validate(schema);
+  }
+  std::string ToString(const Schema* schema) const override {
+    return inner_->ToString(schema);
+  }
+
+ private:
+  ExpressionPtr inner_;
+};
+
+/// The query with every batch-capable node wrapped opaque: the scalar
+/// reference arm of the vectorization differential.
+GroupByQuery ScalarizeQuery(const GroupByQuery& query) {
+  GroupByQuery scalar = query;
+  if (scalar.predicate != nullptr) {
+    scalar.predicate = std::make_shared<OpaquePredicate>(scalar.predicate);
+  }
+  for (AggregateSpec& spec : scalar.aggregates) {
+    if (spec.expression != nullptr) {
+      spec.expression = std::make_shared<OpaqueExpression>(spec.expression);
+    }
+  }
+  return scalar;
+}
+
+/// Group ordering must match too: SortByKey should make it canonical,
+/// but the bit-identity contract covers emission order, so compare the
+/// key sequences directly rather than by lookup.
+Status CheckSameOrder(const QueryResult& a, const QueryResult& b,
+                      const std::string& label) {
+  if (a.rows().size() != b.rows().size()) {
+    return Status::Internal(label + ": group counts differ");
+  }
+  for (size_t i = 0; i < a.rows().size(); ++i) {
+    if (!(a.rows()[i].key == b.rows()[i].key)) {
+      return Status::Internal(label + ": group order diverges at row " +
+                              std::to_string(i) + " (" +
+                              GroupKeyToString(a.rows()[i].key) + " vs " +
+                              GroupKeyToString(b.rows()[i].key) + ")");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status CheckVectorizedIdentity(const Table& table,
+                               const StratifiedSample& sample,
+                               const GroupByQuery& query) {
+  const GroupByQuery scalar = ScalarizeQuery(query);
+  Rewriter rewriter(sample);
+  for (size_t threads : {size_t{1}, size_t{4}, size_t{8}}) {
+    ExecutorOptions options;
+    options.num_threads = threads;
+    options.morsel_size = 512;  // Force fan-out on harness-sized tables.
+    const std::string suffix = "@" + std::to_string(threads) + "t";
+
+    auto vec = ExecuteExact(table, query, options);
+    CONGRESS_RETURN_NOT_OK(vec.status());
+    auto ref = ExecuteExact(table, scalar, options);
+    CONGRESS_RETURN_NOT_OK(ref.status());
+    CONGRESS_RETURN_NOT_OK(CheckResultsEqual(
+        *ref, *vec, 0.0, "exact-scalar" + suffix, "exact-vectorized" + suffix));
+    CONGRESS_RETURN_NOT_OK(CheckSameOrder(*ref, *vec, "exact" + suffix));
+
+    auto est_vec = EstimateGroupBy(sample, query, {}, options);
+    CONGRESS_RETURN_NOT_OK(est_vec.status());
+    auto est_ref = EstimateGroupBy(sample, scalar, {}, options);
+    CONGRESS_RETURN_NOT_OK(est_ref.status());
+    CONGRESS_RETURN_NOT_OK(CheckResultsEqual(
+        est_ref->ToQueryResult(), est_vec->ToQueryResult(), 0.0,
+        "estimator-scalar" + suffix, "estimator-vectorized" + suffix));
+    // The scalar/vectorized contract covers the error bounds too.
+    for (size_t g = 0; g < est_ref->rows().size(); ++g) {
+      const ApproximateGroupRow& r = est_ref->rows()[g];
+      const ApproximateGroupRow& v = est_vec->rows()[g];
+      if (r.support != v.support || r.std_errors != v.std_errors ||
+          r.bounds != v.bounds) {
+        return Status::Internal(
+            "estimator bounds for group " + GroupKeyToString(r.key) +
+            " differ between scalar and vectorized paths" + suffix);
+      }
+    }
+
+    auto rw_vec = rewriter.Answer(query, RewriteStrategy::kIntegrated, options);
+    CONGRESS_RETURN_NOT_OK(rw_vec.status());
+    auto rw_ref =
+        rewriter.Answer(scalar, RewriteStrategy::kIntegrated, options);
+    CONGRESS_RETURN_NOT_OK(rw_ref.status());
+    CONGRESS_RETURN_NOT_OK(CheckResultsEqual(*rw_ref, *rw_vec, 0.0,
+                                             "Integrated-scalar" + suffix,
+                                             "Integrated-vectorized" + suffix));
+  }
+  return Status::OK();
+}
+
 Status CheckSqlAgreement(const Table& table, const std::string& table_name,
                          const GroupByQuery& query, const std::string& sql) {
   std::string parsed_name;

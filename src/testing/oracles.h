@@ -48,6 +48,17 @@ Status CheckThreadInvariance(const Table& table,
                              const StratifiedSample& sample,
                              const GroupByQuery& query);
 
+/// The batch kernel layer agrees with the scalar path: re-runs the query
+/// with every predicate and aggregate expression hidden behind opaque
+/// forwarding wrappers (which implement only scalar Matches/Eval, forcing
+/// the default per-row MatchBatch/EvalBatch fallbacks) and demands the
+/// exact executor, the estimator, and the Integrated rewrite produce
+/// bit-identical results — values AND group ordering — at 1, 4 and 8
+/// threads.
+Status CheckVectorizedIdentity(const Table& table,
+                               const StratifiedSample& sample,
+                               const GroupByQuery& query);
+
 /// The SQL front end agrees with the programmatic query builder: `sql`
 /// must parse, bind against `table`'s schema, name `table_name`, and
 /// execute to the bit-identical exact answer of `query`.

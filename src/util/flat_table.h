@@ -1,0 +1,120 @@
+#ifndef CONGRESS_UTIL_FLAT_TABLE_H_
+#define CONGRESS_UTIL_FLAT_TABLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace congress {
+
+/// Open-addressing hash table mapping precomputed 64-bit hashes to dense
+/// uint32_t ids. The caller owns the key storage (a column slice, a
+/// GroupKey vector, ...) and supplies equality at probe time as a
+/// callable over candidate ids, so the table itself never materializes,
+/// copies, or even sees a key — it stores exactly one (hash, id) pair per
+/// entry in two flat arrays.
+///
+/// This replaces the node-based std::unordered_map in the group-interning
+/// hot loops: linear probing over a power-of-two capacity costs zero
+/// allocations per probe (the map paid one node allocation per emplace
+/// attempt), and keeping the full 64-bit hash per slot makes both the
+/// equality pre-filter and rehashing cheap. Iteration order is never
+/// exposed, so the switch cannot perturb any id assignment: ids are
+/// handed in by the caller in first-occurrence order exactly as before.
+class FlatIdTable {
+ public:
+  /// Sentinel returned by Find() when no entry matches. Valid ids are
+  /// dense and therefore never reach 2^32 - 1 (tables are capped at 2^32
+  /// rows well before that).
+  static constexpr uint32_t kNoId = 0xFFFFFFFFu;
+
+  FlatIdTable() { Rehash(kMinCapacity); }
+
+  /// Pre-sizes for about `expected` distinct entries.
+  explicit FlatIdTable(size_t expected) {
+    Rehash(CapacityFor(expected));
+  }
+
+  size_t size() const { return size_; }
+
+  /// Grows the slot array so `n` entries fit without further rehashing.
+  void Reserve(size_t n) {
+    size_t wanted = CapacityFor(n);
+    if (wanted > capacity_) Rehash(wanted);
+  }
+
+  /// Finds the entry with this `hash` for which `eq(id)` is true, or
+  /// inserts `id_if_new`. Returns {resident id, inserted}. `eq` is only
+  /// invoked on candidate ids whose stored hash matches exactly.
+  template <typename Eq>
+  std::pair<uint32_t, bool> Emplace(uint64_t hash, uint32_t id_if_new,
+                                    const Eq& eq) {
+    // Max load factor 7/8: grow before the insert so the probe below
+    // always terminates on an empty slot.
+    if ((size_ + 1) * 8 > capacity_ * 7) Rehash(capacity_ * 2);
+    const size_t mask = capacity_ - 1;
+    size_t i = static_cast<size_t>(hash) & mask;
+    while (true) {
+      const uint32_t id = ids_[i];
+      if (id == kNoId) {
+        hashes_[i] = hash;
+        ids_[i] = id_if_new;
+        ++size_;
+        return {id_if_new, true};
+      }
+      if (hashes_[i] == hash && eq(id)) return {id, false};
+      i = (i + 1) & mask;
+    }
+  }
+
+  /// Lookup-only probe: the resident id, or kNoId.
+  template <typename Eq>
+  uint32_t Find(uint64_t hash, const Eq& eq) const {
+    const size_t mask = capacity_ - 1;
+    size_t i = static_cast<size_t>(hash) & mask;
+    while (true) {
+      const uint32_t id = ids_[i];
+      if (id == kNoId) return kNoId;
+      if (hashes_[i] == hash && eq(id)) return id;
+      i = (i + 1) & mask;
+    }
+  }
+
+ private:
+  static constexpr size_t kMinCapacity = 16;
+
+  /// Smallest power of two holding `n` entries under the 7/8 load cap.
+  static size_t CapacityFor(size_t n) {
+    size_t cap = kMinCapacity;
+    while (n * 8 > cap * 7) cap *= 2;
+    return cap;
+  }
+
+  /// Reinserts every entry into a `new_capacity`-slot array. Keys are
+  /// all distinct, so reinsertion needs only the stored hashes.
+  void Rehash(size_t new_capacity) {
+    std::vector<uint64_t> old_hashes = std::move(hashes_);
+    std::vector<uint32_t> old_ids = std::move(ids_);
+    hashes_.assign(new_capacity, 0);
+    ids_.assign(new_capacity, kNoId);
+    capacity_ = new_capacity;
+    const size_t mask = new_capacity - 1;
+    for (size_t i = 0; i < old_ids.size(); ++i) {
+      if (old_ids[i] == kNoId) continue;
+      size_t j = static_cast<size_t>(old_hashes[i]) & mask;
+      while (ids_[j] != kNoId) j = (j + 1) & mask;
+      hashes_[j] = old_hashes[i];
+      ids_[j] = old_ids[i];
+    }
+  }
+
+  std::vector<uint64_t> hashes_;
+  std::vector<uint32_t> ids_;
+  size_t capacity_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace congress
+
+#endif  // CONGRESS_UTIL_FLAT_TABLE_H_

@@ -235,6 +235,57 @@ TEST(HashJoinTest, DuplicateNamesDisambiguated) {
   EXPECT_EQ(joined->schema().field(2).name, "v_r");
 }
 
+TEST(HashJoinTest, ColumnarOutputPreservesRowOrder) {
+  // The columnar emit must reproduce the serial probe order exactly:
+  // left rows left-to-right, each left row's matches in ascending right
+  // row order — across morsel boundaries and thread counts, with a
+  // string payload exercising the string gather.
+  Table left{Schema({Field{"k", DataType::kInt64},
+                     Field{"v", DataType::kDouble}})};
+  for (int64_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(
+        left.AppendRow({Value(i % 10), Value(static_cast<double>(i))}).ok());
+  }
+  // Two right rows per key, deliberately interleaved so each build
+  // group's row list is non-contiguous.
+  Table right{Schema({Field{"k", DataType::kInt64},
+                      Field{"tag", DataType::kString}})};
+  for (int64_t pass = 0; pass < 2; ++pass) {
+    for (int64_t k = 0; k < 8; ++k) {  // Keys 8 and 9 unmatched.
+      ASSERT_TRUE(right
+                      .AppendRow({Value(k),
+                                  Value("p" + std::to_string(pass) + "k" +
+                                        std::to_string(k))})
+                      .ok());
+    }
+  }
+
+  // Serial reference computed with the obvious nested loop.
+  std::vector<std::pair<size_t, size_t>> expected;
+  for (size_t l = 0; l < left.num_rows(); ++l) {
+    for (size_t r = 0; r < right.num_rows(); ++r) {
+      if (left.Int64Column(0)[l] == right.Int64Column(0)[r]) {
+        expected.emplace_back(l, r);
+      }
+    }
+  }
+
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    ExecutorOptions options;
+    options.num_threads = threads;
+    options.morsel_size = 128;  // Many morsels over 1000 rows.
+    auto joined = HashJoin(left, {0}, right, {0}, options);
+    ASSERT_TRUE(joined.ok());
+    ASSERT_EQ(joined->num_rows(), expected.size()) << threads << " threads";
+    for (size_t i = 0; i < expected.size(); ++i) {
+      const auto [l, r] = expected[i];
+      EXPECT_EQ(joined->Int64Column(0)[i], left.Int64Column(0)[l]);
+      EXPECT_EQ(joined->DoubleColumn(1)[i], left.DoubleColumn(1)[l]);
+      EXPECT_EQ(joined->StringColumn(2)[i], right.StringColumn(1)[r]);
+    }
+  }
+}
+
 TEST(HashJoinTest, ArityMismatchRejected) {
   Table left{Schema({Field{"k", DataType::kInt64}})};
   Table right{Schema({Field{"k", DataType::kInt64}})};

@@ -1,0 +1,315 @@
+#include "engine/kernels.h"
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/expression.h"
+#include "engine/predicate.h"
+#include "util/flat_table.h"
+
+namespace congress {
+namespace {
+
+Table MakeTable() {
+  Table t{Schema({Field{"id", DataType::kInt64},
+                  Field{"flag", DataType::kString},
+                  Field{"v", DataType::kDouble}})};
+  EXPECT_TRUE(t.AppendRow({Value(int64_t{10}), Value("A"), Value(0.5)}).ok());
+  EXPECT_TRUE(t.AppendRow({Value(int64_t{20}), Value("B"), Value(1.5)}).ok());
+  EXPECT_TRUE(t.AppendRow({Value(int64_t{30}), Value("A"), Value(2.5)}).ok());
+  EXPECT_TRUE(t.AppendRow({Value(int64_t{20}), Value("C"), Value(-1.0)}).ok());
+  EXPECT_TRUE(t.AppendRow({Value(int64_t{5}), Value("B"), Value(0.0)}).ok());
+  return t;
+}
+
+/// A larger mixed table for randomized equivalence sweeps.
+Table MakeBigTable(size_t n) {
+  Table t{Schema({Field{"id", DataType::kInt64},
+                  Field{"v", DataType::kDouble},
+                  Field{"tag", DataType::kString}})};
+  std::mt19937_64 rng(42);
+  for (size_t i = 0; i < n; ++i) {
+    int64_t id = static_cast<int64_t>(rng() % 50);
+    double v = static_cast<double>(rng() % 1000) / 10.0 - 50.0;
+    std::string tag(1, static_cast<char>('a' + rng() % 4));
+    EXPECT_TRUE(t.AppendRow({Value(id), Value(v), Value(tag)}).ok());
+  }
+  return t;
+}
+
+/// The scalar reference: per-row Matches over the same candidates.
+SelectionVector ScalarFilter(const Predicate& p, const Table& t,
+                             uint32_t begin, uint32_t end,
+                             const uint32_t* sel_in) {
+  SelectionVector out;
+  if (sel_in == nullptr) {
+    for (uint32_t r = begin; r < end; ++r) {
+      if (p.Matches(t, r)) out.push_back(r);
+    }
+  } else {
+    for (uint32_t i = begin; i < end; ++i) {
+      if (p.Matches(t, sel_in[i])) out.push_back(sel_in[i]);
+    }
+  }
+  return out;
+}
+
+void ExpectBatchMatchesScalar(const PredicatePtr& p, const Table& t) {
+  const uint32_t n = static_cast<uint32_t>(t.num_rows());
+  // Dense candidates.
+  SelectionVector got;
+  p->MatchBatch(t, 0, n, nullptr, &got);
+  EXPECT_EQ(got, ScalarFilter(*p, t, 0, n, nullptr)) << p->ToString();
+  // A strided slice as the candidate selection vector.
+  SelectionVector candidates;
+  for (uint32_t r = 0; r < n; r += 2) candidates.push_back(r);
+  got.clear();
+  p->MatchBatch(t, 0, static_cast<uint32_t>(candidates.size()),
+                candidates.data(), &got);
+  EXPECT_EQ(got, ScalarFilter(*p, t, 0,
+                              static_cast<uint32_t>(candidates.size()),
+                              candidates.data()))
+      << p->ToString();
+  // A sub-window of the slice.
+  if (candidates.size() >= 3) {
+    got.clear();
+    p->MatchBatch(t, 1, static_cast<uint32_t>(candidates.size()) - 1,
+                  candidates.data(), &got);
+    EXPECT_EQ(got, ScalarFilter(*p, t, 1,
+                                static_cast<uint32_t>(candidates.size()) - 1,
+                                candidates.data()))
+        << p->ToString();
+  }
+}
+
+TEST(FlatIdTableTest, EmplaceAssignsAndFindsIds) {
+  FlatIdTable table;
+  std::vector<int64_t> keys;
+  auto eq_key = [&](int64_t want) {
+    return [&keys, want](uint32_t id) { return keys[id] == want; };
+  };
+  for (int64_t k : {int64_t{7}, int64_t{9}, int64_t{7}, int64_t{42}}) {
+    auto [id, inserted] = table.Emplace(
+        std::hash<int64_t>{}(k), static_cast<uint32_t>(keys.size()),
+        eq_key(k));
+    if (inserted) keys.push_back(k);
+    EXPECT_EQ(keys[id], k);
+  }
+  EXPECT_EQ(table.size(), 3u);
+  EXPECT_EQ(table.Find(std::hash<int64_t>{}(9), eq_key(9)), 1u);
+  EXPECT_EQ(table.Find(std::hash<int64_t>{}(1000), eq_key(1000)),
+            FlatIdTable::kNoId);
+}
+
+TEST(FlatIdTableTest, GrowsPastInitialCapacityAndKeepsEntries) {
+  FlatIdTable table;
+  std::vector<int64_t> keys;
+  for (int64_t k = 0; k < 5000; ++k) {
+    auto [id, inserted] = table.Emplace(
+        std::hash<int64_t>{}(k), static_cast<uint32_t>(keys.size()),
+        [&](uint32_t cand) { return keys[cand] == k; });
+    ASSERT_TRUE(inserted);
+    ASSERT_EQ(id, static_cast<uint32_t>(k));
+    keys.push_back(k);
+  }
+  EXPECT_EQ(table.size(), 5000u);
+  for (int64_t k = 0; k < 5000; ++k) {
+    EXPECT_EQ(table.Find(std::hash<int64_t>{}(k),
+                         [&](uint32_t cand) { return keys[cand] == k; }),
+              static_cast<uint32_t>(k));
+  }
+}
+
+TEST(FlatIdTableTest, CollidingHashesResolveByEquality) {
+  FlatIdTable table;
+  std::vector<int64_t> keys;
+  // Every key hashes to the same bucket; equality must disambiguate.
+  for (int64_t k = 0; k < 20; ++k) {
+    auto [id, inserted] = table.Emplace(
+        12345u, static_cast<uint32_t>(keys.size()),
+        [&](uint32_t cand) { return keys[cand] == k; });
+    ASSERT_TRUE(inserted);
+    keys.push_back(k);
+    (void)id;
+  }
+  for (int64_t k = 0; k < 20; ++k) {
+    EXPECT_EQ(table.Find(12345u,
+                         [&](uint32_t cand) { return keys[cand] == k; }),
+              static_cast<uint32_t>(k));
+  }
+  EXPECT_EQ(table.Find(12345u, [](uint32_t) { return false; }),
+            FlatIdTable::kNoId);
+}
+
+TEST(KernelsTest, GatherNumericWidensInt64) {
+  Table t = MakeTable();
+  const uint32_t rows[] = {4, 0, 2};
+  double out[3] = {};
+  kernels::GatherNumeric(t, 0, rows, 3, out);
+  EXPECT_EQ(out[0], 5.0);
+  EXPECT_EQ(out[1], 10.0);
+  EXPECT_EQ(out[2], 30.0);
+  kernels::GatherNumeric(t, 2, rows, 3, out);
+  EXPECT_EQ(out[0], 0.0);
+  EXPECT_EQ(out[1], 0.5);
+  EXPECT_EQ(out[2], 2.5);
+}
+
+TEST(KernelsTest, FillConstant) {
+  double out[4] = {1, 2, 3, 4};
+  kernels::FillConstant(7.5, 4, out);
+  for (double v : out) EXPECT_EQ(v, 7.5);
+}
+
+TEST(KernelsTest, GatherAppendColumnAllTypes) {
+  Table t = MakeTable();
+  Table dst = t.CloneEmpty();
+  const uint32_t rows[] = {3, 1};
+  for (size_t c = 0; c < t.num_columns(); ++c) {
+    kernels::GatherAppendColumn(t, c, rows, 2, &dst, c);
+  }
+  dst.SetRowCount(2);
+  EXPECT_EQ(dst.GetValue(0, 0), Value(int64_t{20}));
+  EXPECT_EQ(dst.GetValue(0, 1), Value("C"));
+  EXPECT_EQ(dst.GetValue(0, 2), Value(-1.0));
+  EXPECT_EQ(dst.GetValue(1, 1), Value("B"));
+}
+
+TEST(TableBatchTest, AppendFromConcatenatesColumnWise) {
+  Table t = MakeTable();
+  Table out = t.CloneEmpty();
+  out.AppendFrom(t);
+  out.AppendFrom(t.CloneEmpty());  // Empty append is a no-op.
+  out.AppendFrom(t);
+  ASSERT_EQ(out.num_rows(), 2 * t.num_rows());
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    for (size_t c = 0; c < t.num_columns(); ++c) {
+      EXPECT_EQ(out.GetValue(r, c), t.GetValue(r, c));
+      EXPECT_EQ(out.GetValue(t.num_rows() + r, c), t.GetValue(r, c));
+    }
+  }
+}
+
+TEST(MatchBatchTest, BuiltinPredicatesMatchScalarPath) {
+  Table t = MakeBigTable(1000);
+  std::vector<PredicatePtr> predicates = {
+      MakeTruePredicate(),
+      MakeRangePredicate(0, 10, 30),
+      MakeRangePredicate(1, -5.0, 20.0),
+      MakeRangePredicate(0, 30, 10),  // Inverted: selects nothing.
+      MakeLessEqualPredicate(0, 25.0),
+      MakeLessEqualPredicate(1, 0.0),
+      MakeEqualsPredicate(0, Value(int64_t{7})),
+      MakeEqualsPredicate(1, Value(12.5)),
+      MakeEqualsPredicate(2, Value("b")),
+      MakeEqualsPredicate(0, Value(7.0)),  // Type mismatch: nothing.
+      MakeComparisonPredicate(0, CompareOp::kEq, Value(int64_t{7})),
+      MakeComparisonPredicate(0, CompareOp::kNe, Value(int64_t{7})),
+      MakeComparisonPredicate(0, CompareOp::kEq, Value(7.0)),  // Numeric eq.
+      MakeComparisonPredicate(1, CompareOp::kLt, Value(0.0)),
+      MakeComparisonPredicate(1, CompareOp::kLe, Value(-10.0)),
+      MakeComparisonPredicate(0, CompareOp::kGt, Value(int64_t{40})),
+      MakeComparisonPredicate(1, CompareOp::kGe, Value(30.0)),
+      MakeComparisonPredicate(2, CompareOp::kEq, Value("c")),
+      MakeComparisonPredicate(2, CompareOp::kNe, Value("c")),
+      MakeComparisonPredicate(0, CompareOp::kEq, Value("c")),  // Cross-type.
+      MakeComparisonPredicate(0, CompareOp::kNe, Value("c")),  // Everything.
+  };
+  for (const PredicatePtr& p : predicates) {
+    ExpectBatchMatchesScalar(p, t);
+  }
+  // AND chains, including nested composition.
+  ExpectBatchMatchesScalar(
+      MakeAndPredicate({MakeRangePredicate(0, 5, 45),
+                        MakeComparisonPredicate(1, CompareOp::kGt, Value(0.0)),
+                        MakeEqualsPredicate(2, Value("a"))}),
+      t);
+  ExpectBatchMatchesScalar(MakeAndPredicate({}), t);
+  ExpectBatchMatchesScalar(
+      MakeAndPredicate({MakeLessEqualPredicate(0, 20.0)}), t);
+  ExpectBatchMatchesScalar(
+      MakeAndPredicate(
+          {MakeAndPredicate({MakeRangePredicate(0, 0, 40),
+                             MakeRangePredicate(1, -50.0, 50.0)}),
+           MakeComparisonPredicate(2, CompareOp::kNe, Value("d"))}),
+      t);
+}
+
+TEST(MatchBatchTest, AppendsWithoutClearing) {
+  Table t = MakeTable();
+  SelectionVector out = {999};
+  MakeTruePredicate()->MatchBatch(t, 0, 2, nullptr, &out);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], 999u);
+  EXPECT_EQ(out[1], 0u);
+  EXPECT_EQ(out[2], 1u);
+}
+
+TEST(MatchBatchTest, DefaultFallbackMatchesScalar) {
+  // A predicate with no MatchBatch override exercises the base default.
+  class OddId final : public Predicate {
+   public:
+    bool Matches(const Table& t, size_t row) const override {
+      return t.Int64Column(0)[row] % 2 == 1;
+    }
+    std::string ToString(const Schema*) const override { return "odd"; }
+  };
+  Table t = MakeBigTable(300);
+  auto p = std::make_shared<OddId>();
+  SelectionVector got;
+  p->MatchBatch(t, 0, static_cast<uint32_t>(t.num_rows()), nullptr, &got);
+  EXPECT_EQ(got, ScalarFilter(*p, t, 0, static_cast<uint32_t>(t.num_rows()),
+                              nullptr));
+}
+
+TEST(EvalBatchTest, BuiltinExpressionsMatchScalarEval) {
+  Table t = MakeBigTable(500);
+  std::vector<ExpressionPtr> exprs = {
+      MakeColumnExpr(0),
+      MakeColumnExpr(1),
+      MakeLiteralExpr(3.25),
+      MakeNegateExpr(MakeColumnExpr(1)),
+      MakeBinaryExpr(ArithOp::kAdd, MakeColumnExpr(0), MakeColumnExpr(1)),
+      MakeBinaryExpr(ArithOp::kSub, MakeColumnExpr(0), MakeLiteralExpr(1.0)),
+      MakeBinaryExpr(ArithOp::kMul, MakeColumnExpr(1),
+                     MakeBinaryExpr(ArithOp::kAdd, MakeLiteralExpr(1.0),
+                                    MakeColumnExpr(1))),
+      // Division, including divide-by-zero rows (v == 0 -> 0 by contract).
+      MakeBinaryExpr(ArithOp::kDiv, MakeColumnExpr(0), MakeColumnExpr(1)),
+      MakeBinaryExpr(ArithOp::kDiv, MakeColumnExpr(0), MakeLiteralExpr(0.0)),
+  };
+  SelectionVector rows;
+  for (uint32_t r = 0; r < t.num_rows(); r += 3) rows.push_back(r);
+  std::vector<double> batch(rows.size());
+  for (const ExpressionPtr& e : exprs) {
+    e->EvalBatch(t, rows.data(), rows.size(), batch.data());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      // Bit-identical, not approximately equal.
+      EXPECT_EQ(batch[i], e->Eval(t, rows[i])) << e->ToString();
+    }
+  }
+}
+
+TEST(EvalBatchTest, DefaultFallbackMatchesScalar) {
+  class Halve final : public Expression {
+   public:
+    double Eval(const Table& t, size_t row) const override {
+      return t.NumericAt(row, 1) / 2.0;
+    }
+    Status Validate(const Schema&) const override { return Status::OK(); }
+    std::string ToString(const Schema*) const override { return "halve"; }
+  };
+  Table t = MakeBigTable(100);
+  Halve h;
+  const uint32_t rows[] = {0, 7, 42, 99};
+  double out[4];
+  h.EvalBatch(t, rows, 4, out);
+  for (size_t i = 0; i < 4; ++i) EXPECT_EQ(out[i], h.Eval(t, rows[i]));
+}
+
+}  // namespace
+}  // namespace congress

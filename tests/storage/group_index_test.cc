@@ -126,6 +126,47 @@ TEST(GroupIndexTest, ParallelBuildMatchesSerial) {
   }
 }
 
+TEST(GroupIndexTest, Int64FastPathMatchesCompositePath) {
+  // Grouping by {0} takes the single-int64 fast path; grouping by {0, 0}
+  // forces the composite-key path over the identical partition. Id
+  // assignment is first-occurrence order in both, so row ids and counts
+  // must coincide exactly.
+  Table t{Schema({Field{"g", DataType::kInt64}, Field{"v", DataType::kDouble}})};
+  Random rng(11);
+  ZipfDistribution zipf(40, 0.9);
+  for (size_t i = 0; i < 10'000; ++i) {
+    ASSERT_TRUE(t.AppendRow({Value(static_cast<int64_t>(zipf.Sample(&rng))),
+                             Value(static_cast<double>(i))})
+                    .ok());
+  }
+  ExecutorOptions options;
+  options.num_threads = 4;
+  options.morsel_size = 1024;
+  auto fast = GroupIndex::Build(t, {0}, options);
+  auto composite = GroupIndex::Build(t, {0, 0}, options);
+  ASSERT_TRUE(fast.ok());
+  ASSERT_TRUE(composite.ok());
+  EXPECT_EQ(fast->row_ids(), composite->row_ids());
+  EXPECT_EQ(fast->counts(), composite->counts());
+  // IdOf probes the flat lookup table; round-trip every key.
+  for (size_t g = 0; g < fast->num_groups(); ++g) {
+    auto id = fast->IdOf(fast->keys()[g]);
+    ASSERT_TRUE(id.ok());
+    EXPECT_EQ(*id, static_cast<uint32_t>(g));
+  }
+}
+
+TEST(GroupIndexTest, NegativeZeroFoldsIntoPositiveZeroGroup) {
+  Table t{Schema({Field{"g", DataType::kDouble}})};
+  ASSERT_TRUE(t.AppendRow({Value(0.0)}).ok());
+  ASSERT_TRUE(t.AppendRow({Value(-0.0)}).ok());
+  ASSERT_TRUE(t.AppendRow({Value(1.0)}).ok());
+  auto index = GroupIndex::Build(t, {0});
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->num_groups(), 2u);
+  EXPECT_EQ(index->row_ids()[0], index->row_ids()[1]);
+}
+
 TEST(GroupIndexTest, BalancedGroupChunksCoverAllGroups) {
   // Offsets for groups of sizes 100, 1, 1, 50, 200, 3.
   std::vector<uint64_t> offsets = {0, 100, 101, 102, 152, 352, 355};

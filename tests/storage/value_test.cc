@@ -55,6 +55,18 @@ TEST(ValueTest, HashConsistentWithEquality) {
   EXPECT_NE(Value(int64_t{0}).Hash(), Value(0.0).Hash());
 }
 
+TEST(ValueTest, NegativeZeroHashesLikePositiveZero) {
+  // operator== says -0.0 == 0.0, so the hashes must agree on every
+  // platform or hash-keyed containers would split the two into separate
+  // groups.
+  EXPECT_EQ(Value(-0.0), Value(0.0));
+  EXPECT_EQ(Value(-0.0).Hash(), Value(0.0).Hash());
+  GroupKey neg = {Value(-0.0)};
+  GroupKey pos = {Value(0.0)};
+  EXPECT_EQ(neg, pos);
+  EXPECT_EQ(GroupKeyHash{}(neg), GroupKeyHash{}(pos));
+}
+
 TEST(ValueTest, ToStringRendersAllTypes) {
   EXPECT_EQ(Value(int64_t{12}).ToString(), "12");
   EXPECT_EQ(Value("hi").ToString(), "hi");
