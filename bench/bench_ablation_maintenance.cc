@@ -16,24 +16,6 @@
 namespace congress {
 namespace {
 
-std::unique_ptr<SampleMaintainer> MakeMaintainer(AllocationStrategy strategy,
-                                                 const Schema& schema,
-                                                 std::vector<size_t> grouping,
-                                                 uint64_t x, uint64_t seed) {
-  switch (strategy) {
-    case AllocationStrategy::kHouse:
-      return MakeHouseMaintainer(schema, std::move(grouping), x, seed);
-    case AllocationStrategy::kSenate:
-      return MakeSenateMaintainer(schema, std::move(grouping), x, seed);
-    case AllocationStrategy::kBasicCongress:
-      return MakeBasicCongressMaintainer(schema, std::move(grouping), x,
-                                         seed);
-    case AllocationStrategy::kCongress:
-      return MakeCongressMaintainer(schema, std::move(grouping), x, seed);
-  }
-  return nullptr;
-}
-
 int Run(int argc, char** argv) {
   bench::PrintHeader(
       "Ablation (Section 6): one-pass construction & incremental "

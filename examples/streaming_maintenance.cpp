@@ -1,8 +1,10 @@
 // Streaming maintenance: the Section 6 story. A warehouse keeps loading
 // new sales data — including data for products (groups) that did not
 // exist when the synopsis was built. The incremental maintainers keep the
-// sample valid without ever re-reading the base relation; Refresh()
-// republishes it to the query path.
+// sample valid without ever re-reading the base relation; at the engine
+// level Refresh() freezes the maintainer's state into a new immutable
+// snapshot and atomically publishes it (DESIGN.md §14), so in-flight
+// queries keep the view they pinned and the next query sees the new one.
 //
 // Part 2 adds the operational story: the stream is checkpointed to disk
 // every 10K inserts, a "crash" restarts the server from the snapshot
@@ -200,7 +202,10 @@ int main() {
 
   // Graceful degradation: with the primary synopsis lost (simulated via
   // its failpoint), QueryResilient walks the ladder instead of erroring:
-  // Congress -> BasicCongress -> House -> exact scan.
+  // Congress -> BasicCongress -> House -> exact scan. Both fallback
+  // synopses were built eagerly when the snapshot was published, so the
+  // walk is const — it reads the pinned snapshot and touches no shared
+  // mutable state, even with concurrent writers.
   AquaEngine engine;
   SynopsisConfig econfig = sconfig;
   econfig.incremental = false;

@@ -1,8 +1,12 @@
 #include "core/aqua.h"
 
+#include <utility>
+
 #include "engine/executor.h"
 #include "obs/metrics.h"
 #include "resilience/failpoint.h"
+#include "resilience/recovery.h"
+#include "resilience/snapshot_io.h"
 #include "sql/emitter.h"
 #include "sql/parser.h"
 
@@ -26,72 +30,150 @@ ApproximateResult WidenBounds(const ApproximateResult& in, double factor) {
   return out;
 }
 
-/// An exact answer wearing the approximate-answer interface: the point
-/// estimates are the truth and every bound is zero-width.
-ApproximateResult FromExact(const QueryResult& exact) {
-  ApproximateResult out;
-  for (const GroupResult& row : exact.rows()) {
-    ApproximateGroupRow approx;
-    approx.key = row.key;
-    approx.estimates = row.aggregates;
-    approx.std_errors.assign(row.aggregates.size(), 0.0);
-    approx.bounds.assign(row.aggregates.size(), 0.0);
-    out.Add(std::move(approx));
+/// Builds one degradation-ladder fallback synopsis from the working
+/// table: the primary's config with the strategy swapped and incremental
+/// maintenance off (fallbacks are frozen, like everything else in a
+/// snapshot). Failure is recorded in the snapshot, not fatal — the
+/// resilient walk reports it as the rung's cause.
+void BuildFallback(const Table& table, const SynopsisConfig& primary,
+                   AllocationStrategy strategy,
+                   std::shared_ptr<const AquaSynopsis>* slot,
+                   Status* slot_status) {
+  SynopsisConfig fallback = primary;
+  fallback.strategy = strategy;
+  fallback.incremental = false;
+  auto built = AquaSynopsis::Build(table, fallback);
+  if (!built.ok()) {
+    *slot = nullptr;
+    *slot_status = built.status();
+    return;
   }
-  return out;
+  *slot = std::make_shared<const AquaSynopsis>(std::move(built).value());
+  *slot_status = Status::OK();
 }
 
 }  // namespace
 
+Status AquaEngine::PublishLocked(const std::string& name,
+                                 MaintenanceState* state) {
+  auto snapshot = std::make_shared<AquaSnapshot>();
+  snapshot->name = name;
+
+  // Freeze the primary synopsis. Incremental relations materialize the
+  // maintainer's current sample (the Congress pre-scaling budget is
+  // rescaled, Section 6); non-incremental relations rebuild from the
+  // working table, which is what registration built in the first place.
+  if (state->maintainer != nullptr) {
+    auto sample = MaterializeSnapshot(state->maintainer.get(),
+                                      state->target_sample_size);
+    if (!sample.ok()) return sample.status();
+    auto synopsis = AquaSynopsis::FromSample(
+        std::move(sample).value(), state->config, state->target_sample_size,
+        state->maintainer->tuples_seen());
+    if (!synopsis.ok()) return synopsis.status();
+    snapshot->synopsis =
+        std::make_shared<const AquaSynopsis>(std::move(synopsis).value());
+  } else {
+    auto synopsis = AquaSynopsis::Build(state->working_table, state->config);
+    if (!synopsis.ok()) return synopsis.status();
+    snapshot->synopsis =
+        std::make_shared<const AquaSynopsis>(std::move(synopsis).value());
+  }
+
+  snapshot->table = std::make_shared<const Table>(state->working_table);
+  snapshot->base_available = !state->restored;
+
+  // Degradation-ladder fallbacks are part of the snapshot, so the
+  // resilient read path never builds (or caches) anything.
+  if (state->restored) {
+    const Status unavailable = Status::FailedPrecondition(
+        "fallback unavailable: snapshot restored without base relation");
+    snapshot->fallback_basic_status = unavailable;
+    snapshot->fallback_house_status = unavailable;
+  } else {
+    const SynopsisConfig& primary = snapshot->synopsis->config();
+    BuildFallback(state->working_table, primary,
+                  AllocationStrategy::kBasicCongress,
+                  &snapshot->fallback_basic,
+                  &snapshot->fallback_basic_status);
+    BuildFallback(state->working_table, primary, AllocationStrategy::kHouse,
+                  &snapshot->fallback_house,
+                  &snapshot->fallback_house_status);
+  }
+
+  return catalog_.Publish(std::move(snapshot));
+}
+
 Status AquaEngine::RegisterTable(const std::string& name, Table table,
                                  const SynopsisConfig& config) {
-  if (tables_.count(name) > 0) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  if (states_.count(name) > 0) {
     return Status::AlreadyExists("table '" + name + "' already registered");
   }
-  auto synopsis = AquaSynopsis::Build(table, config);
-  if (!synopsis.ok()) return synopsis.status();
-  Entry entry{std::move(table), std::make_unique<AquaSynopsis>(
-                                    std::move(synopsis).value())};
-  tables_.emplace(name, std::move(entry));
+
+  MaintenanceState state;
+  state.config = config;
+  if (config.incremental) {
+    auto indices = ResolveGroupingIndices(table.schema(), config);
+    if (!indices.ok()) return indices.status();
+    auto size = ResolveSampleSize(config, table.num_rows());
+    if (!size.ok()) return size.status();
+    state.target_sample_size = *size;
+    state.maintainer = MakeMaintainer(config.strategy, table.schema(),
+                                      *indices, *size, config.seed);
+    std::vector<Value> row;
+    for (size_t r = 0; r < table.num_rows(); ++r) {
+      row.clear();
+      for (size_t c = 0; c < table.num_columns(); ++c) {
+        row.push_back(table.GetValue(r, c));
+      }
+      CONGRESS_RETURN_NOT_OK(state.maintainer->Insert(row));
+    }
+    CONGRESS_METRIC_INCR("synopsis.builds", 1);
+  }
+  state.working_table = std::move(table);
+
+  CONGRESS_RETURN_NOT_OK(PublishLocked(name, &state));
+  states_.emplace(name, std::move(state));
   return Status::OK();
 }
 
 Status AquaEngine::DropTable(const std::string& name) {
-  if (tables_.erase(name) == 0) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  if (states_.erase(name) == 0) {
     return Status::NotFound("table '" + name + "' not registered");
   }
-  return Status::OK();
+  // Pinned readers keep the dropped snapshot alive until they release it.
+  return catalog_.Remove(name);
 }
 
 bool AquaEngine::HasTable(const std::string& name) const {
-  return tables_.count(name) > 0;
+  return catalog_.Current()->Find(name) != nullptr;
 }
 
 std::vector<std::string> AquaEngine::TableNames() const {
-  std::vector<std::string> names;
-  names.reserve(tables_.size());
-  for (const auto& [name, entry] : tables_) names.push_back(name);
-  return names;
+  return catalog_.Current()->Names();
 }
 
-Result<const AquaEngine::Entry*> AquaEngine::Lookup(
+Result<std::shared_ptr<const AquaSnapshot>> AquaEngine::Pin(
     const std::string& name) const {
-  auto it = tables_.find(name);
-  if (it == tables_.end()) {
+  std::shared_ptr<const AquaSnapshot> snapshot = catalog_.Pin(name);
+  if (snapshot == nullptr) {
     return Status::NotFound("table '" + name + "' not registered");
   }
-  return &it->second;
+  return snapshot;
 }
 
-Result<std::pair<const AquaEngine::Entry*, GroupByQuery>> AquaEngine::Route(
-    const std::string& sql) const {
+Result<std::pair<std::shared_ptr<const AquaSnapshot>, GroupByQuery>>
+AquaEngine::Route(const std::string& sql) const {
   auto statement = sql::ParseSelect(sql);
   if (!statement.ok()) return statement.status();
-  auto entry = Lookup(statement->table);
-  if (!entry.ok()) return entry.status();
-  auto query = sql::Bind(*statement, (*entry)->table.schema());
+  auto snapshot = Pin(statement->table);
+  if (!snapshot.ok()) return snapshot.status();
+  auto query = sql::Bind(*statement, (*snapshot)->table->schema());
   if (!query.ok()) return query.status();
-  return std::make_pair(*entry, std::move(query).value());
+  return std::make_pair(std::move(snapshot).value(),
+                        std::move(query).value());
 }
 
 Result<ApproximateResult> AquaEngine::Query(const std::string& sql) const {
@@ -103,7 +185,12 @@ Result<ApproximateResult> AquaEngine::Query(const std::string& sql) const {
 Result<QueryResult> AquaEngine::QueryExact(const std::string& sql) const {
   auto routed = Route(sql);
   if (!routed.ok()) return routed.status();
-  return ExecuteExact(routed->first->table, routed->second);
+  if (!routed->first->base_available) {
+    return Status::FailedPrecondition(
+        "table '" + routed->first->name +
+        "' was restored from a checkpoint; base relation unavailable");
+  }
+  return ExecuteExact(*routed->first->table, routed->second);
 }
 
 Result<QueryResult> AquaEngine::QueryVia(const std::string& sql,
@@ -113,32 +200,44 @@ Result<QueryResult> AquaEngine::QueryVia(const std::string& sql,
   return routed->first->synopsis->AnswerVia(routed->second, strategy);
 }
 
-Result<ResilientAnswer> AquaEngine::QueryResilient(const std::string& sql) {
+Result<ResilientAnswer> AquaEngine::QueryResilient(
+    const std::string& sql) const {
+  return QueryResilientImpl(sql, std::nullopt);
+}
+
+Result<ResilientAnswer> AquaEngine::QueryResilient(
+    const std::string& sql,
+    std::chrono::steady_clock::time_point deadline) const {
+  return QueryResilientImpl(sql, deadline);
+}
+
+Result<ResilientAnswer> AquaEngine::QueryResilientImpl(
+    const std::string& sql,
+    std::optional<std::chrono::steady_clock::time_point> deadline) const {
   // Parse/bind errors are the caller's bug, not a synopsis failure — no
   // ladder for those.
-  auto statement = sql::ParseSelect(sql);
-  if (!statement.ok()) return statement.status();
-  auto it = tables_.find(statement->table);
-  if (it == tables_.end()) {
-    return Status::NotFound("table '" + statement->table + "' not registered");
-  }
-  Entry& entry = it->second;
-  auto bound = sql::Bind(*statement, entry.table.schema());
-  if (!bound.ok()) return bound.status();
-  const GroupByQuery& query = *bound;
+  auto routed = Route(sql);
+  if (!routed.ok()) return routed.status();
+  const std::shared_ptr<const AquaSnapshot>& snapshot = routed->first;
+  const GroupByQuery& query = routed->second;
 
   ResilientAnswer answer;
+  answer.epoch = snapshot->epoch;
   std::string causes;
   auto note = [&causes](const char* rung, const Status& st) {
     if (!causes.empty()) causes += "; ";
     causes += std::string(rung) + ": " + st.ToString();
+  };
+  auto expired = [&deadline]() {
+    return deadline.has_value() &&
+           std::chrono::steady_clock::now() >= *deadline;
   };
 
   // Rung 0: the configured synopsis.
   if (CONGRESS_FAILPOINT_HIT("aqua/primary_answer")) {
     note("primary", resilience::FailpointError("aqua/primary_answer"));
   } else {
-    auto primary = entry.synopsis->Answer(query);
+    auto primary = snapshot->synopsis->Answer(query);
     if (primary.ok()) {
       answer.result = std::move(primary).value();
       return answer;
@@ -146,41 +245,38 @@ Result<ResilientAnswer> AquaEngine::QueryResilient(const std::string& sql) {
     note("primary", primary.status());
   }
 
-  // Rungs 1-2: progressively simpler synopses rebuilt from the retained
-  // base relation, cached after the first degraded query.
+  // Rungs 1-2: the progressively simpler synopses pre-built into the
+  // snapshot at publication time.
   struct Rung {
-    std::unique_ptr<AquaSynopsis>* cache;
-    AllocationStrategy strategy;
+    const std::shared_ptr<const AquaSynopsis>* fallback;
+    const Status* build_status;
     const char* name;
     const char* site;
     DegradationLevel level;
     double widening;
   };
   const Rung rungs[] = {
-      {&entry.fallback_basic, AllocationStrategy::kBasicCongress,
+      {&snapshot->fallback_basic, &snapshot->fallback_basic_status,
        "basic_congress", "aqua/fallback_basic",
        DegradationLevel::kBasicCongress, kBasicCongressWidening},
-      {&entry.fallback_house, AllocationStrategy::kHouse, "house",
+      {&snapshot->fallback_house, &snapshot->fallback_house_status, "house",
        "aqua/fallback_house", DegradationLevel::kHouse, kHouseWidening},
   };
   for (const Rung& rung : rungs) {
+    if (expired()) {
+      return Status::DeadlineExceeded(
+          "resilient query deadline expired before " +
+          std::string(rung.name) + " rung; " + causes);
+    }
     if (CONGRESS_FAILPOINT_HIT(rung.site)) {
       note(rung.name, resilience::FailpointError(rung.site));
       continue;
     }
-    if (*rung.cache == nullptr) {
-      SynopsisConfig fallback = entry.synopsis->config();
-      fallback.strategy = rung.strategy;
-      fallback.incremental = false;
-      auto built = AquaSynopsis::Build(entry.table, fallback);
-      if (!built.ok()) {
-        note(rung.name, built.status());
-        continue;
-      }
-      *rung.cache =
-          std::make_unique<AquaSynopsis>(std::move(built).value());
+    if (*rung.fallback == nullptr) {
+      note(rung.name, *rung.build_status);
+      continue;
     }
-    auto result = (*rung.cache)->Answer(query);
+    auto result = (*rung.fallback)->Answer(query);
     if (!result.ok()) {
       note(rung.name, result.status());
       continue;
@@ -193,17 +289,27 @@ Result<ResilientAnswer> AquaEngine::QueryResilient(const std::string& sql) {
     return answer;
   }
 
-  // Last rung: exact scan of the base relation — slow but always right.
+  // Last rung: exact scan of the snapshot's base relation — slow but
+  // always right.
+  if (expired()) {
+    return Status::DeadlineExceeded(
+        "resilient query deadline expired before exact rung; " + causes);
+  }
   if (CONGRESS_FAILPOINT_HIT("aqua/exact_rebuild")) {
     note("exact", resilience::FailpointError("aqua/exact_rebuild"));
     return Status::Internal("all degradation rungs failed: " + causes);
   }
-  auto exact = ExecuteExact(entry.table, query);
+  if (!snapshot->base_available) {
+    note("exact", Status::FailedPrecondition(
+                      "base relation unavailable after restore"));
+    return Status::Internal("all degradation rungs failed: " + causes);
+  }
+  auto exact = ExecuteExact(*snapshot->table, query);
   if (!exact.ok()) {
     note("exact", exact.status());
     return Status::Internal("all degradation rungs failed: " + causes);
   }
-  answer.result = FromExact(*exact);
+  answer.result = ExactAsApproximate(*exact);
   answer.degradation.level = DegradationLevel::kExactRebuild;
   answer.degradation.bound_widening = 1.0;
   answer.degradation.cause = causes;
@@ -216,49 +322,123 @@ Result<std::string> AquaEngine::ExplainRewrite(const std::string& sql,
                                                RewriteStrategy strategy) const {
   auto statement = sql::ParseSelect(sql);
   if (!statement.ok()) return statement.status();
-  auto entry = Lookup(statement->table);
-  if (!entry.ok()) return entry.status();
-  auto query = sql::Bind(*statement, (*entry)->table.schema());
+  auto snapshot = Pin(statement->table);
+  if (!snapshot.ok()) return snapshot.status();
+  auto query = sql::Bind(*statement, (*snapshot)->table->schema());
   if (!query.ok()) return query.status();
   sql::EmitOptions options;
   options.sample_table = "bs_" + statement->table;
   options.aux_table = "aux_" + statement->table;
   options.with_error_bounds = true;
-  return sql::EmitRewritten(*query, (*entry)->table.schema(), strategy,
+  return sql::EmitRewritten(*query, (*snapshot)->table->schema(), strategy,
                             options);
 }
 
 Status AquaEngine::Insert(const std::string& name,
                           const std::vector<Value>& row) {
-  auto it = tables_.find(name);
-  if (it == tables_.end()) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  auto it = states_.find(name);
+  if (it == states_.end()) {
     return Status::NotFound("table '" + name + "' not registered");
   }
-  // Stream into the synopsis first: it validates the row and requires
-  // incremental maintenance; only then mutate the base relation.
-  CONGRESS_RETURN_NOT_OK(it->second.synopsis->Insert(row));
-  return it->second.table.AppendRow(row);
+  MaintenanceState& state = it->second;
+  if (state.restored) {
+    return Status::FailedPrecondition(
+        "table '" + name +
+        "' was restored from a checkpoint; base relation unavailable");
+  }
+  if (state.maintainer == nullptr) {
+    return Status::FailedPrecondition(
+        "synopsis was not built with incremental maintenance enabled");
+  }
+  // Stream into the maintainer first: it validates the row; only then
+  // mutate the working table, so a rejected insert changes nothing.
+  CONGRESS_RETURN_NOT_OK(state.maintainer->Insert(row));
+  return state.working_table.AppendRow(row);
 }
 
 Status AquaEngine::Refresh(const std::string& name) {
-  auto it = tables_.find(name);
-  if (it == tables_.end()) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  auto it = states_.find(name);
+  if (it == states_.end()) {
     return Status::NotFound("table '" + name + "' not registered");
   }
-  return it->second.synopsis->Refresh();
+  // Non-incremental relations have nothing new to publish; keep the old
+  // no-op contract.
+  if (it->second.maintainer == nullptr) return Status::OK();
+  CONGRESS_METRIC_INCR("synopsis.refreshes", 1);
+  return PublishLocked(name, &it->second);
 }
 
-Result<const AquaSynopsis*> AquaEngine::GetSynopsis(
+Status AquaEngine::Checkpoint(const std::string& name,
+                              const std::string& path) const {
+  auto snapshot = Pin(name);
+  if (!snapshot.ok()) return snapshot.status();
+  const AquaSynopsis& synopsis = *(*snapshot)->synopsis;
+  resilience::SnapshotImage image;
+  image.strategy = static_cast<uint32_t>(synopsis.config().strategy);
+  image.target_size = synopsis.target_size();
+  image.seed = synopsis.config().seed;
+  image.tuples_seen = synopsis.Health().tuples_seen;
+  image.sample = synopsis.sample();
+  CONGRESS_METRIC_INCR("resilience.engine_checkpoints", 1);
+  return resilience::WriteSnapshot(image, path);
+}
+
+Status AquaEngine::RestoreTable(const std::string& name,
+                                const std::string& path,
+                                const SynopsisConfig& config) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  if (states_.count(name) > 0) {
+    return Status::AlreadyExists("table '" + name + "' already registered");
+  }
+  auto recovered = resilience::RecoverSnapshot(path);
+  if (!recovered.ok()) return recovered.status();
+  auto synopsis =
+      AquaSynopsis::Restore(std::move(recovered->image.sample), config,
+                            recovered->image.tuples_seen);
+  if (!synopsis.ok()) return synopsis.status();
+
+  MaintenanceState state;
+  state.config = synopsis->config();
+  state.working_table = Table(synopsis->sample().base_schema());
+  state.target_sample_size = synopsis->target_size();
+  state.restored = true;
+
+  auto snapshot = std::make_shared<AquaSnapshot>();
+  snapshot->name = name;
+  snapshot->table = std::make_shared<const Table>(state.working_table);
+  snapshot->synopsis =
+      std::make_shared<const AquaSynopsis>(std::move(synopsis).value());
+  snapshot->base_available = false;
+  const Status unavailable = Status::FailedPrecondition(
+      "fallback unavailable: snapshot restored without base relation");
+  snapshot->fallback_basic_status = unavailable;
+  snapshot->fallback_house_status = unavailable;
+  CONGRESS_RETURN_NOT_OK(catalog_.Publish(std::move(snapshot)));
+  states_.emplace(name, std::move(state));
+  return Status::OK();
+}
+
+Result<std::shared_ptr<const AquaSnapshot>> AquaEngine::GetSnapshot(
     const std::string& name) const {
-  auto entry = Lookup(name);
-  if (!entry.ok()) return entry.status();
-  return static_cast<const AquaSynopsis*>((*entry)->synopsis.get());
+  return Pin(name);
 }
 
-Result<const Table*> AquaEngine::GetTable(const std::string& name) const {
-  auto entry = Lookup(name);
-  if (!entry.ok()) return entry.status();
-  return &(*entry)->table;
+Result<std::shared_ptr<const AquaSynopsis>> AquaEngine::GetSynopsis(
+    const std::string& name) const {
+  auto snapshot = Pin(name);
+  if (!snapshot.ok()) return snapshot.status();
+  // Aliasing handle: shares the pin's lifetime, points at the synopsis.
+  return std::shared_ptr<const AquaSynopsis>(*snapshot,
+                                             (*snapshot)->synopsis.get());
+}
+
+Result<std::shared_ptr<const Table>> AquaEngine::GetTable(
+    const std::string& name) const {
+  auto snapshot = Pin(name);
+  if (!snapshot.ok()) return snapshot.status();
+  return std::shared_ptr<const Table>(*snapshot, (*snapshot)->table.get());
 }
 
 }  // namespace congress

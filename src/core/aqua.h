@@ -1,11 +1,15 @@
 #ifndef CONGRESS_CORE_AQUA_H_
 #define CONGRESS_CORE_AQUA_H_
 
+#include <chrono>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "core/catalog.h"
 #include "core/degradation.h"
 #include "core/synopsis.h"
 #include "util/status.h"
@@ -19,27 +23,43 @@ namespace congress {
 /// bounds — without touching the base data. The base tables are retained
 /// only so exact answers can be produced for comparison (QueryExact),
 /// mirroring how the paper's experiments score accuracy.
+///
+/// Concurrency model (snapshot lifecycle): every registered relation
+/// lives in the engine twice. The *published* side is an immutable
+/// AquaSnapshot in an RCU-style Catalog — read paths (Query, QueryExact,
+/// QueryVia, QueryResilient, ExplainRewrite, Get*, Checkpoint) pin one
+/// snapshot with a wait-free atomic load and answer from it alone, so
+/// they are const, lock-free, and race-free against any writer. The
+/// *maintenance* side is a writer-private working table + sample
+/// maintainer guarded by one mutex; Insert streams into it, and Refresh
+/// freezes it into the next snapshot and atomically publishes. A query
+/// that pinned a snapshot keeps it alive (and self-consistent) through
+/// concurrent Refresh and even DropTable; reclamation is by reference
+/// count when the last reader releases it.
 class AquaEngine {
  public:
   AquaEngine() = default;
 
-  /// Registers `table` under `name` (ownership transfers) and builds its
-  /// synopsis per `config`. Fails if the name is taken or the build
-  /// fails; the table is not retained on failure.
+  /// Registers `table` under `name` (ownership transfers), builds its
+  /// synopsis and degradation-ladder fallbacks per `config`, and
+  /// publishes the first snapshot. Fails if the name is taken or the
+  /// build fails; nothing is retained on failure.
   Status RegisterTable(const std::string& name, Table table,
                        const SynopsisConfig& config);
 
-  /// Drops a relation and its synopsis.
+  /// Unpublishes a relation and discards its maintenance state. Readers
+  /// that already pinned a snapshot keep it alive until they finish —
+  /// dropping a table never invalidates an in-flight query.
   Status DropTable(const std::string& name);
 
   bool HasTable(const std::string& name) const;
   std::vector<std::string> TableNames() const;
 
-  /// Parses `sql`, routes by FROM, and answers from the synopsis with
-  /// per-group error bounds.
+  /// Parses `sql`, routes by FROM, and answers from the pinned
+  /// snapshot's synopsis with per-group error bounds.
   Result<ApproximateResult> Query(const std::string& sql) const;
 
-  /// Exact answer over the retained base relation.
+  /// Exact answer over the snapshot's retained base relation.
   Result<QueryResult> QueryExact(const std::string& sql) const;
 
   /// Approximate answer through a specific Section 5 physical plan.
@@ -48,52 +68,105 @@ class AquaEngine {
 
   /// Like Query(), but never gives up just because the primary synopsis
   /// cannot answer: walks the degradation ladder Congress (whatever the
-  /// configured synopsis is) → rebuilt BasicCongress → rebuilt House →
-  /// exact scan of the retained base relation. Fallback synopses are
-  /// built on first use from the base table and cached; their error
-  /// bounds are widened to reflect the weaker allocation guarantees, and
-  /// the exact rung reports zero-width bounds. The returned
-  /// DegradationReason says which rung answered and why the rungs above
-  /// it failed; `resilience.degraded_answers` counts non-primary answers.
-  /// Fails only when every rung (including the exact scan) fails, or the
-  /// SQL itself does not parse/bind.
+  /// configured synopsis is) → BasicCongress → House → exact scan of the
+  /// snapshot's base relation. All fallback synopses are built eagerly at
+  /// snapshot publication, so the walk is const and touches no shared
+  /// mutable state; their error bounds are widened to reflect the weaker
+  /// allocation guarantees, and the exact rung reports zero-width bounds.
+  /// The returned DegradationReason says which rung answered and why the
+  /// rungs above it failed; ResilientAnswer::epoch names the snapshot
+  /// generation that served it. `resilience.degraded_answers` counts
+  /// non-primary answers. Fails only when every rung fails, or the SQL
+  /// itself does not parse/bind.
   ///
   /// Failpoint sites, one per rung: "aqua/primary_answer",
   /// "aqua/fallback_basic", "aqua/fallback_house", "aqua/exact_rebuild".
-  Result<ResilientAnswer> QueryResilient(const std::string& sql);
+  Result<ResilientAnswer> QueryResilient(const std::string& sql) const;
+
+  /// Deadline-aware variant for the serving loop: rungs are only
+  /// attempted while `deadline` has not passed, so a query that keeps
+  /// failing downward stops burning time once its budget is gone and
+  /// returns DeadlineExceeded naming the rungs it did try.
+  Result<ResilientAnswer> QueryResilient(
+      const std::string& sql,
+      std::chrono::steady_clock::time_point deadline) const;
 
   /// The rewritten SQL text the strategy would send to the back-end DBMS
   /// (Figures 8-11), with the synopsis relation named "bs_<table>".
   Result<std::string> ExplainRewrite(const std::string& sql,
                                      RewriteStrategy strategy) const;
 
-  /// Streams a newly inserted tuple into both the base relation and its
-  /// (incremental) synopsis. Requires the synopsis to have been built
-  /// with SynopsisConfig::incremental.
+  /// Streams a newly inserted tuple into the relation's maintenance
+  /// state (working table + incremental maintainer). Requires the
+  /// synopsis to have been built with SynopsisConfig::incremental. The
+  /// tuple becomes visible to queries at the next Refresh() — published
+  /// snapshots are immutable, so readers always see a table/synopsis
+  /// pair from the same moment.
   Status Insert(const std::string& name, const std::vector<Value>& row);
 
-  /// Republishes an incrementally maintained synopsis.
+  /// Freezes the maintenance state into a new immutable snapshot
+  /// (synopsis + fallbacks + table copy) and atomically publishes it.
   Status Refresh(const std::string& name);
 
-  Result<const AquaSynopsis*> GetSynopsis(const std::string& name) const;
-  Result<const Table*> GetTable(const std::string& name) const;
+  /// Serializes the *published* snapshot's synopsis to `path` (the
+  /// CGRSNP01 format of resilience/snapshot_io.h). Works from a pinned
+  /// snapshot, so it never takes the writer lock and never blocks
+  /// concurrent Insert/Refresh.
+  Status Checkpoint(const std::string& name, const std::string& path) const;
+
+  /// Recovers a checkpoint image from `path` into a fresh snapshot under
+  /// `name` and publishes it. The base relation is not in the image, so
+  /// the snapshot serves approximate answers only: QueryExact, the exact
+  /// rung, and Insert are unavailable until the relation is re-registered
+  /// from real data.
+  Status RestoreTable(const std::string& name, const std::string& path,
+                      const SynopsisConfig& config);
+
+  /// Pins the published snapshot for `name`: a consistent
+  /// (table, synopsis, fallbacks) view that stays valid however long the
+  /// caller holds it.
+  Result<std::shared_ptr<const AquaSnapshot>> GetSnapshot(
+      const std::string& name) const;
+
+  Result<std::shared_ptr<const AquaSynopsis>> GetSynopsis(
+      const std::string& name) const;
+  Result<std::shared_ptr<const Table>> GetTable(
+      const std::string& name) const;
+
+  /// Current catalog epoch (bumps on every publish/drop).
+  uint64_t epoch() const { return catalog_.epoch(); }
+  /// Live pinned-reader handles (see Catalog::pinned_readers).
+  int64_t pinned_readers() const { return catalog_.pinned_readers(); }
 
  private:
-  struct Entry {
-    Table table;
-    std::unique_ptr<AquaSynopsis> synopsis;
-    /// Degradation-ladder synopses, built lazily on the first fallback
-    /// and kept so repeated degraded queries stay cheap.
-    std::unique_ptr<AquaSynopsis> fallback_basic;
-    std::unique_ptr<AquaSynopsis> fallback_house;
+  /// Writer-private maintenance state for one relation: the working copy
+  /// of the base table plus the live maintainer absorbing inserts. Only
+  /// touched under writer_mu_; readers never see it.
+  struct MaintenanceState {
+    SynopsisConfig config;
+    Table working_table;
+    std::shared_ptr<SampleMaintainer> maintainer;  // Null: non-incremental.
+    uint64_t target_sample_size = 0;
+    bool restored = false;  ///< Base relation unavailable (RestoreTable).
   };
 
-  Result<const Entry*> Lookup(const std::string& name) const;
-  /// Parses and binds `sql` against the named table's schema.
-  Result<std::pair<const Entry*, GroupByQuery>> Route(
+  Result<std::shared_ptr<const AquaSnapshot>> Pin(
+      const std::string& name) const;
+  /// Parses and binds `sql` against the pinned snapshot's schema.
+  Result<std::pair<std::shared_ptr<const AquaSnapshot>, GroupByQuery>> Route(
       const std::string& sql) const;
+  /// Builds the next snapshot from `state` and publishes it. Caller
+  /// holds writer_mu_.
+  Status PublishLocked(const std::string& name, MaintenanceState* state);
+  Result<ResilientAnswer> QueryResilientImpl(
+      const std::string& sql,
+      std::optional<std::chrono::steady_clock::time_point> deadline) const;
 
-  std::unordered_map<std::string, Entry> tables_;
+  /// Serializes writers (Register/Drop/Insert/Refresh/Restore) against
+  /// each other; never held on a read path.
+  mutable std::mutex writer_mu_;
+  std::unordered_map<std::string, MaintenanceState> states_;
+  Catalog catalog_;
 };
 
 }  // namespace congress

@@ -1,0 +1,136 @@
+#ifndef CONGRESS_CORE_CATALOG_H_
+#define CONGRESS_CORE_CATALOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/synopsis.h"
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace congress {
+
+/// One immutable, published view of a registered relation: the retained
+/// base table, the frozen synopsis that answers for it, and the
+/// pre-built degradation-ladder fallbacks. Nothing in an AquaSnapshot is
+/// ever mutated after publication — maintenance builds the *next*
+/// snapshot off to the side and swaps it in — so any number of reader
+/// threads can answer queries from one snapshot without coordination,
+/// and a query that pinned a snapshot keeps a self-consistent
+/// (table, synopsis, fallbacks) quadruple for its whole lifetime even
+/// while newer snapshots are published or the relation is dropped.
+struct AquaSnapshot {
+  std::string name;
+
+  /// The catalog epoch at which this snapshot was published (assigned by
+  /// Catalog::Publish; 0 means "never published"). Strictly increasing
+  /// per catalog, so an epoch identifies one snapshot generation.
+  uint64_t epoch = 0;
+
+  /// The base relation as of this snapshot. Always non-null; restored
+  /// snapshots (recovered from a checkpoint without the base data)
+  /// carry an empty table of the right schema and base_available=false.
+  std::shared_ptr<const Table> table;
+
+  /// The primary synopsis. Always non-null for a published snapshot.
+  std::shared_ptr<const AquaSynopsis> synopsis;
+
+  /// Degradation-ladder synopses, built eagerly at snapshot construction
+  /// so the resilient read path never mutates shared state. Null when
+  /// the build failed; the Status then records why, so QueryResilient
+  /// can report the rung's failure cause.
+  std::shared_ptr<const AquaSynopsis> fallback_basic;
+  std::shared_ptr<const AquaSynopsis> fallback_house;
+  Status fallback_basic_status;
+  Status fallback_house_status;
+
+  /// False when the base relation is not actually populated (snapshot
+  /// restored from a checkpoint image): the exact rung and QueryExact
+  /// cannot be served from it.
+  bool base_available = true;
+};
+
+/// An immutable generation of the whole catalog: a name → snapshot map
+/// frozen at one epoch. Readers hold a CatalogVersion (via shared_ptr)
+/// and see a point-in-time view of every registered relation.
+class CatalogVersion {
+ public:
+  uint64_t epoch() const { return epoch_; }
+
+  /// The snapshot for `name`, or nullptr if not registered in this
+  /// generation.
+  std::shared_ptr<const AquaSnapshot> Find(const std::string& name) const;
+
+  /// Registered names, sorted.
+  std::vector<std::string> Names() const;
+  size_t size() const { return snapshots_.size(); }
+
+ private:
+  friend class Catalog;
+  uint64_t epoch_ = 0;
+  std::map<std::string, std::shared_ptr<const AquaSnapshot>> snapshots_;
+};
+
+/// RCU-style publication point for AquaSnapshots. Readers acquire the
+/// current CatalogVersion with one atomic shared_ptr load — wait-free,
+/// never blocked by writers. Writers (register / refresh / drop) copy
+/// the current version, splice in the new snapshot, and atomically swap
+/// the pointer under a light mutex that only serializes writers against
+/// each other. Old versions and their snapshots are reclaimed by
+/// shared_ptr reference counting when the last reader releases them —
+/// epoch-based reclamation with the count standing in for the grace
+/// period, which is exactly right at this scale.
+///
+/// Obs: `catalog.epoch` (gauge, current generation),
+/// `catalog.published_snapshots` (counter), `catalog.pinned_readers`
+/// (gauge, live Pin() handles), `catalog.swap_latency` (histogram over
+/// the writer's copy-and-swap section — the region a stop-the-world
+/// design would make readers wait out).
+class Catalog {
+ public:
+  Catalog();
+
+  /// Current generation; one atomic load, never blocks.
+  std::shared_ptr<const CatalogVersion> Current() const {
+    return current_.load(std::memory_order_acquire);
+  }
+
+  /// Pins the named snapshot for a reader: the returned handle keeps the
+  /// snapshot alive past any Publish/Remove and counts into
+  /// `pinned_readers()` until released. nullptr if not registered.
+  std::shared_ptr<const AquaSnapshot> Pin(const std::string& name) const;
+
+  /// Publishes `snapshot` as the new generation's entry for its name
+  /// (insert or replace), assigning it the next epoch.
+  Status Publish(std::shared_ptr<AquaSnapshot> snapshot);
+
+  /// Removes `name` from the next generation. Already-pinned snapshots
+  /// stay alive until their readers release them.
+  Status Remove(const std::string& name);
+
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  /// Number of live Pin() handles (testable even when obs is compiled
+  /// out).
+  int64_t pinned_readers() const {
+    return pinned_->load(std::memory_order_acquire);
+  }
+
+ private:
+  /// Serializes writers; readers never touch it.
+  std::mutex writer_mu_;
+  std::atomic<std::shared_ptr<const CatalogVersion>> current_;
+  std::atomic<uint64_t> epoch_{0};
+  /// Shared with Pin() handles so a handle released after the catalog is
+  /// destroyed still has a live counter to decrement.
+  std::shared_ptr<std::atomic<int64_t>> pinned_;
+};
+
+}  // namespace congress
+
+#endif  // CONGRESS_CORE_CATALOG_H_

@@ -18,6 +18,19 @@ const char* DegradationLevelToString(DegradationLevel level) {
   return "unknown";
 }
 
+ApproximateResult ExactAsApproximate(const QueryResult& exact) {
+  ApproximateResult out;
+  for (const GroupResult& row : exact.rows()) {
+    ApproximateGroupRow approx;
+    approx.key = row.key;
+    approx.estimates = row.aggregates;
+    approx.std_errors.assign(row.aggregates.size(), 0.0);
+    approx.bounds.assign(row.aggregates.size(), 0.0);
+    out.Add(std::move(approx));
+  }
+  return out;
+}
+
 std::string DegradationReason::ToString() const {
   if (!degraded()) return "none";
   std::ostringstream out;

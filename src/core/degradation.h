@@ -43,10 +43,19 @@ struct DegradationReason {
   std::string ToString() const;
 };
 
+/// An exact answer wearing the approximate-answer interface: the point
+/// estimates are the truth and every bound is zero-width. Used by the
+/// ladder's exact rung and the serving front-end's exact mode.
+ApproximateResult ExactAsApproximate(const QueryResult& exact);
+
 /// An approximate answer plus the story of how it was produced.
 struct ResilientAnswer {
   ApproximateResult result;
   DegradationReason degradation;
+  /// Catalog epoch of the snapshot that served the answer (0 when the
+  /// engine predates publication, e.g. in unit scaffolding). Lets a
+  /// caller match the answer to one published snapshot generation.
+  uint64_t epoch = 0;
 };
 
 }  // namespace congress

@@ -8,56 +8,54 @@
 
 namespace congress {
 
-Result<AquaSynopsis> AquaSynopsis::Build(const Table& base,
-                                         const SynopsisConfig& config) {
+Result<std::vector<size_t>> ResolveGroupingIndices(
+    const Schema& schema, const SynopsisConfig& config) {
   if (config.grouping_columns.empty()) {
     return Status::InvalidArgument("no grouping columns configured");
   }
   std::vector<size_t> indices;
   for (const std::string& name : config.grouping_columns) {
-    auto idx = base.schema().FieldIndex(name);
+    auto idx = schema.FieldIndex(name);
     if (!idx.ok()) return idx.status();
     indices.push_back(*idx);
   }
+  return indices;
+}
+
+Result<uint64_t> ResolveSampleSize(const SynopsisConfig& config,
+                                   uint64_t num_rows) {
   uint64_t sample_size = config.sample_size;
   if (sample_size == 0) {
     if (config.sample_fraction <= 0.0 || config.sample_fraction > 1.0) {
       return Status::InvalidArgument("sample_fraction must be in (0, 1]");
     }
-    sample_size = static_cast<uint64_t>(
-        std::llround(config.sample_fraction *
-                     static_cast<double>(base.num_rows())));
+    sample_size = static_cast<uint64_t>(std::llround(
+        config.sample_fraction * static_cast<double>(num_rows)));
   }
   if (sample_size == 0) {
     return Status::InvalidArgument("sample size rounds to zero");
   }
+  return sample_size;
+}
+
+Result<AquaSynopsis> AquaSynopsis::Build(const Table& base,
+                                         const SynopsisConfig& config) {
+  auto indices = ResolveGroupingIndices(base.schema(), config);
+  if (!indices.ok()) return indices.status();
+  auto size = ResolveSampleSize(config, base.num_rows());
+  if (!size.ok()) return size.status();
+  const uint64_t sample_size = *size;
 
   AquaSynopsis synopsis;
   synopsis.config_ = config;
-  synopsis.grouping_indices_ = indices;
+  synopsis.grouping_indices_ = *indices;
   synopsis.target_sample_size_ = sample_size;
 
   CONGRESS_METRIC_INCR("synopsis.builds", 1);
   CONGRESS_SPAN(build_span, config.execution.scope, "synopsis_build");
   if (config.incremental) {
-    switch (config.strategy) {
-      case AllocationStrategy::kHouse:
-        synopsis.maintainer_ = MakeHouseMaintainer(base.schema(), indices,
-                                                   sample_size, config.seed);
-        break;
-      case AllocationStrategy::kSenate:
-        synopsis.maintainer_ = MakeSenateMaintainer(base.schema(), indices,
-                                                    sample_size, config.seed);
-        break;
-      case AllocationStrategy::kBasicCongress:
-        synopsis.maintainer_ = MakeBasicCongressMaintainer(
-            base.schema(), indices, sample_size, config.seed);
-        break;
-      case AllocationStrategy::kCongress:
-        synopsis.maintainer_ = MakeCongressMaintainer(
-            base.schema(), indices, sample_size, config.seed);
-        break;
-    }
+    synopsis.maintainer_ = MakeMaintainer(config.strategy, base.schema(),
+                                          *indices, sample_size, config.seed);
     CONGRESS_SPAN(maintain_span, build_span.scope(), "maintenance");
     std::vector<Value> row;
     for (size_t r = 0; r < base.num_rows(); ++r) {
@@ -71,7 +69,7 @@ Result<AquaSynopsis> AquaSynopsis::Build(const Table& base,
     CONGRESS_RETURN_NOT_OK(synopsis.Refresh());
   } else {
     Random rng(config.seed);
-    auto sample = BuildSample(base, indices, config.strategy,
+    auto sample = BuildSample(base, *indices, config.strategy,
                               static_cast<double>(sample_size), &rng,
                               config.execution.WithScope(build_span.scope()));
     if (!sample.ok()) return sample.status();
@@ -110,6 +108,34 @@ Result<AquaSynopsis> AquaSynopsis::Restore(StratifiedSample sample,
   synopsis.restored_ = true;
   synopsis.restored_tuples_seen_ = tuples_seen;
   CONGRESS_METRIC_INCR("synopsis.restores", 1);
+  return synopsis;
+}
+
+Result<AquaSynopsis> AquaSynopsis::FromSample(StratifiedSample sample,
+                                              const SynopsisConfig& config,
+                                              uint64_t target_sample_size,
+                                              uint64_t tuples_seen) {
+  AquaSynopsis synopsis;
+  synopsis.config_ = config;
+  // The sample is authoritative for grouping structure, exactly as in
+  // Restore(): keep config() consistent with what the sample declares.
+  synopsis.grouping_indices_ = sample.grouping_columns();
+  synopsis.config_.grouping_columns.clear();
+  for (size_t c : synopsis.grouping_indices_) {
+    if (c >= sample.base_schema().num_fields()) {
+      return Status::InvalidArgument("sample grouping column " +
+                                     std::to_string(c) + " out of range");
+    }
+    synopsis.config_.grouping_columns.push_back(
+        sample.base_schema().field(c).name);
+  }
+  synopsis.target_sample_size_ = target_sample_size;
+  synopsis.sample_ = std::move(sample);
+  synopsis.rewriter_ = std::make_shared<Rewriter>(synopsis.sample_);
+  // No maintainer: the frozen synopsis never mutates, so it is safe to
+  // share across reader threads. The stream position is carried over for
+  // Health() and checkpointing.
+  synopsis.restored_tuples_seen_ = tuples_seen;
   return synopsis;
 }
 
@@ -169,13 +195,8 @@ Status AquaSynopsis::Refresh() {
   if (maintainer_ == nullptr) return Status::OK();
   CONGRESS_METRIC_INCR("synopsis.refreshes", 1);
   CONGRESS_SPAN(refresh_span, config_.execution.scope, "synopsis_refresh");
-  // The Eq.-8 Congress maintainer floats above its pre-scaling budget Y;
-  // rescale its snapshot to the configured space (Section 6's one-pass
-  // construction finisher). Other maintainers already target X.
-  auto* congress = dynamic_cast<CongressMaintainer*>(maintainer_.get());
-  auto snapshot = congress != nullptr
-                      ? congress->SnapshotScaledTo(target_sample_size_)
-                      : maintainer_->Snapshot();
+  auto snapshot = MaterializeSnapshot(maintainer_.get(),
+                                      target_sample_size_);
   if (!snapshot.ok()) return snapshot.status();
   sample_ = std::move(snapshot).value();
   rewriter_ = std::make_shared<Rewriter>(sample_);

@@ -52,6 +52,17 @@ struct SynopsisConfig {
   ExecutorOptions execution;
 };
 
+/// Resolves config.grouping_columns against `schema` to column indices.
+/// Shared by the synopsis build paths and AquaEngine's register path.
+Result<std::vector<size_t>> ResolveGroupingIndices(
+    const Schema& schema, const SynopsisConfig& config);
+
+/// Resolves the target sample size from config.sample_size /
+/// config.sample_fraction for a relation of `num_rows` rows; errors on
+/// infeasible fractions and sizes that round to zero.
+Result<uint64_t> ResolveSampleSize(const SynopsisConfig& config,
+                                   uint64_t num_rows);
+
 /// A synopsis's vital signs, for health endpoints and the degradation
 /// ladder's decision making.
 struct SynopsisHealth {
@@ -83,6 +94,19 @@ class AquaSynopsis {
                                       const SynopsisConfig& config,
                                       uint64_t tuples_seen);
 
+  /// Freezes a maintainer-produced sample into a fully immutable,
+  /// query-only synopsis: the rewrite materializations are built once and
+  /// the result holds no maintainer, so concurrent readers can share it
+  /// without synchronization. This is the publish step of the snapshot
+  /// lifecycle — the engine streams inserts into an off-to-the-side
+  /// maintainer and calls FromSample to mint the next published synopsis.
+  /// `tuples_seen` records the maintainer's stream position at the
+  /// freeze. Insert() on the result is rejected.
+  static Result<AquaSynopsis> FromSample(StratifiedSample sample,
+                                         const SynopsisConfig& config,
+                                         uint64_t target_sample_size,
+                                         uint64_t tuples_seen);
+
   /// Approximate answer with per-group error bounds, computed from the
   /// stratified estimators (Section 5.1).
   Result<ApproximateResult> Answer(const GroupByQuery& query) const;
@@ -109,6 +133,8 @@ class AquaSynopsis {
   }
 
   bool restored_from_snapshot() const { return restored_; }
+  /// The configured sample-size target X resolved at build time.
+  uint64_t target_size() const { return target_sample_size_; }
   SynopsisHealth Health() const;
 
  private:

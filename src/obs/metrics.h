@@ -151,6 +151,7 @@ class MetricsRegistry {
 #define CONGRESS_METRIC_INCR(name, delta) ((void)0)
 #define CONGRESS_METRIC_INCR_DYN(name, delta) ((void)0)
 #define CONGRESS_METRIC_SET(name, value) ((void)0)
+#define CONGRESS_METRIC_RECORD_NANOS(name, nanos) ((void)0)
 #else
 #define CONGRESS_METRIC_INCR(name, delta)                                   \
   do {                                                                      \
@@ -166,6 +167,12 @@ class MetricsRegistry {
     static ::congress::obs::Gauge& congress_metric_gauge =                  \
         ::congress::obs::MetricsRegistry::Global().GetGauge(name);          \
     congress_metric_gauge.Set(value);                                       \
+  } while (0)
+#define CONGRESS_METRIC_RECORD_NANOS(name, nanos)                           \
+  do {                                                                      \
+    static ::congress::obs::LatencyHistogram& congress_metric_histogram =   \
+        ::congress::obs::MetricsRegistry::Global().GetHistogram(name);      \
+    congress_metric_histogram.Record(nanos);                                \
   } while (0)
 #endif
 

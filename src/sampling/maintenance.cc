@@ -649,43 +649,49 @@ std::unique_ptr<SampleMaintainer> MakeCongressTargetMaintainer(
       std::move(base_schema), std::move(grouping_columns), y, seed);
 }
 
+std::unique_ptr<SampleMaintainer> MakeMaintainer(
+    AllocationStrategy strategy, Schema base_schema,
+    std::vector<size_t> grouping_columns, uint64_t x, uint64_t seed) {
+  switch (strategy) {
+    case AllocationStrategy::kHouse:
+      return MakeHouseMaintainer(std::move(base_schema),
+                                 std::move(grouping_columns), x, seed);
+    case AllocationStrategy::kSenate:
+      return MakeSenateMaintainer(std::move(base_schema),
+                                  std::move(grouping_columns), x, seed);
+    case AllocationStrategy::kBasicCongress:
+      return MakeBasicCongressMaintainer(std::move(base_schema),
+                                         std::move(grouping_columns), x,
+                                         seed);
+    case AllocationStrategy::kCongress:
+      return MakeCongressMaintainer(std::move(base_schema),
+                                    std::move(grouping_columns), x, seed);
+  }
+  return nullptr;
+}
+
+Result<StratifiedSample> MaterializeSnapshot(SampleMaintainer* maintainer,
+                                             uint64_t target_sample_size) {
+  auto* congress = dynamic_cast<CongressMaintainer*>(maintainer);
+  return congress != nullptr ? congress->SnapshotScaledTo(target_sample_size)
+                             : maintainer->Snapshot();
+}
+
 Result<StratifiedSample> BuildSampleOnePass(
     const Table& table, const std::vector<size_t>& grouping_columns,
     AllocationStrategy strategy, uint64_t sample_size, uint64_t seed) {
-  std::unique_ptr<SampleMaintainer> maintainer;
-  std::unique_ptr<CongressMaintainer> congress;
-  switch (strategy) {
-    case AllocationStrategy::kHouse:
-      maintainer = MakeHouseMaintainer(table.schema(), grouping_columns,
-                                       sample_size, seed);
-      break;
-    case AllocationStrategy::kSenate:
-      maintainer = MakeSenateMaintainer(table.schema(), grouping_columns,
-                                        sample_size, seed);
-      break;
-    case AllocationStrategy::kBasicCongress:
-      maintainer = MakeBasicCongressMaintainer(
-          table.schema(), grouping_columns, sample_size, seed);
-      break;
-    case AllocationStrategy::kCongress:
-      congress = std::make_unique<CongressMaintainer>(
-          table.schema(), grouping_columns, sample_size, seed);
-      break;
-  }
-  SampleMaintainer* target =
-      congress != nullptr ? congress.get() : maintainer.get();
+  std::unique_ptr<SampleMaintainer> maintainer =
+      MakeMaintainer(strategy, table.schema(), grouping_columns, sample_size,
+                     seed);
   std::vector<Value> row;
   for (size_t r = 0; r < table.num_rows(); ++r) {
     row.clear();
     for (size_t c = 0; c < table.num_columns(); ++c) {
       row.push_back(table.GetValue(r, c));
     }
-    CONGRESS_RETURN_NOT_OK(target->Insert(row));
+    CONGRESS_RETURN_NOT_OK(maintainer->Insert(row));
   }
-  if (congress != nullptr) {
-    return congress->SnapshotScaledTo(sample_size);
-  }
-  return maintainer->Snapshot();
+  return MaterializeSnapshot(maintainer.get(), sample_size);
 }
 
 }  // namespace congress

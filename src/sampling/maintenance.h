@@ -103,6 +103,21 @@ std::unique_ptr<SampleMaintainer> MakeCongressTargetMaintainer(
     Schema base_schema, std::vector<size_t> grouping_columns, uint64_t y,
     uint64_t seed);
 
+/// Strategy-dispatched maintainer factory: the one switch over
+/// AllocationStrategy that every one-pass construction site shares
+/// (synopsis builds, BuildSampleOnePass, the engine's register path).
+std::unique_ptr<SampleMaintainer> MakeMaintainer(
+    AllocationStrategy strategy, Schema base_schema,
+    std::vector<size_t> grouping_columns, uint64_t x, uint64_t seed);
+
+/// Materializes a maintainer's current sample the way a publisher should:
+/// the Eq.-8 Congress maintainer floats above its pre-scaling budget Y
+/// and is rescaled to `target_sample_size` (Section 6's one-pass
+/// construction finisher); every other maintainer already targets X and
+/// snapshots directly.
+Result<StratifiedSample> MaterializeSnapshot(SampleMaintainer* maintainer,
+                                             uint64_t target_sample_size);
+
 /// Streams every row of `table` through a fresh maintainer for
 /// `strategy` and snapshots — one-pass construction without a data cube.
 /// For Congress the result is rescaled to expected size `sample_size`;

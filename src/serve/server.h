@@ -1,0 +1,168 @@
+#ifndef CONGRESS_SERVE_SERVER_H_
+#define CONGRESS_SERVE_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/aqua.h"
+#include "util/status.h"
+
+namespace congress::serve {
+
+/// Knobs for the serving loop.
+struct ServeOptions {
+  /// Worker threads draining the request queue.
+  size_t num_threads = 4;
+
+  /// Admission control: requests queued beyond this depth are rejected
+  /// immediately with ResourceExhausted instead of piling up latency.
+  size_t max_queue_depth = 64;
+
+  /// Open sessions beyond this are refused.
+  size_t max_sessions = 256;
+
+  /// Per-request deadline applied when the request does not carry its
+  /// own; zero means unlimited.
+  std::chrono::milliseconds default_deadline{0};
+};
+
+/// How a request wants its answer produced.
+enum class QueryMode {
+  kApproximate = 0,  ///< Synopsis answer with error bounds (Query).
+  kResilient = 1,    ///< Degradation ladder, deadline-aware (QueryResilient).
+  kExact = 2,        ///< Exact scan of the snapshot's base relation.
+};
+
+struct Request {
+  std::string sql;
+  QueryMode mode = QueryMode::kApproximate;
+  /// Deadline budget for this request; zero uses the server default.
+  /// The budget starts at Submit() — queueing time counts against it —
+  /// and in kResilient mode the remaining budget is threaded into the
+  /// degradation ladder.
+  std::chrono::milliseconds deadline{0};
+};
+
+struct Response {
+  Status status;
+  /// The answer (exact answers arrive with zero-width bounds). Valid
+  /// only when status.ok().
+  ApproximateResult result;
+  /// Which ladder rung answered (kResilient mode; kNone otherwise).
+  DegradationReason degradation;
+  /// Catalog epoch of the snapshot that served the answer (kResilient
+  /// mode; 0 otherwise).
+  uint64_t epoch = 0;
+  double queue_seconds = 0.0;  ///< Time spent waiting for a worker.
+  double exec_seconds = 0.0;   ///< Time spent executing.
+};
+
+/// Per-session accounting.
+struct SessionStats {
+  uint64_t submitted = 0;
+  uint64_t completed = 0;
+  uint64_t rejected = 0;
+};
+
+struct ServerStats {
+  uint64_t accepted = 0;
+  uint64_t rejected = 0;
+  uint64_t completed = 0;
+  uint64_t deadline_expired = 0;
+  size_t sessions_active = 0;
+  size_t queue_depth = 0;
+};
+
+/// A minimal concurrent serving front-end over a (const) AquaEngine: a
+/// bounded thread pool drains a request queue; sessions provide
+/// admission scoping and accounting; per-query deadlines feed the
+/// degradation ladder. The server only ever uses the engine's const read
+/// paths — every answer comes from one pinned snapshot — so it can run
+/// concurrently with a writer thread doing Insert/Refresh on the same
+/// engine.
+///
+/// Lifecycle: construct → Start() → OpenSession()/Submit()/CloseSession()
+/// from any threads → Stop() (drains: queued requests fail Unavailable).
+/// Submit() before Start() queues (nothing executes yet); this is how
+/// tests exercise admission control deterministically.
+///
+/// Obs: `serve.sessions_active` (gauge), `serve.admission_rejected`,
+/// `serve.requests`, `serve.deadline_expired` (counters), and
+/// `serve.request_latency` (histogram over submit→response). All
+/// compiled out under CONGRESS_DISABLE_OBS.
+class AquaServer {
+ public:
+  AquaServer(const AquaEngine* engine, ServeOptions options);
+  ~AquaServer();
+
+  AquaServer(const AquaServer&) = delete;
+  AquaServer& operator=(const AquaServer&) = delete;
+
+  /// Spawns the worker pool. Fails if already started.
+  Status Start();
+
+  /// Stops the workers and fails every still-queued request with
+  /// Unavailable. Idempotent.
+  void Stop();
+
+  /// Opens a session; fails with ResourceExhausted at max_sessions.
+  Result<uint64_t> OpenSession();
+
+  /// Closes a session. In-flight requests finish normally; new Submits
+  /// on the id are rejected.
+  Status CloseSession(uint64_t session);
+
+  /// Enqueues a request. The future always completes — with the answer,
+  /// or with a Response whose status explains the rejection
+  /// (ResourceExhausted on a full queue, InvalidArgument on an unknown
+  /// session, DeadlineExceeded if the deadline passed while queued,
+  /// Unavailable if the server stopped first).
+  std::future<Response> Submit(uint64_t session, Request request);
+
+  ServerStats stats() const;
+  Result<SessionStats> session_stats(uint64_t session) const;
+
+ private:
+  struct Pending {
+    uint64_t session = 0;
+    Request request;
+    std::promise<Response> promise;
+    std::chrono::steady_clock::time_point enqueued;
+    std::chrono::steady_clock::time_point deadline;
+    bool has_deadline = false;
+  };
+
+  void WorkerLoop();
+  Response Execute(const Pending& pending) const;
+
+  const AquaEngine* engine_;
+  const ServeOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Pending> queue_;
+  std::unordered_map<uint64_t, SessionStats> sessions_;
+  uint64_t next_session_ = 1;
+  bool started_ = false;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+
+  // Aggregate counters (relaxed; read via stats()).
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> deadline_expired_{0};
+};
+
+}  // namespace congress::serve
+
+#endif  // CONGRESS_SERVE_SERVER_H_

@@ -106,6 +106,19 @@ std::vector<PropConfig> BuildDefaultConfigs() {
   }
   {
     PropConfig c;
+    c.name = "concurrent";
+    c.description =
+        "reader threads vs a publishing writer on one engine: every answer "
+        "bit-identical to a published snapshot, epochs monotonic";
+    c.spec.num_rows = 2000;
+    c.spec.num_grouping_columns = 2;
+    c.spec.values_per_column = 3;
+    c.spec.group_skew_z = 1.0;
+    c.concurrent = true;
+    configs.push_back(c);
+  }
+  {
+    PropConfig c;
     c.name = "lineitem";
     c.description = "TPC-D lineitem generator, 27 groups";
     c.use_lineitem = true;
@@ -171,6 +184,17 @@ Status RunOracles(const PropConfig& config, uint64_t seed,
   const Table& table = data->table;
   const double x = std::max(
       1.0, config.sample_fraction * static_cast<double>(table.num_rows()));
+
+  if (config.concurrent) {
+    for (AllocationStrategy strategy : kStrategies) {
+      const std::string name = AllocationStrategyToString(strategy);
+      Status st = CheckConcurrentSnapshotConsistency(
+          table, data->grouping_columns, strategy, static_cast<uint64_t>(x),
+          seed);
+      if (!st.ok()) return fail("concurrent-snapshot-consistency", name, st);
+    }
+    return Status::OK();
+  }
 
   if (config.crash_recovery) {
     for (AllocationStrategy strategy : kStrategies) {

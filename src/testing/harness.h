@@ -34,6 +34,12 @@ struct PropConfig {
   /// → compare against an uninterrupted run) instead of the query
   /// oracles. All four allocation strategies are exercised.
   bool crash_recovery = false;
+
+  /// Run the concurrent snapshot-consistency oracle (reader threads vs a
+  /// publishing writer on one AquaEngine) instead of the query oracles.
+  /// All four allocation strategies are exercised; run it under TSan to
+  /// prove the catalog's reader path race-free.
+  bool concurrent = false;
 };
 
 /// The built-in regimes: uniform, Zipf-skewed, null-heavy, singleton-rich,

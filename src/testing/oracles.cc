@@ -1,9 +1,12 @@
 #include "testing/oracles.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -11,6 +14,7 @@
 
 #include <cstdio>
 
+#include "core/aqua.h"
 #include "core/estimator.h"
 #include "core/rewriter.h"
 #include "engine/executor.h"
@@ -958,6 +962,196 @@ Status CheckCorruptedSnapshotSalvage(const Table& table,
       static_cast<char>(0xFF);
   if (res::RecoverSnapshotFromBytes(meta_bad).ok()) {
     return Status::Internal(name + ": META corruption went undetected");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Bit-for-bit equality of two approximate answers — keys, estimates,
+/// standard errors, bounds, and support. Snapshot immutability means a
+/// reader's answer must reproduce exactly from the snapshot it pinned.
+Status CompareApproximateBitwise(const ApproximateResult& observed,
+                                 const ApproximateResult& expected,
+                                 const std::string& label) {
+  if (observed.num_groups() != expected.num_groups()) {
+    return Status::Internal(label + ": group count " +
+                            std::to_string(observed.num_groups()) + " vs " +
+                            std::to_string(expected.num_groups()));
+  }
+  for (const ApproximateGroupRow& row : observed.rows()) {
+    const ApproximateGroupRow* ref = expected.Find(row.key);
+    if (ref == nullptr) {
+      return Status::Internal(label + ": group " + GroupKeyToString(row.key) +
+                              " absent from the serial recompute");
+    }
+    if (row.estimates != ref->estimates || row.std_errors != ref->std_errors ||
+        row.bounds != ref->bounds || row.support != ref->support) {
+      return Status::Internal(label + ": group " + GroupKeyToString(row.key) +
+                              " differs from the serial recompute");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status CheckConcurrentSnapshotConsistency(const Table& table,
+                                          const std::vector<size_t>& grouping,
+                                          AllocationStrategy strategy,
+                                          uint64_t sample_size,
+                                          uint64_t seed) {
+  const Schema& schema = table.schema();
+
+  // SELECT g..., SUM(first numeric non-grouping column), COUNT(*).
+  std::string numeric;
+  for (size_t c = 0; c < schema.num_fields(); ++c) {
+    const Field& field = schema.field(c);
+    const bool is_grouping =
+        std::find(grouping.begin(), grouping.end(), c) != grouping.end();
+    if (!is_grouping && field.type != DataType::kString) {
+      numeric = field.name;
+      break;
+    }
+  }
+  std::string sql = "SELECT ";
+  SynopsisConfig config;
+  config.strategy = strategy;
+  config.sample_size = sample_size;
+  config.incremental = true;
+  config.seed = seed;
+  for (size_t c : grouping) {
+    sql += schema.field(c).name + ", ";
+    config.grouping_columns.push_back(schema.field(c).name);
+  }
+  if (!numeric.empty()) sql += "SUM(" + numeric + "), ";
+  sql += "COUNT(*) FROM t GROUP BY " + config.grouping_columns[0];
+  for (size_t g = 1; g < config.grouping_columns.size(); ++g) {
+    sql += ", " + config.grouping_columns[g];
+  }
+
+  AquaEngine engine;
+  CONGRESS_RETURN_NOT_OK(engine.RegisterTable("t", table, config));
+
+  // Every published snapshot, pinned so it outlives later publishes; the
+  // serial recompute below replays each reader answer against these.
+  std::vector<std::shared_ptr<const AquaSnapshot>> published;
+  {
+    auto initial = engine.GetSnapshot("t");
+    CONGRESS_RETURN_NOT_OK(initial.status());
+    published.push_back(*initial);
+  }
+
+  constexpr size_t kReaders = 3;
+  constexpr size_t kRounds = 6;
+  constexpr size_t kBatch = 25;
+  const std::string checkpoint_path =
+      "/tmp/congress_concurrent_" +
+      std::to_string(static_cast<long>(::getpid())) + ".snap";
+  struct PathCleanup {
+    const std::string& p;
+    ~PathCleanup() { std::remove(p.c_str()); }
+  } cleanup{checkpoint_path};
+
+  struct Observation {
+    uint64_t epoch;
+    ApproximateResult result;
+  };
+  std::vector<std::vector<Observation>> observations(kReaders);
+  std::vector<Status> reader_status(kReaders, Status::OK());
+  std::atomic<bool> done{false};
+  Status writer_status = Status::OK();
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (size_t r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      uint64_t last_epoch = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        auto answer = engine.QueryResilient(sql);
+        if (!answer.ok()) {
+          reader_status[r] = answer.status();
+          return;
+        }
+        if (answer->degradation.level != DegradationLevel::kNone) {
+          reader_status[r] = Status::Internal(
+              "reader saw a degraded answer with a healthy snapshot: " +
+              answer->degradation.cause);
+          return;
+        }
+        if (answer->epoch < last_epoch) {
+          reader_status[r] = Status::Internal(
+              "epoch went backwards: " + std::to_string(answer->epoch) +
+              " after " + std::to_string(last_epoch));
+          return;
+        }
+        last_epoch = answer->epoch;
+        observations[r].push_back(
+            {answer->epoch, std::move(answer->result)});
+      }
+    });
+  }
+
+  // Writer: insert a batch (recycling existing rows keeps the schema
+  // trivially valid), publish via Refresh, and checkpoint every other
+  // round to prove serialization never blocks or perturbs readers.
+  std::vector<Value> row;
+  for (size_t round = 0; round < kRounds && writer_status.ok(); ++round) {
+    for (size_t i = 0; i < kBatch; ++i) {
+      const size_t src = (round * kBatch + i) % table.num_rows();
+      row.clear();
+      for (size_t c = 0; c < table.num_columns(); ++c) {
+        row.push_back(table.GetValue(src, c));
+      }
+      writer_status = engine.Insert("t", row);
+      if (!writer_status.ok()) break;
+    }
+    if (!writer_status.ok()) break;
+    writer_status = engine.Refresh("t");
+    if (!writer_status.ok()) break;
+    auto snapshot = engine.GetSnapshot("t");
+    if (!snapshot.ok()) {
+      writer_status = snapshot.status();
+      break;
+    }
+    published.push_back(*snapshot);
+    if (round % 2 == 1) {
+      writer_status = engine.Checkpoint("t", checkpoint_path);
+    }
+  }
+  done.store(true, std::memory_order_release);
+  for (std::thread& reader : readers) reader.join();
+
+  CONGRESS_RETURN_NOT_OK(writer_status);
+  for (size_t r = 0; r < kReaders; ++r) {
+    CONGRESS_RETURN_NOT_OK(reader_status[r]);
+  }
+
+  // Serial recompute: every observed answer must be bit-identical to the
+  // answer of the published snapshot carrying the same epoch.
+  auto statement = sql::ParseSelect(sql);
+  CONGRESS_RETURN_NOT_OK(statement.status());
+  auto query = sql::Bind(*statement, schema);
+  CONGRESS_RETURN_NOT_OK(query.status());
+  std::unordered_map<uint64_t, const AquaSnapshot*> by_epoch;
+  for (const auto& snapshot : published) {
+    by_epoch[snapshot->epoch] = snapshot.get();
+  }
+  for (size_t r = 0; r < kReaders; ++r) {
+    for (const Observation& obs : observations[r]) {
+      auto it = by_epoch.find(obs.epoch);
+      if (it == by_epoch.end()) {
+        return Status::Internal(
+            "reader " + std::to_string(r) + " answered from epoch " +
+            std::to_string(obs.epoch) + " that was never published");
+      }
+      auto expected = it->second->synopsis->Answer(*query);
+      CONGRESS_RETURN_NOT_OK(expected.status());
+      CONGRESS_RETURN_NOT_OK(CompareApproximateBitwise(
+          obs.result, *expected,
+          "reader " + std::to_string(r) + " epoch " +
+              std::to_string(obs.epoch)));
+    }
   }
   return Status::OK();
 }

@@ -108,6 +108,21 @@ Status CheckCorruptedSnapshotSalvage(const Table& table,
                                      AllocationStrategy strategy,
                                      uint64_t sample_size, uint64_t seed);
 
+/// Snapshot consistency under concurrency: N reader threads issue
+/// resilient queries against an AquaEngine while a writer thread
+/// interleaves Insert batches, Refresh (publishing a new snapshot each
+/// time), and Checkpoint. Every answer a reader observes must be
+/// bit-identical to the serial answer of SOME published snapshot
+/// (matched by the epoch carried in the answer), each reader's observed
+/// epochs must be non-decreasing (publication is monotonic), and no
+/// answer may arrive degraded — the primary synopsis of a published
+/// snapshot always serves. Run under TSan this also proves the catalog's
+/// reader path is race-free against concurrent publication.
+Status CheckConcurrentSnapshotConsistency(const Table& table,
+                                          const std::vector<size_t>& grouping,
+                                          AllocationStrategy strategy,
+                                          uint64_t sample_size, uint64_t seed);
+
 /// Section 4 allocation invariants for one strategy: the allocation
 /// totals min(X, N) (Eqs. 4-6), never exceeds a group's population,
 /// keeps the scale-down factor in (0, 1], and rounds to a feasible

@@ -19,6 +19,9 @@ enum class StatusCode {
   kFailedPrecondition,
   kInternal,
   kIOError,
+  kResourceExhausted,
+  kDeadlineExceeded,
+  kUnavailable,
 };
 
 /// Returns a human-readable name for a status code, e.g. "InvalidArgument".
@@ -56,6 +59,15 @@ class Status {
   }
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

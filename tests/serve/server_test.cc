@@ -1,0 +1,218 @@
+#include "serve/server.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <vector>
+
+namespace congress::serve {
+namespace {
+
+Table SalesTable() {
+  Table t{Schema({Field{"region", DataType::kString},
+                  Field{"amount", DataType::kDouble}})};
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_TRUE(t.AppendRow({Value(i % 2 == 0 ? "east" : "west"),
+                             Value(static_cast<double>(i % 9 + 1))})
+                    .ok());
+  }
+  return t;
+}
+
+SynopsisConfig SalesConfig() {
+  SynopsisConfig config;
+  config.grouping_columns = {"region"};
+  config.sample_fraction = 0.2;
+  config.seed = 7;
+  config.incremental = true;
+  return config;
+}
+
+constexpr char kSql[] =
+    "SELECT region, SUM(amount), COUNT(*) FROM sales GROUP BY region";
+
+class AquaServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(engine_.RegisterTable("sales", SalesTable(), SalesConfig())
+                    .ok());
+  }
+  AquaEngine engine_;
+};
+
+TEST_F(AquaServerTest, ServesAllThreeQueryModes) {
+  AquaServer server(&engine_, ServeOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  auto session = server.OpenSession();
+  ASSERT_TRUE(session.ok());
+
+  Request approx;
+  approx.sql = kSql;
+  approx.mode = QueryMode::kApproximate;
+  Response r = server.Submit(*session, approx).get();
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_EQ(r.result.num_groups(), 2u);
+
+  Request resilient;
+  resilient.sql = kSql;
+  resilient.mode = QueryMode::kResilient;
+  r = server.Submit(*session, resilient).get();
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_EQ(r.result.num_groups(), 2u);
+  EXPECT_EQ(r.degradation.level, DegradationLevel::kNone);
+  EXPECT_GT(r.epoch, 0u);
+
+  Request exact;
+  exact.sql = kSql;
+  exact.mode = QueryMode::kExact;
+  r = server.Submit(*session, exact).get();
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_EQ(r.result.num_groups(), 2u);
+  // Exact answers carry zero-width bounds.
+  for (const ApproximateGroupRow& row : r.result.rows()) {
+    for (double b : row.bounds) EXPECT_EQ(b, 0.0);
+  }
+
+  auto stats = server.session_stats(*session);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->submitted, 3u);
+  EXPECT_EQ(stats->completed, 3u);
+  EXPECT_EQ(stats->rejected, 0u);
+  server.Stop();
+  EXPECT_EQ(server.stats().completed, 3u);
+}
+
+TEST_F(AquaServerTest, SessionLifecycle) {
+  ServeOptions options;
+  options.max_sessions = 2;
+  AquaServer server(&engine_, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto s1 = server.OpenSession();
+  auto s2 = server.OpenSession();
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  auto s3 = server.OpenSession();
+  ASSERT_FALSE(s3.ok());
+  EXPECT_EQ(s3.status().code(), StatusCode::kResourceExhausted);
+
+  ASSERT_TRUE(server.CloseSession(*s1).ok());
+  EXPECT_FALSE(server.CloseSession(*s1).ok());
+  EXPECT_TRUE(server.OpenSession().ok());
+
+  // Submitting on a closed/unknown session is rejected, not queued.
+  Request request;
+  request.sql = kSql;
+  Response r = server.Submit(*s1, request).get();
+  EXPECT_EQ(r.status.code(), StatusCode::kInvalidArgument);
+  server.Stop();
+}
+
+TEST_F(AquaServerTest, AdmissionControlRejectsWhenQueueFull) {
+  ServeOptions options;
+  options.max_queue_depth = 4;
+  AquaServer server(&engine_, options);
+  // No Start(): requests queue without executing, so the depth limit is
+  // hit deterministically.
+  auto session = server.OpenSession();
+  ASSERT_TRUE(session.ok());
+
+  Request request;
+  request.sql = kSql;
+  std::vector<std::future<Response>> accepted;
+  for (int i = 0; i < 4; ++i) {
+    accepted.push_back(server.Submit(*session, request));
+  }
+  Response rejected = server.Submit(*session, request).get();
+  EXPECT_EQ(rejected.status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(server.stats().rejected, 1u);
+  EXPECT_EQ(server.stats().queue_depth, 4u);
+  auto stats = server.session_stats(*session);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->rejected, 1u);
+
+  // Starting drains the accepted backlog.
+  ASSERT_TRUE(server.Start().ok());
+  for (auto& future : accepted) {
+    Response r = future.get();
+    EXPECT_TRUE(r.status.ok()) << r.status.ToString();
+  }
+  server.Stop();
+}
+
+TEST_F(AquaServerTest, DeadlineExpiredInQueueSkipsExecution) {
+  ServeOptions options;
+  options.default_deadline = std::chrono::milliseconds(1);
+  AquaServer server(&engine_, options);
+  auto session = server.OpenSession();
+  ASSERT_TRUE(session.ok());
+
+  // Queued before Start with a 1ms budget: by the time a worker picks it
+  // up the deadline is long gone.
+  Request request;
+  request.sql = kSql;
+  request.mode = QueryMode::kResilient;
+  auto future = server.Submit(*session, request);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  ASSERT_TRUE(server.Start().ok());
+  Response r = future.get();
+  EXPECT_EQ(r.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(server.stats().deadline_expired, 1u);
+  server.Stop();
+}
+
+TEST_F(AquaServerTest, StopFailsQueuedRequestsWithUnavailable) {
+  AquaServer server(&engine_, ServeOptions{});
+  auto session = server.OpenSession();
+  ASSERT_TRUE(session.ok());
+  Request request;
+  request.sql = kSql;
+  auto queued = server.Submit(*session, request);
+  server.Stop();  // Never started: the queued request is drained.
+  Response r = queued.get();
+  EXPECT_EQ(r.status.code(), StatusCode::kUnavailable);
+
+  Response after = server.Submit(*session, request).get();
+  EXPECT_EQ(after.status.code(), StatusCode::kUnavailable);
+}
+
+TEST_F(AquaServerTest, ConcurrentLoadAgainstLiveWriter) {
+  ServeOptions options;
+  options.num_threads = 3;
+  options.max_queue_depth = 256;
+  AquaServer server(&engine_, options);
+  ASSERT_TRUE(server.Start().ok());
+  auto session = server.OpenSession();
+  ASSERT_TRUE(session.ok());
+
+  // A writer publishes new snapshots while the pool answers; every
+  // response must come from a self-consistent snapshot (2 groups, ok).
+  std::vector<std::future<Response>> futures;
+  for (int round = 0; round < 10; ++round) {
+    Request request;
+    request.sql = kSql;
+    request.mode =
+        round % 2 == 0 ? QueryMode::kResilient : QueryMode::kApproximate;
+    for (int q = 0; q < 4; ++q) {
+      futures.push_back(server.Submit(*session, request));
+    }
+    ASSERT_TRUE(
+        engine_.Insert("sales", {Value("east"), Value(1.0)}).ok());
+    ASSERT_TRUE(engine_.Refresh("sales").ok());
+  }
+  uint64_t max_epoch = 0;
+  for (auto& future : futures) {
+    Response r = future.get();
+    ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+    EXPECT_EQ(r.result.num_groups(), 2u);
+    max_epoch = std::max(max_epoch, r.epoch);
+  }
+  EXPECT_LE(max_epoch, engine_.epoch());
+  server.Stop();
+  EXPECT_EQ(server.stats().completed, 40u);
+  EXPECT_EQ(engine_.pinned_readers(), 0);
+}
+
+}  // namespace
+}  // namespace congress::serve

@@ -33,6 +33,11 @@ TEST(StatusTest, ErrorFactoriesCarryCodeAndMessage) {
        "FailedPrecondition"},
       {Status::Internal("f"), StatusCode::kInternal, "Internal"},
       {Status::IOError("g"), StatusCode::kIOError, "IOError"},
+      {Status::ResourceExhausted("h"), StatusCode::kResourceExhausted,
+       "ResourceExhausted"},
+      {Status::DeadlineExceeded("i"), StatusCode::kDeadlineExceeded,
+       "DeadlineExceeded"},
+      {Status::Unavailable("j"), StatusCode::kUnavailable, "Unavailable"},
   };
   for (const Case& c : cases) {
     EXPECT_FALSE(c.status.ok());
