@@ -59,17 +59,22 @@ Status AquaEngine::PublishLocked(const std::string& name,
   auto snapshot = std::make_shared<AquaSnapshot>();
   snapshot->name = name;
 
-  // Freeze the primary synopsis. Incremental relations materialize the
-  // maintainer's current sample (the Congress pre-scaling budget is
-  // rescaled, Section 6); non-incremental relations rebuild from the
-  // working table, which is what registration built in the first place.
-  if (state->maintainer != nullptr) {
-    auto sample = MaterializeSnapshot(state->maintainer.get(),
-                                      state->target_sample_size);
-    if (!sample.ok()) return sample.status();
+  // Freeze the primary synopsis. Incremental relations drain the ingest
+  // shards — the merge replays (deterministic) or re-allocates
+  // (free-running) the buffered rows into the publishable sample, and
+  // the drained rows extend the working table in merge order, so the
+  // snapshot's table and synopsis describe the same stream prefix.
+  // Non-incremental relations rebuild from the working table, which is
+  // what registration built in the first place.
+  if (state->ingest != nullptr) {
+    auto delta = state->ingest->MaterializeForPublish();
+    if (!delta.ok()) return delta.status();
+    for (const std::vector<Value>& row : delta->merged_rows) {
+      CONGRESS_RETURN_NOT_OK(state->working_table.AppendRow(row));
+    }
     auto synopsis = AquaSynopsis::FromSample(
-        std::move(sample).value(), state->config, state->target_sample_size,
-        state->maintainer->tuples_seen());
+        std::move(delta->sample), state->config, state->target_sample_size,
+        delta->tuples_seen);
     if (!synopsis.ok()) return synopsis.status();
     snapshot->synopsis =
         std::make_shared<const AquaSynopsis>(std::move(synopsis).value());
@@ -119,31 +124,63 @@ Status AquaEngine::RegisterTable(const std::string& name, Table table,
     auto size = ResolveSampleSize(config, table.num_rows());
     if (!size.ok()) return size.status();
     state.target_sample_size = *size;
-    state.maintainer = MakeMaintainer(config.strategy, table.schema(),
-                                      *indices, *size, config.seed);
-    std::vector<Value> row;
+    ShardedIngestOptions ingest_options;
+    ingest_options.strategy = config.strategy;
+    ingest_options.target_sample_size = *size;
+    ingest_options.seed = config.seed;
+    ingest_options.num_shards = config.ingest_shards;
+    ingest_options.mode = config.free_running_ingest
+                              ? IngestMode::kFreeRunning
+                              : IngestMode::kDeterministic;
+    state.ingest = std::make_shared<ShardedMaintainer>(table.schema(),
+                                                       *indices,
+                                                       ingest_options);
+    // Feed the base relation through the same batched fast path inserts
+    // take; the initial publish below drains it into the working table.
+    constexpr size_t kRegisterBatchRows = 1024;
+    std::vector<std::vector<Value>> batch;
+    batch.reserve(kRegisterBatchRows);
     for (size_t r = 0; r < table.num_rows(); ++r) {
-      row.clear();
+      std::vector<Value> row;
+      row.reserve(table.num_columns());
       for (size_t c = 0; c < table.num_columns(); ++c) {
         row.push_back(table.GetValue(r, c));
       }
-      CONGRESS_RETURN_NOT_OK(state.maintainer->Insert(row));
+      batch.push_back(std::move(row));
+      if (batch.size() == kRegisterBatchRows) {
+        CONGRESS_RETURN_NOT_OK(state.ingest->InsertBatch(batch));
+        batch.clear();
+      }
+    }
+    if (!batch.empty()) {
+      CONGRESS_RETURN_NOT_OK(state.ingest->InsertBatch(batch));
     }
     CONGRESS_METRIC_INCR("synopsis.builds", 1);
+    state.working_table = Table(table.schema());
+  } else {
+    state.working_table = std::move(table);
   }
-  state.working_table = std::move(table);
 
   CONGRESS_RETURN_NOT_OK(PublishLocked(name, &state));
-  states_.emplace(name, std::move(state));
+  {
+    std::lock_guard<std::mutex> states_lock(states_mu_);
+    states_.emplace(name, std::move(state));
+  }
   return Status::OK();
 }
 
 Status AquaEngine::DropTable(const std::string& name) {
   std::lock_guard<std::mutex> lock(writer_mu_);
-  if (states_.erase(name) == 0) {
-    return Status::NotFound("table '" + name + "' not registered");
+  {
+    std::lock_guard<std::mutex> states_lock(states_mu_);
+    if (states_.erase(name) == 0) {
+      return Status::NotFound("table '" + name + "' not registered");
+    }
   }
-  // Pinned readers keep the dropped snapshot alive until they release it.
+  // Pinned readers keep the dropped snapshot alive until they release
+  // it; in-flight inserters keep the ingest shards alive via their
+  // shared handle, and their buffered rows vanish with the last
+  // reference.
   return catalog_.Remove(name);
 }
 
@@ -334,27 +371,39 @@ Result<std::string> AquaEngine::ExplainRewrite(const std::string& sql,
                             options);
 }
 
-Status AquaEngine::Insert(const std::string& name,
-                          const std::vector<Value>& row) {
-  std::lock_guard<std::mutex> lock(writer_mu_);
+Result<std::shared_ptr<ShardedMaintainer>> AquaEngine::IngestHandle(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(states_mu_);
   auto it = states_.find(name);
   if (it == states_.end()) {
     return Status::NotFound("table '" + name + "' not registered");
   }
-  MaintenanceState& state = it->second;
-  if (state.restored) {
+  if (it->second.restored) {
     return Status::FailedPrecondition(
         "table '" + name +
         "' was restored from a checkpoint; base relation unavailable");
   }
-  if (state.maintainer == nullptr) {
+  if (it->second.ingest == nullptr) {
     return Status::FailedPrecondition(
         "synopsis was not built with incremental maintenance enabled");
   }
-  // Stream into the maintainer first: it validates the row; only then
-  // mutate the working table, so a rejected insert changes nothing.
-  CONGRESS_RETURN_NOT_OK(state.maintainer->Insert(row));
-  return state.working_table.AppendRow(row);
+  return it->second.ingest;
+}
+
+Status AquaEngine::Insert(const std::string& name,
+                          const std::vector<Value>& row) {
+  // Copy the shared ingest handle under the brief map lock, then buffer
+  // outside every engine lock: inserts overlap queries and publishes.
+  auto ingest = IngestHandle(name);
+  if (!ingest.ok()) return ingest.status();
+  return (*ingest)->Insert(row);
+}
+
+Status AquaEngine::InsertBatch(const std::string& name,
+                               const std::vector<std::vector<Value>>& rows) {
+  auto ingest = IngestHandle(name);
+  if (!ingest.ok()) return ingest.status();
+  return (*ingest)->InsertBatch(rows);
 }
 
 Status AquaEngine::Refresh(const std::string& name) {
@@ -365,7 +414,7 @@ Status AquaEngine::Refresh(const std::string& name) {
   }
   // Non-incremental relations have nothing new to publish; keep the old
   // no-op contract.
-  if (it->second.maintainer == nullptr) return Status::OK();
+  if (it->second.ingest == nullptr) return Status::OK();
   CONGRESS_METRIC_INCR("synopsis.refreshes", 1);
   return PublishLocked(name, &it->second);
 }
@@ -416,7 +465,10 @@ Status AquaEngine::RestoreTable(const std::string& name,
   snapshot->fallback_basic_status = unavailable;
   snapshot->fallback_house_status = unavailable;
   CONGRESS_RETURN_NOT_OK(catalog_.Publish(std::move(snapshot)));
-  states_.emplace(name, std::move(state));
+  {
+    std::lock_guard<std::mutex> states_lock(states_mu_);
+    states_.emplace(name, std::move(state));
+  }
   return Status::OK();
 }
 

@@ -12,6 +12,7 @@
 #include "core/catalog.h"
 #include "core/degradation.h"
 #include "core/synopsis.h"
+#include "sampling/shard.h"
 #include "util/status.h"
 
 namespace congress {
@@ -30,12 +31,15 @@ namespace congress {
 /// QueryVia, QueryResilient, ExplainRewrite, Get*, Checkpoint) pin one
 /// snapshot with a wait-free atomic load and answer from it alone, so
 /// they are const, lock-free, and race-free against any writer. The
-/// *maintenance* side is a writer-private working table + sample
-/// maintainer guarded by one mutex; Insert streams into it, and Refresh
-/// freezes it into the next snapshot and atomically publishes. A query
-/// that pinned a snapshot keeps it alive (and self-consistent) through
-/// concurrent Refresh and even DropTable; reclamation is by reference
-/// count when the last reader releases it.
+/// *maintenance* side has two tiers: Insert/InsertBatch append to a
+/// sharded lock-free ingest buffer (sampling/shard.h, DESIGN.md §15) and
+/// never take the writer lock, so ingest overlaps queries *and*
+/// publishes; Register/Drop/Refresh/Restore serialize on writer_mu_, and
+/// Refresh drains the shards into the relation's working table and
+/// sample, freezes the result into the next snapshot, and atomically
+/// publishes it. A query that pinned a snapshot keeps it alive (and
+/// self-consistent) through concurrent Refresh and even DropTable;
+/// reclamation is by reference count when the last reader releases it.
 class AquaEngine {
  public:
   AquaEngine() = default;
@@ -96,13 +100,23 @@ class AquaEngine {
   Result<std::string> ExplainRewrite(const std::string& sql,
                                      RewriteStrategy strategy) const;
 
-  /// Streams a newly inserted tuple into the relation's maintenance
-  /// state (working table + incremental maintainer). Requires the
-  /// synopsis to have been built with SynopsisConfig::incremental. The
-  /// tuple becomes visible to queries at the next Refresh() — published
-  /// snapshots are immutable, so readers always see a table/synopsis
-  /// pair from the same moment.
+  /// Streams a newly inserted tuple into the relation's sharded ingest
+  /// buffer. Requires the synopsis to have been built with
+  /// SynopsisConfig::incremental. Thread-safe and lock-free on the hot
+  /// path: any number of threads may insert concurrently with each
+  /// other, with queries, and with Refresh. The tuple becomes visible to
+  /// queries at the next Refresh() — published snapshots are immutable,
+  /// so readers always see a table/synopsis pair from the same moment. A
+  /// rejected row (arity/type mismatch) changes nothing. Rows in flight
+  /// when the table is dropped are discarded with it.
   Status Insert(const std::string& name, const std::vector<Value>& row);
+
+  /// Batch variant of Insert(): validates every row up front (one bad
+  /// row rejects the whole batch), interns each distinct group once, and
+  /// buffers the batch into one ingest shard — the fast path the serving
+  /// front-end and bulk loads should use.
+  Status InsertBatch(const std::string& name,
+                     const std::vector<std::vector<Value>>& rows);
 
   /// Freezes the maintenance state into a new immutable snapshot
   /// (synopsis + fallbacks + table copy) and atomically publishes it.
@@ -140,17 +154,24 @@ class AquaEngine {
 
  private:
   /// Writer-private maintenance state for one relation: the working copy
-  /// of the base table plus the live maintainer absorbing inserts. Only
-  /// touched under writer_mu_; readers never see it.
+  /// of the base table plus the sharded ingest front-end absorbing
+  /// inserts. `working_table` is only touched under writer_mu_; `ingest`
+  /// is internally thread-safe and shared with in-flight inserters (a
+  /// concurrent DropTable just drops this reference — the shards stay
+  /// alive until the last inserter returns).
   struct MaintenanceState {
     SynopsisConfig config;
     Table working_table;
-    std::shared_ptr<SampleMaintainer> maintainer;  // Null: non-incremental.
+    std::shared_ptr<ShardedMaintainer> ingest;  // Null: non-incremental.
     uint64_t target_sample_size = 0;
     bool restored = false;  ///< Base relation unavailable (RestoreTable).
   };
 
   Result<std::shared_ptr<const AquaSnapshot>> Pin(
+      const std::string& name) const;
+  /// Copies the relation's shared ingest handle under states_mu_ (or the
+  /// reason inserts are unavailable). Never takes writer_mu_.
+  Result<std::shared_ptr<ShardedMaintainer>> IngestHandle(
       const std::string& name) const;
   /// Parses and binds `sql` against the pinned snapshot's schema.
   Result<std::pair<std::shared_ptr<const AquaSnapshot>, GroupByQuery>> Route(
@@ -162,9 +183,14 @@ class AquaEngine {
       const std::string& sql,
       std::optional<std::chrono::steady_clock::time_point> deadline) const;
 
-  /// Serializes writers (Register/Drop/Insert/Refresh/Restore) against
-  /// each other; never held on a read path.
+  /// Serializes structural writers (Register/Drop/Refresh/Restore)
+  /// against each other; never held on a read path and never on the
+  /// Insert/InsertBatch hot path.
   mutable std::mutex writer_mu_;
+  /// Guards the states_ map itself (lookup/emplace/erase). Insert takes
+  /// only this, briefly, to copy the relation's ingest handle; taken
+  /// after writer_mu_ where both are needed.
+  mutable std::mutex states_mu_;
   std::unordered_map<std::string, MaintenanceState> states_;
   Catalog catalog_;
 };

@@ -44,6 +44,19 @@ struct SynopsisConfig {
   /// two-pass exact-allocation path and reject inserts.
   bool incremental = false;
 
+  /// Ingest shards for the engine's streaming path (sampling/shard.h);
+  /// 0 picks one per hardware thread. Only meaningful with
+  /// `incremental`. The default (deterministic) ingest mode publishes
+  /// bit-identical samples at any shard count.
+  size_t ingest_shards = 0;
+
+  /// Switches the engine's sharded ingest to free-running mode: each
+  /// shard maintains its own sample at producer time and publishes merge
+  /// re-allocations, trading bit-level determinism for parallel
+  /// maintenance throughput (DESIGN.md §15). Validated statistically by
+  /// testing::RunCoverage rather than bitwise oracles.
+  bool free_running_ingest = false;
+
   uint64_t seed = 42;
 
   /// Parallelism for build scans and query answering (num_threads = 1 is

@@ -145,12 +145,13 @@ class MetricsRegistry {
 // per hit. Compiled out entirely under CONGRESS_DISABLE_OBS.
 // CONGRESS_METRIC_INCR requires a name that is constant at the call site
 // (the counter reference is cached in a function-local static). For names
-// computed at runtime use CONGRESS_METRIC_INCR_DYN, which pays the
-// registry lookup on every hit — fine off the per-row paths.
+// computed at runtime use the _DYN variants, which pay the registry
+// lookup on every hit — fine off the per-row paths.
 #ifdef CONGRESS_DISABLE_OBS
 #define CONGRESS_METRIC_INCR(name, delta) ((void)0)
 #define CONGRESS_METRIC_INCR_DYN(name, delta) ((void)0)
 #define CONGRESS_METRIC_SET(name, value) ((void)0)
+#define CONGRESS_METRIC_SET_DYN(name, value) ((void)0)
 #define CONGRESS_METRIC_RECORD_NANOS(name, nanos) ((void)0)
 #else
 #define CONGRESS_METRIC_INCR(name, delta)                                   \
@@ -168,6 +169,8 @@ class MetricsRegistry {
         ::congress::obs::MetricsRegistry::Global().GetGauge(name);          \
     congress_metric_gauge.Set(value);                                       \
   } while (0)
+#define CONGRESS_METRIC_SET_DYN(name, value) \
+  ::congress::obs::MetricsRegistry::Global().GetGauge(name).Set(value)
 #define CONGRESS_METRIC_RECORD_NANOS(name, nanos)                           \
   do {                                                                      \
     static ::congress::obs::LatencyHistogram& congress_metric_histogram =   \

@@ -16,23 +16,24 @@ CheckpointingMaintainer::CheckpointingMaintainer(
       strategy_(strategy),
       target_size_(target_size),
       seed_(seed),
-      policy_(std::move(policy)) {}
-
-Status CheckpointingMaintainer::Checkpoint() {
-  Result<StratifiedSample> sample = inner_->Snapshot();
-  if (!sample.ok()) {
-    checkpoints_failed_ += 1;
-    last_checkpoint_status_ = sample.status();
-    CONGRESS_METRIC_INCR("resilience.checkpoint_fail", 1);
-    return sample.status();
+      policy_(std::move(policy)) {
+  if (policy_.async) {
+    writer_ = std::thread([this] { WriterLoop(); });
   }
-  SnapshotImage image;
-  image.strategy = static_cast<uint32_t>(strategy_);
-  image.target_size = target_size_;
-  image.seed = seed_;
-  image.tuples_seen = inner_->tuples_seen();
-  image.sample = std::move(sample).value();
+}
 
+CheckpointingMaintainer::~CheckpointingMaintainer() {
+  if (writer_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    writer_.join();
+  }
+}
+
+Status CheckpointingMaintainer::WriteImage(const SnapshotImage& image) {
   Status st = Status::OK();
   uint64_t backoff_ms = policy_.backoff_initial_ms;
   const int attempts = policy_.max_attempts < 1 ? 1 : policy_.max_attempts;
@@ -47,19 +48,87 @@ Status CheckpointingMaintainer::Checkpoint() {
     st = WriteSnapshot(image, policy_.path);
     if (st.ok()) break;
   }
-  last_checkpoint_status_ = st;
   if (st.ok()) {
-    checkpoints_written_ += 1;
+    checkpoints_written_.fetch_add(1, std::memory_order_relaxed);
     CONGRESS_METRIC_INCR("resilience.checkpoint_ok", 1);
   } else {
-    checkpoints_failed_ += 1;
+    checkpoints_failed_.fetch_add(1, std::memory_order_relaxed);
     CONGRESS_METRIC_INCR("resilience.checkpoint_fail", 1);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    last_checkpoint_status_ = st;
   }
   return st;
 }
 
-Status CheckpointingMaintainer::Insert(const std::vector<Value>& row) {
-  CONGRESS_RETURN_NOT_OK(inner_->Insert(row));
+void CheckpointingMaintainer::WriterLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [this] { return stop_ || pending_.has_value(); });
+    // Drain a pending image even when stopping: the destructor must not
+    // lose a checkpoint the caller already believes is queued.
+    if (!pending_.has_value()) {
+      if (stop_) return;
+      continue;
+    }
+    SnapshotImage image = std::move(*pending_);
+    pending_.reset();
+    writing_ = true;
+    lock.unlock();
+    (void)WriteImage(image);
+    lock.lock();
+    writing_ = false;
+    cv_.notify_all();  // Wake Flush() waiters.
+  }
+}
+
+Status CheckpointingMaintainer::Checkpoint() {
+  // The image is always captured on the calling thread: Snapshot() may
+  // advance the inner maintainer's RNG, so capture position — not write
+  // timing — determines the sample bytes. Async mode therefore persists
+  // exactly what sync mode would.
+  Result<StratifiedSample> sample = inner_->Snapshot();
+  if (!sample.ok()) {
+    checkpoints_failed_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      last_checkpoint_status_ = sample.status();
+    }
+    CONGRESS_METRIC_INCR("resilience.checkpoint_fail", 1);
+    return sample.status();
+  }
+  SnapshotImage image;
+  image.strategy = static_cast<uint32_t>(strategy_);
+  image.target_size = target_size_;
+  image.seed = seed_;
+  image.tuples_seen = inner_->tuples_seen();
+  image.sample = std::move(sample).value();
+
+  if (!policy_.async) return WriteImage(image);
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (pending_.has_value()) {
+      // Latest-wins: the writer has not picked the old image up yet, so
+      // the new capture strictly supersedes it (same stream, later
+      // position). Replacing it keeps at most one image buffered no
+      // matter how far the writer falls behind.
+      CONGRESS_METRIC_INCR("resilience.checkpoint_superseded", 1);
+    }
+    pending_ = std::move(image);
+  }
+  cv_.notify_all();
+  return Status::OK();
+}
+
+Status CheckpointingMaintainer::Flush() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return !pending_.has_value() && !writing_; });
+  return last_checkpoint_status_;
+}
+
+Status CheckpointingMaintainer::AfterInsert() {
   if (policy_.every_n_inserts > 0 &&
       ++inserts_since_checkpoint_ >= policy_.every_n_inserts) {
     inserts_since_checkpoint_ = 0;
@@ -71,8 +140,24 @@ Status CheckpointingMaintainer::Insert(const std::vector<Value>& row) {
   return Status::OK();
 }
 
+Status CheckpointingMaintainer::Insert(const std::vector<Value>& row) {
+  CONGRESS_RETURN_NOT_OK(inner_->Insert(row));
+  return AfterInsert();
+}
+
+Status CheckpointingMaintainer::InsertWithKey(const std::vector<Value>& row,
+                                              const GroupKey& key) {
+  CONGRESS_RETURN_NOT_OK(inner_->InsertWithKey(row, key));
+  return AfterInsert();
+}
+
 Result<StratifiedSample> CheckpointingMaintainer::Snapshot() {
   return inner_->Snapshot();
+}
+
+Status CheckpointingMaintainer::last_checkpoint_status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_checkpoint_status_;
 }
 
 uint64_t CheckpointingMaintainer::tuples_seen() const {

@@ -1,10 +1,16 @@
 #ifndef CONGRESS_RESILIENCE_CHECKPOINT_H_
 #define CONGRESS_RESILIENCE_CHECKPOINT_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
+#include <thread>
 
+#include "resilience/snapshot_io.h"
 #include "sampling/allocation.h"
 #include "sampling/maintenance.h"
 #include "util/status.h"
@@ -17,6 +23,16 @@ struct CheckpointPolicy {
   uint64_t every_n_inserts = 10000;  ///< Checkpoint cadence, in inserts.
   int max_attempts = 3;              ///< Write attempts per checkpoint.
   uint64_t backoff_initial_ms = 0;   ///< Sleep before retry #1; doubles.
+  /// Write checkpoints on a background thread so the serialize+fsync cost
+  /// overlaps ingest instead of stalling it. The image is still captured
+  /// synchronously on the inserting thread (Snapshot() mutates the inner
+  /// maintainer), so the bytes on disk are identical to sync mode; only
+  /// the I/O moves off-thread. Pending images are latest-wins: a new
+  /// cadence point replaces an image the writer has not started yet
+  /// (`resilience.checkpoint_superseded` counts the drops). Call Flush()
+  /// to wait for the writer to drain before inspecting counters or
+  /// recovering the file.
+  bool async = false;
 };
 
 /// Decorates any SampleMaintainer with periodic crash-safe persistence:
@@ -31,39 +47,72 @@ struct CheckpointPolicy {
 /// evictions draw randomness), a checkpointed run and an uncheckpointed
 /// run of the same stream diverge after the first checkpoint. Recovery
 /// therefore compares against a reference run snapshotted at the same
-/// insert positions — see the crash_recovery property config.
+/// insert positions — see the crash_recovery property config. Async mode
+/// captures images at the same insert positions as sync mode, so the two
+/// stay RNG-identical.
+///
+/// Thread safety: Insert/InsertWithKey must come from one thread at a
+/// time (the inner maintainers are not thread-safe); the accessors and
+/// Flush() may be called from any thread.
 class CheckpointingMaintainer : public SampleMaintainer {
  public:
   CheckpointingMaintainer(std::unique_ptr<SampleMaintainer> inner,
                           AllocationStrategy strategy, uint64_t target_size,
                           uint64_t seed, CheckpointPolicy policy);
+  ~CheckpointingMaintainer() override;
 
   Status Insert(const std::vector<Value>& row) override;
+  Status InsertWithKey(const std::vector<Value>& row,
+                       const GroupKey& key) override;
   Result<StratifiedSample> Snapshot() override;
   uint64_t tuples_seen() const override;
   size_t current_sample_size() const override;
 
-  /// Writes a checkpoint now, independent of the cadence. Retries up to
-  /// `max_attempts` times. Returns the final attempt's status.
+  /// Writes a checkpoint now, independent of the cadence. Sync mode
+  /// retries up to `max_attempts` times and returns the final attempt's
+  /// status; async mode returns once the image is captured and queued
+  /// (the write outcome lands in last_checkpoint_status()).
   Status Checkpoint();
 
-  uint64_t checkpoints_written() const { return checkpoints_written_; }
-  uint64_t checkpoints_failed() const { return checkpoints_failed_; }
-  const Status& last_checkpoint_status() const {
-    return last_checkpoint_status_;
+  /// Blocks until the background writer has no pending image and is not
+  /// mid-write, then returns the status of the last completed write.
+  /// No-op (returns the last status) when async is off.
+  Status Flush();
+
+  uint64_t checkpoints_written() const {
+    return checkpoints_written_.load(std::memory_order_relaxed);
   }
+  uint64_t checkpoints_failed() const {
+    return checkpoints_failed_.load(std::memory_order_relaxed);
+  }
+  Status last_checkpoint_status() const;
   const CheckpointPolicy& policy() const { return policy_; }
 
  private:
+  /// The shared sync write path: retry/backoff loop around WriteSnapshot,
+  /// updates counters + last_checkpoint_status_.
+  Status WriteImage(const SnapshotImage& image);
+  /// Cadence bookkeeping shared by Insert and InsertWithKey.
+  Status AfterInsert();
+  void WriterLoop();
+
   std::unique_ptr<SampleMaintainer> inner_;
   AllocationStrategy strategy_;
   uint64_t target_size_;
   uint64_t seed_;
   CheckpointPolicy policy_;
-  uint64_t inserts_since_checkpoint_ = 0;
-  uint64_t checkpoints_written_ = 0;
-  uint64_t checkpoints_failed_ = 0;
+  uint64_t inserts_since_checkpoint_ = 0;  // Inserting thread only.
+  std::atomic<uint64_t> checkpoints_written_{0};
+  std::atomic<uint64_t> checkpoints_failed_{0};
+
+  /// Guards pending_, writing_, stop_, last_checkpoint_status_.
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::optional<SnapshotImage> pending_;  ///< Latest-wins handoff slot.
+  bool writing_ = false;  ///< Writer thread is mid-WriteImage.
+  bool stop_ = false;
   Status last_checkpoint_status_ = Status::OK();
+  std::thread writer_;  ///< Joinable only when policy_.async.
 };
 
 }  // namespace congress::resilience

@@ -76,10 +76,13 @@ class HouseMaintainer final : public SampleMaintainer {
   Status Insert(const RowValues& row) override {
     CONGRESS_FAILPOINT("maintenance/insert");
     CONGRESS_RETURN_NOT_OK(ValidateRow(schema_, row));
-    CONGRESS_METRIC_INCR("maintenance.inserts", 1);
-    populations_[KeyOfRow(row, grouping_columns_)] += 1;
-    OfferCounted(&reservoir_, row, &rng_);
-    return Status::OK();
+    return Apply(row, KeyOfRow(row, grouping_columns_));
+  }
+
+  Status InsertWithKey(const RowValues& row, const GroupKey& key) override {
+    CONGRESS_FAILPOINT("maintenance/insert");
+    CONGRESS_RETURN_NOT_OK(ValidateRow(schema_, row));
+    return Apply(row, key);
   }
 
   Result<StratifiedSample> Snapshot() override {
@@ -98,6 +101,13 @@ class HouseMaintainer final : public SampleMaintainer {
   size_t current_sample_size() const override { return reservoir_.size(); }
 
  private:
+  Status Apply(const RowValues& row, const GroupKey& key) {
+    CONGRESS_METRIC_INCR("maintenance.inserts", 1);
+    populations_[key] += 1;
+    OfferCounted(&reservoir_, row, &rng_);
+    return Status::OK();
+  }
+
   Schema schema_;
   std::vector<size_t> grouping_columns_;
   ReservoirSampler<RowValues> reservoir_;
@@ -121,9 +131,18 @@ class SenateMaintainer final : public SampleMaintainer {
   Status Insert(const RowValues& row) override {
     CONGRESS_FAILPOINT("maintenance/insert");
     CONGRESS_RETURN_NOT_OK(ValidateRow(schema_, row));
+    return Apply(row, KeyOfRow(row, grouping_columns_));
+  }
+
+  Status InsertWithKey(const RowValues& row, const GroupKey& key) override {
+    CONGRESS_FAILPOINT("maintenance/insert");
+    CONGRESS_RETURN_NOT_OK(ValidateRow(schema_, row));
+    return Apply(row, key);
+  }
+
+  Status Apply(const RowValues& row, GroupKey key) {
     CONGRESS_METRIC_INCR("maintenance.inserts", 1);
     ++seen_;
-    GroupKey key = KeyOfRow(row, grouping_columns_);
     auto it = groups_.find(key);
     if (it == groups_.end()) {
       // New group: start a fresh per-group reservoir and lower the shared
@@ -203,8 +222,17 @@ class BasicCongressMaintainer final : public SampleMaintainer {
   Status Insert(const RowValues& row) override {
     CONGRESS_FAILPOINT("maintenance/insert");
     CONGRESS_RETURN_NOT_OK(ValidateRow(schema_, row));
+    return Apply(row, KeyOfRow(row, grouping_columns_));
+  }
+
+  Status InsertWithKey(const RowValues& row, const GroupKey& key) override {
+    CONGRESS_FAILPOINT("maintenance/insert");
+    CONGRESS_RETURN_NOT_OK(ValidateRow(schema_, row));
+    return Apply(row, key);
+  }
+
+  Status Apply(const RowValues& row, GroupKey key) {
     CONGRESS_METRIC_INCR("maintenance.inserts", 1);
-    GroupKey key = KeyOfRow(row, grouping_columns_);
     auto it = groups_.find(key);
     if (it == groups_.end()) {
       it = groups_.emplace(std::move(key), GroupState{}).first;
@@ -348,9 +376,18 @@ class CongressTargetMaintainer final : public SampleMaintainer {
   Status Insert(const RowValues& row) override {
     CONGRESS_FAILPOINT("maintenance/insert");
     CONGRESS_RETURN_NOT_OK(ValidateRow(schema_, row));
+    return Apply(row, KeyOfRow(row, grouping_columns_));
+  }
+
+  Status InsertWithKey(const RowValues& row, const GroupKey& key) override {
+    CONGRESS_FAILPOINT("maintenance/insert");
+    CONGRESS_RETURN_NOT_OK(ValidateRow(schema_, row));
+    return Apply(row, key);
+  }
+
+  Status Apply(const RowValues& row, GroupKey key) {
     CONGRESS_METRIC_INCR("maintenance.inserts", 1);
     ++seen_;
-    GroupKey key = KeyOfRow(row, grouping_columns_);
     for (size_t mask = 0; mask < subset_counts_.size(); ++mask) {
       subset_counts_[mask][Project(key, mask)] += 1;
     }
@@ -522,9 +559,18 @@ struct CongressMaintainer::Impl {
   Status Insert(const RowValues& row) {
     CONGRESS_FAILPOINT("maintenance/insert");
     CONGRESS_RETURN_NOT_OK(ValidateRow(schema, row));
+    return Apply(row, KeyOfRow(row, grouping_columns));
+  }
+
+  Status InsertWithKey(const RowValues& row, const GroupKey& key) {
+    CONGRESS_FAILPOINT("maintenance/insert");
+    CONGRESS_RETURN_NOT_OK(ValidateRow(schema, row));
+    return Apply(row, key);
+  }
+
+  Status Apply(const RowValues& row, const GroupKey& key) {
     CONGRESS_METRIC_INCR("maintenance.inserts", 1);
     ++seen;
-    GroupKey key = KeyOfRow(row, grouping_columns);
     for (size_t mask = 0; mask < subset_counts.size(); ++mask) {
       subset_counts[mask][Project(key, mask)] += 1;
     }
@@ -588,6 +634,11 @@ CongressMaintainer::~CongressMaintainer() = default;
 
 Status CongressMaintainer::Insert(const std::vector<Value>& row) {
   return impl_->Insert(row);
+}
+
+Status CongressMaintainer::InsertWithKey(const std::vector<Value>& row,
+                                         const GroupKey& key) {
+  return impl_->InsertWithKey(row, key);
 }
 
 Result<StratifiedSample> CongressMaintainer::Snapshot() {

@@ -24,6 +24,19 @@ class SampleMaintainer {
   /// Processes one inserted tuple (one Value per base-schema column).
   virtual Status Insert(const std::vector<Value>& row) = 0;
 
+  /// Key-threaded variant for the batched ingest fast path: `key` must be
+  /// the row's projection onto the maintainer's grouping columns. Callers
+  /// that intern group keys once per batch (sampling/shard.h) pass the
+  /// interned key here so the maintainer skips recomputing it per row.
+  /// Behavior — including every draw from the maintainer's RNG — is
+  /// bit-identical to Insert(row). The default recomputes the key via
+  /// Insert() so decorators and external subclasses stay correct.
+  virtual Status InsertWithKey(const std::vector<Value>& row,
+                               const GroupKey& key) {
+    (void)key;
+    return Insert(row);
+  }
+
   /// Materializes the current sample. May perform lazily deferred
   /// evictions, hence non-const; the maintainer remains valid and can
   /// keep absorbing inserts afterwards.
@@ -69,6 +82,8 @@ class CongressMaintainer : public SampleMaintainer {
   ~CongressMaintainer() override;
 
   Status Insert(const std::vector<Value>& row) override;
+  Status InsertWithKey(const std::vector<Value>& row,
+                       const GroupKey& key) override;
   Result<StratifiedSample> Snapshot() override;
   uint64_t tuples_seen() const override;
   size_t current_sample_size() const override;

@@ -1,0 +1,153 @@
+#ifndef CONGRESS_SAMPLING_SHARD_H_
+#define CONGRESS_SAMPLING_SHARD_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "sampling/allocation.h"
+#include "sampling/maintenance.h"
+#include "sampling/stratified_sample.h"
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace congress {
+
+/// How the sharded ingest front-end turns buffered rows into a sample.
+enum class IngestMode {
+  /// Shards only *buffer*: rows are stamped with a global sequence number
+  /// on arrival and replayed into one persistent serial maintainer at
+  /// merge time, sorted by sequence. With a single producer the published
+  /// sample is bit-identical to feeding the same rows through the serial
+  /// maintainer directly, at any shard count; with concurrent producers
+  /// the replay is serial-equivalent (some interleaving of the completed
+  /// inserts). This is the mode the maintenance-vs-rebuild and
+  /// crash-recovery oracles rely on.
+  kDeterministic = 0,
+  /// Each shard additionally owns a private maintainer (budget X /
+  /// num_shards) that absorbs its rows at producer time, so maintenance
+  /// work parallelizes with the producers instead of serializing into the
+  /// merge. The merge re-allocates the global budget over the merged
+  /// group populations and draws each group's quota from the shard
+  /// samples uniformly, population-proportionally. The result is a valid
+  /// stratified sample (exact populations, per-group uniform rows) but
+  /// not bit-identical to any serial run — it is validated statistically
+  /// by testing::RunCoverage.
+  kFreeRunning = 1,
+};
+
+const char* IngestModeToString(IngestMode mode);
+
+/// Configuration for a ShardedMaintainer.
+struct ShardedIngestOptions {
+  AllocationStrategy strategy = AllocationStrategy::kCongress;
+  /// Target expected sample size X for the published sample.
+  uint64_t target_sample_size = 1000;
+  uint64_t seed = 42;
+  /// Number of ingest shards; 0 picks one per hardware thread (capped at
+  /// 8 — beyond that merge fan-in costs more than contention saves).
+  size_t num_shards = 0;
+  IngestMode mode = IngestMode::kDeterministic;
+  /// Rows per buffer chunk. Each shard's queue grows in chunks of this
+  /// many slots; bigger chunks amortize allocation, smaller ones bound
+  /// the memory retained between merges.
+  size_t chunk_rows = 1024;
+};
+
+/// What one merge hands the publisher: the full current sample plus the
+/// rows this merge drained (in replay order), so the caller can extend
+/// its row-store mirror of the stream without re-reading the shards.
+struct PublishDelta {
+  StratifiedSample sample;
+  std::vector<std::vector<Value>> merged_rows;
+  /// Total tuples reflected in `sample` (== sample.total_population()).
+  uint64_t tuples_seen = 0;
+};
+
+/// Sharded, lock-free streaming ingest front-end for the incremental
+/// maintainers (DESIGN.md §15). Producers append batches to per-shard
+/// multi-producer chunk queues — slot claims are CAS-only, publication is
+/// one release store per row, and nothing on the hot path takes a lock —
+/// while a single merger (serialized internally, typically the engine's
+/// publish step) drains the shards and folds the buffered rows into a
+/// publishable StratifiedSample according to the IngestMode.
+///
+/// Thread safety: Insert/InsertBatch may be called from any number of
+/// threads concurrently with each other and with MaterializeForPublish.
+/// MaterializeForPublish serializes against itself. The destructor must
+/// not race with any other call.
+class ShardedMaintainer {
+ public:
+  /// `grouping_columns` are base-schema column indices (already
+  /// validated by the caller, e.g. ResolveGroupingIndices).
+  ShardedMaintainer(Schema base_schema, std::vector<size_t> grouping_columns,
+                    ShardedIngestOptions options);
+  ~ShardedMaintainer();
+
+  ShardedMaintainer(const ShardedMaintainer&) = delete;
+  ShardedMaintainer& operator=(const ShardedMaintainer&) = delete;
+
+  /// Ingests one row. Equivalent to a one-row InsertBatch.
+  Status Insert(const std::vector<Value>& row);
+
+  /// Ingests a batch: validates every row up front (a bad row rejects the
+  /// whole batch before anything is buffered), interns each distinct
+  /// group key once, stamps the batch with contiguous global sequence
+  /// numbers, and appends it to one shard (round-robin per batch).
+  Status InsertBatch(const std::vector<std::vector<Value>>& rows);
+
+  /// Drains every shard and produces the current sample plus the newly
+  /// merged rows. Safe to run concurrently with producers: rows from
+  /// inserts still in flight either land in this merge or the next one.
+  Result<PublishDelta> MaterializeForPublish();
+
+  /// Rows accepted by Insert/InsertBatch so far (atomic, approximate
+  /// under concurrency).
+  uint64_t tuples_ingested() const;
+  /// Rows folded into the sample by merges so far.
+  uint64_t tuples_merged() const;
+  /// Rows buffered but not yet merged.
+  uint64_t pending_rows() const;
+
+  size_t num_shards() const;
+  IngestMode mode() const;
+
+ private:
+  struct Chunk;
+  struct Shard;
+
+  Status IngestRows(const std::vector<Value>* rows, size_t n);
+  /// Drains all shards into seq-sorted replay order, reclaiming consumed
+  /// chunks once in-flight producers have quiesced. Caller holds
+  /// merge_mu_.
+  struct BufferedRow;
+  std::vector<BufferedRow> DrainAll();
+  Result<StratifiedSample> MergeShardSamples(
+      std::vector<StratifiedSample> shard_samples);
+
+  Schema schema_;
+  std::vector<size_t> grouping_columns_;
+  ShardedIngestOptions options_;
+  size_t chunk_rows_;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  /// Global arrival order: each batch claims [seq, seq + n).
+  std::atomic<uint64_t> next_seq_{0};
+  /// Round-robin batch router.
+  std::atomic<uint64_t> batch_counter_{0};
+  std::atomic<uint64_t> tuples_merged_{0};
+
+  /// Serializes merges; producers never touch it.
+  std::mutex merge_mu_;
+  /// Deterministic mode: the persistent serial maintainer every merge
+  /// replays into (same seed as a non-sharded build).
+  std::unique_ptr<SampleMaintainer> serial_;
+  /// Free-running mode: RNG for the merge-time quota draws.
+  Random merge_rng_;
+};
+
+}  // namespace congress
+
+#endif  // CONGRESS_SAMPLING_SHARD_H_

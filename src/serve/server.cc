@@ -20,6 +20,9 @@ double Seconds(Clock::duration d) {
 AquaServer::AquaServer(const AquaEngine* engine, ServeOptions options)
     : engine_(engine), options_(std::move(options)) {}
 
+AquaServer::AquaServer(AquaEngine* engine, ServeOptions options)
+    : engine_(engine), mutable_engine_(engine), options_(std::move(options)) {}
+
 AquaServer::~AquaServer() { Stop(); }
 
 Status AquaServer::Start() {
@@ -44,6 +47,7 @@ void AquaServer::Stop() {
     stopping_ = true;
     workers.swap(workers_);
     drained.swap(queue_);
+    queued_writes_ = 0;
   }
   cv_.notify_all();
   for (std::thread& worker : workers) worker.join();
@@ -107,6 +111,14 @@ std::future<Response> AquaServer::Submit(uint64_t session, Request request) {
     return future;
   }
   it->second.submitted++;
+  const bool is_write = request.mode == QueryMode::kInsert;
+  if (is_write && mutable_engine_ == nullptr) {
+    it->second.rejected++;
+    lock.unlock();
+    reject(Status::FailedPrecondition(
+        "server is read-only (constructed over a const engine)"));
+    return future;
+  }
   if (queue_.size() >= options_.max_queue_depth) {
     it->second.rejected++;
     lock.unlock();
@@ -115,6 +127,15 @@ std::future<Response> AquaServer::Submit(uint64_t session, Request request) {
         std::to_string(options_.max_queue_depth) + ")"));
     return future;
   }
+  if (is_write && queued_writes_ >= options_.max_write_queue_depth) {
+    it->second.rejected++;
+    lock.unlock();
+    reject(Status::ResourceExhausted(
+        "write queue full (depth " +
+        std::to_string(options_.max_write_queue_depth) + ")"));
+    return future;
+  }
+  if (is_write) queued_writes_++;
 
   Pending pending;
   pending.session = session;
@@ -144,6 +165,9 @@ void AquaServer::WorkerLoop() {
       if (queue_.empty()) return;  // stopping_ with nothing left to do.
       pending = std::move(queue_.front());
       queue_.pop_front();
+      if (pending.request.mode == QueryMode::kInsert && queued_writes_ > 0) {
+        queued_writes_--;
+      }
     }
 
     Response response = Execute(pending);
@@ -214,6 +238,21 @@ Response AquaServer::Execute(const Pending& pending) const {
       }
       break;
     }
+    case QueryMode::kInsert: {
+      if (mutable_engine_ == nullptr) {
+        // Admission already rejects this; kept as a backstop.
+        response.status = Status::FailedPrecondition(
+            "server is read-only (constructed over a const engine)");
+        break;
+      }
+      response.status = mutable_engine_->InsertBatch(pending.request.table,
+                                                     pending.request.rows);
+      if (response.status.ok()) {
+        writes_.fetch_add(1, std::memory_order_relaxed);
+        CONGRESS_METRIC_INCR("serve.writes", 1);
+      }
+      break;
+    }
   }
 
   response.exec_seconds = Seconds(Clock::now() - start);
@@ -226,6 +265,7 @@ ServerStats AquaServer::stats() const {
   stats.rejected = rejected_.load(std::memory_order_relaxed);
   stats.completed = completed_.load(std::memory_order_relaxed);
   stats.deadline_expired = deadline_expired_.load(std::memory_order_relaxed);
+  stats.writes = writes_.load(std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(mu_);
   stats.sessions_active = sessions_.size();
   stats.queue_depth = queue_.size();

@@ -27,6 +27,11 @@ struct ServeOptions {
   /// immediately with ResourceExhausted instead of piling up latency.
   size_t max_queue_depth = 64;
 
+  /// Separate admission budget for kInsert requests, so a write burst
+  /// cannot crowd reads out of the shared queue (writes count against
+  /// both limits; reads only against max_queue_depth).
+  size_t max_write_queue_depth = 16;
+
   /// Open sessions beyond this are refused.
   size_t max_sessions = 256;
 
@@ -40,11 +45,17 @@ enum class QueryMode {
   kApproximate = 0,  ///< Synopsis answer with error bounds (Query).
   kResilient = 1,    ///< Degradation ladder, deadline-aware (QueryResilient).
   kExact = 2,        ///< Exact scan of the snapshot's base relation.
+  kInsert = 3,       ///< Stream `rows` into `table` (InsertBatch).
 };
 
 struct Request {
   std::string sql;
   QueryMode mode = QueryMode::kApproximate;
+  /// kInsert mode: target relation and the rows to ingest. The batch
+  /// lands in the engine's sharded ingest buffer and becomes visible at
+  /// the next Refresh; `sql` is ignored.
+  std::string table;
+  std::vector<std::vector<Value>> rows;
   /// Deadline budget for this request; zero uses the server default.
   /// The budget starts at Submit() — queueing time counts against it —
   /// and in kResilient mode the remaining budget is threaded into the
@@ -78,17 +89,21 @@ struct ServerStats {
   uint64_t rejected = 0;
   uint64_t completed = 0;
   uint64_t deadline_expired = 0;
+  uint64_t writes = 0;  ///< kInsert requests executed successfully.
   size_t sessions_active = 0;
   size_t queue_depth = 0;
 };
 
-/// A minimal concurrent serving front-end over a (const) AquaEngine: a
-/// bounded thread pool drains a request queue; sessions provide
-/// admission scoping and accounting; per-query deadlines feed the
-/// degradation ladder. The server only ever uses the engine's const read
-/// paths — every answer comes from one pinned snapshot — so it can run
-/// concurrently with a writer thread doing Insert/Refresh on the same
-/// engine.
+/// A minimal concurrent serving front-end over an AquaEngine: a bounded
+/// thread pool drains a request queue; sessions provide admission
+/// scoping and accounting; per-query deadlines feed the degradation
+/// ladder. Read modes only ever use the engine's const paths — every
+/// answer comes from one pinned snapshot — so they run concurrently with
+/// any writer on the same engine. Constructed over a mutable engine the
+/// server also admits kInsert requests, routing each batch through the
+/// engine's lock-free sharded ingest (so writes never block reads on the
+/// engine side either); constructed over a const engine it is read-only
+/// and rejects writes at admission with FailedPrecondition.
 ///
 /// Lifecycle: construct → Start() → OpenSession()/Submit()/CloseSession()
 /// from any threads → Stop() (drains: queued requests fail Unavailable).
@@ -101,7 +116,11 @@ struct ServerStats {
 /// compiled out under CONGRESS_DISABLE_OBS.
 class AquaServer {
  public:
+  /// Read-only server: kInsert requests are rejected at admission.
   AquaServer(const AquaEngine* engine, ServeOptions options);
+  /// Read-write server: kInsert requests stream into the engine's
+  /// sharded ingest buffer.
+  AquaServer(AquaEngine* engine, ServeOptions options);
   ~AquaServer();
 
   AquaServer(const AquaServer&) = delete;
@@ -145,11 +164,15 @@ class AquaServer {
   Response Execute(const Pending& pending) const;
 
   const AquaEngine* engine_;
+  /// Non-null only for the read-write constructor; the write path.
+  AquaEngine* mutable_engine_ = nullptr;
   const ServeOptions options_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<Pending> queue_;
+  /// kInsert entries currently in queue_ (admission bookkeeping).
+  size_t queued_writes_ = 0;
   std::unordered_map<uint64_t, SessionStats> sessions_;
   uint64_t next_session_ = 1;
   bool started_ = false;
@@ -161,6 +184,7 @@ class AquaServer {
   std::atomic<uint64_t> rejected_{0};
   std::atomic<uint64_t> completed_{0};
   std::atomic<uint64_t> deadline_expired_{0};
+  mutable std::atomic<uint64_t> writes_{0};  // Bumped in const Execute().
 };
 
 }  // namespace congress::serve

@@ -119,6 +119,22 @@ std::vector<PropConfig> BuildDefaultConfigs() {
   }
   {
     PropConfig c;
+    c.name = "sharded_ingest";
+    c.description =
+        "sharded streaming ingest: deterministic mode bit-identical to the "
+        "serial maintainer at 1/4/8 shards, concurrent producers tear "
+        "nothing, free-running merges stay valid, engine publishes are "
+        "shard-count invariant with monotonic epochs";
+    c.spec.num_rows = 2000;
+    c.spec.num_grouping_columns = 2;
+    c.spec.values_per_column = 3;
+    c.spec.group_skew_z = 1.0;
+    c.spec.singleton_groups = 2;
+    c.sharded_ingest = true;
+    configs.push_back(c);
+  }
+  {
+    PropConfig c;
     c.name = "lineitem";
     c.description = "TPC-D lineitem generator, 27 groups";
     c.use_lineitem = true;
@@ -192,6 +208,17 @@ Status RunOracles(const PropConfig& config, uint64_t seed,
           table, data->grouping_columns, strategy, static_cast<uint64_t>(x),
           seed);
       if (!st.ok()) return fail("concurrent-snapshot-consistency", name, st);
+    }
+    return Status::OK();
+  }
+
+  if (config.sharded_ingest) {
+    for (AllocationStrategy strategy : kStrategies) {
+      const std::string name = AllocationStrategyToString(strategy);
+      Status st = CheckShardedIngestConsistency(
+          table, data->grouping_columns, strategy, static_cast<uint64_t>(x),
+          seed);
+      if (!st.ok()) return fail("sharded-ingest-consistency", name, st);
     }
     return Status::OK();
   }

@@ -25,6 +25,7 @@
 #include "resilience/snapshot_io.h"
 #include "sampling/builder.h"
 #include "sampling/maintenance.h"
+#include "sampling/shard.h"
 #include "sql/parser.h"
 #include "util/random.h"
 
@@ -1154,6 +1155,241 @@ Status CheckConcurrentSnapshotConsistency(const Table& table,
     }
   }
   return Status::OK();
+}
+
+Status CheckShardedIngestConsistency(const Table& table,
+                                     const std::vector<size_t>& grouping,
+                                     AllocationStrategy strategy,
+                                     uint64_t sample_size, uint64_t seed) {
+  const size_t n = table.num_rows();
+  if (n < 2) return Status::InvalidArgument("table too small for the oracle");
+  const std::string name = AllocationStrategyToString(strategy);
+
+  auto row_at = [&](size_t r) {
+    std::vector<Value> row;
+    row.reserve(table.num_columns());
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      row.push_back(table.GetValue(r, c));
+    }
+    return row;
+  };
+
+  // Ground truth: exact per-group populations of the table.
+  std::unordered_map<GroupKey, uint64_t, GroupKeyHash> exact_counts;
+  for (size_t r = 0; r < n; ++r) {
+    GroupKey key;
+    key.reserve(grouping.size());
+    for (size_t c : grouping) key.push_back(table.GetValue(r, c));
+    exact_counts[std::move(key)] += 1;
+  }
+
+  // A published sample is *valid* when its strata are exactly the table's
+  // groups with exact populations, no stratum holds more rows than its
+  // population, the row store totals the declared counts, and every
+  // sampled row's grouping columns match its stratum's key (a torn row —
+  // one whose columns were read mid-publication — would fail here).
+  auto check_valid = [&](const StratifiedSample& sample,
+                         const std::string& label) -> Status {
+    if (sample.total_population() != n) {
+      return Status::Internal(
+          label + ": total population " +
+          std::to_string(sample.total_population()) + ", expected " +
+          std::to_string(n));
+    }
+    if (sample.strata().size() != exact_counts.size()) {
+      return Status::Internal(
+          label + ": " + std::to_string(sample.strata().size()) +
+          " strata, expected " + std::to_string(exact_counts.size()));
+    }
+    uint64_t total_sampled = 0;
+    for (const Stratum& stratum : sample.strata()) {
+      auto it = exact_counts.find(stratum.key);
+      if (it == exact_counts.end()) {
+        return Status::Internal(label + ": stratum " +
+                                GroupKeyToString(stratum.key) +
+                                " names a group the table does not contain");
+      }
+      if (stratum.population != it->second) {
+        return Status::Internal(
+            label + ": stratum " + GroupKeyToString(stratum.key) +
+            " population " + std::to_string(stratum.population) +
+            ", exact count " + std::to_string(it->second));
+      }
+      if (stratum.sample_count > stratum.population) {
+        return Status::Internal(label + ": stratum " +
+                                GroupKeyToString(stratum.key) +
+                                " oversampled: " +
+                                std::to_string(stratum.sample_count) + " of " +
+                                std::to_string(stratum.population));
+      }
+      total_sampled += stratum.sample_count;
+    }
+    if (sample.num_rows() != total_sampled) {
+      return Status::Internal(
+          label + ": row store holds " + std::to_string(sample.num_rows()) +
+          " rows, strata declare " + std::to_string(total_sampled));
+    }
+    for (size_t r = 0; r < sample.num_rows(); ++r) {
+      const Stratum& stratum = sample.strata()[sample.row_strata()[r]];
+      GroupKey key;
+      key.reserve(grouping.size());
+      for (size_t c : grouping) key.push_back(sample.rows().GetValue(r, c));
+      if (key != stratum.key) {
+        return Status::Internal(label + ": sampled row " + std::to_string(r) +
+                                " keys to " + GroupKeyToString(key) +
+                                " but sits in stratum " +
+                                GroupKeyToString(stratum.key));
+      }
+    }
+    return Status::OK();
+  };
+
+  // (a) Deterministic mode, single producer: 1, 4 and 8 shards — with a
+  // mid-stream merge — must all publish the serial maintainer's sample
+  // bit for bit.
+  const size_t merge_at = n / 2;
+  auto run_sharded = [&](size_t shards) -> Result<StratifiedSample> {
+    ShardedIngestOptions options;
+    options.strategy = strategy;
+    options.target_sample_size = sample_size;
+    options.seed = seed;
+    options.num_shards = shards;
+    options.mode = IngestMode::kDeterministic;
+    options.chunk_rows = 64;  // Small chunks exercise queue rollover.
+    ShardedMaintainer sharded(table.schema(), grouping, options);
+    std::vector<std::vector<Value>> batch;
+    for (size_t r = 0; r < n; ++r) {
+      batch.push_back(row_at(r));
+      if (batch.size() == 7 || r + 1 == n || r + 1 == merge_at) {
+        CONGRESS_RETURN_NOT_OK(sharded.InsertBatch(batch));
+        batch.clear();
+      }
+      if (r + 1 == merge_at) {
+        // Mid-stream merge: the final sample must not notice.
+        auto mid = sharded.MaterializeForPublish();
+        CONGRESS_RETURN_NOT_OK(mid.status());
+      }
+    }
+    auto delta = sharded.MaterializeForPublish();
+    CONGRESS_RETURN_NOT_OK(delta.status());
+    if (delta->tuples_seen != n) {
+      return Status::Internal(name + " x" + std::to_string(shards) +
+                              ": merged " + std::to_string(delta->tuples_seen) +
+                              " of " + std::to_string(n) + " tuples");
+    }
+    return std::move(delta->sample);
+  };
+
+  // Reference: the plain serial maintainer snapshotted at the same stream
+  // positions (Snapshot() may advance maintainer RNG, so the mid-stream
+  // merge has to line up exactly).
+  auto serial = MakeMaintainer(table, grouping, strategy, sample_size, seed);
+  CONGRESS_RETURN_NOT_OK(FeedRows(serial.get(), table, 0, merge_at));
+  CONGRESS_RETURN_NOT_OK(
+      MaterializeSnapshot(serial.get(), sample_size).status());
+  CONGRESS_RETURN_NOT_OK(FeedRows(serial.get(), table, merge_at, n));
+  auto reference = MaterializeSnapshot(serial.get(), sample_size);
+  CONGRESS_RETURN_NOT_OK(reference.status());
+
+  for (size_t shards : {size_t{1}, size_t{4}, size_t{8}}) {
+    auto sample = run_sharded(shards);
+    CONGRESS_RETURN_NOT_OK(sample.status());
+    CONGRESS_RETURN_NOT_OK(CheckSamplesIdentical(
+        *sample, *reference, name + " sharded x" + std::to_string(shards),
+        "serial replay"));
+  }
+
+  // (b)+(c) Concurrent producers, both modes: every row lands exactly
+  // once, nothing tears.
+  auto concurrent_run = [&](IngestMode ingest_mode) -> Result<PublishDelta> {
+    ShardedIngestOptions options;
+    options.strategy = strategy;
+    options.target_sample_size = sample_size;
+    options.seed = seed;
+    options.num_shards = 4;
+    options.mode = ingest_mode;
+    options.chunk_rows = 32;
+    ShardedMaintainer sharded(table.schema(), grouping, options);
+    constexpr size_t kProducers = 4;
+    std::vector<std::thread> producers;
+    std::vector<Status> producer_status(kProducers, Status::OK());
+    producers.reserve(kProducers);
+    for (size_t t = 0; t < kProducers; ++t) {
+      producers.emplace_back([&, t] {
+        std::vector<std::vector<Value>> batch;
+        for (size_t r = t; r < n; r += kProducers) {
+          batch.push_back(row_at(r));
+          if (batch.size() == 16) {
+            producer_status[t] = sharded.InsertBatch(batch);
+            batch.clear();
+            if (!producer_status[t].ok()) return;
+          }
+        }
+        if (!batch.empty()) producer_status[t] = sharded.InsertBatch(batch);
+      });
+    }
+    for (std::thread& producer : producers) producer.join();
+    for (const Status& st : producer_status) CONGRESS_RETURN_NOT_OK(st);
+    return sharded.MaterializeForPublish();
+  };
+
+  auto deterministic = concurrent_run(IngestMode::kDeterministic);
+  CONGRESS_RETURN_NOT_OK(deterministic.status());
+  if (deterministic->merged_rows.size() != n) {
+    return Status::Internal(
+        name + " deterministic concurrent: merge returned " +
+        std::to_string(deterministic->merged_rows.size()) + " of " +
+        std::to_string(n) + " rows");
+  }
+  CONGRESS_RETURN_NOT_OK(
+      check_valid(deterministic->sample, name + " deterministic concurrent"));
+
+  auto free_running = concurrent_run(IngestMode::kFreeRunning);
+  CONGRESS_RETURN_NOT_OK(free_running.status());
+  CONGRESS_RETURN_NOT_OK(
+      check_valid(free_running->sample, name + " free-running concurrent"));
+
+  // (d) The full engine publish path is shard-count invariant, and every
+  // Refresh bumps the catalog epoch.
+  SynopsisConfig config;
+  config.strategy = strategy;
+  config.sample_size = sample_size;
+  config.incremental = true;
+  config.seed = seed;
+  for (size_t c : grouping) {
+    config.grouping_columns.push_back(table.schema().field(c).name);
+  }
+  auto engine_run = [&](size_t shards)
+      -> Result<std::shared_ptr<const AquaSynopsis>> {
+    SynopsisConfig shard_config = config;
+    shard_config.ingest_shards = shards;
+    AquaEngine engine;
+    CONGRESS_RETURN_NOT_OK(engine.RegisterTable("t", table, shard_config));
+    uint64_t last_epoch = engine.epoch();
+    for (size_t round = 0; round < 3; ++round) {
+      for (size_t i = 0; i < 20; ++i) {
+        CONGRESS_RETURN_NOT_OK(
+            engine.Insert("t", row_at((round * 20 + i) % n)));
+      }
+      CONGRESS_RETURN_NOT_OK(engine.Refresh("t"));
+      if (engine.epoch() <= last_epoch) {
+        return Status::Internal(name + ": catalog epoch did not advance (" +
+                                std::to_string(engine.epoch()) + " after " +
+                                std::to_string(last_epoch) + ")");
+      }
+      last_epoch = engine.epoch();
+    }
+    auto synopsis = engine.GetSynopsis("t");
+    CONGRESS_RETURN_NOT_OK(synopsis.status());
+    return *synopsis;
+  };
+  auto one_shard = engine_run(1);
+  CONGRESS_RETURN_NOT_OK(one_shard.status());
+  auto eight_shards = engine_run(8);
+  CONGRESS_RETURN_NOT_OK(eight_shards.status());
+  return CheckSamplesIdentical((*one_shard)->sample(),
+                               (*eight_shards)->sample(), name + " engine x1",
+                               "engine x8");
 }
 
 }  // namespace congress::testing

@@ -1,5 +1,9 @@
 #include "core/aqua.h"
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 namespace congress {
@@ -172,6 +176,124 @@ TEST_F(AquaEngineTest, IncrementalInsertFlowsThrough) {
   const GroupResult* north = exact->Find({Value("north")});
   ASSERT_NE(north, nullptr);
   EXPECT_DOUBLE_EQ(north->aggregates[0], 500.0);
+}
+
+TEST_F(AquaEngineTest, InsertBatchFlowsThrough) {
+  SynopsisConfig config = SalesConfig();
+  config.incremental = true;
+  config.ingest_shards = 4;
+  AquaEngine engine;
+  ASSERT_TRUE(engine.RegisterTable("live", SalesTable(), config).ok());
+  std::vector<std::vector<Value>> batch;
+  for (int i = 0; i < 100; ++i) {
+    batch.push_back({Value("north"), Value(int64_t{2}), Value(5.0)});
+  }
+  ASSERT_TRUE(engine.InsertBatch("live", batch).ok());
+  ASSERT_TRUE(engine.Refresh("live").ok());
+  auto table = engine.GetTable("live");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->num_rows(), 1100u);
+  auto exact = engine.QueryExact(
+      "SELECT region, SUM(amount) FROM live GROUP BY region");
+  ASSERT_TRUE(exact.ok());
+  const GroupResult* north = exact->Find({Value("north")});
+  ASSERT_NE(north, nullptr);
+  EXPECT_DOUBLE_EQ(north->aggregates[0], 500.0);
+
+  // One bad row rejects the whole batch and buffers nothing.
+  batch.push_back({Value("torn")});
+  EXPECT_FALSE(engine.InsertBatch("live", batch).ok());
+  ASSERT_TRUE(engine.Refresh("live").ok());
+  table = engine.GetTable("live");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->num_rows(), 1100u);
+}
+
+TEST_F(AquaEngineTest, ShardCountInvariantPublish) {
+  // Deterministic ingest: the same insert stream publishes bit-identical
+  // synopses whether the engine buffers through 1 shard or 4.
+  auto run = [&](size_t shards) {
+    SynopsisConfig config = SalesConfig();
+    config.incremental = true;
+    config.ingest_shards = shards;
+    AquaEngine engine;
+    EXPECT_TRUE(engine.RegisterTable("live", SalesTable(), config).ok());
+    for (int i = 0; i < 60; ++i) {
+      EXPECT_TRUE(engine
+                      .Insert("live", {Value(i % 2 == 0 ? "north" : "east"),
+                                       Value(int64_t{i % 3}),
+                                       Value(static_cast<double>(i % 5))})
+                      .ok());
+      if (i == 29) EXPECT_TRUE(engine.Refresh("live").ok());
+    }
+    EXPECT_TRUE(engine.Refresh("live").ok());
+    auto synopsis = engine.GetSynopsis("live");
+    EXPECT_TRUE(synopsis.ok());
+    return *synopsis;
+  };
+  auto one = run(1);
+  auto four = run(4);
+  const StratifiedSample& a = one->sample();
+  const StratifiedSample& b = four->sample();
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  ASSERT_EQ(a.strata().size(), b.strata().size());
+  for (size_t s = 0; s < a.strata().size(); ++s) {
+    EXPECT_EQ(a.strata()[s].key, b.strata()[s].key);
+    EXPECT_EQ(a.strata()[s].population, b.strata()[s].population);
+    EXPECT_EQ(a.strata()[s].sample_count, b.strata()[s].sample_count);
+  }
+  for (size_t r = 0; r < a.num_rows(); ++r) {
+    for (size_t c = 0; c < a.rows().num_columns(); ++c) {
+      EXPECT_EQ(a.rows().GetValue(r, c), b.rows().GetValue(r, c));
+    }
+  }
+}
+
+TEST_F(AquaEngineTest, ConcurrentInsertersWithLiveReader) {
+  SynopsisConfig config = SalesConfig();
+  config.incremental = true;
+  config.ingest_shards = 4;
+  AquaEngine engine;
+  ASSERT_TRUE(engine.RegisterTable("live", SalesTable(), config).ok());
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 200;
+  std::atomic<bool> stop{false};
+  std::atomic<int> reader_errors{0};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      auto approx = engine.Query(
+          "SELECT region, SUM(amount) FROM live GROUP BY region");
+      if (!approx.ok()) reader_errors.fetch_add(1);
+    }
+  });
+  std::vector<std::thread> writers;
+  std::atomic<int> insert_errors{0};
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      std::vector<std::vector<Value>> batch;
+      for (int i = 0; i < kPerThread; ++i) {
+        batch.push_back({Value(t % 2 == 0 ? "north" : "south"),
+                         Value(int64_t{t}), Value(1.0)});
+        if (batch.size() == 25) {
+          if (!engine.InsertBatch("live", batch).ok()) {
+            insert_errors.fetch_add(1);
+          }
+          batch.clear();
+        }
+      }
+    });
+  }
+  for (std::thread& writer : writers) writer.join();
+  ASSERT_TRUE(engine.Refresh("live").ok());
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_EQ(insert_errors.load(), 0);
+  EXPECT_EQ(reader_errors.load(), 0);
+  auto table = engine.GetTable("live");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->num_rows(), 1000u + kThreads * kPerThread);
 }
 
 TEST_F(AquaEngineTest, DropTable) {

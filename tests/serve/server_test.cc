@@ -214,5 +214,98 @@ TEST_F(AquaServerTest, ConcurrentLoadAgainstLiveWriter) {
   EXPECT_EQ(engine_.pinned_readers(), 0);
 }
 
+TEST_F(AquaServerTest, WriteRequestsStreamIntoTheEngine) {
+  AquaServer server(&engine_, ServeOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  auto session = server.OpenSession();
+  ASSERT_TRUE(session.ok());
+
+  Request write;
+  write.mode = QueryMode::kInsert;
+  write.table = "sales";
+  for (int i = 0; i < 40; ++i) {
+    write.rows.push_back({Value("north"), Value(2.5)});
+  }
+  Response r = server.Submit(*session, write).get();
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_EQ(server.stats().writes, 1u);
+
+  // The batch is buffered, not yet published: queries still see 2 groups
+  // until a Refresh publishes the next snapshot.
+  ASSERT_TRUE(engine_.Refresh("sales").ok());
+  Request read;
+  read.sql = kSql;
+  read.mode = QueryMode::kExact;
+  r = server.Submit(*session, read).get();
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_EQ(r.result.num_groups(), 3u);
+  const ApproximateGroupRow* north = r.result.Find({Value("north")});
+  ASSERT_NE(north, nullptr);
+  EXPECT_DOUBLE_EQ(north->estimates[0], 100.0);  // 40 rows x 2.5.
+
+  // A write against an unknown table fails the request, not the server.
+  Request bad = write;
+  bad.table = "nope";
+  r = server.Submit(*session, bad).get();
+  EXPECT_EQ(r.status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(server.stats().writes, 1u);
+  server.Stop();
+}
+
+TEST_F(AquaServerTest, ReadOnlyServerRejectsWritesAtAdmission) {
+  const AquaEngine* read_only = &engine_;
+  AquaServer server(read_only, ServeOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  auto session = server.OpenSession();
+  ASSERT_TRUE(session.ok());
+
+  Request write;
+  write.mode = QueryMode::kInsert;
+  write.table = "sales";
+  write.rows.push_back({Value("north"), Value(1.0)});
+  Response r = server.Submit(*session, write).get();
+  EXPECT_EQ(r.status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(server.stats().writes, 0u);
+  EXPECT_EQ(server.stats().rejected, 1u);
+
+  // Reads still serve.
+  Request read;
+  read.sql = kSql;
+  r = server.Submit(*session, read).get();
+  EXPECT_TRUE(r.status.ok());
+  server.Stop();
+}
+
+TEST_F(AquaServerTest, WriteQueueDepthIsSeparatelyBounded) {
+  ServeOptions options;
+  options.max_queue_depth = 64;
+  options.max_write_queue_depth = 2;
+  AquaServer server(&engine_, options);  // Not started: requests queue.
+  auto session = server.OpenSession();
+  ASSERT_TRUE(session.ok());
+
+  Request write;
+  write.mode = QueryMode::kInsert;
+  write.table = "sales";
+  write.rows.push_back({Value("east"), Value(1.0)});
+  auto w1 = server.Submit(*session, write);
+  auto w2 = server.Submit(*session, write);
+  auto w3 = server.Submit(*session, write);  // Over the write budget.
+  Response rejected = w3.get();
+  EXPECT_EQ(rejected.status.code(), StatusCode::kResourceExhausted);
+
+  // Reads are not crowded out by the full write lane.
+  Request read;
+  read.sql = kSql;
+  auto r1 = server.Submit(*session, read);
+
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_TRUE(w1.get().status.ok());
+  EXPECT_TRUE(w2.get().status.ok());
+  EXPECT_TRUE(r1.get().status.ok());
+  EXPECT_EQ(server.stats().writes, 2u);
+  server.Stop();
+}
+
 }  // namespace
 }  // namespace congress::serve
