@@ -11,6 +11,7 @@
 // thread keeps inserting and refreshing — every answer names the
 // snapshot epoch it came from.
 
+#include <cctype>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -28,7 +29,33 @@ using namespace congress;
 
 namespace {
 
-void RunQuery(const std::string& sql_text, const AquaEngine& engine) {
+/// Strips a leading EXPLAIN PLAN (any case) and reports whether it was
+/// present; the remainder is the SELECT to plan.
+bool StripExplainPlan(std::string* sql_text) {
+  static constexpr char kPrefix[] = "EXPLAIN PLAN ";
+  static constexpr size_t kLen = sizeof(kPrefix) - 1;
+  if (sql_text->size() <= kLen) return false;
+  for (size_t i = 0; i < kLen; ++i) {
+    if (std::toupper(static_cast<unsigned char>((*sql_text)[i])) !=
+        kPrefix[i]) {
+      return false;
+    }
+  }
+  sql_text->erase(0, kLen);
+  return true;
+}
+
+void RunQuery(std::string sql_text, const AquaEngine& engine) {
+  if (StripExplainPlan(&sql_text)) {
+    auto report = engine.ExplainPlan(sql_text);
+    if (!report.ok()) {
+      std::printf("  error: %s\n", report.status().ToString().c_str());
+      return;
+    }
+    std::printf("%s\n", report->c_str());
+    return;
+  }
+
   auto rewritten =
       engine.ExplainRewrite(sql_text, RewriteStrategy::kNestedIntegrated);
   if (!rewritten.ok()) {
@@ -38,12 +65,21 @@ void RunQuery(const std::string& sql_text, const AquaEngine& engine) {
   std::printf("-- rewritten (Nested-Integrated):\n%s\n", rewritten->c_str());
 
   Stopwatch approx_sw;
-  auto approx = engine.Query(sql_text);
+  auto planned = engine.QueryPlanned(sql_text);
   double approx_ms = approx_sw.ElapsedMillis();
-  if (!approx.ok()) {
-    std::printf("  error: %s\n", approx.status().ToString().c_str());
+  if (!planned.ok()) {
+    std::printf("  error: %s\n", planned.status().ToString().c_str());
     return;
   }
+  if (planned->report.budget.active()) {
+    std::printf("-- plan: %s (predicted rel err %.4g, realized %.4g, "
+                "escalations %zu)\n",
+                planner::PlanKindToString(planned->report.chosen.kind),
+                planned->report.predicted_relative_error,
+                planned->report.realized_relative_error,
+                planned->report.escalations);
+  }
+  const ApproximateResult* approx = &planned->result;
   Stopwatch exact_sw;
   auto exact = engine.QueryExact(sql_text);
   double exact_ms = exact_sw.ElapsedMillis();
@@ -205,6 +241,10 @@ int main(int argc, char** argv) {
         "100000 AND 170000",
         "SELECT l_returnflag, AVG(l_quantity), COUNT(*) FROM lineitem "
         "GROUP BY l_returnflag",
+        "SELECT l_returnflag, SUM(l_quantity), COUNT(*) FROM lineitem "
+        "GROUP BY l_returnflag WITHIN 2% CONFIDENCE 95",
+        "EXPLAIN PLAN SELECT l_returnflag, SUM(l_quantity) FROM lineitem "
+        "GROUP BY l_returnflag WITHIN 2% CONFIDENCE 95",
     };
     for (const char* sql_text : scripted) {
       std::printf("aqua> %s\n", sql_text);

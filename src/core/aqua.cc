@@ -1,24 +1,28 @@
 #include "core/aqua.h"
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
 #include <utility>
 
 #include "engine/executor.h"
 #include "obs/metrics.h"
+#include "planner/error_model.h"
 #include "resilience/failpoint.h"
 #include "resilience/recovery.h"
 #include "resilience/snapshot_io.h"
 #include "sql/emitter.h"
 #include "sql/parser.h"
+#include "storage/group_index.h"
 
 namespace congress {
 
 namespace {
 
-/// Bound-widening factors for the non-exact fallback rungs. BasicCongress
-/// still balances groups against uniformity; House abandons small-group
-/// guarantees entirely, so its bounds get the larger haircut.
-constexpr double kBasicCongressWidening = 1.25;
-constexpr double kHouseWidening = 1.5;
+/// Widening a derived factor may grow to; past this the fallback's bounds
+/// say "don't trust this rung", which the resilient caller can read from
+/// DegradationReason directly.
+constexpr double kMaxDerivedWidening = 8.0;
 
 ApproximateResult WidenBounds(const ApproximateResult& in, double factor) {
   ApproximateResult out;
@@ -50,6 +54,122 @@ void BuildFallback(const Table& table, const SynopsisConfig& primary,
   }
   *slot = std::make_shared<const AquaSynopsis>(std::move(built).value());
   *slot_status = Status::OK();
+}
+
+/// A fallback rung's plan: predicted relative error (orders the rungs)
+/// and the bound widening derived from the fallback-to-primary ratio of
+/// predicted estimator variance. Replaces the old fixed 1.25x/1.5x
+/// haircuts, which over-widened a fallback whose allocation happened to
+/// match the query and under-widened one that collapsed a needed
+/// stratum. 1.0 / +inf when the model cannot score the rung.
+struct RungPlan {
+  double predicted_error = std::numeric_limits<double>::infinity();
+  double widening = 1.0;
+};
+
+RungPlan PlanRung(const AquaSnapshot& snapshot, const AquaSynopsis* fallback,
+                  const GroupByQuery& query) {
+  RungPlan plan;
+  if (fallback == nullptr) return plan;
+  const double confidence = snapshot.synopsis->config().estimator.confidence;
+  auto fb = planner::PredictSampleError(*fallback, query, confidence);
+  if (!fb.ok()) return plan;
+  plan.predicted_error = fb->max_relative_bound;
+  auto primary =
+      planner::PredictSampleError(*snapshot.synopsis, query, confidence);
+  if (primary.ok() && primary->mean_variance > 0.0 && fb->mean_variance > 0.0) {
+    plan.widening = std::clamp(std::sqrt(fb->mean_variance /
+                                         primary->mean_variance),
+                               1.0, kMaxDerivedWidening);
+  }
+  return plan;
+}
+
+/// Builds the optional histogram/wavelet fleet members over the base
+/// table at the synopsis grouping, then measures each one's residual —
+/// the mean over finest groups and measures of |summary - exact| /
+/// max(|exact|, 1) — against one exact reference answer. The residual is
+/// the planner's accuracy score for summaries, which carry no
+/// probabilistic error model.
+void BuildFleet(AquaSnapshot* snapshot, const SynopsisConfig& config) {
+  const std::vector<size_t>& grouping =
+      snapshot->synopsis->grouping_column_indices();
+  const Table& table = *snapshot->table;
+  std::vector<size_t> measures;
+  for (size_t c = 0; c < table.schema().num_fields(); ++c) {
+    if (table.schema().field(c).type == DataType::kString) continue;
+    if (std::find(grouping.begin(), grouping.end(), c) != grouping.end()) {
+      continue;
+    }
+    measures.push_back(c);
+  }
+
+  GroupByQuery reference;
+  reference.group_columns = grouping;
+  for (size_t m : measures) {
+    reference.aggregates.emplace_back(AggregateKind::kSum, m);
+  }
+  reference.aggregates.emplace_back(AggregateKind::kCount, 0);
+  auto exact = ExecuteExact(table, reference, config.execution);
+  if (!exact.ok()) {
+    if (config.fleet_histogram) snapshot->histogram_status = exact.status();
+    if (config.fleet_wavelet) snapshot->wavelet_status = exact.status();
+    return;
+  }
+
+  auto residual_of = [&exact](const QueryResult& approx) {
+    double total = 0.0;
+    size_t cells = 0;
+    for (const GroupResult& row : exact->rows()) {
+      const GroupResult* a = approx.Find(row.key);
+      for (size_t i = 0; i < row.aggregates.size(); ++i) {
+        const double e = row.aggregates[i];
+        const double h = a != nullptr ? a->aggregates[i] : 0.0;
+        total += std::fabs(h - e) / std::max(std::fabs(e), 1.0);
+        ++cells;
+      }
+    }
+    return cells > 0 ? total / static_cast<double>(cells) : 0.0;
+  };
+
+  if (config.fleet_histogram) {
+    GroupHistogram::Options options;
+    options.measure_columns = measures;
+    options.execution = config.execution;
+    auto built = GroupHistogram::Build(table, grouping, options);
+    if (!built.ok()) {
+      snapshot->histogram_status = built.status();
+    } else {
+      auto answer = built->Answer(reference);
+      if (!answer.ok()) {
+        snapshot->histogram_status = answer.status();
+      } else {
+        snapshot->histogram_residual = residual_of(*answer);
+        snapshot->histogram =
+            std::make_shared<const GroupHistogram>(std::move(built).value());
+        snapshot->histogram_status = Status::OK();
+      }
+    }
+  }
+  if (config.fleet_wavelet) {
+    WaveletSynopsis::Options options;
+    options.measure_columns = measures;
+    options.execution = config.execution;
+    auto built = WaveletSynopsis::Build(table, grouping, options);
+    if (!built.ok()) {
+      snapshot->wavelet_status = built.status();
+    } else {
+      auto answer = built->Answer(reference);
+      if (!answer.ok()) {
+        snapshot->wavelet_status = answer.status();
+      } else {
+        snapshot->wavelet_residual = residual_of(*answer);
+        snapshot->wavelet =
+            std::make_shared<const WaveletSynopsis>(std::move(built).value());
+        snapshot->wavelet_status = Status::OK();
+      }
+    }
+  }
 }
 
 }  // namespace
@@ -89,13 +209,28 @@ Status AquaEngine::PublishLocked(const std::string& name,
   snapshot->base_available = !state->restored;
 
   // Degradation-ladder fallbacks are part of the snapshot, so the
-  // resilient read path never builds (or caches) anything.
+  // resilient read path never builds (or caches) anything. The same goes
+  // for the planner's inputs: the row→stratum index combined plans pull
+  // outlier rows through, and the optional histogram/wavelet fleet.
   if (state->restored) {
     const Status unavailable = Status::FailedPrecondition(
         "fallback unavailable: snapshot restored without base relation");
     snapshot->fallback_basic_status = unavailable;
     snapshot->fallback_house_status = unavailable;
+    const Status fleet_unavailable = Status::FailedPrecondition(
+        "fleet synopsis unavailable: snapshot restored without base "
+        "relation");
+    snapshot->histogram_status = fleet_unavailable;
+    snapshot->wavelet_status = fleet_unavailable;
   } else {
+    auto index = GroupIndex::Build(
+        *snapshot->table, snapshot->synopsis->grouping_column_indices(),
+        state->config.execution);
+    if (index.ok()) {
+      snapshot->base_group_index =
+          std::make_shared<const GroupIndex>(std::move(index).value());
+    }
+    BuildFleet(snapshot.get(), state->config);
     const SynopsisConfig& primary = snapshot->synopsis->config();
     BuildFallback(state->working_table, primary,
                   AllocationStrategy::kBasicCongress,
@@ -216,7 +351,33 @@ AquaEngine::Route(const std::string& sql) const {
 Result<ApproximateResult> AquaEngine::Query(const std::string& sql) const {
   auto routed = Route(sql);
   if (!routed.ok()) return routed.status();
+  // Budget clauses go through the planner; everything else answers from
+  // the primary synopsis directly (and bit-identically to builds that
+  // predate the planner).
+  if (routed->second.budget.active()) {
+    planner::Planner planner;
+    auto planned = planner.Run(*routed->first, routed->second);
+    if (!planned.ok()) return planned.status();
+    return std::move(planned->result);
+  }
   return routed->first->synopsis->Answer(routed->second);
+}
+
+Result<planner::PlannedAnswer> AquaEngine::QueryPlanned(
+    const std::string& sql) const {
+  auto routed = Route(sql);
+  if (!routed.ok()) return routed.status();
+  planner::Planner planner;
+  return planner.Run(*routed->first, routed->second);
+}
+
+Result<std::string> AquaEngine::ExplainPlan(const std::string& sql) const {
+  auto routed = Route(sql);
+  if (!routed.ok()) return routed.status();
+  planner::Planner planner;
+  auto report = planner.Plan(*routed->first, routed->second);
+  if (!report.ok()) return report.status();
+  return report->ToString();
 }
 
 Result<QueryResult> AquaEngine::QueryExact(const std::string& sql) const {
@@ -283,22 +444,32 @@ Result<ResilientAnswer> AquaEngine::QueryResilientImpl(
   }
 
   // Rungs 1-2: the progressively simpler synopses pre-built into the
-  // snapshot at publication time.
+  // snapshot at publication time. The walk is re-planned per query: each
+  // fallback is scored by the closed-form error model and tried in order
+  // of predicted relative error (ties keep the ladder order), and its
+  // bound widening is derived from its predicted-variance ratio to the
+  // primary rather than a fixed haircut.
   struct Rung {
     const std::shared_ptr<const AquaSynopsis>* fallback;
     const Status* build_status;
     const char* name;
     const char* site;
     DegradationLevel level;
-    double widening;
+    RungPlan plan;
   };
-  const Rung rungs[] = {
+  Rung rungs[] = {
       {&snapshot->fallback_basic, &snapshot->fallback_basic_status,
        "basic_congress", "aqua/fallback_basic",
-       DegradationLevel::kBasicCongress, kBasicCongressWidening},
+       DegradationLevel::kBasicCongress,
+       PlanRung(*snapshot, snapshot->fallback_basic.get(), query)},
       {&snapshot->fallback_house, &snapshot->fallback_house_status, "house",
-       "aqua/fallback_house", DegradationLevel::kHouse, kHouseWidening},
+       "aqua/fallback_house", DegradationLevel::kHouse,
+       PlanRung(*snapshot, snapshot->fallback_house.get(), query)},
   };
+  std::stable_sort(std::begin(rungs), std::end(rungs),
+                   [](const Rung& a, const Rung& b) {
+                     return a.plan.predicted_error < b.plan.predicted_error;
+                   });
   for (const Rung& rung : rungs) {
     if (expired()) {
       return Status::DeadlineExceeded(
@@ -318,9 +489,9 @@ Result<ResilientAnswer> AquaEngine::QueryResilientImpl(
       note(rung.name, result.status());
       continue;
     }
-    answer.result = WidenBounds(*result, rung.widening);
+    answer.result = WidenBounds(*result, rung.plan.widening);
     answer.degradation.level = rung.level;
-    answer.degradation.bound_widening = rung.widening;
+    answer.degradation.bound_widening = rung.plan.widening;
     answer.degradation.cause = causes;
     CONGRESS_METRIC_INCR("resilience.degraded_answers", 1);
     return answer;
@@ -464,6 +635,10 @@ Status AquaEngine::RestoreTable(const std::string& name,
       "fallback unavailable: snapshot restored without base relation");
   snapshot->fallback_basic_status = unavailable;
   snapshot->fallback_house_status = unavailable;
+  const Status fleet_unavailable = Status::FailedPrecondition(
+      "fleet synopsis unavailable: snapshot restored without base relation");
+  snapshot->histogram_status = fleet_unavailable;
+  snapshot->wavelet_status = fleet_unavailable;
   CONGRESS_RETURN_NOT_OK(catalog_.Publish(std::move(snapshot)));
   {
     std::lock_guard<std::mutex> states_lock(states_mu_);

@@ -12,6 +12,7 @@
 #include "core/catalog.h"
 #include "core/degradation.h"
 #include "core/synopsis.h"
+#include "planner/planner.h"
 #include "sampling/shard.h"
 #include "util/status.h"
 
@@ -60,8 +61,24 @@ class AquaEngine {
   std::vector<std::string> TableNames() const;
 
   /// Parses `sql`, routes by FROM, and answers from the pinned
-  /// snapshot's synopsis with per-group error bounds.
+  /// snapshot's synopsis with per-group error bounds. A query carrying a
+  /// budget clause (`WITHIN <pct>% CONFIDENCE <pct>` or `WITHIN <ms> MS`)
+  /// is routed through the accuracy-aware planner, which picks the
+  /// cheapest fleet member predicted to honor the budget and escalates
+  /// (combined outlier-exact plan, then exact) if the realized bounds
+  /// break the promise. Without a budget the primary synopsis answers
+  /// directly — bit-identical to earlier releases.
   Result<ApproximateResult> Query(const std::string& sql) const;
+
+  /// Like Query(), but returns the plan report alongside the answer:
+  /// every candidate scored, the chosen plan, predicted vs. promised vs.
+  /// realized error, and how often verification escalated.
+  Result<planner::PlannedAnswer> QueryPlanned(const std::string& sql) const;
+
+  /// Scores the snapshot's synopsis fleet against the query's budget and
+  /// renders the chosen plan without executing anything — the planner's
+  /// EXPLAIN PLAN.
+  Result<std::string> ExplainPlan(const std::string& sql) const;
 
   /// Exact answer over the snapshot's retained base relation.
   Result<QueryResult> QueryExact(const std::string& sql) const;
@@ -71,12 +88,16 @@ class AquaEngine {
                                RewriteStrategy strategy) const;
 
   /// Like Query(), but never gives up just because the primary synopsis
-  /// cannot answer: walks the degradation ladder Congress (whatever the
-  /// configured synopsis is) → BasicCongress → House → exact scan of the
-  /// snapshot's base relation. All fallback synopses are built eagerly at
+  /// cannot answer: walks the degradation ladder from the configured
+  /// synopsis through the pre-built fallbacks to an exact scan of the
+  /// snapshot's base relation. The fallback rungs are re-planned per
+  /// query — ordered by the error model's predicted relative error
+  /// rather than a hard-coded BasicCongress → House sequence — and each
+  /// rung's bound widening is derived from the ratio of its predicted
+  /// estimator variance to the primary's (clamped to [1, 8]) instead of
+  /// a fixed haircut. All fallback synopses are built eagerly at
   /// snapshot publication, so the walk is const and touches no shared
-  /// mutable state; their error bounds are widened to reflect the weaker
-  /// allocation guarantees, and the exact rung reports zero-width bounds.
+  /// mutable state; the exact rung reports zero-width bounds.
   /// The returned DegradationReason says which rung answered and why the
   /// rungs above it failed; ResilientAnswer::epoch names the snapshot
   /// generation that served it. `resilience.degraded_answers` counts

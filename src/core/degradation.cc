@@ -26,6 +26,7 @@ ApproximateResult ExactAsApproximate(const QueryResult& exact) {
     approx.estimates = row.aggregates;
     approx.std_errors.assign(row.aggregates.size(), 0.0);
     approx.bounds.assign(row.aggregates.size(), 0.0);
+    approx.provenance = GroupProvenance::kExact;
     out.Add(std::move(approx));
   }
   return out;

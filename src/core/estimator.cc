@@ -24,6 +24,18 @@ const char* BoundMethodToString(BoundMethod method) {
   return "Unknown";
 }
 
+const char* GroupProvenanceToString(GroupProvenance provenance) {
+  switch (provenance) {
+    case GroupProvenance::kSampled:
+      return "sampled";
+    case GroupProvenance::kExact:
+      return "exact";
+    case GroupProvenance::kCombined:
+      return "combined";
+  }
+  return "unknown";
+}
+
 void ApproximateResult::Add(ApproximateGroupRow row) {
   index_.emplace(row.key, rows_.size());
   rows_.push_back(std::move(row));
@@ -183,6 +195,20 @@ Result<ApproximateResult> EstimateGroupBy(const StratifiedSample& sample,
   const auto& strata = sample.strata();
   const auto& row_strata = sample.row_strata();
 
+  // Planner combined plans exclude outlier strata from the sampled tail.
+  // The lookup stays empty in the common case, leaving the scan below
+  // untouched (and bit-identical to builds without this option).
+  std::vector<char> stratum_excluded;
+  if (!options.excluded_strata.empty()) {
+    stratum_excluded.assign(strata.size(), 0);
+    for (uint32_t s : options.excluded_strata) {
+      if (s >= strata.size()) {
+        return Status::InvalidArgument("excluded stratum out of range");
+      }
+      stratum_excluded[s] = 1;
+    }
+  }
+
   // Intern the output groups once, then accumulate each group's
   // per-stratum cells over its rows in ascending row order, parallel
   // across disjoint groups. Row order matches a serial scan, so both the
@@ -203,6 +229,7 @@ Result<ApproximateResult> EstimateGroupBy(const StratifiedSample& sample,
   ParallelFor(threads, chunks.size(), [&](size_t c) {
     kernels::KernelTally& tally = tallies[c];
     SelectionVector selected;
+    std::vector<uint32_t> tail_rows;
     std::vector<double> inputs;
     std::vector<CellStats*> row_cells;
     for (size_t g = chunks[c].first; g < chunks[c].second; ++g) {
@@ -222,6 +249,16 @@ Result<ApproximateResult> EstimateGroupBy(const StratifiedSample& sample,
         tally.match_rows_selected += selected.size();
         sel = selected.data();
         n_sel = selected.size();
+      }
+      if (!stratum_excluded.empty()) {
+        tail_rows.clear();
+        for (size_t i = 0; i < n_sel; ++i) {
+          if (stratum_excluded[row_strata[sel[i]]] == 0) {
+            tail_rows.push_back(sel[i]);
+          }
+        }
+        sel = tail_rows.data();
+        n_sel = tail_rows.size();
       }
       if (n_sel == 0) continue;
       acc.support += n_sel;

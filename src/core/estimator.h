@@ -28,7 +28,25 @@ const char* BoundMethodToString(BoundMethod method);
 struct EstimatorOptions {
   double confidence = 0.90;  ///< Aqua's default confidence level.
   BoundMethod bound_method = BoundMethod::kChebyshev;
+  /// Strata (indices into sample.strata()) whose rows are skipped
+  /// entirely — the planner's combined plans answer these outlier strata
+  /// exactly and take only the tail from the sample. Empty (the default)
+  /// estimates over the full sample, bit-identically to builds that
+  /// predate this option.
+  std::vector<uint32_t> excluded_strata;
 };
+
+/// Where one output group's numbers came from. Pure sampled estimates
+/// are the default; the planner's combined plans mark groups answered
+/// exactly (outlier strata, or exact fallback) and groups stitched from
+/// both an exact part and a sampled tail.
+enum class GroupProvenance : uint8_t {
+  kSampled = 0,   ///< Stratified expansion estimate with error bounds.
+  kExact = 1,     ///< Exact aggregation; zero-width bounds.
+  kCombined = 2,  ///< Exact outlier part + sampled tail, stitched.
+};
+
+const char* GroupProvenanceToString(GroupProvenance provenance);
 
 /// One output group of an approximate answer: the scaled estimates plus,
 /// per aggregate, the standard error and the half-width error bound at
@@ -39,6 +57,7 @@ struct ApproximateGroupRow {
   std::vector<double> std_errors;
   std::vector<double> bounds;
   uint64_t support = 0;  ///< Sample tuples contributing to this group.
+  GroupProvenance provenance = GroupProvenance::kSampled;
 };
 
 /// An approximate group-by answer with error bounds. Convertible to a

@@ -75,6 +75,7 @@ Result<AquaSynopsis> AquaSynopsis::Build(const Table& base,
     if (!sample.ok()) return sample.status();
     synopsis.sample_ = std::move(sample).value();
     synopsis.rewriter_ = std::make_shared<Rewriter>(synopsis.sample_);
+    synopsis.moments_ = SampleMoments::Compute(synopsis.sample_);
   }
   return synopsis;
 }
@@ -105,6 +106,7 @@ Result<AquaSynopsis> AquaSynopsis::Restore(StratifiedSample sample,
       config.sample_size != 0 ? config.sample_size : sample.num_rows();
   synopsis.sample_ = std::move(sample);
   synopsis.rewriter_ = std::make_shared<Rewriter>(synopsis.sample_);
+  synopsis.moments_ = SampleMoments::Compute(synopsis.sample_);
   synopsis.restored_ = true;
   synopsis.restored_tuples_seen_ = tuples_seen;
   CONGRESS_METRIC_INCR("synopsis.restores", 1);
@@ -132,6 +134,7 @@ Result<AquaSynopsis> AquaSynopsis::FromSample(StratifiedSample sample,
   synopsis.target_sample_size_ = target_sample_size;
   synopsis.sample_ = std::move(sample);
   synopsis.rewriter_ = std::make_shared<Rewriter>(synopsis.sample_);
+  synopsis.moments_ = SampleMoments::Compute(synopsis.sample_);
   // No maintainer: the frozen synopsis never mutates, so it is safe to
   // share across reader threads. The stream position is carried over for
   // Health() and checkpointing.
@@ -200,6 +203,7 @@ Status AquaSynopsis::Refresh() {
   if (!snapshot.ok()) return snapshot.status();
   sample_ = std::move(snapshot).value();
   rewriter_ = std::make_shared<Rewriter>(sample_);
+  moments_ = SampleMoments::Compute(sample_);
   return Status::OK();
 }
 

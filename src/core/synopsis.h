@@ -11,6 +11,7 @@
 #include "sampling/allocation.h"
 #include "sampling/builder.h"
 #include "sampling/maintenance.h"
+#include "sampling/moments.h"
 #include "sampling/stratified_sample.h"
 #include "storage/table.h"
 #include "util/status.h"
@@ -58,6 +59,14 @@ struct SynopsisConfig {
   bool free_running_ingest = false;
 
   uint64_t seed = 42;
+
+  /// Fleet synopses for the accuracy-aware planner: when set, each
+  /// snapshot publish also builds a group histogram / wavelet synopsis
+  /// over the base table at the synopsis grouping, with its residual
+  /// error measured against the exact finest-grouping answer so the
+  /// planner can score it. Off by default (publish-time cost).
+  bool fleet_histogram = false;
+  bool fleet_wavelet = false;
 
   /// Parallelism for build scans and query answering (num_threads = 1 is
   /// the serial engine; 0 uses all hardware threads). Samples, estimates,
@@ -140,6 +149,9 @@ class AquaSynopsis {
   const StratifiedSample& sample() const { return sample_; }
   const Rewriter& rewriter() const { return *rewriter_; }
   const SynopsisConfig& config() const { return config_; }
+  /// Per-stratum column moments, computed once per (re)build so the
+  /// planner can score this synopsis in O(#strata).
+  const SampleMoments& moments() const { return moments_; }
   /// Column indices of the grouping columns in the base schema.
   const std::vector<size_t>& grouping_column_indices() const {
     return grouping_indices_;
@@ -156,6 +168,7 @@ class AquaSynopsis {
   SynopsisConfig config_;
   std::vector<size_t> grouping_indices_;
   StratifiedSample sample_;
+  SampleMoments moments_;
   std::shared_ptr<Rewriter> rewriter_;
   std::shared_ptr<SampleMaintainer> maintainer_;  // Null unless incremental.
   uint64_t target_sample_size_ = 0;

@@ -30,6 +30,17 @@ std::string HavingCondition::ToString() const {
   return oss.str();
 }
 
+std::string QueryBudget::ToString() const {
+  std::ostringstream oss;
+  if (has_error_budget()) {
+    oss << "WITHIN " << relative_error * 100.0 << "% CONFIDENCE "
+        << confidence * 100.0 << "%";
+  } else if (has_time_budget()) {
+    oss << "WITHIN " << time_budget_ms << " MS";
+  }
+  return oss.str();
+}
+
 std::string GroupByQuery::ToString() const {
   std::ostringstream oss;
   oss << "SELECT ";
@@ -55,6 +66,7 @@ std::string GroupByQuery::ToString() const {
       oss << having[i].ToString();
     }
   }
+  if (budget.active()) oss << " " << budget.ToString();
   return oss.str();
 }
 

@@ -26,6 +26,28 @@ struct HavingCondition {
   std::string ToString() const;
 };
 
+/// An accuracy or latency contract attached to a query. Exactly one of
+/// the two budget kinds is active at a time:
+///   - error budget: `WITHIN <pct>% CONFIDENCE <pct>` asks that every
+///     reported group's half-width be at most `relative_error` of the
+///     estimate at the stated confidence level;
+///   - time budget: `WITHIN <ms> MS` asks the planner to pick the most
+///     accurate strategy predicted to answer inside the deadline.
+struct QueryBudget {
+  /// Target relative half-width in (0, 1); 0 means "no error budget".
+  double relative_error = 0.0;
+  /// Confidence level in (0, 1) the half-width must hold at.
+  double confidence = 0.0;
+  /// Time budget in milliseconds; 0 means "no time budget".
+  double time_budget_ms = 0.0;
+
+  bool has_error_budget() const { return relative_error > 0.0; }
+  bool has_time_budget() const { return time_budget_ms > 0.0; }
+  bool active() const { return has_error_budget() || has_time_budget(); }
+
+  std::string ToString() const;
+};
+
 /// A logical group-by aggregate query:
 ///   SELECT <group_columns>, <aggregates> FROM t
 ///   WHERE <predicate> GROUP BY <group_columns> HAVING <having...>
@@ -36,6 +58,7 @@ struct GroupByQuery {
   std::vector<AggregateSpec> aggregates;
   PredicatePtr predicate;  // nullptr means TRUE.
   std::vector<HavingCondition> having;  // Conjunction; empty means TRUE.
+  QueryBudget budget;  // Inactive by default; set by WITHIN clauses.
 
   bool HasPredicate() const { return predicate != nullptr; }
 

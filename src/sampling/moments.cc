@@ -1,0 +1,157 @@
+#include "sampling/moments.h"
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "storage/value.h"
+
+namespace congress {
+
+namespace {
+const ColumnMoments kEmptyMoments;
+}  // namespace
+
+namespace internal {
+/// Memoized roll-up terms, keyed by the key positions of the roll-up.
+/// Entries are built under the lock (rare: one build per distinct
+/// roll-up of the synopsis grouping) and never evicted; unique_ptr keeps
+/// the returned references stable as the map grows.
+struct TermsCache {
+  std::mutex mu;
+  std::map<std::vector<size_t>, std::unique_ptr<const GroupedExpansionTerms>>
+      entries;
+};
+}  // namespace internal
+
+ExpansionTerms StratumExpansionTerms(const Stratum& stratum,
+                                     const ColumnMoments& m, bool count_agg) {
+  ExpansionTerms t;
+  if (stratum.sample_count == 0) return t;
+  const double sf = stratum.ScaleFactor();
+  const double n = static_cast<double>(stratum.sample_count);
+  const double big_n = static_cast<double>(stratum.population);
+  const double sum_v = count_agg ? n : m.sum;
+  const double sum_v2 = count_agg ? n : m.sum_sq;
+  const double max_abs = count_agg ? 1.0 : m.max_abs;
+  t.est = sf * sum_v;
+  // Finite-population variance of the stratified expansion estimator
+  // under the no-predicate model: every one of the n draws matches, so
+  // S² is the plain sample variance of the aggregate variable.
+  if (n >= 2.0) {
+    const double mean = sum_v / n;
+    double ss = sum_v2 - n * mean * mean;
+    if (ss < 0.0) ss = 0.0;
+    const double s2 = ss / (n - 1.0);
+    double fpc = big_n - n;
+    if (fpc < 0.0) fpc = 0.0;
+    t.var = big_n * fpc * s2 / n;
+  }
+  t.hoeff_c2 = n * (sf * max_abs) * (sf * max_abs);
+  return t;
+}
+
+SampleMoments::SampleMoments()
+    : cache_(std::make_shared<internal::TermsCache>()) {}
+
+SampleMoments SampleMoments::Compute(const StratifiedSample& sample) {
+  SampleMoments moments;
+  const Schema& schema = sample.base_schema();
+  moments.column_slot_.assign(schema.num_fields(), SIZE_MAX);
+  for (size_t c = 0; c < schema.num_fields(); ++c) {
+    if (schema.field(c).type == DataType::kString) continue;
+    moments.column_slot_[c] = moments.numeric_columns_.size();
+    moments.numeric_columns_.push_back(c);
+  }
+
+  const Table& rows = sample.rows();
+  const std::vector<uint32_t>& row_strata = sample.row_strata();
+  moments.per_stratum_.assign(
+      sample.strata().size(),
+      std::vector<ColumnMoments>(moments.numeric_columns_.size()));
+  for (size_t r = 0; r < rows.num_rows(); ++r) {
+    std::vector<ColumnMoments>& strat = moments.per_stratum_[row_strata[r]];
+    for (size_t slot = 0; slot < moments.numeric_columns_.size(); ++slot) {
+      const double v = rows.NumericAt(r, moments.numeric_columns_[slot]);
+      ColumnMoments& m = strat[slot];
+      ++m.count;
+      m.sum += v;
+      m.sum_sq += v * v;
+      const double a = std::fabs(v);
+      if (a > m.max_abs) m.max_abs = a;
+    }
+  }
+  moments.total_sum_sq_.assign(moments.numeric_columns_.size(), 0.0);
+  for (const std::vector<ColumnMoments>& strat : moments.per_stratum_) {
+    for (size_t slot = 0; slot < strat.size(); ++slot) {
+      moments.total_sum_sq_[slot] += strat[slot].sum_sq;
+    }
+  }
+  return moments;
+}
+
+const ColumnMoments& SampleMoments::Of(size_t stratum, size_t column) const {
+  if (stratum >= per_stratum_.size() || column >= column_slot_.size() ||
+      column_slot_[column] == SIZE_MAX) {
+    return kEmptyMoments;
+  }
+  return per_stratum_[stratum][column_slot_[column]];
+}
+
+double SampleMoments::TotalSumSq(size_t column) const {
+  const size_t slot = SlotOf(column);
+  return slot == SIZE_MAX ? 0.0 : total_sum_sq_[slot];
+}
+
+const GroupedExpansionTerms& SampleMoments::GroupedFor(
+    const StratifiedSample& sample,
+    const std::vector<size_t>& key_positions) const {
+  std::lock_guard<std::mutex> lock(cache_->mu);
+  auto it = cache_->entries.find(key_positions);
+  if (it != cache_->entries.end()) return *it->second;
+
+  auto terms = std::make_unique<GroupedExpansionTerms>();
+  const std::vector<Stratum>& strata = sample.strata();
+  terms->group_of.resize(strata.size());
+  if (key_positions.empty()) {
+    terms->num_groups = strata.empty() ? 0 : 1;
+  } else {
+    std::unordered_map<GroupKey, uint32_t, GroupKeyHash> ids;
+    ids.reserve(strata.size());
+    GroupKey key;
+    for (size_t s = 0; s < strata.size(); ++s) {
+      key.clear();
+      for (size_t pos : key_positions) key.push_back(strata[s].key[pos]);
+      auto inserted = ids.emplace(key, static_cast<uint32_t>(ids.size()));
+      terms->group_of[s] = inserted.first->second;
+    }
+    terms->num_groups = ids.size();
+  }
+
+  const size_t g_count = terms->num_groups;
+  const size_t num_slots = numeric_columns_.size();
+  terms->population.assign(g_count, 0.0);
+  terms->count_terms.assign(g_count, ExpansionTerms{});
+  terms->column_terms.assign(num_slots * g_count, ExpansionTerms{});
+  for (size_t s = 0; s < strata.size(); ++s) {
+    const Stratum& stratum = strata[s];
+    if (stratum.sample_count == 0) continue;
+    const uint32_t g = terms->group_of[s];
+    terms->population[g] += static_cast<double>(stratum.population);
+    terms->count_terms[g].Add(
+        StratumExpansionTerms(stratum, kEmptyMoments, /*count_agg=*/true));
+    const std::vector<ColumnMoments>& strat = per_stratum_[s];
+    for (size_t slot = 0; slot < num_slots; ++slot) {
+      terms->column_terms[slot * g_count + g].Add(
+          StratumExpansionTerms(stratum, strat[slot], /*count_agg=*/false));
+    }
+  }
+
+  auto placed = cache_->entries.emplace(key_positions, std::move(terms));
+  return *placed.first->second;
+}
+
+}  // namespace congress

@@ -1,6 +1,7 @@
 #include "sql/emitter.h"
 
 #include <cctype>
+#include <cstdio>
 #include <functional>
 #include <sstream>
 
@@ -84,6 +85,23 @@ std::string HavingClause(
   return oss.str();
 }
 
+/// Renders a trailing budget clause (" within 2% confidence 95%" /
+/// " within 50 ms"), or "" when the query carries none. %g keeps
+/// round-trip parsing exact for the clause-unit percentages.
+std::string BudgetClause(const QueryBudget& budget) {
+  char buf[96];
+  if (budget.has_error_budget()) {
+    std::snprintf(buf, sizeof(buf), "\nwithin %g%% confidence %g%%",
+                  budget.relative_error * 100.0, budget.confidence * 100.0);
+    return buf;
+  }
+  if (budget.has_time_budget()) {
+    std::snprintf(buf, sizeof(buf), "\nwithin %g ms", budget.time_budget_ms);
+    return buf;
+  }
+  return "";
+}
+
 }  // namespace
 
 std::string EmitQuery(const GroupByQuery& query, const Schema& schema,
@@ -111,6 +129,7 @@ std::string EmitQuery(const GroupByQuery& query, const Schema& schema,
     return std::string(AggregateKindToString(spec.kind)) + "(" +
            ColumnName(schema, spec.column) + ")";
   });
+  oss << BudgetClause(query.budget);
   oss << ";";
   std::string out = oss.str();
   for (char& c : out) c = static_cast<char>(std::tolower(c));

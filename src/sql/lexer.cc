@@ -9,9 +9,9 @@ namespace {
 
 const std::unordered_set<std::string>& Keywords() {
   static const auto* keywords = new std::unordered_set<std::string>{
-      "SELECT", "FROM",  "WHERE", "GROUP", "BY",  "AND",
-      "BETWEEN", "AS",   "SUM",   "COUNT", "AVG", "MIN",
-      "MAX",    "HAVING"};
+      "SELECT", "FROM",  "WHERE",  "GROUP", "BY",         "AND",
+      "BETWEEN", "AS",   "SUM",    "COUNT", "AVG",        "MIN",
+      "MAX",    "HAVING", "WITHIN", "MS",    "CONFIDENCE"};
   return *keywords;
 }
 
@@ -106,7 +106,7 @@ Result<std::vector<Token>> Tokenize(const std::string& input) {
     }
     if (c == '(' || c == ')' || c == ',' || c == ';' || c == '*' ||
         c == '=' || c == '<' || c == '>' || c == '+' || c == '-' ||
-        c == '/') {
+        c == '/' || c == '%') {
       tokens.push_back(Token{TokenKind::kSymbol, std::string(1, c), start});
       ++i;
       continue;

@@ -29,6 +29,9 @@ class Parser {
     if (AcceptKeyword("HAVING")) {
       CONGRESS_RETURN_NOT_OK(ParseHaving(&stmt));
     }
+    if (Peek().kind == TokenKind::kKeyword && Peek().text == "WITHIN") {
+      CONGRESS_RETURN_NOT_OK(ParseBudget(&stmt));
+    }
     AcceptSymbol(";");
     if (Peek().kind != TokenKind::kEnd) {
       return Error("unexpected trailing input");
@@ -301,6 +304,70 @@ class Parser {
     return Status::OK();
   }
 
+  /// Like Error(), but anchored at an explicit clause position instead of
+  /// the current token (the clause may already be fully consumed when the
+  /// semantic check fires).
+  Status ErrorAt(const std::string& message, size_t position) const {
+    return Status::InvalidArgument(message + " at position " +
+                                   std::to_string(position));
+  }
+
+  // budget := WITHIN number '%' CONFIDENCE number ['%']
+  //         | WITHIN number MS
+  Status ParseBudget(SelectStatement* stmt) {
+    stmt->budget.position = Peek().position;
+    Advance();  // WITHIN
+    if (Peek().kind != TokenKind::kNumber) {
+      return Error("WITHIN expects a numeric budget");
+    }
+    const double amount = std::strtod(Advance().text.c_str(), nullptr);
+    if (AcceptSymbol("%")) {
+      if (amount <= 0.0 || amount >= 100.0) {
+        return ErrorAt("error budget must be in (0, 100) percent, got " +
+                           std::to_string(amount),
+                       stmt->budget.position);
+      }
+      if (!AcceptKeyword("CONFIDENCE")) {
+        return Error("error budget requires a CONFIDENCE level");
+      }
+      if (Peek().kind != TokenKind::kNumber) {
+        return Error("CONFIDENCE expects a numeric level");
+      }
+      const size_t conf_position = Peek().position;
+      const double confidence = std::strtod(Advance().text.c_str(), nullptr);
+      AcceptSymbol("%");  // CONFIDENCE 95 and CONFIDENCE 95% both read well.
+      if (confidence <= 0.0 || confidence >= 100.0) {
+        return ErrorAt("confidence must be in (0, 100) percent, got " +
+                           std::to_string(confidence),
+                       conf_position);
+      }
+      stmt->budget.error_pct = amount;
+      stmt->budget.confidence_pct = confidence;
+    } else if (AcceptKeyword("MS")) {
+      if (amount <= 0.0) {
+        return ErrorAt("time budget must be positive milliseconds, got " +
+                           std::to_string(amount),
+                       stmt->budget.position);
+      }
+      stmt->budget.time_ms = amount;
+    } else {
+      return Error("WITHIN expects '<pct> %' or '<ms> MS'");
+    }
+    stmt->budget.present = true;
+    // A budget promises per-group half-widths, which only aggregate
+    // queries have; catch the mismatch here where the clause position is
+    // still at hand.
+    bool any_aggregate = false;
+    for (const SelectItem& item : stmt->items) {
+      any_aggregate = any_aggregate || item.is_aggregate;
+    }
+    if (!any_aggregate) {
+      return ErrorAt("budget clause requires an aggregate query",
+                     stmt->budget.position);
+    }
+    return Status::OK();
+  }
+
   Status ParseGroupBy(SelectStatement* stmt) {
     do {
       std::string column;
@@ -508,6 +575,12 @@ Result<GroupByQuery> Bind(const SelectStatement& statement,
     cond.op = ToCompareOp(item.op);
     cond.value = item.value;
     query.having.push_back(cond);
+  }
+
+  if (statement.budget.present) {
+    query.budget.relative_error = statement.budget.error_pct / 100.0;
+    query.budget.confidence = statement.budget.confidence_pct / 100.0;
+    query.budget.time_budget_ms = statement.budget.time_ms;
   }
   return query;
 }

@@ -54,15 +54,31 @@ struct HavingItem {
   double value = 0.0;
 };
 
+/// The optional trailing budget clause:
+///   WITHIN <pct> '%' CONFIDENCE <pct> ['%']   (error budget)
+///   WITHIN <ms> MS                            (time budget)
+/// Percentages are kept in clause units (0..100); Bind() converts to the
+/// fractional QueryBudget. `position` is the offset of the WITHIN keyword
+/// for bind-time diagnostics.
+struct BudgetClause {
+  bool present = false;
+  double error_pct = 0.0;
+  double confidence_pct = 0.0;
+  double time_ms = 0.0;
+  size_t position = 0;
+};
+
 /// An un-bound parsed statement of the supported subset:
 ///   SELECT item[, item...] FROM table [WHERE cond [AND cond...]]
-///   [GROUP BY col[, col...]] [HAVING agg op number [AND ...]] [;]
+///   [GROUP BY col[, col...]] [HAVING agg op number [AND ...]]
+///   [WITHIN ...] [;]
 struct SelectStatement {
   std::vector<SelectItem> items;
   std::string table;
   std::vector<Condition> where;
   std::vector<std::string> group_by;
   std::vector<HavingItem> having;
+  BudgetClause budget;
 };
 
 /// Parses `text` into a SelectStatement without consulting any schema.

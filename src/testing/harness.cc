@@ -8,6 +8,7 @@
 #include "sampling/builder.h"
 #include "storage/csv.h"
 #include "testing/oracles.h"
+#include "testing/stat_validator.h"
 #include "util/random.h"
 
 namespace congress::testing {
@@ -135,6 +136,22 @@ std::vector<PropConfig> BuildDefaultConfigs() {
   }
   {
     PropConfig c;
+    c.name = "planner";
+    c.description =
+        "budget coverage: Zipf tables through the accuracy-aware planner "
+        "under a ladder of error budgets; promised half-widths must hold "
+        "at the stated confidence per tier, decile, and plan kind";
+    // Many distinct Zipf groups so the per-run group-size deciles each
+    // accumulate enough Bernoulli trials to be individually validated.
+    c.spec.num_rows = 4000;
+    c.spec.num_grouping_columns = 1;
+    c.spec.values_per_column = 40;
+    c.spec.group_skew_z = 1.2;
+    c.planner = true;
+    configs.push_back(c);
+  }
+  {
+    PropConfig c;
     c.name = "lineitem";
     c.description = "TPC-D lineitem generator, 27 groups";
     c.use_lineitem = true;
@@ -223,6 +240,27 @@ Status RunOracles(const PropConfig& config, uint64_t seed,
     return Status::OK();
   }
 
+  if (config.planner) {
+    for (AllocationStrategy strategy : kStrategies) {
+      const std::string name = AllocationStrategyToString(strategy);
+      BudgetCoverageConfig coverage;
+      coverage.data = config.spec;
+      coverage.data.seed = seed;
+      coverage.strategy = strategy;
+      coverage.sample_fraction = config.sample_fraction;
+      auto report = RunBudgetCoverage(coverage);
+      if (!report.ok()) {
+        return fail("planner-budget-coverage", name, report.status());
+      }
+      Status st = ValidateBudgetCoverage(*report, coverage.confidence);
+      if (!st.ok()) {
+        return fail("planner-budget-coverage",
+                    name + ": " + report->ToString(), st);
+      }
+    }
+    return Status::OK();
+  }
+
   if (config.crash_recovery) {
     for (AllocationStrategy strategy : kStrategies) {
       const std::string name = AllocationStrategyToString(strategy);
@@ -285,6 +323,10 @@ Status RunOracles(const PropConfig& config, uint64_t seed,
     st = CheckFullSampleMatchesExact(table, data->grouping_columns,
                                      kStrategies[s], gen.query, seed + q);
     if (!st.ok()) return fail("full-sample-vs-exact", context, st);
+
+    st = CheckPlannerIdentity(table, data->grouping_columns, kStrategies[s],
+                              gen.query, seed + q);
+    if (!st.ok()) return fail("planner-identity", context, st);
   }
   return Status::OK();
 }

@@ -47,6 +47,14 @@ struct PropConfig {
   /// All four allocation strategies are exercised; run it under TSan to
   /// prove the chunk-queue claim/publish/reclaim protocol race-free.
   bool sharded_ingest = false;
+
+  /// Run the planner budget-coverage experiment (stat_validator.h) instead
+  /// of the query oracles: seeded Zipf tables answered through
+  /// planner::Planner under a ladder of WITHIN budgets, each (run, group,
+  /// aggregate) a Bernoulli coverage trial validated one-sided-binomially
+  /// per tier, per group-size decile, and per delivered plan kind. All
+  /// four allocation strategies are exercised.
+  bool planner = false;
 };
 
 /// The built-in regimes: uniform, Zipf-skewed, null-heavy, singleton-rich,

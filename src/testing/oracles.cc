@@ -19,6 +19,7 @@
 #include "core/rewriter.h"
 #include "engine/executor.h"
 #include "obs/metrics.h"
+#include "planner/planner.h"
 #include "resilience/checkpoint.h"
 #include "resilience/failpoint.h"
 #include "resilience/recovery.h"
@@ -1390,6 +1391,94 @@ Status CheckShardedIngestConsistency(const Table& table,
   return CheckSamplesIdentical((*one_shard)->sample(),
                                (*eight_shards)->sample(), name + " engine x1",
                                "engine x8");
+}
+
+Status CheckPlannerIdentity(const Table& table,
+                            const std::vector<size_t>& grouping,
+                            AllocationStrategy strategy,
+                            const GroupByQuery& query, uint64_t seed) {
+  const std::string name =
+      std::string(AllocationStrategyToString(strategy)) + " planner";
+
+  // Identity checks compare against the unplanned paths, so the query
+  // runs budget-free; MIN/MAX queries have no sampling plan to compare.
+  GroupByQuery plain = query;
+  plain.budget = QueryBudget{};
+  for (const AggregateSpec& spec : plain.aggregates) {
+    if (spec.kind == AggregateKind::kMin || spec.kind == AggregateKind::kMax) {
+      return Status::OK();
+    }
+  }
+
+  SynopsisConfig config;
+  config.strategy = strategy;
+  config.seed = seed;
+  for (size_t c : grouping) {
+    config.grouping_columns.push_back(table.schema().field(c).name);
+  }
+
+  // (a) Combined plan over a 100% sample: the sampled tail is exact
+  // (every scale factor 1) and the outlier part is exact by construction,
+  // so the stitched answer must reproduce ExecuteExact.
+  {
+    SynopsisConfig full = config;
+    full.sample_fraction = 1.0;
+    AquaEngine engine;
+    CONGRESS_RETURN_NOT_OK(engine.RegisterTable("t", table, full));
+    auto snapshot = engine.GetSnapshot("t");
+    CONGRESS_RETURN_NOT_OK(snapshot.status());
+    const std::vector<Stratum>& strata =
+        (*snapshot)->synopsis->sample().strata();
+    if (strata.size() >= 2) {
+      std::vector<uint32_t> outliers = {0};
+      if (strata.size() > 2) outliers.push_back(1);
+      auto combined =
+          planner::ExecuteCombinedPlan(**snapshot, plain, outliers);
+      CONGRESS_RETURN_NOT_OK(combined.status());
+      auto exact = ExecuteExact(table, plain);
+      CONGRESS_RETURN_NOT_OK(exact.status());
+      CONGRESS_RETURN_NOT_OK(CheckResultsEqual(*exact,
+                                               combined->ToQueryResult(), 1e-9,
+                                               "exact",
+                                               name + " combined@100%"));
+    }
+  }
+
+  // (b) + (c) on a fractional sample: budget-free planner routing is
+  // bit-identical to the synopsis's own answer, and the primary plan
+  // agrees with the Section 5.2 rewriter within float tolerance.
+  {
+    SynopsisConfig frac = config;
+    frac.sample_fraction = 0.2;
+    AquaEngine engine;
+    CONGRESS_RETURN_NOT_OK(engine.RegisterTable("t", table, frac));
+    auto snapshot = engine.GetSnapshot("t");
+    CONGRESS_RETURN_NOT_OK(snapshot.status());
+
+    planner::Planner planner;
+    auto planned = planner.Run(**snapshot, plain);
+    CONGRESS_RETURN_NOT_OK(planned.status());
+    if (planned->report.chosen.kind != planner::PlanKind::kPrimarySynopsis) {
+      return Status::Internal(name + ": budget-free plan chose " +
+                              planner::PlanKindToString(
+                                  planned->report.chosen.kind) +
+                              " instead of the primary synopsis");
+    }
+    auto direct = (*snapshot)->synopsis->Answer(plain);
+    CONGRESS_RETURN_NOT_OK(direct.status());
+    CONGRESS_RETURN_NOT_OK(CompareApproximateBitwise(
+        planned->result, *direct, name + " no-budget run"));
+
+    if (plain.having.empty()) {
+      auto via = (*snapshot)->synopsis->AnswerVia(
+          plain, (*snapshot)->synopsis->config().rewrite);
+      CONGRESS_RETURN_NOT_OK(via.status());
+      CONGRESS_RETURN_NOT_OK(CheckResultsEqual(
+          *via, planned->result.ToQueryResult(), 1e-9,
+          name + " rewriter", name + " primary plan"));
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace congress::testing

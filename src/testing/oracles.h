@@ -140,6 +140,20 @@ Status CheckShardedIngestConsistency(const Table& table,
                                      AllocationStrategy strategy,
                                      uint64_t sample_size, uint64_t seed);
 
+/// Planner identity oracle, three invariants per (strategy, query):
+/// (a) a combined plan (exact outlier strata + sampled tail) over a 100%
+/// sample reproduces ExecuteExact within 1e-9 — the stitch introduces no
+/// bias; (b) a budget-free Planner::Run is bit-identical to the primary
+/// synopsis's own Answer — planner routing never perturbs the default
+/// path; (c) on a fractional sample, the planner's primary answer agrees
+/// with the Section 5.2 rewriter (QueryVia) within 1e-9 when the query
+/// has no HAVING. MIN/MAX queries are vacuously OK (no sampling plan
+/// exists to compare).
+Status CheckPlannerIdentity(const Table& table,
+                            const std::vector<size_t>& grouping,
+                            AllocationStrategy strategy,
+                            const GroupByQuery& query, uint64_t seed);
+
 /// Section 4 allocation invariants for one strategy: the allocation
 /// totals min(X, N) (Eqs. 4-6), never exceeds a group's population,
 /// keeps the scale-down factor in (0, 1], and rounds to a feasible

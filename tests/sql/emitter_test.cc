@@ -138,6 +138,43 @@ TEST(EmitterTest, PredicatePropagates) {
   }
 }
 
+TEST(EmitterTest, ErrorBudgetRoundTrips) {
+  auto query = ParseQuery(
+      "SELECT a, SUM(q) FROM rel GROUP BY a WITHIN 2% CONFIDENCE 95",
+      RelSchema());
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  EXPECT_DOUBLE_EQ(query->budget.relative_error, 0.02);
+  EXPECT_DOUBLE_EQ(query->budget.confidence, 0.95);
+
+  std::string sql = EmitQuery(*query, RelSchema(), "rel");
+  EXPECT_NE(sql.find("within 2% confidence 95"), std::string::npos) << sql;
+  auto reparsed = ParseQuery(sql, RelSchema());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString() << "\n" << sql;
+  EXPECT_DOUBLE_EQ(reparsed->budget.relative_error,
+                   query->budget.relative_error);
+  EXPECT_DOUBLE_EQ(reparsed->budget.confidence, query->budget.confidence);
+  EXPECT_FALSE(reparsed->budget.has_time_budget());
+}
+
+TEST(EmitterTest, TimeBudgetRoundTrips) {
+  auto query = ParseQuery(
+      "SELECT a, SUM(q) FROM rel GROUP BY a WITHIN 50 MS", RelSchema());
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  EXPECT_DOUBLE_EQ(query->budget.time_budget_ms, 50.0);
+
+  std::string sql = EmitQuery(*query, RelSchema(), "rel");
+  EXPECT_NE(sql.find("within 50 ms"), std::string::npos) << sql;
+  auto reparsed = ParseQuery(sql, RelSchema());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString() << "\n" << sql;
+  EXPECT_DOUBLE_EQ(reparsed->budget.time_budget_ms, 50.0);
+  EXPECT_FALSE(reparsed->budget.has_error_budget());
+}
+
+TEST(EmitterTest, BudgetFreeQueryEmitsNoBudgetClause) {
+  std::string sql = EmitQuery(Q2(), RelSchema(), "rel");
+  EXPECT_EQ(sql.find("within"), std::string::npos) << sql;
+}
+
 TEST(EmitterTest, NoGroupByQuery) {
   auto query = ParseQuery("SELECT SUM(q) FROM rel", RelSchema());
   ASSERT_TRUE(query.ok());

@@ -87,5 +87,61 @@ TEST(SqlNegativeTest, DiagnosticsCarryPosition) {
       << result.status().message();
 }
 
+TEST(SqlNegativeTest, MalformedBudgets) {
+  // Error budgets must be a valid open-interval percentage...
+  ExpectDiagnostic(
+      "SELECT a, SUM(v) FROM t GROUP BY a WITHIN 0% CONFIDENCE 95");
+  ExpectDiagnostic(
+      "SELECT a, SUM(v) FROM t GROUP BY a WITHIN 200% CONFIDENCE 95");
+  ExpectDiagnostic(
+      "SELECT a, SUM(v) FROM t GROUP BY a WITHIN 100% CONFIDENCE 95");
+  // ...and always carry a confidence level, itself in (0, 100).
+  ExpectDiagnostic("SELECT a, SUM(v) FROM t GROUP BY a WITHIN 5%");
+  ExpectDiagnostic(
+      "SELECT a, SUM(v) FROM t GROUP BY a WITHIN 5% CONFIDENCE");
+  ExpectDiagnostic(
+      "SELECT a, SUM(v) FROM t GROUP BY a WITHIN 5% CONFIDENCE 0");
+  ExpectDiagnostic(
+      "SELECT a, SUM(v) FROM t GROUP BY a WITHIN 5% CONFIDENCE 100");
+  // Time budgets must be positive and in recognized units.
+  ExpectDiagnostic("SELECT a, SUM(v) FROM t GROUP BY a WITHIN 0 MS");
+  ExpectDiagnostic("SELECT a, SUM(v) FROM t GROUP BY a WITHIN 50");
+  ExpectDiagnostic("SELECT a, SUM(v) FROM t GROUP BY a WITHIN 50 SECONDS");
+  ExpectDiagnostic("SELECT a, SUM(v) FROM t GROUP BY a WITHIN");
+  // A budget promises per-group half-widths; a non-aggregate query has
+  // none to promise.
+  ExpectDiagnostic("SELECT a FROM t GROUP BY a WITHIN 5% CONFIDENCE 95");
+  ExpectDiagnostic("SELECT a FROM t GROUP BY a WITHIN 50 MS");
+}
+
+TEST(SqlNegativeTest, BudgetDiagnosticsCarryPosition) {
+  // The range check is anchored at the WITHIN clause itself (position of
+  // 'WITHIN' in the input), not wherever the cursor stopped.
+  const std::string sql =
+      "SELECT a, SUM(v) FROM t GROUP BY a WITHIN 200% CONFIDENCE 95";
+  auto result = ParseSelect(sql);
+  ASSERT_FALSE(result.ok());
+  const std::string message = result.status().message();
+  EXPECT_NE(message.find("position " + std::to_string(sql.find("WITHIN"))),
+            std::string::npos)
+      << message;
+
+  auto confidence = ParseSelect(
+      "SELECT a, SUM(v) FROM t GROUP BY a WITHIN 5% CONFIDENCE 101");
+  ASSERT_FALSE(confidence.ok());
+  EXPECT_NE(confidence.status().message().find("position"), std::string::npos)
+      << confidence.status().message();
+
+  auto non_aggregate =
+      ParseSelect("SELECT a FROM t GROUP BY a WITHIN 5% CONFIDENCE 95");
+  ASSERT_FALSE(non_aggregate.ok());
+  EXPECT_NE(non_aggregate.status().message().find("aggregate"),
+            std::string::npos)
+      << non_aggregate.status().message();
+  EXPECT_NE(non_aggregate.status().message().find("position"),
+            std::string::npos)
+      << non_aggregate.status().message();
+}
+
 }  // namespace
 }  // namespace congress::sql
