@@ -1,0 +1,229 @@
+// Network round-trip latency over the framed TCP loopback path: engine →
+// AquaServer → TcpFrontEnd → AquaClient and back, closed-loop client
+// threads measuring whole-call wall time (frame encode, socket I/O, queue,
+// execution, decode). Two phases: a clean run, and the same load with a 1%
+// failpoint fault rate on every socket syscall — the retrying client must
+// keep every request succeeding, and the p99 under faults rides into the
+// CI gate so a retry-path regression (e.g. a lost wakeup turning a retry
+// into a timeout) shows up as a latency cliff.
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <list>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common.h"
+#include "core/aqua.h"
+#include "net/client.h"
+#include "net/front_end.h"
+#include "resilience/failpoint.h"
+#include "serve/server.h"
+#include "tpcd/lineitem.h"
+#include "util/stopwatch.h"
+
+namespace congress {
+namespace {
+
+struct PhaseResult {
+  double qps = 0.0;
+  double p50_seconds = 0.0;
+  double p99_seconds = 0.0;
+  uint64_t retries = 0;
+  uint64_t failures = 0;
+};
+
+double Percentile(std::vector<double>* latencies, double q) {
+  if (latencies->empty()) return 0.0;
+  std::sort(latencies->begin(), latencies->end());
+  const size_t idx = std::min(
+      latencies->size() - 1,
+      static_cast<size_t>(q * static_cast<double>(latencies->size())));
+  return (*latencies)[idx];
+}
+
+/// `threads` clients, each with its own connection, each issuing
+/// `requests_per_thread` queries back to back. Latency is measured around
+/// the whole Call() — retries included, which is the point.
+Result<PhaseResult> RunPhase(uint16_t port, const std::string& sql,
+                             size_t threads, size_t requests_per_thread) {
+  std::vector<std::vector<double>> latencies(threads);
+  std::vector<uint64_t> retries(threads, 0);
+  std::atomic<uint64_t> failures{0};
+  std::vector<std::thread> workers;
+  Stopwatch sw;
+  for (size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      net::ClientOptions options;
+      options.max_attempts = 8;
+      options.backoff.initial_ms = 1;
+      options.backoff.max_ms = 20;
+      options.seed = 77 + t;
+      net::AquaClient client("127.0.0.1", port, options);
+      latencies[t].reserve(requests_per_thread);
+      for (size_t i = 0; i < requests_per_thread; ++i) {
+        Stopwatch call;
+        auto response = client.Query(sql);
+        if (response.ok() && response->status.ok()) {
+          latencies[t].push_back(call.ElapsedSeconds());
+        } else {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      retries[t] = client.stats().retries;
+    });
+  }
+  for (auto& w : workers) w.join();
+  const double elapsed = sw.ElapsedSeconds();
+
+  std::vector<double> all;
+  for (auto& per_thread : latencies) {
+    all.insert(all.end(), per_thread.begin(), per_thread.end());
+  }
+  PhaseResult result;
+  result.qps = static_cast<double>(all.size()) / elapsed;
+  result.p50_seconds = Percentile(&all, 0.50);
+  result.p99_seconds = Percentile(&all, 0.99);
+  for (uint64_t r : retries) result.retries += r;
+  result.failures = failures.load(std::memory_order_relaxed);
+  return result;
+}
+
+int Run(int argc, char** argv) {
+  bench::PrintHeader(
+      "Framed TCP round-trip: loopback QPS and tail latency, clean and "
+      "under a 1% injected socket fault rate",
+      "the retrying client must absorb injected faults without failing "
+      "requests; the faulted p99 is the CI canary for the retry path");
+
+  tpcd::LineitemConfig defaults;
+  defaults.num_tuples = 100'000;
+  defaults.num_groups = 27;
+  auto data = bench::GenerateLineitemFromArgs(argc, argv, defaults);
+  if (!data.ok()) {
+    std::fprintf(stderr, "datagen: %s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  const uint64_t tuples = data->table.num_rows();
+  const size_t threads = bench::ArgOr(argc, argv, "--threads", 4);
+  const size_t requests = bench::ArgOr(argc, argv, "--requests", 200);
+  const double fault_rate =
+      bench::ArgOrDouble(argc, argv, "--fault-rate", 0.01);
+
+  SynopsisConfig config;
+  for (size_t c : tpcd::LineitemGroupingColumns()) {
+    config.grouping_columns.push_back(data->table.schema().field(c).name);
+  }
+  config.sample_fraction = 0.05;
+  config.incremental = true;
+  config.seed = 9;
+
+  AquaEngine engine;
+  Status st = engine.RegisterTable("lineitem", std::move(data->table), config);
+  if (!st.ok()) {
+    std::fprintf(stderr, "register: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  const std::string sql =
+      "SELECT l_returnflag, l_linestatus, SUM(l_quantity), COUNT(*) "
+      "FROM lineitem GROUP BY l_returnflag, l_linestatus";
+
+  serve::ServeOptions serve_options;
+  serve_options.num_threads = threads;
+  serve_options.max_queue_depth = 8 * threads;
+  serve::AquaServer server(&engine, serve_options);
+  st = server.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "server: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  net::FrontEndOptions fe_options;
+  fe_options.max_connections = 2 * threads + 4;
+  fe_options.poll_interval = std::chrono::milliseconds(10);
+  net::TcpFrontEnd front_end(&server, fe_options);
+  st = front_end.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "front end: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  bench::JsonReport report(argc, argv);
+  const std::vector<std::pair<std::string, double>> params = {
+      {"threads", static_cast<double>(threads)},
+      {"tuples", static_cast<double>(tuples)},
+      {"requests", static_cast<double>(requests)}};
+
+  auto clean = RunPhase(front_end.port(), sql, threads, requests);
+  if (!clean.ok()) {
+    std::fprintf(stderr, "clean: %s\n", clean.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("clean      %7.0f qps   p50 %8.3f ms   p99 %8.3f ms\n",
+              clean->qps, clean->p50_seconds * 1e3, clean->p99_seconds * 1e3);
+  // Failures ride in the l1_error slot (baseline 0.0): any clean-phase
+  // request failing end-to-end is a correctness regression, not noise.
+  report.Add("net_roundtrip_clean", params, clean->p99_seconds,
+             static_cast<double>(clean->failures),
+             {{"qps", clean->qps}, {"p50_seconds", clean->p50_seconds}});
+
+  // Fault phase: seeded-probability failpoints on both sides of every
+  // socket syscall. Short I/O at the full rate, resets at a fifth of it
+  // (a reset costs a reconnect, not just a retry loop iteration).
+  auto prob = [&](double p, uint64_t salt) {
+    resilience::FailpointSpec spec;
+    spec.mode = resilience::FailpointSpec::Mode::kProbability;
+    spec.probability = p;
+    spec.seed = 1234567 + salt;
+    return spec;
+  };
+  std::list<resilience::ScopedFailpoint> weather;
+  weather.emplace_back("net/read_short", prob(fault_rate, 1));
+  weather.emplace_back("net/write_short", prob(fault_rate, 2));
+  weather.emplace_back("net/read_eagain", prob(fault_rate, 3));
+  weather.emplace_back("net/write_eagain", prob(fault_rate, 4));
+  weather.emplace_back("net/read_reset", prob(fault_rate / 5.0, 5));
+  weather.emplace_back("net/write_reset", prob(fault_rate / 5.0, 6));
+
+  auto faulted = RunPhase(front_end.port(), sql, threads, requests);
+  weather.clear();
+  if (!faulted.ok()) {
+    std::fprintf(stderr, "faulted: %s\n",
+                 faulted.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "faulted %2.0f%% %6.0f qps   p50 %8.3f ms   p99 %8.3f ms   "
+      "(%llu retries, %llu failures)\n",
+      fault_rate * 100.0, faulted->qps, faulted->p50_seconds * 1e3,
+      faulted->p99_seconds * 1e3,
+      static_cast<unsigned long long>(faulted->retries),
+      static_cast<unsigned long long>(faulted->failures));
+  report.Add("net_roundtrip_faulted", params, faulted->p99_seconds,
+             static_cast<double>(faulted->failures),
+             {{"qps", faulted->qps},
+              {"p50_seconds", faulted->p50_seconds},
+              {"retries", static_cast<double>(faulted->retries)}});
+
+  front_end.Stop();
+  server.Stop();
+
+  if (!report.Write()) return 1;
+  // Liveness gate independent of the JSON baseline: with retries, the 1%
+  // fault rate must not fail any request outright.
+  if (clean->failures > 0 || faulted->failures > 0) {
+    std::fprintf(stderr, "FAIL: %llu clean / %llu faulted request(s) "
+                 "failed end-to-end\n",
+                 static_cast<unsigned long long>(clean->failures),
+                 static_cast<unsigned long long>(faulted->failures));
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace congress
+
+int main(int argc, char** argv) { return congress::Run(argc, argv); }

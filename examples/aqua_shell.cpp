@@ -6,14 +6,17 @@
 // compared with the exact one.
 //
 // Run with --demo (the bench loop does) for a scripted session, or with
-// --serve for a scripted tour of the concurrent serving front-end: a
-// thread pool answers deadline-bounded resilient queries while this
-// thread keeps inserting and refreshing — every answer names the
-// snapshot epoch it came from.
+// --serve for the network front-end: the engine goes behind a framed TCP
+// endpoint (add --port P for a fixed port), a scripted loopback tour runs
+// through a real retrying AquaClient, and the endpoint then stays up for
+// remote shells until stdin closes. In a second terminal,
+// --connect host:port skips the table load entirely and speaks the wire
+// protocol to a running --serve instance.
 
 #include <cctype>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <future>
 #include <iostream>
@@ -21,6 +24,8 @@
 #include <vector>
 
 #include "core/aqua.h"
+#include "net/client.h"
+#include "net/front_end.h"
 #include "serve/server.h"
 #include "tpcd/lineitem.h"
 #include "util/stopwatch.h"
@@ -105,59 +110,79 @@ void RunQuery(std::string sql_text, const AquaEngine& engine) {
               exact_ms, exact_ms / std::max(approx_ms, 1e-6));
 }
 
-// The --serve tour: open a session against a 4-thread AquaServer and
-// interleave waves of resilient queries with Insert+Refresh rounds. The
-// epochs in the output show snapshot publication happening mid-flight
-// without any reader blocking or seeing a torn view.
-int RunServeTour(AquaEngine* engine, const Table& base) {
-  serve::ServeOptions options;
-  options.num_threads = 4;
-  options.default_deadline = std::chrono::milliseconds(500);
-  serve::AquaServer server(engine, options);
-  Status st = server.Start();
-  if (!st.ok()) {
-    std::printf("serve start failed: %s\n", st.ToString().c_str());
-    return 1;
+/// Renders one network answer: epoch, timing, and up to 12 group rows.
+void PrintNetResponse(const serve::Response& response) {
+  if (!response.status.ok()) {
+    std::printf("  error: %s\n", response.status.ToString().c_str());
+    return;
   }
-  auto session = server.OpenSession();
-  if (!session.ok()) {
-    std::printf("open session failed: %s\n",
-                session.status().ToString().c_str());
-    return 1;
+  std::printf("  epoch %llu | %zu groups | queue %.3f ms | exec %.3f ms\n",
+              static_cast<unsigned long long>(response.epoch),
+              response.result.num_groups(), response.queue_seconds * 1e3,
+              response.exec_seconds * 1e3);
+  size_t shown = 0;
+  for (const ApproximateGroupRow& row : response.result.rows()) {
+    if (++shown > 12) {
+      std::printf("  ... (%zu more groups)\n",
+                  response.result.num_groups() - 12);
+      break;
+    }
+    std::printf("  %-24s %14.6g %12.4g\n", GroupKeyToString(row.key).c_str(),
+                row.estimates[0], row.bounds[0]);
   }
+}
+
+// The --serve tour, now over the wire: waves of resilient queries travel
+// loopback TCP through a real retrying AquaClient (frames, CRCs, timeouts
+// and all), with a token-deduplicated network insert plus a Refresh
+// between rounds. The epochs in the output show snapshot publication
+// happening mid-flight without any reader blocking or seeing a torn view.
+int RunServeTour(AquaEngine* engine, net::TcpFrontEnd* front_end,
+                 const Table& base) {
+  net::ClientOptions client_options;
+  client_options.max_attempts = 4;
+  net::AquaClient client("127.0.0.1", front_end->port(), client_options);
 
   serve::Request request;
   request.sql =
       "SELECT l_returnflag, SUM(l_quantity), COUNT(*) FROM lineitem "
       "GROUP BY l_returnflag";
   request.mode = serve::QueryMode::kResilient;
+  request.deadline = std::chrono::milliseconds(500);
 
-  std::printf("serving 3 rounds of 4 concurrent resilient queries, with "
-              "an insert+refresh between rounds...\n");
+  std::printf("tour: 3 rounds of 4 resilient queries over loopback TCP, "
+              "with a tokened network insert + refresh between rounds...\n");
   for (int round = 0; round < 3; ++round) {
-    std::vector<std::future<serve::Response>> futures;
     for (int q = 0; q < 4; ++q) {
-      futures.push_back(server.Submit(*session, request));
-    }
-    for (auto& future : futures) {
-      serve::Response response = future.get();
-      if (!response.status.ok()) {
-        std::printf("  error: %s\n", response.status.ToString().c_str());
+      auto response = client.Call(request);
+      if (!response.ok()) {
+        std::printf("  transport error: %s\n",
+                    response.status().ToString().c_str());
         continue;
       }
       std::printf(
           "  epoch %llu | %zu groups | queue %.3f ms | exec %.3f ms\n",
-          static_cast<unsigned long long>(response.epoch),
-          response.result.num_groups(), response.queue_seconds * 1e3,
-          response.exec_seconds * 1e3);
+          static_cast<unsigned long long>(response->epoch),
+          response->result.num_groups(), response->queue_seconds * 1e3,
+          response->exec_seconds * 1e3);
     }
     if (round == 2) break;
     std::vector<Value> row;
     for (size_t c = 0; c < base.num_columns(); ++c) {
       row.push_back(base.GetValue(round, c));
     }
-    st = engine->Insert("lineitem", row);
-    if (st.ok()) st = engine->Refresh("lineitem");
+    // The token makes the retry loop safe: a duplicate delivery is
+    // answered from the front-end's cache, never executed twice.
+    auto inserted = client.Insert("lineitem", {row},
+                                  "tour-round-" + std::to_string(round));
+    if (!inserted.ok() || !inserted->status.ok()) {
+      std::printf("insert failed: %s\n",
+                  (inserted.ok() ? inserted->status : inserted.status())
+                      .ToString()
+                      .c_str());
+      return 1;
+    }
+    Status st = engine->Refresh("lineitem");
     if (!st.ok()) {
       std::printf("maintenance failed: %s\n", st.ToString().c_str());
       return 1;
@@ -165,12 +190,39 @@ int RunServeTour(AquaEngine* engine, const Table& base) {
     std::printf("-- refreshed: published epoch %llu\n",
                 static_cast<unsigned long long>(engine->epoch()));
   }
-  server.Stop();
-  serve::ServerStats stats = server.stats();
-  std::printf("served %llu requests (%llu rejected, %llu past deadline)\n",
-              static_cast<unsigned long long>(stats.completed),
-              static_cast<unsigned long long>(stats.rejected),
-              static_cast<unsigned long long>(stats.deadline_expired));
+  const net::ClientStats cstats = client.stats();
+  std::printf("tour client: %llu attempts, %llu retries\n",
+              static_cast<unsigned long long>(cstats.attempts),
+              static_cast<unsigned long long>(cstats.retries));
+  return 0;
+}
+
+// The --connect REPL: no engine, no table load — just an AquaClient
+// speaking the framed protocol to a remote --serve instance.
+int RunConnect(const std::string& host, uint16_t port) {
+  net::ClientOptions options;
+  options.max_attempts = 4;
+  net::AquaClient client(host, port, options);
+
+  std::printf("connected shell -> %s:%u. Enter SQL; empty line quits.\n",
+              host.c_str(), port);
+  std::string line;
+  while (true) {
+    std::printf("aqua[%s:%u]> ", host.c_str(), port);
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line) || line.empty()) break;
+    serve::Request request;
+    request.sql = line;
+    request.mode = serve::QueryMode::kResilient;
+    request.deadline = std::chrono::milliseconds(2000);
+    auto response = client.Call(request);
+    if (!response.ok()) {
+      std::printf("  transport error: %s\n",
+                  response.status().ToString().c_str());
+      continue;
+    }
+    PrintNetResponse(*response);
+  }
   return 0;
 }
 
@@ -179,9 +231,28 @@ int RunServeTour(AquaEngine* engine, const Table& base) {
 int main(int argc, char** argv) {
   bool demo = false;
   bool serve = false;
+  uint16_t port = 0;  // --serve default: ephemeral, printed on startup.
+  std::string connect;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--demo") == 0) demo = true;
     if (std::strcmp(argv[i], "--serve") == 0) serve = true;
+    if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+      port = static_cast<uint16_t>(std::atoi(argv[++i]));
+    }
+    if (std::strcmp(argv[i], "--connect") == 0 && i + 1 < argc) {
+      connect = argv[++i];
+    }
+  }
+
+  if (!connect.empty()) {
+    const size_t colon = connect.rfind(':');
+    if (colon == std::string::npos || colon + 1 == connect.size()) {
+      std::printf("--connect wants host:port, got '%s'\n", connect.c_str());
+      return 1;
+    }
+    return RunConnect(connect.substr(0, colon),
+                      static_cast<uint16_t>(
+                          std::atoi(connect.c_str() + colon + 1)));
   }
 
   std::printf("loading lineitem (1M tuples, 1000 skewed groups)...\n");
@@ -231,7 +302,52 @@ int main(int argc, char** argv) {
                 (*synopsis)->sample().strata().size());
   }
 
-  if (serve) return RunServeTour(&engine, spare_rows);
+  if (serve) {
+    serve::ServeOptions options;
+    options.num_threads = 4;
+    options.default_deadline = std::chrono::milliseconds(500);
+    serve::AquaServer server(&engine, options);
+    st = server.Start();
+    if (!st.ok()) {
+      std::printf("serve start failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    net::FrontEndOptions fe_options;
+    fe_options.port = port;
+    net::TcpFrontEnd front_end(&server, fe_options);
+    st = front_end.Start();
+    if (!st.ok()) {
+      std::printf("front end start failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("serving on 127.0.0.1:%u — connect with: aqua_shell "
+                "--connect 127.0.0.1:%u\n",
+                front_end.port(), front_end.port());
+
+    const int tour = RunServeTour(&engine, &front_end, spare_rows);
+
+    // Stay up for remote shells until stdin closes (piped runs exit
+    // immediately; a terminal serves until EOF or "quit").
+    std::printf("serving until stdin closes (or 'quit')...\n");
+    std::string line;
+    while (std::getline(std::cin, line) && line != "quit") {
+    }
+
+    front_end.Stop();
+    server.Stop();
+    const net::FrontEndStats fstats = front_end.stats();
+    const serve::ServerStats stats = server.stats();
+    std::printf(
+        "served %llu requests over %llu accepted connections "
+        "(%llu rejected, %llu past deadline, %llu frames in/%llu out)\n",
+        static_cast<unsigned long long>(stats.completed),
+        static_cast<unsigned long long>(fstats.accepts),
+        static_cast<unsigned long long>(stats.rejected),
+        static_cast<unsigned long long>(stats.deadline_expired),
+        static_cast<unsigned long long>(fstats.frames_in),
+        static_cast<unsigned long long>(fstats.frames_out));
+    return tour;
+  }
 
   if (demo) {
     const char* scripted[] = {

@@ -1,0 +1,113 @@
+#ifndef CONGRESS_NET_CLIENT_H_
+#define CONGRESS_NET_CLIENT_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "net/socket.h"
+#include "net/wire.h"
+#include "serve/server.h"
+#include "util/backoff.h"
+#include "util/status.h"
+
+namespace congress::net {
+
+struct ClientOptions {
+  std::chrono::milliseconds connect_timeout{1000};
+  std::chrono::milliseconds read_timeout{5000};
+  std::chrono::milliseconds write_timeout{5000};
+  /// Total tries per Call() (first attempt + retries).
+  size_t max_attempts = 3;
+  /// Retry pacing; jittered so a retry storm from many clients decorrelates.
+  util::BackoffPolicy backoff{/*initial_ms=*/5, /*multiplier=*/2.0,
+                              /*max_ms=*/200, /*jitter=*/0.5};
+  /// Seeds the backoff jitter; fixed seeds make retry schedules
+  /// reproducible in tests.
+  uint64_t seed = 0;
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+};
+
+struct ClientStats {
+  uint64_t attempts = 0;
+  uint64_t retries = 0;
+  uint64_t reconnects = 0;
+  uint64_t transport_errors = 0;
+};
+
+/// A blocking client for the framed TCP protocol with explicit failure
+/// semantics:
+///
+///   * every Call() resolves to a definite Result — transport failures
+///     surface as Unavailable (retryable) or DeadlineExceeded (when the
+///     request's own budget ran out), never as a hang;
+///   * retries use bounded exponential backoff with jitter and reconnect
+///     on a fresh socket after any transport error (the old connection's
+///     framing can no longer be trusted);
+///   * retryability is decided by IsRetryable(): kUnavailable,
+///     kResourceExhausted, and kIOError are retryable; kInvalidArgument
+///     and friends are not; and a kInsert without an idempotency token is
+///     NEVER retried, because a transport error leaves its outcome
+///     unknown and re-sending could apply the batch twice. With a token
+///     the front-end deduplicates, so retry is safe;
+///   * a request deadline (serve::Request::deadline > 0) is an overall
+///     budget across all attempts, re-anchored here on steady_clock; the
+///     remaining budget travels with each attempt so the server sees how
+///     much time is actually left.
+///
+/// Not thread-safe; use one client per thread (they are cheap).
+class AquaClient {
+ public:
+  AquaClient(std::string host, uint16_t port, ClientOptions options);
+  ~AquaClient();
+
+  AquaClient(const AquaClient&) = delete;
+  AquaClient& operator=(const AquaClient&) = delete;
+
+  /// Sends the request, retrying per the policy above. The returned
+  /// Result is the server's Response (whose own status may still be an
+  /// error) or the final transport/deadline Status.
+  Result<serve::Response> Call(const serve::Request& request);
+
+  /// Convenience: approximate query / resilient query / insert.
+  Result<serve::Response> Query(const std::string& sql);
+  Result<serve::Response> Insert(const std::string& table,
+                                 std::vector<std::vector<Value>> rows,
+                                 const std::string& idempotency_token);
+
+  /// Drops the connection; the next Call() reconnects.
+  void Disconnect();
+  bool connected() const { return socket_.valid(); }
+
+  /// Whether a failed attempt with this status may be re-sent for this
+  /// request. Exposed for tests and for callers running their own loops.
+  static bool IsRetryable(const Status& status, const serve::Request& request);
+
+  ClientStats stats() const { return stats_; }
+
+ private:
+  Status EnsureConnected();
+  /// One wire round trip: frame, send, await the matching response.
+  /// Transport-level failures come back as Unavailable/DeadlineExceeded
+  /// and leave the connection closed.
+  Result<serve::Response> Attempt(
+      const serve::Request& request,
+      std::chrono::steady_clock::time_point deadline, bool has_deadline);
+  /// Reads exactly `len` bytes honoring the attempt deadline.
+  Status ReadFull(char* buf, size_t len,
+                  std::chrono::steady_clock::time_point deadline);
+  Status WriteFull(const char* buf, size_t len,
+                   std::chrono::steady_clock::time_point deadline);
+
+  const std::string host_;
+  const uint16_t port_;
+  const ClientOptions options_;
+  util::Backoff backoff_;
+  Socket socket_;
+  uint64_t next_correlation_id_ = 1;
+  ClientStats stats_;
+};
+
+}  // namespace congress::net
+
+#endif  // CONGRESS_NET_CLIENT_H_

@@ -1,0 +1,114 @@
+#ifndef CONGRESS_NET_SOCKET_H_
+#define CONGRESS_NET_SOCKET_H_
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "util/status.h"
+
+namespace congress::net {
+
+/// Thin RAII + fault-injection shim over the POSIX socket syscalls. Every
+/// read/write/accept/connect the net subsystem performs goes through
+/// these wrappers, and every wrapper carries `src/resilience` failpoint
+/// sites, so a chaos config can deterministically inject the whole
+/// failure menagerie — short reads and writes, EAGAIN storms, connection
+/// resets, refused accepts — without a misbehaving peer. Under
+/// -DCONGRESS_DISABLE_FAILPOINTS the sites compile to nothing and the
+/// wrappers are plain syscalls.
+///
+/// Failpoint sites (armed via FailpointRegistry or CONGRESS_FAILPOINTS):
+///   net/accept       — accept() reports a transient error
+///   net/connect      — connect() fails
+///   net/read_reset   — read() reports ECONNRESET
+///   net/read_short   — read() is capped at one byte
+///   net/read_eagain  — read() reports EAGAIN without touching the fd
+///   net/write_reset  — write() reports ECONNRESET
+///   net/write_short  — write() is capped at one byte
+///   net/write_eagain — write() reports EAGAIN without touching the fd
+
+/// Owning file descriptor. Closes on destruction; moves transfer
+/// ownership.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  /// Releases ownership without closing.
+  int Release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Outcome of one shim-mediated I/O attempt.
+struct IoResult {
+  enum class Kind {
+    kOk,          ///< `bytes` were transferred (> 0).
+    kWouldBlock,  ///< EAGAIN/EWOULDBLOCK — retry after poll.
+    kEof,         ///< Orderly peer shutdown (reads only).
+    kReset,       ///< ECONNRESET/EPIPE — the connection is dead.
+    kError,       ///< Any other errno; `error` holds it.
+  };
+  Kind kind = Kind::kError;
+  size_t bytes = 0;
+  int error = 0;
+};
+
+/// read()/write() through the failpoint shim. The fd may be blocking or
+/// non-blocking; EINTR is retried internally.
+IoResult ReadSome(int fd, char* buf, size_t len);
+IoResult WriteSome(int fd, const char* buf, size_t len);
+
+/// accept() through the shim. On success the returned socket is valid
+/// and non-blocking; a fired `net/accept` failpoint or a transient errno
+/// (EAGAIN, ECONNABORTED, EINTR) yields Unavailable — the caller keeps
+/// listening — and fatal errnos yield IOError.
+Result<Socket> AcceptConnection(int listener_fd);
+
+/// Creates a non-blocking listener bound to host:port (port 0 picks an
+/// ephemeral port; read it back with LocalPort).
+Result<Socket> Listen(const std::string& host, uint16_t port, int backlog);
+
+/// Blocking-with-timeout connect through the shim; the returned socket
+/// is left in blocking mode.
+Result<Socket> ConnectTo(const std::string& host, uint16_t port,
+                         std::chrono::milliseconds timeout);
+
+Status SetNonBlocking(int fd, bool nonblocking);
+
+/// The port a bound socket actually landed on.
+Result<uint16_t> LocalPort(int fd);
+
+/// Waits for readability/writability with a timeout. Returns true when
+/// ready, false on timeout; IOError statuses are reported as false too
+/// (callers treat both as "not ready, decide via deadline").
+bool WaitReadable(int fd, std::chrono::milliseconds timeout);
+bool WaitWritable(int fd, std::chrono::milliseconds timeout);
+
+}  // namespace congress::net
+
+#endif  // CONGRESS_NET_SOCKET_H_

@@ -1,0 +1,243 @@
+#include "net/wire.h"
+
+#include <utility>
+
+#include "resilience/wire.h"
+#include "util/crc32c.h"
+
+namespace congress::net {
+
+namespace {
+
+namespace rw = ::congress::resilience::wire;
+
+Status Malformed(const std::string& what) {
+  return Status::InvalidArgument("malformed frame: " + what);
+}
+
+/// Guards a count field against a lying payload: a count that could not
+/// possibly fit in the remaining bytes (at `min_bytes_each` apiece) is
+/// rejected before any allocation sized by it.
+bool PlausibleCount(const rw::Cursor& in, uint32_t count,
+                    size_t min_bytes_each) {
+  return static_cast<size_t>(count) <= in.remaining() / min_bytes_each;
+}
+
+void PutGroupRow(std::string* out, const ApproximateGroupRow& row) {
+  rw::PutU32(out, static_cast<uint32_t>(row.key.size()));
+  for (const Value& v : row.key) rw::PutValue(out, v);
+  rw::PutU32(out, static_cast<uint32_t>(row.estimates.size()));
+  for (double v : row.estimates) rw::PutDouble(out, v);
+  for (double v : row.std_errors) rw::PutDouble(out, v);
+  for (double v : row.bounds) rw::PutDouble(out, v);
+  rw::PutU64(out, row.support);
+  rw::PutU8(out, static_cast<uint8_t>(row.provenance));
+}
+
+bool GetGroupRow(rw::Cursor* in, ApproximateGroupRow* row) {
+  uint32_t key_size = 0;
+  if (!in->GetU32(&key_size) || !PlausibleCount(*in, key_size, 1)) {
+    return false;
+  }
+  row->key.resize(key_size);
+  for (Value& v : row->key) {
+    if (!rw::GetValue(in, &v)) return false;
+  }
+  uint32_t num_aggs = 0;
+  // Each aggregate carries three doubles (24 bytes) below.
+  if (!in->GetU32(&num_aggs) || !PlausibleCount(*in, num_aggs, 24)) {
+    return false;
+  }
+  row->estimates.resize(num_aggs);
+  row->std_errors.resize(num_aggs);
+  row->bounds.resize(num_aggs);
+  for (double& v : row->estimates) {
+    if (!in->GetDouble(&v)) return false;
+  }
+  for (double& v : row->std_errors) {
+    if (!in->GetDouble(&v)) return false;
+  }
+  for (double& v : row->bounds) {
+    if (!in->GetDouble(&v)) return false;
+  }
+  uint8_t provenance = 0;
+  if (!in->GetU64(&row->support) || !in->GetU8(&provenance)) return false;
+  if (provenance > static_cast<uint8_t>(GroupProvenance::kCombined)) {
+    return false;
+  }
+  row->provenance = static_cast<GroupProvenance>(provenance);
+  return true;
+}
+
+}  // namespace
+
+void EncodeFrame(FrameType type, uint64_t correlation_id,
+                 const std::string& payload, std::string* out) {
+  rw::PutU32(out, kWireMagic);
+  rw::PutU8(out, kWireVersion);
+  rw::PutU8(out, static_cast<uint8_t>(type));
+  rw::PutU8(out, 0);  // flags lo
+  rw::PutU8(out, 0);  // flags hi
+  rw::PutU64(out, correlation_id);
+  rw::PutU32(out, static_cast<uint32_t>(payload.size()));
+  rw::PutU32(out, MaskCrc32c(Crc32c(payload.data(), payload.size())));
+  out->append(payload);
+}
+
+Result<FrameHeader> DecodeFrameHeader(const char* data, size_t size,
+                                      size_t max_frame_bytes) {
+  if (size < kFrameHeaderBytes) {
+    return Malformed("header truncated");
+  }
+  rw::Cursor in(data, kFrameHeaderBytes);
+  uint32_t magic = 0;
+  uint8_t version = 0;
+  uint8_t type = 0;
+  uint8_t flags_lo = 0;
+  uint8_t flags_hi = 0;
+  FrameHeader header;
+  if (!in.GetU32(&magic) || !in.GetU8(&version) || !in.GetU8(&type) ||
+      !in.GetU8(&flags_lo) || !in.GetU8(&flags_hi) ||
+      !in.GetU64(&header.correlation_id) ||
+      !in.GetU32(&header.payload_length) || !in.GetU32(&header.masked_crc)) {
+    return Malformed("header truncated");
+  }
+  if (magic != kWireMagic) return Malformed("bad magic");
+  if (version != kWireVersion) {
+    return Malformed("unsupported version " + std::to_string(version));
+  }
+  if (type != static_cast<uint8_t>(FrameType::kRequest) &&
+      type != static_cast<uint8_t>(FrameType::kResponse)) {
+    return Malformed("unknown frame type " + std::to_string(type));
+  }
+  if (flags_lo != 0 || flags_hi != 0) return Malformed("nonzero flags");
+  if (header.payload_length > max_frame_bytes) {
+    // OutOfRange (not InvalidArgument) so callers can count oversize
+    // frames separately from structural garbage.
+    return Status::OutOfRange(
+        "frame payload length " + std::to_string(header.payload_length) +
+        " exceeds limit " + std::to_string(max_frame_bytes));
+  }
+  header.version = version;
+  header.type = static_cast<FrameType>(type);
+  return header;
+}
+
+Status VerifyFramePayload(const FrameHeader& header, const char* payload,
+                          size_t size) {
+  if (size != header.payload_length) {
+    return Malformed("payload size mismatch");
+  }
+  if (MaskCrc32c(Crc32c(payload, size)) != header.masked_crc) {
+    return Malformed("payload CRC mismatch");
+  }
+  return Status::OK();
+}
+
+std::string EncodeRequest(const serve::Request& request) {
+  std::string out;
+  rw::PutU8(&out, static_cast<uint8_t>(request.mode));
+  rw::PutString(&out, request.sql);
+  rw::PutString(&out, request.table);
+  rw::PutString(&out, request.idempotency_token);
+  rw::PutU64(&out, static_cast<uint64_t>(request.deadline.count()));
+  rw::PutU32(&out, static_cast<uint32_t>(request.rows.size()));
+  for (const std::vector<Value>& row : request.rows) {
+    rw::PutU32(&out, static_cast<uint32_t>(row.size()));
+    for (const Value& v : row) rw::PutValue(&out, v);
+  }
+  return out;
+}
+
+Result<serve::Request> DecodeRequest(const char* payload, size_t size) {
+  rw::Cursor in(payload, size);
+  serve::Request request;
+  uint8_t mode = 0;
+  if (!in.GetU8(&mode)) return Malformed("request mode truncated");
+  if (mode > static_cast<uint8_t>(serve::QueryMode::kInsert)) {
+    return Malformed("unknown query mode " + std::to_string(mode));
+  }
+  request.mode = static_cast<serve::QueryMode>(mode);
+  uint64_t deadline_ms = 0;
+  if (!in.GetString(&request.sql) || !in.GetString(&request.table) ||
+      !in.GetString(&request.idempotency_token) || !in.GetU64(&deadline_ms)) {
+    return Malformed("request fields truncated");
+  }
+  request.deadline = std::chrono::milliseconds(deadline_ms);
+  uint32_t num_rows = 0;
+  if (!in.GetU32(&num_rows) || !PlausibleCount(in, num_rows, 4)) {
+    return Malformed("request row count implausible");
+  }
+  request.rows.resize(num_rows);
+  for (std::vector<Value>& row : request.rows) {
+    uint32_t num_values = 0;
+    if (!in.GetU32(&num_values) || !PlausibleCount(in, num_values, 1)) {
+      return Malformed("request row truncated");
+    }
+    row.resize(num_values);
+    for (Value& v : row) {
+      if (!rw::GetValue(&in, &v)) return Malformed("request value truncated");
+    }
+  }
+  if (in.remaining() != 0) return Malformed("trailing bytes after request");
+  return request;
+}
+
+std::string EncodeResponse(const serve::Response& response) {
+  std::string out;
+  rw::PutU8(&out, static_cast<uint8_t>(response.status.code()));
+  rw::PutString(&out, response.status.message());
+  rw::PutU8(&out, static_cast<uint8_t>(response.degradation.level));
+  rw::PutString(&out, response.degradation.cause);
+  rw::PutDouble(&out, response.degradation.bound_widening);
+  rw::PutU64(&out, response.epoch);
+  rw::PutDouble(&out, response.queue_seconds);
+  rw::PutDouble(&out, response.exec_seconds);
+  rw::PutU32(&out, static_cast<uint32_t>(response.result.num_groups()));
+  for (const ApproximateGroupRow& row : response.result.rows()) {
+    PutGroupRow(&out, row);
+  }
+  return out;
+}
+
+Result<serve::Response> DecodeResponse(const char* payload, size_t size) {
+  rw::Cursor in(payload, size);
+  serve::Response response;
+  uint8_t code = 0;
+  std::string message;
+  if (!in.GetU8(&code) || !in.GetString(&message)) {
+    return Malformed("response status truncated");
+  }
+  if (code > static_cast<uint8_t>(StatusCode::kUnavailable)) {
+    return Malformed("unknown status code " + std::to_string(code));
+  }
+  response.status = Status(static_cast<StatusCode>(code), std::move(message));
+  uint8_t level = 0;
+  if (!in.GetU8(&level) || !in.GetString(&response.degradation.cause) ||
+      !in.GetDouble(&response.degradation.bound_widening)) {
+    return Malformed("response degradation truncated");
+  }
+  if (level > static_cast<uint8_t>(DegradationLevel::kExactRebuild)) {
+    return Malformed("unknown degradation level " + std::to_string(level));
+  }
+  response.degradation.level = static_cast<DegradationLevel>(level);
+  if (!in.GetU64(&response.epoch) ||
+      !in.GetDouble(&response.queue_seconds) ||
+      !in.GetDouble(&response.exec_seconds)) {
+    return Malformed("response timing truncated");
+  }
+  uint32_t num_groups = 0;
+  // Each group needs at least key count + agg count + support + tag.
+  if (!in.GetU32(&num_groups) || !PlausibleCount(in, num_groups, 17)) {
+    return Malformed("response group count implausible");
+  }
+  for (uint32_t g = 0; g < num_groups; ++g) {
+    ApproximateGroupRow row;
+    if (!GetGroupRow(&in, &row)) return Malformed("response group truncated");
+    response.result.Add(std::move(row));
+  }
+  if (in.remaining() != 0) return Malformed("trailing bytes after response");
+  return response;
+}
+
+}  // namespace congress::net

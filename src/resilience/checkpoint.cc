@@ -6,6 +6,7 @@
 
 #include "obs/metrics.h"
 #include "resilience/snapshot_io.h"
+#include "util/backoff.h"
 
 namespace congress::resilience {
 
@@ -35,14 +36,17 @@ CheckpointingMaintainer::~CheckpointingMaintainer() {
 
 Status CheckpointingMaintainer::WriteImage(const SnapshotImage& image) {
   Status st = Status::OK();
-  uint64_t backoff_ms = policy_.backoff_initial_ms;
+  util::Backoff backoff(
+      util::BackoffPolicy{policy_.backoff_initial_ms, /*multiplier=*/2.0,
+                          policy_.backoff_max_ms, policy_.backoff_jitter},
+      seed_);
   const int attempts = policy_.max_attempts < 1 ? 1 : policy_.max_attempts;
   for (int attempt = 0; attempt < attempts; ++attempt) {
     if (attempt > 0) {
       CONGRESS_METRIC_INCR("resilience.checkpoint_retry", 1);
-      if (backoff_ms > 0) {
-        std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
-        backoff_ms *= 2;
+      const auto delay = backoff.NextDelay();
+      if (delay.count() > 0) {
+        std::this_thread::sleep_for(delay);
       }
     }
     st = WriteSnapshot(image, policy_.path);

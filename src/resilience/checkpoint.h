@@ -23,6 +23,13 @@ struct CheckpointPolicy {
   uint64_t every_n_inserts = 10000;  ///< Checkpoint cadence, in inserts.
   int max_attempts = 3;              ///< Write attempts per checkpoint.
   uint64_t backoff_initial_ms = 0;   ///< Sleep before retry #1; doubles.
+  uint64_t backoff_max_ms = 1000;    ///< Per-retry sleep ceiling.
+  /// Fraction of each retry delay randomized away (util::BackoffPolicy
+  /// jitter), so maintainers checkpointing to the same ailing disk do
+  /// not retry in lockstep. Jitter draws are seeded from the
+  /// maintainer's seed, never the sampling RNG: arming or disarming
+  /// backoff jitter cannot change which tuples a sample keeps.
+  double backoff_jitter = 0.2;
   /// Write checkpoints on a background thread so the serialize+fsync cost
   /// overlaps ingest instead of stalling it. The image is still captured
   /// synchronously on the inserting thread (Snapshot() mutates the inner

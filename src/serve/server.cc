@@ -54,7 +54,7 @@ void AquaServer::Stop() {
   for (Pending& pending : drained) {
     Response response;
     response.status = Status::Unavailable("server stopped before execution");
-    pending.promise.set_value(std::move(response));
+    pending.Resolve(std::move(response));
   }
   std::lock_guard<std::mutex> lock(mu_);
   started_ = false;
@@ -86,38 +86,51 @@ Status AquaServer::CloseSession(uint64_t session) {
 }
 
 std::future<Response> AquaServer::Submit(uint64_t session, Request request) {
-  std::promise<Response> promise;
-  std::future<Response> future = promise.get_future();
+  Pending pending;
+  pending.request = std::move(request);
+  std::future<Response> future = pending.promise.get_future();
+  Enqueue(session, std::move(pending));
+  return future;
+}
 
+void AquaServer::SubmitAsync(uint64_t session, Request request,
+                             ResponseCallback done) {
+  Pending pending;
+  pending.request = std::move(request);
+  pending.callback = std::move(done);
+  Enqueue(session, std::move(pending));
+}
+
+void AquaServer::Enqueue(uint64_t session, Pending pending) {
   auto reject = [&](Status status) {
     rejected_.fetch_add(1, std::memory_order_relaxed);
     CONGRESS_METRIC_INCR("serve.admission_rejected", 1);
     Response response;
     response.status = std::move(status);
-    promise.set_value(std::move(response));
+    pending.Resolve(std::move(response));
   };
 
   std::unique_lock<std::mutex> lock(mu_);
   if (stopping_) {
     lock.unlock();
     reject(Status::Unavailable("server is stopping"));
-    return future;
+    return;
   }
   auto it = sessions_.find(session);
   if (it == sessions_.end()) {
     lock.unlock();
     reject(Status::InvalidArgument("session " + std::to_string(session) +
                                    " not open"));
-    return future;
+    return;
   }
   it->second.submitted++;
-  const bool is_write = request.mode == QueryMode::kInsert;
+  const bool is_write = pending.request.mode == QueryMode::kInsert;
   if (is_write && mutable_engine_ == nullptr) {
     it->second.rejected++;
     lock.unlock();
     reject(Status::FailedPrecondition(
         "server is read-only (constructed over a const engine)"));
-    return future;
+    return;
   }
   if (queue_.size() >= options_.max_queue_depth) {
     it->second.rejected++;
@@ -125,7 +138,7 @@ std::future<Response> AquaServer::Submit(uint64_t session, Request request) {
     reject(Status::ResourceExhausted(
         "request queue full (depth " +
         std::to_string(options_.max_queue_depth) + ")"));
-    return future;
+    return;
   }
   if (is_write && queued_writes_ >= options_.max_write_queue_depth) {
     it->second.rejected++;
@@ -133,14 +146,11 @@ std::future<Response> AquaServer::Submit(uint64_t session, Request request) {
     reject(Status::ResourceExhausted(
         "write queue full (depth " +
         std::to_string(options_.max_write_queue_depth) + ")"));
-    return future;
+    return;
   }
   if (is_write) queued_writes_++;
 
-  Pending pending;
   pending.session = session;
-  pending.request = std::move(request);
-  pending.promise = std::move(promise);
   pending.enqueued = Clock::now();
   std::chrono::milliseconds budget = pending.request.deadline;
   if (budget.count() == 0) budget = options_.default_deadline;
@@ -153,7 +163,6 @@ std::future<Response> AquaServer::Submit(uint64_t session, Request request) {
   CONGRESS_METRIC_INCR("serve.requests", 1);
   lock.unlock();
   cv_.notify_one();
-  return future;
 }
 
 void AquaServer::WorkerLoop() {
@@ -187,7 +196,7 @@ void AquaServer::WorkerLoop() {
         static_cast<uint64_t>((response.queue_seconds +
                                response.exec_seconds) *
                               1e9));
-    pending.promise.set_value(std::move(response));
+    pending.Resolve(std::move(response));
   }
 }
 

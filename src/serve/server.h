@@ -6,6 +6,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <mutex>
 #include <string>
@@ -59,8 +60,15 @@ struct Request {
   /// Deadline budget for this request; zero uses the server default.
   /// The budget starts at Submit() — queueing time counts against it —
   /// and in kResilient mode the remaining budget is threaded into the
-  /// degradation ladder.
+  /// degradation ladder. Always a *relative* duration, re-anchored on
+  /// the receiving process's steady_clock: absolute (wall-clock)
+  /// deadlines never cross an API or wire boundary, so clock
+  /// adjustments cannot expire or resurrect a queued request.
   std::chrono::milliseconds deadline{0};
+  /// kInsert mode: optional caller-chosen token identifying this batch.
+  /// The network front-end deduplicates retried inserts by token, making
+  /// retry-after-unknown-outcome safe; the server itself ignores it.
+  std::string idempotency_token;
 };
 
 struct Response {
@@ -147,6 +155,14 @@ class AquaServer {
   /// Unavailable if the server stopped first).
   std::future<Response> Submit(uint64_t session, Request request);
 
+  /// Callback form for event-loop callers (the TCP front-end) that must
+  /// never block on a future. `done` is invoked exactly once with the
+  /// Response: from a worker thread after execution, from this thread on
+  /// admission rejection, or from whichever thread drains the queue on
+  /// Stop(). The same always-resolves guarantee as Submit() holds.
+  using ResponseCallback = std::function<void(Response)>;
+  void SubmitAsync(uint64_t session, Request request, ResponseCallback done);
+
   ServerStats stats() const;
   Result<SessionStats> session_stats(uint64_t session) const;
 
@@ -154,11 +170,27 @@ class AquaServer {
   struct Pending {
     uint64_t session = 0;
     Request request;
+    /// Exactly one of these resolves the request: the promise (Submit)
+    /// or the callback (SubmitAsync).
     std::promise<Response> promise;
+    ResponseCallback callback;
     std::chrono::steady_clock::time_point enqueued;
     std::chrono::steady_clock::time_point deadline;
     bool has_deadline = false;
+
+    void Resolve(Response response) {
+      if (callback) {
+        callback(std::move(response));
+      } else {
+        promise.set_value(std::move(response));
+      }
+    }
   };
+
+  /// Shared admission path: validates the session, applies queue and
+  /// write-lane limits, and either enqueues `pending` or resolves it
+  /// immediately with the rejection.
+  void Enqueue(uint64_t session, Pending pending);
 
   void WorkerLoop();
   Response Execute(const Pending& pending) const;

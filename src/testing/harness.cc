@@ -136,6 +136,20 @@ std::vector<PropConfig> BuildDefaultConfigs() {
   }
   {
     PropConfig c;
+    c.name = "net_chaos";
+    c.description =
+        "retrying clients vs a live framed TCP front-end under injected "
+        "socket faults: every request resolves definitely, most succeed, "
+        "tokened inserts land exactly once, Stop() drains in bound";
+    c.spec.num_rows = 2000;
+    c.spec.num_grouping_columns = 2;
+    c.spec.values_per_column = 3;
+    c.spec.group_skew_z = 1.0;
+    c.net_chaos = true;
+    configs.push_back(c);
+  }
+  {
+    PropConfig c;
     c.name = "planner";
     c.description =
         "budget coverage: Zipf tables through the accuracy-aware planner "
@@ -236,6 +250,18 @@ Status RunOracles(const PropConfig& config, uint64_t seed,
           table, data->grouping_columns, strategy, static_cast<uint64_t>(x),
           seed);
       if (!st.ok()) return fail("sharded-ingest-consistency", name, st);
+    }
+    return Status::OK();
+  }
+
+  if (config.net_chaos) {
+    // One strategy: the oracle exercises the transport, not allocation
+    // math, and each run spins a full server + chaos fleet.
+    const AllocationStrategy strategy = AllocationStrategy::kCongress;
+    Status st = CheckNetChaos(table, data->grouping_columns, strategy,
+                              static_cast<uint64_t>(x), seed);
+    if (!st.ok()) {
+      return fail("net-chaos", AllocationStrategyToString(strategy), st);
     }
     return Status::OK();
   }

@@ -48,6 +48,13 @@ struct PropConfig {
   /// prove the chunk-queue claim/publish/reclaim protocol race-free.
   bool sharded_ingest = false;
 
+  /// Run the network chaos oracle (retrying AquaClients vs a live framed
+  /// TCP front-end with failpoint-injected socket weather) instead of the
+  /// query oracles. One strategy (Congress) bounds runtime; run it under
+  /// TSan to prove the event loop / completion queue / worker pool share
+  /// no unsynchronized state.
+  bool net_chaos = false;
+
   /// Run the planner budget-coverage experiment (stat_validator.h) instead
   /// of the query oracles: seeded Zipf tables answered through
   /// planner::Planner under a ladder of WITHIN budgets, each (run, group,

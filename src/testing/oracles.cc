@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cmath>
 #include <cstdint>
+#include <list>
 #include <memory>
 #include <string>
 #include <thread>
@@ -18,6 +19,8 @@
 #include "core/estimator.h"
 #include "core/rewriter.h"
 #include "engine/executor.h"
+#include "net/client.h"
+#include "net/front_end.h"
 #include "obs/metrics.h"
 #include "planner/planner.h"
 #include "resilience/checkpoint.h"
@@ -1478,6 +1481,174 @@ Status CheckPlannerIdentity(const Table& table,
           name + " rewriter", name + " primary plan"));
     }
   }
+  return Status::OK();
+}
+
+Status CheckNetChaos(const Table& table, const std::vector<size_t>& grouping,
+                     AllocationStrategy strategy, uint64_t sample_size,
+                     uint64_t seed) {
+  const Schema& schema = table.schema();
+  SynopsisConfig config;
+  config.strategy = strategy;
+  config.sample_size = sample_size;
+  config.incremental = true;
+  config.seed = seed;
+  std::string sql = "SELECT ";
+  for (size_t c : grouping) {
+    sql += schema.field(c).name + ", ";
+    config.grouping_columns.push_back(schema.field(c).name);
+  }
+  sql += "COUNT(*) FROM t GROUP BY " + config.grouping_columns[0];
+  for (size_t g = 1; g < config.grouping_columns.size(); ++g) {
+    sql += ", " + config.grouping_columns[g];
+  }
+
+  AquaEngine engine;
+  CONGRESS_RETURN_NOT_OK(engine.RegisterTable("t", table, config));
+  serve::AquaServer server(&engine, serve::ServeOptions{});
+  CONGRESS_RETURN_NOT_OK(server.Start());
+  net::FrontEndOptions fe_options;
+  fe_options.poll_interval = std::chrono::milliseconds(10);
+  fe_options.drain_timeout = std::chrono::milliseconds(3000);
+  net::TcpFrontEnd front_end(&server, fe_options);
+  CONGRESS_RETURN_NOT_OK(front_end.Start());
+
+  // The chaos weather: every socket syscall on both sides may misbehave,
+  // deterministically from (site seed, probability).
+  using resilience::FailpointSpec;
+  auto prob = [&](double p, uint64_t salt) {
+    FailpointSpec spec;
+    spec.mode = FailpointSpec::Mode::kProbability;
+    spec.probability = p;
+    spec.seed = seed * 1000003 + salt;
+    return spec;
+  };
+  std::list<resilience::ScopedFailpoint> weather;
+  weather.emplace_back("net/read_short", prob(0.05, 1));
+  weather.emplace_back("net/read_eagain", prob(0.05, 2));
+  weather.emplace_back("net/write_short", prob(0.05, 3));
+  weather.emplace_back("net/read_reset", prob(0.02, 4));
+  weather.emplace_back("net/write_reset", prob(0.02, 5));
+  weather.emplace_back("net/accept", prob(0.02, 6));
+  weather.emplace_back("net/connect", prob(0.02, 7));
+
+  constexpr size_t kClients = 3;
+  constexpr size_t kRequestsPerClient = 20;
+  struct ClientOutcome {
+    Status bad = Status::OK();   ///< First disallowed outcome, if any.
+    size_t successes = 0;
+    size_t insert_tokens = 0;
+    size_t inserts_confirmed = 0;
+  };
+  std::vector<ClientOutcome> outcomes(kClients);
+
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      ClientOutcome& out = outcomes[c];
+      net::ClientOptions options;
+      options.connect_timeout = std::chrono::milliseconds(500);
+      options.read_timeout = std::chrono::milliseconds(1000);
+      options.write_timeout = std::chrono::milliseconds(1000);
+      options.max_attempts = 5;
+      options.backoff.initial_ms = 1;
+      options.backoff.max_ms = 10;
+      options.seed = seed + c;
+      net::AquaClient client("127.0.0.1", front_end.port(), options);
+      for (size_t i = 0; i < kRequestsPerClient; ++i) {
+        const bool is_insert = i % 4 == 3;
+        auto issue = [&]() -> Result<serve::Response> {
+          if (is_insert) {
+            const std::string token =
+                "chaos-" + std::to_string(c) + "-" + std::to_string(i);
+            out.insert_tokens++;
+            std::vector<Value> row;
+            for (size_t col = 0; col < table.num_columns(); ++col) {
+              row.push_back(
+                  table.GetValue((c * 31 + i) % table.num_rows(), col));
+            }
+            return client.Insert("t", {row}, token);
+          }
+          serve::Request request;
+          request.sql = sql;
+          request.mode = i % 4 == 0 ? serve::QueryMode::kApproximate
+                         : i % 4 == 1 ? serve::QueryMode::kResilient
+                                      : serve::QueryMode::kExact;
+          return client.Call(request);
+        };
+        Result<serve::Response> response = issue();
+        const Status status =
+            response.ok() ? response->status : response.status();
+        if (status.ok()) {
+          out.successes++;
+          if (is_insert) out.inserts_confirmed++;
+        } else if (status.code() != StatusCode::kUnavailable &&
+                   status.code() != StatusCode::kResourceExhausted &&
+                   status.code() != StatusCode::kIOError &&
+                   status.code() != StatusCode::kDeadlineExceeded) {
+          if (out.bad.ok()) {
+            out.bad = Status::Internal(
+                "request " + std::to_string(i) +
+                " resolved to a disallowed failure: " + status.ToString());
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  weather.clear();  // Disarm before the drain check.
+
+  size_t successes = 0;
+  size_t insert_tokens = 0;
+  size_t inserts_confirmed = 0;
+  for (const ClientOutcome& out : outcomes) {
+    CONGRESS_RETURN_NOT_OK(out.bad);
+    successes += out.successes;
+    insert_tokens += out.insert_tokens;
+    inserts_confirmed += out.inserts_confirmed;
+  }
+  const size_t total = kClients * kRequestsPerClient;
+  if (successes * 2 <= total) {
+    return Status::Internal(
+        "liveness lost: only " + std::to_string(successes) + "/" +
+        std::to_string(total) + " requests succeeded under chaos");
+  }
+
+  const auto stop_start = std::chrono::steady_clock::now();
+  front_end.Stop();
+  const auto stop_elapsed = std::chrono::steady_clock::now() - stop_start;
+  if (stop_elapsed > fe_options.drain_timeout +
+                         std::chrono::milliseconds(2000)) {
+    return Status::Internal("Stop() exceeded its drain bound");
+  }
+  if (front_end.stats().connections_active != 0) {
+    return Status::Internal(
+        "front end leaked " +
+        std::to_string(front_end.stats().connections_active) +
+        " connections past Stop()");
+  }
+  if (server.stats().sessions_active != 0) {
+    return Status::Internal(
+        "server leaked " + std::to_string(server.stats().sessions_active) +
+        " sessions past Stop()");
+  }
+
+  // Insert idempotency: at most one execution per token, and every
+  // client-confirmed insert actually executed.
+  const uint64_t writes = server.stats().writes;
+  if (writes > insert_tokens) {
+    return Status::Internal(
+        "doubled writes: " + std::to_string(writes) + " executions for " +
+        std::to_string(insert_tokens) + " distinct idempotency tokens");
+  }
+  if (writes < inserts_confirmed) {
+    return Status::Internal(
+        "lost writes: " + std::to_string(inserts_confirmed) +
+        " inserts confirmed to clients but only " + std::to_string(writes) +
+        " executed");
+  }
+  server.Stop();
   return Status::OK();
 }
 

@@ -140,6 +140,27 @@ Status CheckShardedIngestConsistency(const Table& table,
                                      AllocationStrategy strategy,
                                      uint64_t sample_size, uint64_t seed);
 
+/// Network chaos oracle for the framed TCP front-end (DESIGN.md §17).
+/// Builds a live loopback stack (engine → AquaServer → TcpFrontEnd) and
+/// hammers it from several retrying AquaClients while seeded-probability
+/// failpoints inject connect failures, refused accepts, short reads and
+/// writes, EAGAIN storms, and connection resets into every socket
+/// syscall on both sides. Demands, under that weather:
+///   (a) every request resolves to a definite Status — no hangs — and
+///     failures only ever surface as Unavailable, ResourceExhausted,
+///     IOError, or DeadlineExceeded;
+///   (b) liveness: with retries, well over half the requests still
+///     succeed end-to-end;
+///   (c) tokened inserts execute at most once per token, and every
+///     client-confirmed insert was executed (no lost or doubled writes);
+///   (d) Stop() drains within its bound, leaking no connections and no
+///     server sessions.
+/// Run under TSan this also proves the event loop, the completion
+/// queue, and the worker pool share no unsynchronized state.
+Status CheckNetChaos(const Table& table, const std::vector<size_t>& grouping,
+                     AllocationStrategy strategy, uint64_t sample_size,
+                     uint64_t seed);
+
 /// Planner identity oracle, three invariants per (strategy, query):
 /// (a) a combined plan (exact outlier strata + sampled tail) over a 100%
 /// sample reproduces ExecuteExact within 1e-9 — the stitch introduces no

@@ -1,0 +1,72 @@
+#ifndef CONGRESS_UTIL_BACKOFF_H_
+#define CONGRESS_UTIL_BACKOFF_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+
+#include "util/random.h"
+
+namespace congress::util {
+
+/// Bounded exponential backoff with jitter — the one retry-delay
+/// implementation shared by everything that sleeps between attempts
+/// (checkpoint writes, network client reconnects). Delays grow
+/// geometrically from `initial_ms` by `multiplier`, saturate at
+/// `max_ms`, and each delay is drawn uniformly from
+/// [delay * (1 - jitter), delay] so a fleet of retriers armed by the
+/// same failure does not thunder back in lockstep.
+struct BackoffPolicy {
+  uint64_t initial_ms = 10;
+  double multiplier = 2.0;
+  uint64_t max_ms = 1000;
+  /// Fraction of each delay randomized away (0 = fixed delays).
+  double jitter = 0.2;
+};
+
+/// Stateful delay sequence for one retry loop. Deterministic from
+/// (policy, seed): tests can predict every delay.
+class Backoff {
+ public:
+  Backoff(BackoffPolicy policy, uint64_t seed)
+      : policy_(policy), rng_(seed) {}
+
+  /// Delay to sleep before the next retry. First call returns the
+  /// (jittered) initial delay; each subsequent call scales by
+  /// `multiplier` up to `max_ms`.
+  std::chrono::milliseconds NextDelay() {
+    const double base = BaseDelayMs();
+    attempt_++;
+    double delay = base;
+    const double jitter = std::clamp(policy_.jitter, 0.0, 1.0);
+    if (jitter > 0.0 && delay > 0.0) {
+      delay -= delay * jitter * rng_.NextDouble();
+    }
+    return std::chrono::milliseconds(static_cast<uint64_t>(delay));
+  }
+
+  /// The un-jittered delay the next NextDelay() call starts from.
+  double BaseDelayMs() const {
+    double base = static_cast<double>(policy_.initial_ms);
+    for (uint64_t i = 0; i < attempt_; ++i) {
+      base *= policy_.multiplier;
+      if (base >= static_cast<double>(policy_.max_ms)) {
+        return static_cast<double>(policy_.max_ms);
+      }
+    }
+    return std::min(base, static_cast<double>(policy_.max_ms));
+  }
+
+  uint64_t attempts() const { return attempt_; }
+
+  void Reset() { attempt_ = 0; }
+
+ private:
+  BackoffPolicy policy_;
+  Random rng_;
+  uint64_t attempt_ = 0;
+};
+
+}  // namespace congress::util
+
+#endif  // CONGRESS_UTIL_BACKOFF_H_

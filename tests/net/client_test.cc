@@ -1,0 +1,210 @@
+#include "net/client.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/front_end.h"
+#include "resilience/failpoint.h"
+
+namespace congress::net {
+namespace {
+
+using resilience::FailpointSpec;
+using resilience::ScopedFailpoint;
+using std::chrono::milliseconds;
+
+Table SalesTable() {
+  Table t{Schema({Field{"region", DataType::kString},
+                  Field{"amount", DataType::kDouble}})};
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(t.AppendRow({Value(i % 2 == 0 ? "east" : "west"),
+                             Value(static_cast<double>(i % 9 + 1))})
+                    .ok());
+  }
+  return t;
+}
+
+SynopsisConfig SalesConfig() {
+  SynopsisConfig config;
+  config.grouping_columns = {"region"};
+  config.sample_fraction = 0.25;
+  config.seed = 11;
+  config.incremental = true;
+  return config;
+}
+
+constexpr char kSql[] =
+    "SELECT region, SUM(amount), COUNT(*) FROM sales GROUP BY region";
+
+class AquaClientTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(
+        engine_.RegisterTable("sales", SalesTable(), SalesConfig()).ok());
+    server_ = std::make_unique<serve::AquaServer>(&engine_,
+                                                  serve::ServeOptions{});
+    ASSERT_TRUE(server_->Start().ok());
+    front_end_ = std::make_unique<TcpFrontEnd>(server_.get(),
+                                               FrontEndOptions{});
+    ASSERT_TRUE(front_end_->Start().ok());
+  }
+
+  void TearDown() override {
+    front_end_->Stop();
+    server_->Stop();
+  }
+
+  ClientOptions FastOptions() {
+    ClientOptions options;
+    options.backoff.initial_ms = 1;
+    options.backoff.max_ms = 5;
+    options.seed = 3;
+    return options;
+  }
+
+  AquaEngine engine_;
+  std::unique_ptr<serve::AquaServer> server_;
+  std::unique_ptr<TcpFrontEnd> front_end_;
+};
+
+TEST(AquaClientRetryability, ClassifiesStatusCodes) {
+  serve::Request read;
+  read.mode = serve::QueryMode::kApproximate;
+  EXPECT_TRUE(AquaClient::IsRetryable(Status::Unavailable("x"), read));
+  EXPECT_TRUE(AquaClient::IsRetryable(Status::ResourceExhausted("x"), read));
+  EXPECT_TRUE(AquaClient::IsRetryable(Status::IOError("x"), read));
+  EXPECT_FALSE(AquaClient::IsRetryable(Status::InvalidArgument("x"), read));
+  EXPECT_FALSE(AquaClient::IsRetryable(Status::DeadlineExceeded("x"), read));
+  EXPECT_FALSE(
+      AquaClient::IsRetryable(Status::FailedPrecondition("x"), read));
+  EXPECT_FALSE(AquaClient::IsRetryable(Status::OK(), read));
+}
+
+TEST(AquaClientRetryability, InsertWithoutTokenNeverRetries) {
+  serve::Request insert;
+  insert.mode = serve::QueryMode::kInsert;
+  EXPECT_FALSE(AquaClient::IsRetryable(Status::Unavailable("x"), insert));
+  insert.idempotency_token = "batch-1";
+  EXPECT_TRUE(AquaClient::IsRetryable(Status::Unavailable("x"), insert));
+}
+
+TEST_F(AquaClientTest, RetriesThroughInjectedConnectFailure) {
+  // First connect attempt fails; backoff + retry succeeds.
+  ScopedFailpoint connect_fail("net/connect", /*nth=*/uint64_t{1});
+  AquaClient client("127.0.0.1", front_end_->port(), FastOptions());
+  auto response = client.Query(kSql);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_TRUE(response->status.ok());
+  EXPECT_GE(client.stats().retries, 1u);
+  EXPECT_GE(client.stats().attempts, 2u);
+}
+
+TEST_F(AquaClientTest, SurvivesShortReadsAndWrites) {
+  // Every read and write capped at one byte: the loops must reassemble
+  // the frames regardless.
+  ScopedFailpoint short_reads("net/read_short",
+                              FailpointSpec{FailpointSpec::Mode::kAlways});
+  ScopedFailpoint short_writes("net/write_short",
+                               FailpointSpec{FailpointSpec::Mode::kAlways});
+  AquaClient client("127.0.0.1", front_end_->port(), FastOptions());
+  auto response = client.Query(kSql);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_TRUE(response->status.ok());
+  EXPECT_EQ(response->result.num_groups(), 2u);
+}
+
+TEST_F(AquaClientTest, ReconnectsAfterInjectedReset) {
+  AquaClient client("127.0.0.1", front_end_->port(), FastOptions());
+  ASSERT_TRUE(client.Query(kSql).ok());
+  const uint64_t reconnects_before = client.stats().reconnects;
+  {
+    // The next client-side read reports ECONNRESET once.
+    ScopedFailpoint reset("net/read_reset", /*nth=*/uint64_t{1});
+    auto response = client.Query(kSql);
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_TRUE(response->status.ok());
+  }
+  EXPECT_GE(client.stats().reconnects, reconnects_before + 1);
+  EXPECT_GE(client.stats().transport_errors, 1u);
+}
+
+TEST_F(AquaClientTest, TokenlessInsertFailsFastOnTransportError) {
+  AquaClient client("127.0.0.1", front_end_->port(), FastOptions());
+  ASSERT_TRUE(client.Query(kSql).ok());  // Establish the connection.
+  ScopedFailpoint reset("net/write_reset",
+                        FailpointSpec{FailpointSpec::Mode::kAlways});
+  auto response =
+      client.Insert("sales", {{Value("east"), Value(1.0)}}, /*token=*/"");
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kUnavailable);
+  // No retry happened: the outcome of the lost attempt is unknown and
+  // the batch carries no idempotency token.
+  EXPECT_EQ(client.stats().retries, 0u);
+}
+
+TEST_F(AquaClientTest, TokenedInsertRetriesSafely) {
+  AquaClient client("127.0.0.1", front_end_->port(), FastOptions());
+  ASSERT_TRUE(client.Query(kSql).ok());
+  const uint64_t writes_before = server_->stats().writes;
+  {
+    ScopedFailpoint reset("net/write_reset", /*nth=*/uint64_t{1});
+    auto response = client.Insert("sales", {{Value("east"), Value(1.0)}},
+                                  "batch-7");
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_TRUE(response->status.ok());
+  }
+  EXPECT_GE(client.stats().retries, 1u);
+  // At most one execution despite the retry.
+  EXPECT_EQ(server_->stats().writes, writes_before + 1);
+}
+
+TEST_F(AquaClientTest, DeadlineBoundsTheWholeRetryLoop) {
+  // All connects fail; a 50ms overall deadline must cut the retry loop
+  // off with DeadlineExceeded, well before max_attempts * timeouts.
+  ScopedFailpoint connect_fail("net/connect",
+                               FailpointSpec{FailpointSpec::Mode::kAlways});
+  ClientOptions options = FastOptions();
+  options.max_attempts = 100;
+  options.backoff.initial_ms = 20;
+  options.backoff.max_ms = 20;
+  options.backoff.jitter = 0.0;
+  AquaClient client("127.0.0.1", front_end_->port(), options);
+  serve::Request request;
+  request.sql = kSql;
+  request.deadline = milliseconds(50);
+  const auto start = std::chrono::steady_clock::now();
+  auto response = client.Call(request);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_LT(elapsed, milliseconds(2000));
+}
+
+TEST_F(AquaClientTest, ConnectRefusedIsDefiniteUnavailable) {
+  // A port nobody listens on: every attempt fails fast and the final
+  // status is Unavailable, not a hang.
+  ClientOptions options = FastOptions();
+  options.connect_timeout = milliseconds(200);
+  AquaClient client("127.0.0.1", 1, options);
+  auto response = client.Query(kSql);
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(client.stats().attempts, options.max_attempts);
+}
+
+TEST_F(AquaClientTest, ServerRejectionPassesThroughVerbatim) {
+  AquaClient client("127.0.0.1", front_end_->port(), FastOptions());
+  serve::Request request;
+  request.sql = "THIS IS NOT SQL";
+  auto response = client.Call(request);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_FALSE(response->status.ok());
+  EXPECT_EQ(client.stats().retries, 0u);
+}
+
+}  // namespace
+}  // namespace congress::net

@@ -1,0 +1,331 @@
+#include "net/front_end.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/client.h"
+#include "net/socket.h"
+#include "net/wire.h"
+
+namespace congress::net {
+namespace {
+
+using std::chrono::milliseconds;
+
+Table SalesTable() {
+  Table t{Schema({Field{"region", DataType::kString},
+                  Field{"amount", DataType::kDouble}})};
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_TRUE(t.AppendRow({Value(i % 2 == 0 ? "east" : "west"),
+                             Value(static_cast<double>(i % 9 + 1))})
+                    .ok());
+  }
+  return t;
+}
+
+SynopsisConfig SalesConfig() {
+  SynopsisConfig config;
+  config.grouping_columns = {"region"};
+  config.sample_fraction = 0.2;
+  config.seed = 7;
+  config.incremental = true;
+  return config;
+}
+
+constexpr char kSql[] =
+    "SELECT region, SUM(amount), COUNT(*) FROM sales GROUP BY region";
+
+class TcpFrontEndTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(
+        engine_.RegisterTable("sales", SalesTable(), SalesConfig()).ok());
+    server_ = std::make_unique<serve::AquaServer>(&engine_,
+                                                  serve::ServeOptions{});
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  void TearDown() override {
+    if (front_end_) front_end_->Stop();
+    server_->Stop();
+  }
+
+  void StartFrontEnd(FrontEndOptions options = {}) {
+    front_end_ = std::make_unique<TcpFrontEnd>(server_.get(), options);
+    ASSERT_TRUE(front_end_->Start().ok());
+  }
+
+  /// Polls stats() until `pred` holds or ~2s pass.
+  template <typename Pred>
+  bool WaitForStats(Pred pred) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(2);
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (pred(front_end_->stats())) return true;
+      std::this_thread::sleep_for(milliseconds(5));
+    }
+    return pred(front_end_->stats());
+  }
+
+  AquaEngine engine_;
+  std::unique_ptr<serve::AquaServer> server_;
+  std::unique_ptr<TcpFrontEnd> front_end_;
+};
+
+TEST_F(TcpFrontEndTest, AnswersQueryOverLoopback) {
+  StartFrontEnd();
+  AquaClient client("127.0.0.1", front_end_->port(), ClientOptions{});
+  auto response = client.Query(kSql);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  ASSERT_TRUE(response->status.ok()) << response->status.ToString();
+  EXPECT_EQ(response->result.num_groups(), 2u);
+  const FrontEndStats stats = front_end_->stats();
+  EXPECT_EQ(stats.accepts, 1u);
+  EXPECT_GE(stats.frames_in, 1u);
+  EXPECT_GE(stats.frames_out, 1u);
+}
+
+TEST_F(TcpFrontEndTest, ConcurrentClientsEachGetTheirAnswer) {
+  StartFrontEnd();
+  constexpr int kClients = 8;
+  std::vector<std::thread> threads;
+  std::atomic<int> ok{0};
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([this, &ok] {
+      AquaClient client("127.0.0.1", front_end_->port(), ClientOptions{});
+      for (int j = 0; j < 5; ++j) {
+        auto response = client.Query(kSql);
+        if (response.ok() && response->status.ok() &&
+            response->result.num_groups() == 2u) {
+          ok++;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(ok.load(), kClients * 5);
+}
+
+TEST_F(TcpFrontEndTest, PipelinedRequestsMatchByCorrelationId) {
+  StartFrontEnd();
+  auto socket = ConnectTo("127.0.0.1", front_end_->port(), milliseconds(500));
+  ASSERT_TRUE(socket.ok());
+  // Write several requests back to back before reading anything.
+  std::string frames;
+  constexpr uint64_t kIds[] = {11, 22, 33};
+  for (uint64_t id : kIds) {
+    serve::Request request;
+    request.sql = kSql;
+    EncodeFrame(FrameType::kRequest, id, EncodeRequest(request), &frames);
+  }
+  size_t sent = 0;
+  while (sent < frames.size()) {
+    IoResult r = WriteSome(socket->fd(), frames.data() + sent,
+                           frames.size() - sent);
+    ASSERT_EQ(r.kind, IoResult::Kind::kOk);
+    sent += r.bytes;
+  }
+  // Read three responses; correlation ids must all come back (order may
+  // vary — the worker pool races).
+  std::string buf;
+  std::set<uint64_t> seen;
+  while (seen.size() < 3) {
+    char chunk[4096];
+    ASSERT_TRUE(WaitReadable(socket->fd(), milliseconds(2000)));
+    IoResult r = ReadSome(socket->fd(), chunk, sizeof(chunk));
+    ASSERT_EQ(r.kind, IoResult::Kind::kOk);
+    buf.append(chunk, r.bytes);
+    while (buf.size() >= kFrameHeaderBytes) {
+      auto header =
+          DecodeFrameHeader(buf.data(), buf.size(), kDefaultMaxFrameBytes);
+      ASSERT_TRUE(header.ok());
+      if (buf.size() < kFrameHeaderBytes + header->payload_length) break;
+      EXPECT_EQ(header->type, FrameType::kResponse);
+      seen.insert(header->correlation_id);
+      buf.erase(0, kFrameHeaderBytes + header->payload_length);
+    }
+  }
+  EXPECT_EQ(seen, (std::set<uint64_t>{11, 22, 33}));
+}
+
+TEST_F(TcpFrontEndTest, InsertIsDeduplicatedByIdempotencyToken) {
+  StartFrontEnd();
+  AquaClient client("127.0.0.1", front_end_->port(), ClientOptions{});
+  const uint64_t writes_before = 0;
+  std::vector<std::vector<Value>> rows = {{Value("east"), Value(4.0)}};
+  auto first = client.Insert("sales", rows, "token-1");
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_TRUE(first->status.ok()) << first->status.ToString();
+  auto second = client.Insert("sales", rows, "token-1");
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->status.ok());
+  EXPECT_EQ(front_end_->stats().idempotent_hits, 1u);
+  EXPECT_EQ(server_->stats().writes, writes_before + 1);
+}
+
+TEST_F(TcpFrontEndTest, GarbageBytesCloseTheConnection) {
+  StartFrontEnd();
+  auto socket = ConnectTo("127.0.0.1", front_end_->port(), milliseconds(500));
+  ASSERT_TRUE(socket.ok());
+  const std::string garbage(64, 'Z');
+  WriteSome(socket->fd(), garbage.data(), garbage.size());
+  ASSERT_TRUE(WaitForStats([](const FrontEndStats& s) {
+    return s.malformed_frames >= 1 && s.connections_active == 0;
+  }));
+  // The front end is still healthy for well-behaved clients.
+  AquaClient client("127.0.0.1", front_end_->port(), ClientOptions{});
+  auto response = client.Query(kSql);
+  ASSERT_TRUE(response.ok());
+  EXPECT_TRUE(response->status.ok());
+}
+
+TEST_F(TcpFrontEndTest, OversizeFrameIsRejectedBeforeBuffering) {
+  FrontEndOptions options;
+  options.max_frame_bytes = 1024;
+  StartFrontEnd(options);
+  auto socket = ConnectTo("127.0.0.1", front_end_->port(), milliseconds(500));
+  ASSERT_TRUE(socket.ok());
+  // A header advertising 16MB; only the header is ever sent.
+  std::string frame;
+  EncodeFrame(FrameType::kRequest, 1, std::string(16u << 20, 'x'), &frame);
+  frame.resize(kFrameHeaderBytes);
+  WriteSome(socket->fd(), frame.data(), frame.size());
+  ASSERT_TRUE(WaitForStats([](const FrontEndStats& s) {
+    return s.oversize_frames == 1 && s.connections_active == 0;
+  }));
+}
+
+TEST_F(TcpFrontEndTest, UndecodableBodyGetsErrorResponseAndKeepsConnection) {
+  StartFrontEnd();
+  // A correctly framed (CRC-valid) payload whose first byte is an
+  // unknown QueryMode: the framing layer accepts it, the body codec
+  // rejects it, and the connection must survive with an error response.
+  auto socket = ConnectTo("127.0.0.1", front_end_->port(), milliseconds(500));
+  ASSERT_TRUE(socket.ok());
+  std::string payload;
+  payload.push_back('\x07');  // unknown QueryMode
+  std::string frame;
+  EncodeFrame(FrameType::kRequest, 77, payload, &frame);
+  size_t sent = 0;
+  while (sent < frame.size()) {
+    IoResult r =
+        WriteSome(socket->fd(), frame.data() + sent, frame.size() - sent);
+    ASSERT_EQ(r.kind, IoResult::Kind::kOk);
+    sent += r.bytes;
+  }
+  std::string buf;
+  while (true) {
+    ASSERT_TRUE(WaitReadable(socket->fd(), milliseconds(2000)));
+    char chunk[4096];
+    IoResult r = ReadSome(socket->fd(), chunk, sizeof(chunk));
+    ASSERT_EQ(r.kind, IoResult::Kind::kOk);
+    buf.append(chunk, r.bytes);
+    if (buf.size() < kFrameHeaderBytes) continue;
+    auto header =
+        DecodeFrameHeader(buf.data(), buf.size(), kDefaultMaxFrameBytes);
+    ASSERT_TRUE(header.ok());
+    if (buf.size() < kFrameHeaderBytes + header->payload_length) continue;
+    EXPECT_EQ(header->correlation_id, 77u);
+    auto response = DecodeResponse(buf.data() + kFrameHeaderBytes,
+                                   header->payload_length);
+    ASSERT_TRUE(response.ok());
+    EXPECT_EQ(response->status.code(), StatusCode::kInvalidArgument);
+    break;
+  }
+  // Same connection still serves a valid request.
+  serve::Request request;
+  request.sql = kSql;
+  std::string good;
+  EncodeFrame(FrameType::kRequest, 78, EncodeRequest(request), &good);
+  sent = 0;
+  while (sent < good.size()) {
+    IoResult r =
+        WriteSome(socket->fd(), good.data() + sent, good.size() - sent);
+    ASSERT_EQ(r.kind, IoResult::Kind::kOk);
+    sent += r.bytes;
+  }
+  ASSERT_TRUE(WaitReadable(socket->fd(), milliseconds(2000)));
+  EXPECT_EQ(front_end_->stats().connections_active, 1u);
+}
+
+TEST_F(TcpFrontEndTest, SlowlorisPartialFrameIsCutOff) {
+  FrontEndOptions options;
+  options.frame_timeout = milliseconds(50);
+  options.poll_interval = milliseconds(10);
+  StartFrontEnd(options);
+  auto socket = ConnectTo("127.0.0.1", front_end_->port(), milliseconds(500));
+  ASSERT_TRUE(socket.ok());
+  // Half a header, then silence.
+  serve::Request request;
+  request.sql = kSql;
+  std::string frame;
+  EncodeFrame(FrameType::kRequest, 1, EncodeRequest(request), &frame);
+  WriteSome(socket->fd(), frame.data(), kFrameHeaderBytes / 2);
+  ASSERT_TRUE(WaitForStats([](const FrontEndStats& s) {
+    return s.slowloris_cutoff == 1 && s.connections_active == 0;
+  }));
+}
+
+TEST_F(TcpFrontEndTest, IdleConnectionsAreReaped) {
+  FrontEndOptions options;
+  options.idle_timeout = milliseconds(50);
+  options.poll_interval = milliseconds(10);
+  StartFrontEnd(options);
+  auto socket = ConnectTo("127.0.0.1", front_end_->port(), milliseconds(500));
+  ASSERT_TRUE(socket.ok());
+  ASSERT_TRUE(WaitForStats(
+      [](const FrontEndStats& s) { return s.accepts == 1; }));
+  ASSERT_TRUE(WaitForStats([](const FrontEndStats& s) {
+    return s.idle_reaped == 1 && s.connections_active == 0;
+  }));
+}
+
+TEST_F(TcpFrontEndTest, ConnectionCapRejectsTheOverflowConnection) {
+  FrontEndOptions options;
+  options.max_connections = 2;
+  options.poll_interval = milliseconds(10);
+  StartFrontEnd(options);
+  auto a = ConnectTo("127.0.0.1", front_end_->port(), milliseconds(500));
+  auto b = ConnectTo("127.0.0.1", front_end_->port(), milliseconds(500));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(WaitForStats(
+      [](const FrontEndStats& s) { return s.connections_active == 2; }));
+  // The third connect lands in the backlog but is never accepted; the
+  // cap holds.
+  auto c = ConnectTo("127.0.0.1", front_end_->port(), milliseconds(200));
+  std::this_thread::sleep_for(milliseconds(100));
+  EXPECT_EQ(front_end_->stats().connections_active, 2u);
+}
+
+TEST_F(TcpFrontEndTest, StopResolvesEverythingAndClosesSessions) {
+  StartFrontEnd();
+  AquaClient client("127.0.0.1", front_end_->port(), ClientOptions{});
+  auto response = client.Query(kSql);
+  ASSERT_TRUE(response.ok());
+  front_end_->Stop();
+  EXPECT_EQ(front_end_->stats().connections_active, 0u);
+  EXPECT_EQ(server_->stats().sessions_active, 0u);
+  // Stop is idempotent.
+  front_end_->Stop();
+}
+
+TEST_F(TcpFrontEndTest, RestartAfterStopServesAgain) {
+  StartFrontEnd();
+  front_end_->Stop();
+  ASSERT_TRUE(front_end_->Start().ok());
+  AquaClient client("127.0.0.1", front_end_->port(), ClientOptions{});
+  auto response = client.Query(kSql);
+  ASSERT_TRUE(response.ok());
+  EXPECT_TRUE(response->status.ok());
+}
+
+}  // namespace
+}  // namespace congress::net

@@ -1,0 +1,189 @@
+#include "net/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace congress::net {
+namespace {
+
+serve::Request SampleRequest() {
+  serve::Request request;
+  request.sql = "SELECT region, SUM(amount) FROM sales GROUP BY region";
+  request.mode = serve::QueryMode::kResilient;
+  request.table = "sales";
+  request.deadline = std::chrono::milliseconds(250);
+  request.idempotency_token = "batch-42";
+  request.rows = {{Value(int64_t{7}), Value(3.5), Value("east")},
+                  {Value(int64_t{9}), Value(1.25), Value("west")}};
+  return request;
+}
+
+serve::Response SampleResponse() {
+  serve::Response response;
+  response.status = Status::OK();
+  response.degradation.level = DegradationLevel::kHouse;
+  response.degradation.cause = "congress rung unavailable";
+  response.degradation.bound_widening = 1.5;
+  response.epoch = 12;
+  response.queue_seconds = 0.001;
+  response.exec_seconds = 0.025;
+  ApproximateGroupRow row;
+  row.key = {Value("east")};
+  row.estimates = {123.5, 17.0};
+  row.std_errors = {2.5, 0.5};
+  row.bounds = {4.9, 0.98};
+  row.support = 250;
+  row.provenance = GroupProvenance::kSampled;
+  response.result.Add(std::move(row));
+  return response;
+}
+
+TEST(WireTest, RequestRoundTrips) {
+  const serve::Request request = SampleRequest();
+  const std::string payload = EncodeRequest(request);
+  auto decoded = DecodeRequest(payload.data(), payload.size());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->sql, request.sql);
+  EXPECT_EQ(decoded->mode, request.mode);
+  EXPECT_EQ(decoded->table, request.table);
+  EXPECT_EQ(decoded->deadline, request.deadline);
+  EXPECT_EQ(decoded->idempotency_token, request.idempotency_token);
+  ASSERT_EQ(decoded->rows.size(), request.rows.size());
+  EXPECT_EQ(decoded->rows[0], request.rows[0]);
+  EXPECT_EQ(decoded->rows[1], request.rows[1]);
+}
+
+TEST(WireTest, ResponseRoundTrips) {
+  const serve::Response response = SampleResponse();
+  const std::string payload = EncodeResponse(response);
+  auto decoded = DecodeResponse(payload.data(), payload.size());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->status.code(), response.status.code());
+  EXPECT_EQ(decoded->degradation.level, response.degradation.level);
+  EXPECT_EQ(decoded->degradation.cause, response.degradation.cause);
+  EXPECT_DOUBLE_EQ(decoded->degradation.bound_widening,
+                   response.degradation.bound_widening);
+  EXPECT_EQ(decoded->epoch, 12u);
+  ASSERT_EQ(decoded->result.num_groups(), 1u);
+  const auto& row = decoded->result.rows()[0];
+  EXPECT_EQ(row.key, response.result.rows()[0].key);
+  EXPECT_EQ(row.estimates, response.result.rows()[0].estimates);
+  EXPECT_EQ(row.std_errors, response.result.rows()[0].std_errors);
+  EXPECT_EQ(row.bounds, response.result.rows()[0].bounds);
+  EXPECT_EQ(row.support, 250u);
+  EXPECT_EQ(row.provenance, GroupProvenance::kSampled);
+}
+
+TEST(WireTest, ErrorResponseRoundTripsStatus) {
+  serve::Response response;
+  response.status = Status::ResourceExhausted("queue full");
+  const std::string payload = EncodeResponse(response);
+  auto decoded = DecodeResponse(payload.data(), payload.size());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(decoded->status.message(), "queue full");
+}
+
+TEST(WireTest, FrameHeaderRoundTrips) {
+  std::string frame;
+  EncodeFrame(FrameType::kRequest, 0xDEADBEEFCAFEF00Du, "hello", &frame);
+  ASSERT_EQ(frame.size(), kFrameHeaderBytes + 5);
+  auto header =
+      DecodeFrameHeader(frame.data(), frame.size(), kDefaultMaxFrameBytes);
+  ASSERT_TRUE(header.ok()) << header.status().ToString();
+  EXPECT_EQ(header->type, FrameType::kRequest);
+  EXPECT_EQ(header->correlation_id, 0xDEADBEEFCAFEF00Du);
+  EXPECT_EQ(header->payload_length, 5u);
+  EXPECT_TRUE(
+      VerifyFramePayload(*header, frame.data() + kFrameHeaderBytes, 5).ok());
+}
+
+TEST(WireTest, HeaderRejectsBadMagic) {
+  std::string frame;
+  EncodeFrame(FrameType::kRequest, 1, "x", &frame);
+  frame[0] ^= 0xFF;
+  auto header =
+      DecodeFrameHeader(frame.data(), frame.size(), kDefaultMaxFrameBytes);
+  EXPECT_EQ(header.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WireTest, HeaderRejectsUnknownVersionTypeAndFlags) {
+  std::string frame;
+  EncodeFrame(FrameType::kRequest, 1, "x", &frame);
+  std::string v = frame;
+  v[4] = 99;  // version
+  EXPECT_FALSE(DecodeFrameHeader(v.data(), v.size(), kDefaultMaxFrameBytes)
+                   .ok());
+  std::string t = frame;
+  t[5] = 0;  // type
+  EXPECT_FALSE(DecodeFrameHeader(t.data(), t.size(), kDefaultMaxFrameBytes)
+                   .ok());
+  std::string f = frame;
+  f[6] = 1;  // flags
+  EXPECT_FALSE(DecodeFrameHeader(f.data(), f.size(), kDefaultMaxFrameBytes)
+                   .ok());
+}
+
+TEST(WireTest, HeaderRejectsOversizePayloadAsOutOfRange) {
+  std::string big(100, 'x');
+  std::string frame;
+  EncodeFrame(FrameType::kRequest, 1, big, &frame);
+  auto header = DecodeFrameHeader(frame.data(), frame.size(),
+                                  /*max_frame_bytes=*/64);
+  EXPECT_EQ(header.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(WireTest, CorruptPayloadFailsCrc) {
+  std::string frame;
+  EncodeFrame(FrameType::kResponse, 1, "payload-bytes", &frame);
+  auto header =
+      DecodeFrameHeader(frame.data(), frame.size(), kDefaultMaxFrameBytes);
+  ASSERT_TRUE(header.ok());
+  std::string payload = frame.substr(kFrameHeaderBytes);
+  payload[3] ^= 0x01;
+  EXPECT_FALSE(
+      VerifyFramePayload(*header, payload.data(), payload.size()).ok());
+}
+
+TEST(WireTest, TruncatedRequestRejected) {
+  const std::string payload = EncodeRequest(SampleRequest());
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    auto decoded = DecodeRequest(payload.data(), cut);
+    EXPECT_FALSE(decoded.ok()) << "truncation at " << cut << " decoded";
+  }
+}
+
+TEST(WireTest, TruncatedResponseRejected) {
+  const std::string payload = EncodeResponse(SampleResponse());
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    auto decoded = DecodeResponse(payload.data(), cut);
+    EXPECT_FALSE(decoded.ok()) << "truncation at " << cut << " decoded";
+  }
+}
+
+TEST(WireTest, TrailingBytesRejected) {
+  std::string payload = EncodeRequest(SampleRequest());
+  payload.push_back('\0');
+  EXPECT_FALSE(DecodeRequest(payload.data(), payload.size()).ok());
+  std::string rpayload = EncodeResponse(SampleResponse());
+  rpayload.push_back('\0');
+  EXPECT_FALSE(DecodeResponse(rpayload.data(), rpayload.size()).ok());
+}
+
+TEST(WireTest, LyingCountsDoNotAllocate) {
+  // A request claiming 2^31 rows in a 16-byte payload must be rejected
+  // by plausibility before any resize.
+  std::string payload;
+  payload.push_back(0);  // mode
+  // Three empty strings + deadline.
+  for (int i = 0; i < 3; ++i) {
+    payload.append(4, '\0');  // length 0
+  }
+  payload.append(8, '\0');                      // deadline
+  payload.append({'\xFF', '\xFF', '\xFF', '\x7F'});  // num_rows = 2^31-1
+  EXPECT_FALSE(DecodeRequest(payload.data(), payload.size()).ok());
+}
+
+}  // namespace
+}  // namespace congress::net

@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <future>
+#include <thread>
 #include <vector>
 
 namespace congress::serve {
@@ -160,6 +162,115 @@ TEST_F(AquaServerTest, DeadlineExpiredInQueueSkipsExecution) {
   EXPECT_EQ(r.status.code(), StatusCode::kDeadlineExceeded);
   EXPECT_EQ(server.stats().deadline_expired, 1u);
   server.Stop();
+}
+
+TEST_F(AquaServerTest, ElapsedDeadlineInsertIsNeverExecuted) {
+  // Regression guard for the deadline contract: a request whose relative
+  // budget elapses while queued must resolve DeadlineExceeded and must
+  // never execute — for a write that means zero rows ingested. Deadlines
+  // are re-anchored on steady_clock at Submit, so this holds regardless
+  // of wall-clock adjustments.
+  AquaServer server(&engine_, ServeOptions{});
+  auto session = server.OpenSession();
+  ASSERT_TRUE(session.ok());
+
+  Request write;
+  write.mode = QueryMode::kInsert;
+  write.table = "sales";
+  write.rows.push_back({Value("east"), Value(1.0)});
+  write.deadline = std::chrono::milliseconds(1);
+  auto future = server.Submit(*session, write);  // Queued: not started.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  ASSERT_TRUE(server.Start().ok());
+  Response r = future.get();
+  EXPECT_EQ(r.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(server.stats().writes, 0u);
+  EXPECT_EQ(server.stats().deadline_expired, 1u);
+  server.Stop();
+}
+
+TEST_F(AquaServerTest, SubmitAsyncResolvesOnEveryPath) {
+  AquaServer server(&engine_, ServeOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  auto session = server.OpenSession();
+  ASSERT_TRUE(session.ok());
+
+  // Normal execution path.
+  std::promise<Response> executed;
+  Request read;
+  read.sql = kSql;
+  server.SubmitAsync(*session, read,
+                     [&](Response r) { executed.set_value(std::move(r)); });
+  Response r = executed.get_future().get();
+  EXPECT_TRUE(r.status.ok()) << r.status.ToString();
+
+  // Admission-rejection path (unknown session): the callback still runs.
+  std::promise<Response> rejected;
+  server.SubmitAsync(9999, read,
+                     [&](Response resp) { rejected.set_value(std::move(resp)); });
+  EXPECT_EQ(rejected.get_future().get().status.code(),
+            StatusCode::kInvalidArgument);
+
+  // Stop-drain path: queued behind Stop, resolved Unavailable.
+  server.Stop();
+  std::promise<Response> drained;
+  server.SubmitAsync(*session, read,
+                     [&](Response resp) { drained.set_value(std::move(resp)); });
+  EXPECT_EQ(drained.get_future().get().status.code(),
+            StatusCode::kUnavailable);
+}
+
+TEST_F(AquaServerTest, StopRacingSubmitsLeavesNoAbandonedFutures) {
+  // Stop() races a pack of submitting threads (run under TSan in CI).
+  // Every future must resolve — with an answer or Unavailable — and
+  // submits landing after the stop must be rejected, not lost.
+  ServeOptions options;
+  options.num_threads = 3;
+  options.max_queue_depth = 1024;
+  options.max_write_queue_depth = 64;
+  AquaServer server(&engine_, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50;
+  std::atomic<int> resolved{0};
+  std::atomic<int> unresolved{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      auto session = server.OpenSession();
+      if (!session.ok()) return;  // Stop won the race before open.
+      for (int i = 0; i < kPerThread; ++i) {
+        Request request;
+        request.sql = kSql;
+        request.mode =
+            (t + i) % 2 == 0 ? QueryMode::kApproximate : QueryMode::kResilient;
+        auto future = server.Submit(*session, request);
+        if (future.wait_for(std::chrono::seconds(10)) ==
+            std::future_status::ready) {
+          Response resp = future.get();
+          // Any definite status is fine; a hang is not.
+          (void)resp;
+          resolved++;
+        } else {
+          unresolved++;
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  server.Stop();
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(unresolved.load(), 0);
+  EXPECT_EQ(resolved.load(), kThreads * kPerThread);
+
+  // Late submits after the drain are definite rejections.
+  auto session = server.OpenSession();
+  ASSERT_TRUE(session.ok());
+  Request late;
+  late.sql = kSql;
+  EXPECT_EQ(server.Submit(*session, late).get().status.code(),
+            StatusCode::kUnavailable);
 }
 
 TEST_F(AquaServerTest, StopFailsQueuedRequestsWithUnavailable) {

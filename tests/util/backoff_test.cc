@@ -1,0 +1,79 @@
+#include "util/backoff.h"
+
+#include <gtest/gtest.h>
+
+namespace congress::util {
+namespace {
+
+TEST(BackoffTest, GrowsGeometricallyAndSaturates) {
+  BackoffPolicy policy;
+  policy.initial_ms = 10;
+  policy.multiplier = 2.0;
+  policy.max_ms = 50;
+  policy.jitter = 0.0;  // Deterministic delays.
+  Backoff backoff(policy, /*seed=*/1);
+  EXPECT_EQ(backoff.NextDelay().count(), 10);
+  EXPECT_EQ(backoff.NextDelay().count(), 20);
+  EXPECT_EQ(backoff.NextDelay().count(), 40);
+  EXPECT_EQ(backoff.NextDelay().count(), 50);  // Saturated.
+  EXPECT_EQ(backoff.NextDelay().count(), 50);
+  EXPECT_EQ(backoff.attempts(), 5u);
+}
+
+TEST(BackoffTest, JitterStaysInsideTheWindow) {
+  BackoffPolicy policy;
+  policy.initial_ms = 100;
+  policy.multiplier = 2.0;
+  policy.max_ms = 1000;
+  policy.jitter = 0.5;
+  Backoff backoff(policy, /*seed=*/42);
+  double base = 100.0;
+  for (int i = 0; i < 6; ++i) {
+    const auto delay = backoff.NextDelay();
+    EXPECT_GE(delay.count(), static_cast<int64_t>(base * 0.5) - 1)
+        << "attempt " << i;
+    EXPECT_LE(delay.count(), static_cast<int64_t>(base)) << "attempt " << i;
+    base = std::min(base * 2.0, 1000.0);
+  }
+}
+
+TEST(BackoffTest, DeterministicFromSeed) {
+  BackoffPolicy policy;
+  policy.jitter = 0.3;
+  Backoff a(policy, 7);
+  Backoff b(policy, 7);
+  Backoff c(policy, 8);
+  bool any_difference = false;
+  for (int i = 0; i < 10; ++i) {
+    const auto da = a.NextDelay();
+    EXPECT_EQ(da.count(), b.NextDelay().count());
+    if (da.count() != c.NextDelay().count()) any_difference = true;
+  }
+  EXPECT_TRUE(any_difference) << "different seeds produced identical jitter";
+}
+
+TEST(BackoffTest, ResetRestartsTheSequence) {
+  BackoffPolicy policy;
+  policy.initial_ms = 10;
+  policy.jitter = 0.0;
+  Backoff backoff(policy, 1);
+  EXPECT_EQ(backoff.NextDelay().count(), 10);
+  EXPECT_EQ(backoff.NextDelay().count(), 20);
+  backoff.Reset();
+  EXPECT_EQ(backoff.NextDelay().count(), 10);
+}
+
+TEST(BackoffTest, ZeroInitialDelayStaysZero) {
+  // The checkpoint default: backoff disabled means every delay is zero,
+  // jitter or not.
+  BackoffPolicy policy;
+  policy.initial_ms = 0;
+  policy.jitter = 0.5;
+  Backoff backoff(policy, 9);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(backoff.NextDelay().count(), 0);
+  }
+}
+
+}  // namespace
+}  // namespace congress::util
