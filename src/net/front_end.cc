@@ -218,6 +218,27 @@ void TcpFrontEnd::Loop() {
     }
     DrainCompletions();
 
+    // Backpressure may have cleared (completions lowered inflight, or a
+    // POLLOUT flush will drain the write buffer below): complete frames
+    // parked in read buffers are re-parsed here, because no new bytes
+    // will arrive to trigger ReadReady for them. mid_frame distinguishes
+    // a genuinely partial tail (nothing to parse until the peer sends
+    // more) from parked complete frames.
+    if (!draining) {
+      std::vector<uint64_t> parked;
+      for (auto& [id, conn] : connections_) {
+        if (!conn.read_buf.empty() && !conn.mid_frame &&
+            conn.inflight < options_.max_inflight_per_connection) {
+          parked.push_back(id);
+        }
+      }
+      for (uint64_t id : parked) {
+        auto it = connections_.find(id);
+        if (it == connections_.end()) continue;
+        (void)ConsumeFrames(&it->second, now);
+      }
+    }
+
     if (listener_.valid() && pollfds.size() > 1 &&
         (pollfds[1].revents & POLLIN)) {
       AcceptReady(now);
@@ -313,10 +334,17 @@ bool TcpFrontEnd::ReadReady(Connection* conn, Clock::time_point now) {
 
 bool TcpFrontEnd::ConsumeFrames(Connection* conn, Clock::time_point now) {
   size_t consumed = 0;
+  // Distinguishes "stopped on an incomplete frame" (slowloris clock
+  // applies) from "stopped on backpressure with complete frames still
+  // buffered" (they are re-parsed when inflight drains, no clock).
+  bool stalled_on_partial = false;
   const std::string& buf = conn->read_buf;
   while (conn->inflight < options_.max_inflight_per_connection) {
     const size_t available = buf.size() - consumed;
-    if (available < kFrameHeaderBytes) break;
+    if (available < kFrameHeaderBytes) {
+      stalled_on_partial = available > 0;
+      break;
+    }
     auto header = DecodeFrameHeader(buf.data() + consumed, available,
                                     options_.max_frame_bytes);
     if (!header.ok()) {
@@ -337,7 +365,10 @@ bool TcpFrontEnd::ConsumeFrames(Connection* conn, Clock::time_point now) {
       return false;
     }
     const size_t frame_size = kFrameHeaderBytes + header->payload_length;
-    if (available < frame_size) break;  // Partial frame; wait for more.
+    if (available < frame_size) {  // Partial frame; wait for more.
+      stalled_on_partial = true;
+      break;
+    }
 
     const char* payload = buf.data() + consumed + kFrameHeaderBytes;
     Status crc = VerifyFramePayload(*header, payload, header->payload_length);
@@ -358,21 +389,28 @@ bool TcpFrontEnd::ConsumeFrames(Connection* conn, Clock::time_point now) {
       CONGRESS_METRIC_INCR("net.malformed_frames", 1);
       serve::Response response;
       response.status = request.status();
-      QueueResponse(conn, header->correlation_id, response);
+      // A false return means the reply's eager flush failed and the
+      // connection was already closed — `conn` (and `buf`) are gone.
+      if (!QueueResponse(conn, header->correlation_id, response)) {
+        return false;
+      }
     } else {
-      DispatchRequest(conn, header->correlation_id, std::move(*request));
+      if (!DispatchRequest(conn, header->correlation_id,
+                           std::move(*request))) {
+        return false;
+      }
     }
     consumed += frame_size;
   }
 
   if (consumed > 0) conn->read_buf.erase(0, consumed);
-  const bool mid_frame = !conn->read_buf.empty();
+  const bool mid_frame = !conn->read_buf.empty() && stalled_on_partial;
   if (mid_frame && !conn->mid_frame) conn->frame_start = now;
   conn->mid_frame = mid_frame;
   return true;
 }
 
-void TcpFrontEnd::DispatchRequest(Connection* conn, uint64_t correlation_id,
+bool TcpFrontEnd::DispatchRequest(Connection* conn, uint64_t correlation_id,
                                   serve::Request request) {
   // Tokened insert: execute at most once per token. A token with a
   // settled outcome answers from the cache; a token still executing
@@ -386,8 +424,7 @@ void TcpFrontEnd::DispatchRequest(Connection* conn, uint64_t correlation_id,
       CONGRESS_METRIC_INCR("net.idempotent_hits", 1);
       serve::Response response;
       response.status = settled->second;
-      QueueResponse(conn, correlation_id, response);
-      return;
+      return QueueResponse(conn, correlation_id, response);
     }
     auto [pending, first] = pending_inserts_.emplace(
         request.idempotency_token,
@@ -397,7 +434,7 @@ void TcpFrontEnd::DispatchRequest(Connection* conn, uint64_t correlation_id,
     if (!first) {
       idempotent_hits_.fetch_add(1, std::memory_order_relaxed);
       CONGRESS_METRIC_INCR("net.idempotent_hits", 1);
-      return;  // The in-flight execution will answer this waiter too.
+      return true;  // The in-flight execution will answer this waiter too.
     }
   } else {
     conn->inflight++;
@@ -420,16 +457,17 @@ void TcpFrontEnd::DispatchRequest(Connection* conn, uint64_t correlation_id,
         completion.response = std::move(response);
         queue->Push(std::move(completion));
       });
+  return true;
 }
 
-void TcpFrontEnd::QueueResponse(Connection* conn, uint64_t correlation_id,
+bool TcpFrontEnd::QueueResponse(Connection* conn, uint64_t correlation_id,
                                 const serve::Response& response) {
   const std::string payload = EncodeResponse(response);
   EncodeFrame(FrameType::kResponse, correlation_id, payload,
               &conn->write_buf);
   frames_out_.fetch_add(1, std::memory_order_relaxed);
   CONGRESS_METRIC_INCR("net.frames_out", 1);
-  (void)FlushWrites(conn);
+  return FlushWrites(conn);
 }
 
 bool TcpFrontEnd::FlushWrites(Connection* conn) {
@@ -474,7 +512,10 @@ void TcpFrontEnd::DrainCompletions() {
           auto it = connections_.find(connection_id);
           if (it == connections_.end()) continue;  // Connection died first.
           it->second.inflight--;
-          QueueResponse(&it->second, correlation_id, completion.response);
+          // A closed connection is fine here: each waiter re-looks its
+          // connection up, nothing holds the pointer across iterations.
+          (void)QueueResponse(&it->second, correlation_id,
+                              completion.response);
         }
         pending_inserts_.erase(pending);
       }
@@ -483,17 +524,21 @@ void TcpFrontEnd::DrainCompletions() {
     auto it = connections_.find(completion.connection_id);
     if (it == connections_.end()) continue;  // Connection died first.
     it->second.inflight--;
-    QueueResponse(&it->second, completion.correlation_id,
-                  completion.response);
+    (void)QueueResponse(&it->second, completion.correlation_id,
+                        completion.response);
   }
 }
 
 void TcpFrontEnd::RecordIdempotentInsert(const std::string& token,
                                          const Status& status) {
   // Only settled outcomes are worth caching: an admission rejection
-  // (queue full, server stopping) should be retried for real.
+  // (queue full, server stopping) should be retried for real. The same
+  // goes for a deadline that expired while the request sat in the queue
+  // — the insert never executed, so a fresh call with the same token
+  // must be allowed to run rather than be answered "expired" forever.
   if (status.code() == StatusCode::kResourceExhausted ||
-      status.code() == StatusCode::kUnavailable) {
+      status.code() == StatusCode::kUnavailable ||
+      status.code() == StatusCode::kDeadlineExceeded) {
     return;
   }
   auto [it, inserted] = insert_results_.emplace(token, status);

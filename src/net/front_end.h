@@ -170,9 +170,12 @@ class TcpFrontEnd {
   /// Parses complete frames out of conn->read_buf and dispatches them.
   bool ConsumeFrames(Connection* conn,
                      std::chrono::steady_clock::time_point now);
-  void DispatchRequest(Connection* conn, uint64_t correlation_id,
+  /// Every callee that can close the connection (the eager flush inside
+  /// QueueResponse hits the socket) returns false when it did, so no
+  /// caller keeps a dangling Connection*.
+  bool DispatchRequest(Connection* conn, uint64_t correlation_id,
                        serve::Request request);
-  void QueueResponse(Connection* conn, uint64_t correlation_id,
+  bool QueueResponse(Connection* conn, uint64_t correlation_id,
                      const serve::Response& response);
   void DrainCompletions();
   void RecordIdempotentInsert(const std::string& token, const Status& status);

@@ -190,7 +190,10 @@ Result<Socket> ConnectTo(const std::string& host, uint16_t port,
                                  strerror(err != 0 ? err : errno));
     }
   }
-  CONGRESS_RETURN_NOT_OK(SetNonBlocking(socket.fd(), false));
+  // The socket stays non-blocking: callers (AquaClient::ReadFull /
+  // WriteFull) turn EAGAIN into WaitReadable/WaitWritable with their
+  // remaining timeout budget. A blocking socket would make a stalled
+  // peer hang read()/send() forever, unreachable by any deadline.
   int one = 1;
   ::setsockopt(socket.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   return socket;

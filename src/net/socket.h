@@ -93,8 +93,10 @@ Result<Socket> AcceptConnection(int listener_fd);
 /// ephemeral port; read it back with LocalPort).
 Result<Socket> Listen(const std::string& host, uint16_t port, int backlog);
 
-/// Blocking-with-timeout connect through the shim; the returned socket
-/// is left in blocking mode.
+/// Blocking-with-timeout connect through the shim. The returned socket
+/// stays non-blocking so callers can bound every read/write with
+/// WaitReadable/WaitWritable — a stalled peer must hit the caller's
+/// timeout, never park a thread inside read()/send().
 Result<Socket> ConnectTo(const std::string& host, uint16_t port,
                          std::chrono::milliseconds timeout);
 

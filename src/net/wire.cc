@@ -1,5 +1,6 @@
 #include "net/wire.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "resilience/wire.h"
@@ -163,7 +164,8 @@ Result<serve::Request> DecodeRequest(const char* payload, size_t size) {
       !in.GetString(&request.idempotency_token) || !in.GetU64(&deadline_ms)) {
     return Malformed("request fields truncated");
   }
-  request.deadline = std::chrono::milliseconds(deadline_ms);
+  request.deadline =
+      std::chrono::milliseconds(std::min(deadline_ms, kMaxDeadlineMs));
   uint32_t num_rows = 0;
   if (!in.GetU32(&num_rows) || !PlausibleCount(in, num_rows, 4)) {
     return Malformed("request row count implausible");

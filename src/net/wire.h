@@ -43,6 +43,14 @@ inline constexpr size_t kFrameHeaderBytes = 24;
 /// hardening: a 4-byte header field must not allocate 4GB).
 inline constexpr size_t kDefaultMaxFrameBytes = 4u << 20;
 
+/// Ceiling on a decoded request deadline (4 hours). The wire field is an
+/// untrusted uint64 of milliseconds; a hostile value near 2^62 would
+/// overflow the steady_clock arithmetic in AquaServer::Enqueue
+/// (`enqueued + budget` on the nanosecond rep), which is UB. Decoding
+/// saturates here — any budget past a few hours is indistinguishable
+/// from "no deadline" for an interactive AQP request anyway.
+inline constexpr uint64_t kMaxDeadlineMs = 4ull * 60 * 60 * 1000;
+
 enum class FrameType : uint8_t {
   kRequest = 1,
   kResponse = 2,

@@ -1,5 +1,6 @@
 #include "serve/server.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "obs/metrics.h"
@@ -155,6 +156,11 @@ void AquaServer::Enqueue(uint64_t session, Pending pending) {
   std::chrono::milliseconds budget = pending.request.deadline;
   if (budget.count() == 0) budget = options_.default_deadline;
   if (budget.count() > 0) {
+    // Saturate against absurd budgets (the wire layer already clamps
+    // untrusted input, this guards in-process callers too): the
+    // time_point addition below must never overflow the clock rep.
+    constexpr std::chrono::milliseconds kMaxBudget{4ull * 60 * 60 * 1000};
+    budget = std::min(budget, kMaxBudget);
     pending.has_deadline = true;
     pending.deadline = pending.enqueued + budget;
   }

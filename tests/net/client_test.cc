@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "net/front_end.h"
+#include "net/socket.h"
 #include "resilience/failpoint.h"
 
 namespace congress::net {
@@ -182,6 +183,34 @@ TEST_F(AquaClientTest, DeadlineBoundsTheWholeRetryLoop) {
   ASSERT_FALSE(response.ok());
   EXPECT_EQ(response.status().code(), StatusCode::kDeadlineExceeded);
   EXPECT_LT(elapsed, milliseconds(2000));
+}
+
+TEST(AquaClientStall, StalledServerReadTimesOutWithinBudget) {
+  // Regression: ConnectTo used to flip the socket back to blocking, so
+  // a server that accepted bytes but never answered parked the client
+  // inside ::read() forever — the read_timeout was only reachable via
+  // injected EAGAIN. A listener that never accepts or replies (the
+  // handshake completes via the backlog) must now time out via the
+  // non-blocking wait, inside the configured budget.
+  auto listener = Listen("127.0.0.1", 0, 4);
+  ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+  auto port = LocalPort(listener->fd());
+  ASSERT_TRUE(port.ok());
+  ClientOptions options;
+  options.connect_timeout = milliseconds(200);
+  options.read_timeout = milliseconds(50);
+  options.write_timeout = milliseconds(50);
+  options.max_attempts = 2;
+  options.backoff.initial_ms = 1;
+  options.backoff.max_ms = 2;
+  AquaClient client("127.0.0.1", *port, options);
+  const auto start = std::chrono::steady_clock::now();
+  auto response = client.Query(kSql);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kUnavailable);
+  EXPECT_LT(elapsed, milliseconds(5000));
+  EXPECT_EQ(client.stats().attempts, 2u);
 }
 
 TEST_F(AquaClientTest, ConnectRefusedIsDefiniteUnavailable) {

@@ -1,6 +1,7 @@
 #include "net/front_end.h"
 
 #include <gtest/gtest.h>
+#include <sys/socket.h>
 
 #include <atomic>
 #include <chrono>
@@ -13,6 +14,7 @@
 #include "net/client.h"
 #include "net/socket.h"
 #include "net/wire.h"
+#include "resilience/failpoint.h"
 
 namespace congress::net {
 namespace {
@@ -153,6 +155,141 @@ TEST_F(TcpFrontEndTest, PipelinedRequestsMatchByCorrelationId) {
     }
   }
   EXPECT_EQ(seen, (std::set<uint64_t>{11, 22, 33}));
+}
+
+TEST_F(TcpFrontEndTest, PipelinedBurstBeyondInflightCapFullyDrains) {
+  // Regression: frames parked behind the per-connection inflight cap
+  // used to stay buffered forever (ConsumeFrames only ran on new bytes)
+  // and the leftover was miscounted as a slowloris partial frame.
+  FrontEndOptions options;
+  options.max_inflight_per_connection = 2;
+  options.frame_timeout = milliseconds(100);
+  options.poll_interval = milliseconds(10);
+  StartFrontEnd(options);
+  auto socket = ConnectTo("127.0.0.1", front_end_->port(), milliseconds(500));
+  ASSERT_TRUE(socket.ok());
+  constexpr uint64_t kCount = 8;
+  std::string frames;
+  for (uint64_t id = 1; id <= kCount; ++id) {
+    serve::Request request;
+    request.sql = kSql;
+    EncodeFrame(FrameType::kRequest, id, EncodeRequest(request), &frames);
+  }
+  size_t sent = 0;
+  while (sent < frames.size()) {
+    IoResult r = WriteSome(socket->fd(), frames.data() + sent,
+                           frames.size() - sent);
+    ASSERT_EQ(r.kind, IoResult::Kind::kOk);
+    sent += r.bytes;
+  }
+  std::string buf;
+  std::set<uint64_t> seen;
+  while (seen.size() < kCount) {
+    ASSERT_TRUE(WaitReadable(socket->fd(), milliseconds(2000)));
+    char chunk[4096];
+    IoResult r = ReadSome(socket->fd(), chunk, sizeof(chunk));
+    ASSERT_EQ(r.kind, IoResult::Kind::kOk)
+        << "connection died with " << seen.size() << "/" << kCount
+        << " responses";
+    buf.append(chunk, r.bytes);
+    while (buf.size() >= kFrameHeaderBytes) {
+      auto header =
+          DecodeFrameHeader(buf.data(), buf.size(), kDefaultMaxFrameBytes);
+      ASSERT_TRUE(header.ok());
+      if (buf.size() < kFrameHeaderBytes + header->payload_length) break;
+      seen.insert(header->correlation_id);
+      buf.erase(0, kFrameHeaderBytes + header->payload_length);
+    }
+  }
+  EXPECT_EQ(seen.size(), kCount);
+  // The legally pipelined burst must not trip the slowloris cutoff.
+  EXPECT_EQ(front_end_->stats().slowloris_cutoff, 0u);
+}
+
+TEST_F(TcpFrontEndTest, WriteResetDuringInlineReplyClosesConnectionSafely) {
+  // Regression: the eager flush inside QueueResponse can close the
+  // connection (injected ECONNRESET here); ConsumeFrames then kept
+  // using the freed Connection and its read buffer — a use-after-free
+  // this test makes the sanitizer jobs walk right into.
+  FrontEndOptions options;
+  options.poll_interval = milliseconds(10);
+  StartFrontEnd(options);
+  auto socket = ConnectTo("127.0.0.1", front_end_->port(), milliseconds(500));
+  ASSERT_TRUE(socket.ok());
+  // One CRC-valid frame with an undecodable body (reply flushed inline,
+  // where the reset fires) followed by a valid request the closed
+  // connection must never dispatch.
+  std::string burst;
+  std::string bad_body;
+  bad_body.push_back('\x07');  // unknown QueryMode
+  EncodeFrame(FrameType::kRequest, 5, bad_body, &burst);
+  serve::Request request;
+  request.sql = kSql;
+  EncodeFrame(FrameType::kRequest, 6, EncodeRequest(request), &burst);
+  // The server's reply is the first shim write; send the burst with raw
+  // ::send so the armed failpoint cannot fire on this side.
+  resilience::ScopedFailpoint reset("net/write_reset", uint64_t{1});
+  size_t sent = 0;
+  while (sent < burst.size()) {
+    ssize_t n = ::send(socket->fd(), burst.data() + sent,
+                       burst.size() - sent, MSG_NOSIGNAL);
+    ASSERT_GT(n, 0);
+    sent += static_cast<size_t>(n);
+  }
+  ASSERT_TRUE(WaitForStats([](const FrontEndStats& s) {
+    return s.resets >= 1 && s.connections_active == 0;
+  }));
+  EXPECT_GE(front_end_->stats().malformed_frames, 1u);
+  // The front end survived and still serves well-behaved clients.
+  AquaClient client("127.0.0.1", front_end_->port(), ClientOptions{});
+  auto response = client.Query(kSql);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_TRUE(response->status.ok());
+}
+
+TEST_F(TcpFrontEndTest, QueueExpiredInsertDoesNotPoisonIdempotencyCache) {
+  // Regression: a tokened insert whose deadline expired while queued
+  // (never executed) used to settle DeadlineExceeded into the
+  // idempotency cache, so no retry with that token could ever run.
+  // A not-yet-started server makes the queue expiry deterministic.
+  serve::AquaServer cold(&engine_, serve::ServeOptions{});
+  TcpFrontEnd fe(&cold, FrontEndOptions{});
+  ASSERT_TRUE(fe.Start().ok());
+
+  AquaClient client("127.0.0.1", fe.port(), ClientOptions{});
+  serve::Request first;
+  first.mode = serve::QueryMode::kInsert;
+  first.table = "sales";
+  first.rows = {{Value("east"), Value(2.0)}};
+  first.idempotency_token = "expired-token";
+  first.deadline = milliseconds(50);
+  auto response = client.Call(first);
+  // The client gives up on its 50ms budget (transport timeout or
+  // DeadlineExceeded, timing decides which) — the insert never ran.
+  ASSERT_TRUE(!response.ok() || !response->status.ok());
+  std::this_thread::sleep_for(milliseconds(100));
+  EXPECT_EQ(cold.stats().writes, 0u);
+  ASSERT_TRUE(cold.Start().ok());
+
+  // A fresh call with the SAME token must be allowed to execute once
+  // the expired attempt settles (early retries may still piggyback on
+  // the pending entry, hence the loop).
+  const auto give_up = std::chrono::steady_clock::now() +
+                       std::chrono::seconds(2);
+  bool executed = false;
+  while (std::chrono::steady_clock::now() < give_up) {
+    auto retry = client.Insert("sales", {{Value("east"), Value(2.0)}},
+                               "expired-token");
+    if (retry.ok() && retry->status.ok()) {
+      executed = true;
+      break;
+    }
+    std::this_thread::sleep_for(milliseconds(10));
+  }
+  EXPECT_TRUE(executed);
+  EXPECT_EQ(cold.stats().writes, 1u);
+  fe.Stop();
+  cold.Stop();
 }
 
 TEST_F(TcpFrontEndTest, InsertIsDeduplicatedByIdempotencyToken) {

@@ -54,6 +54,23 @@ TEST(WireTest, RequestRoundTrips) {
   EXPECT_EQ(decoded->rows[1], request.rows[1]);
 }
 
+TEST(WireTest, HostileDeadlineIsClampedOnDecode) {
+  // The deadline field is an untrusted uint64 of milliseconds; a value
+  // near 2^62 must not survive decoding, or the server's
+  // `enqueued + budget` time_point arithmetic overflows (UB).
+  serve::Request request = SampleRequest();
+  request.deadline = std::chrono::milliseconds(int64_t{1} << 62);
+  const std::string payload = EncodeRequest(request);
+  auto decoded = DecodeRequest(payload.data(), payload.size());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->deadline.count(),
+            static_cast<int64_t>(kMaxDeadlineMs));
+  // A sane deadline is untouched.
+  const std::string sane = EncodeRequest(SampleRequest());
+  EXPECT_EQ(DecodeRequest(sane.data(), sane.size())->deadline,
+            std::chrono::milliseconds(250));
+}
+
 TEST(WireTest, ResponseRoundTrips) {
   const serve::Response response = SampleResponse();
   const std::string payload = EncodeResponse(response);
