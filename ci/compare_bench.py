@@ -121,9 +121,14 @@ def main():
                 f"(|delta| {drift:.3f} > {args.l1_abs_tolerance})")
 
         base_s, cur_s = base["seconds"], cur["seconds"]
+        # Speedup vs. baseline: >1.0x means the current run is faster.
+        # Reported for every matched record (even sub-noise-floor ones,
+        # where it is informational only) so a perf PR's wins are
+        # readable straight from the CI log.
+        speedup = base_s / cur_s if cur_s > 0.0 else float("inf")
         if base_s < MIN_COMPARABLE_SECONDS:
             print(f"{prefix}SKIP-TIME {tag}: baseline {base_s * 1e3:.2f} ms "
-                  f"below noise floor")
+                  f"below noise floor | speedup {speedup:5.2f}x")
             continue
         ratio = cur_s / base_s
         verdict = "OK"
@@ -133,7 +138,7 @@ def main():
                 f"{tag}: wall time {base_s:.4f}s -> {cur_s:.4f}s "
                 f"({ratio:.2f}x > {1.0 + args.time_tolerance:.2f}x allowed)")
         print(f"{prefix}{verdict} {tag}: {base_s:.4f}s -> {cur_s:.4f}s "
-              f"({ratio:.2f}x), l1 {base_l1:.3f} -> {cur_l1:.3f}")
+              f"| speedup {speedup:5.2f}x | l1 {base_l1:.3f} -> {cur_l1:.3f}")
 
     for name, tags in sorted(missing_by_name.items()):
         failures.append(

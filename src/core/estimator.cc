@@ -225,6 +225,12 @@ Result<ApproximateResult> EstimateGroupBy(const StratifiedSample& sample,
       lists.offsets, std::max<uint64_t>(rows.num_rows() / 64 + 1, 1024));
   const size_t threads = execution.ResolvedThreads();
   const bool tally_on = kernels::kObsEnabled && execution.scope != nullptr;
+  // Per batched row: selection + survivor slots, the cached cell
+  // pointer, one input slot, and the gathered source cells. Slicing a
+  // group's run into cache-sized batches changes neither the selected
+  // set, the cell first-occurrence order, nor the fold order.
+  const uint32_t batch_rows =
+      kernels::AdaptiveBatchRows(24 + 16 * num_aggs);
   std::vector<kernels::KernelTally> tallies(chunks.size());
   ParallelFor(threads, chunks.size(), [&](size_t c) {
     kernels::KernelTally& tally = tallies[c];
@@ -236,16 +242,18 @@ Result<ApproximateResult> EstimateGroupBy(const StratifiedSample& sample,
       GroupAccum& acc = accums[g];
       const uint32_t run_begin = static_cast<uint32_t>(lists.offsets[g]);
       const uint32_t run_end = static_cast<uint32_t>(lists.offsets[g + 1]);
-      const uint32_t* sel = lists.rows.data() + run_begin;
-      size_t n_sel = run_end - run_begin;
+      for (uint32_t sb = run_begin; sb < run_end; sb += batch_rows) {
+      const uint32_t se = std::min(run_end, sb + batch_rows);
+      const uint32_t* sel = lists.rows.data() + sb;
+      size_t n_sel = se - sb;
       if (query.predicate != nullptr) {
         selected.clear();
         const uint64_t t0 = tally_on ? kernels::TallyClockNanos() : 0;
-        query.predicate->MatchBatch(rows, run_begin, run_end,
+        query.predicate->MatchBatch(rows, sb, se,
                                     lists.rows.data(), &selected);
         if (tally_on) tally.match_nanos += kernels::TallyClockNanos() - t0;
         tally.match_batches += 1;
-        tally.match_rows_in += run_end - run_begin;
+        tally.match_rows_in += se - sb;
         tally.match_rows_selected += selected.size();
         sel = selected.data();
         n_sel = selected.size();
@@ -298,6 +306,7 @@ Result<ApproximateResult> EstimateGroupBy(const StratifiedSample& sample,
           cs.sum_v2 += v * v;
           cs.max_abs = std::max(cs.max_abs, std::fabs(v));
         }
+      }
       }
     }
   });

@@ -99,34 +99,46 @@ Result<QueryResult> AggregateScaled(const Table& rel, const GroupByQuery& query,
   GroupIndex::RowLists lists = index->GroupRows();
   std::vector<std::pair<size_t, size_t>> chunks = BalancedGroupChunks(
       lists.offsets, std::max<uint64_t>(rel.num_rows() / 64 + 1, 1024));
+  // Cache-sized run slices: selection + survivor slots, one input slot,
+  // the SF weight, and the gathered source cells per batched row. The
+  // weighted folds stay strictly serial across slices.
+  const uint32_t batch_rows = kernels::AdaptiveBatchRows(24 + 16 * num_aggs);
   ParallelFor(options.ResolvedThreads(), chunks.size(), [&](size_t c) {
     SelectionVector selected;
     std::vector<double> inputs;
     for (size_t g = chunks[c].first; g < chunks[c].second; ++g) {
       const uint32_t run_begin = static_cast<uint32_t>(lists.offsets[g]);
       const uint32_t run_end = static_cast<uint32_t>(lists.offsets[g + 1]);
-      const uint32_t* sel = lists.rows.data() + run_begin;
-      size_t n_sel = run_end - run_begin;
-      if (query.predicate != nullptr) {
-        selected.clear();
-        query.predicate->MatchBatch(rel, run_begin, run_end,
-                                    lists.rows.data(), &selected);
-        sel = selected.data();
-        n_sel = selected.size();
-      }
-      if (n_sel == 0) continue;
-      std::vector<double> sum(num_aggs, 0.0);
-      std::vector<double> cnt(num_aggs, 0.0);
-      if (inputs.size() < n_sel) inputs.resize(n_sel);
-      for (size_t a = 0; a < num_aggs; ++a) {
-        AggregateInputBatch(query.aggregates[a], rel, sel, n_sel,
-                            inputs.data());
-        for (size_t i = 0; i < n_sel; ++i) {
-          const double w = sf[sel[i]];
-          sum[a] += inputs[i] * w;
-          cnt[a] += w;
+      std::vector<double> sum;
+      std::vector<double> cnt;
+      for (uint32_t sb = run_begin; sb < run_end; sb += batch_rows) {
+        const uint32_t se = std::min(run_end, sb + batch_rows);
+        const uint32_t* sel = lists.rows.data() + sb;
+        size_t n_sel = se - sb;
+        if (query.predicate != nullptr) {
+          selected.clear();
+          query.predicate->MatchBatch(rel, sb, se, lists.rows.data(),
+                                      &selected);
+          sel = selected.data();
+          n_sel = selected.size();
+        }
+        if (n_sel == 0) continue;
+        if (sum.empty()) {
+          sum.assign(num_aggs, 0.0);
+          cnt.assign(num_aggs, 0.0);
+        }
+        if (inputs.size() < n_sel) inputs.resize(n_sel);
+        for (size_t a = 0; a < num_aggs; ++a) {
+          AggregateInputBatch(query.aggregates[a], rel, sel, n_sel,
+                              inputs.data());
+          for (size_t i = 0; i < n_sel; ++i) {
+            const double w = sf[sel[i]];
+            sum[a] += inputs[i] * w;
+            cnt[a] += w;
+          }
         }
       }
+      if (sum.empty()) continue;  // No row of this group matched.
       scaled_sum[g] = std::move(sum);
       scaled_cnt[g] = std::move(cnt);
     }
@@ -227,31 +239,37 @@ Result<QueryResult> Rewriter::AnswerNestedIntegrated(
   GroupIndex::RowLists lists = index->GroupRows();
   std::vector<std::pair<size_t, size_t>> chunks = BalancedGroupChunks(
       lists.offsets, std::max<uint64_t>(rel.num_rows() / 64 + 1, 1024));
+  const uint32_t batch_rows = kernels::AdaptiveBatchRows(24 + 16 * num_aggs);
   ParallelFor(options.ResolvedThreads(), chunks.size(), [&](size_t c) {
     SelectionVector selected;
     std::vector<double> inputs;
     for (size_t g = chunks[c].first; g < chunks[c].second; ++g) {
       const uint32_t run_begin = static_cast<uint32_t>(lists.offsets[g]);
       const uint32_t run_end = static_cast<uint32_t>(lists.offsets[g + 1]);
-      const uint32_t* sel = lists.rows.data() + run_begin;
-      size_t n_sel = run_end - run_begin;
-      if (query.predicate != nullptr) {
-        selected.clear();
-        query.predicate->MatchBatch(rel, run_begin, run_end,
-                                    lists.rows.data(), &selected);
-        sel = selected.data();
-        n_sel = selected.size();
-      }
-      if (n_sel == 0) continue;
       InnerAcc& acc = inner[g];
-      acc.sum.assign(num_aggs, 0.0);
-      acc.cnt.assign(num_aggs, 0);
-      if (inputs.size() < n_sel) inputs.resize(n_sel);
-      for (size_t a = 0; a < num_aggs; ++a) {
-        AggregateInputBatch(query.aggregates[a], rel, sel, n_sel,
-                            inputs.data());
-        for (size_t i = 0; i < n_sel; ++i) acc.sum[a] += inputs[i];
-        acc.cnt[a] += n_sel;  // Integer count: order-free.
+      for (uint32_t sb = run_begin; sb < run_end; sb += batch_rows) {
+        const uint32_t se = std::min(run_end, sb + batch_rows);
+        const uint32_t* sel = lists.rows.data() + sb;
+        size_t n_sel = se - sb;
+        if (query.predicate != nullptr) {
+          selected.clear();
+          query.predicate->MatchBatch(rel, sb, se, lists.rows.data(),
+                                      &selected);
+          sel = selected.data();
+          n_sel = selected.size();
+        }
+        if (n_sel == 0) continue;
+        if (acc.sum.empty()) {
+          acc.sum.assign(num_aggs, 0.0);
+          acc.cnt.assign(num_aggs, 0);
+        }
+        if (inputs.size() < n_sel) inputs.resize(n_sel);
+        for (size_t a = 0; a < num_aggs; ++a) {
+          AggregateInputBatch(query.aggregates[a], rel, sel, n_sel,
+                              inputs.data());
+          for (size_t i = 0; i < n_sel; ++i) acc.sum[a] += inputs[i];
+          acc.cnt[a] += n_sel;  // Integer count: order-free.
+        }
       }
     }
   });

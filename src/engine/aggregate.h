@@ -6,6 +6,7 @@
 #include <string>
 
 #include "engine/expression.h"
+#include "util/simd.h"
 #include "util/status.h"
 
 namespace congress {
@@ -92,6 +93,39 @@ class Accumulator {
     count_ += 1;
     if (value < min_) min_ = value;
     if (value > max_) max_ = value;
+  }
+
+  /// Folds values[0..n) in ascending index order, specialized by kind so
+  /// each aggregate only maintains the state its Finish() reads:
+  /// SUM/AVG keep the strictly serial FP add order (no reassociation —
+  /// bit-identical to calling Add per element), COUNT is O(1), and
+  /// MIN/MAX run the SIMD folds, which reproduce the scalar strict-
+  /// inequality update exactly (NaN never wins; a zero result reruns
+  /// serially to preserve the first-encountered sign). Mixing Add and
+  /// AddBatch on one accumulator is fine: Finish() sees the same value
+  /// either way.
+  void AddBatch(const double* values, size_t n) {
+    switch (kind_) {
+      case AggregateKind::kSum:
+      case AggregateKind::kAvg: {
+        double s = sum_;
+        for (size_t i = 0; i < n; ++i) s += values[i];
+        sum_ = s;
+        break;
+      }
+      case AggregateKind::kCount:
+        // Inputs are the constant 1; n ones sum to exactly n (integers
+        // stay exact far beyond any table size).
+        sum_ += static_cast<double>(n);
+        break;
+      case AggregateKind::kMin:
+        min_ = simd::Active().fold_min(values, n, min_);
+        break;
+      case AggregateKind::kMax:
+        max_ = simd::Active().fold_max(values, n, max_);
+        break;
+    }
+    count_ += static_cast<int64_t>(n);
   }
 
   /// Final aggregate value. AVG of an empty group is 0 by convention

@@ -66,16 +66,21 @@ Result<QueryResult> ExecuteExact(const Table& table, const GroupByQuery& query,
 
   // Stage 2: aggregate each group over its own rows, in ascending row
   // order, fanned out across balanced group chunks. Each group's row run
-  // is filtered in one MatchBatch call (the run itself is the candidate
-  // selection vector) and each aggregate's inputs are evaluated in one
-  // EvalBatch into a flat buffer; the Accumulator then folds that buffer
-  // in row order — exactly the values, and exactly the order, of the old
-  // per-row loop, so results stay bit-identical for every thread count.
+  // is sliced into L1-sized batches (AdaptiveBatchRows): per batch, one
+  // MatchBatch over the slice of the run (the run itself is the candidate
+  // selection vector), then each aggregate folds its inputs while the
+  // slice is still cache-hot. Slicing changes neither the selected set
+  // nor the fold order — exactly the values, and exactly the order, of
+  // the old per-row loop, so results stay bit-identical for every thread
+  // count and every batch size.
   CONGRESS_SPAN(aggregate_span, options.scope, "aggregate");
   std::vector<std::vector<Accumulator>> groups(num_groups);
   const auto chunks =
       BalancedGroupChunks(lists.offsets, ChunkTarget(table.num_rows(), options));
   const bool tally_on = kernels::kObsEnabled && options.scope != nullptr;
+  // Per batched row: its selection slot, its survivor slot, one input
+  // buffer slot, and the source column cells behind the gathers.
+  const uint32_t batch_rows = kernels::AdaptiveBatchRows(16 + 16 * num_aggs);
   std::vector<kernels::KernelTally> tallies(chunks.size());
   ParallelFor(options.ResolvedThreads(), chunks.size(), [&](size_t c) {
     kernels::KernelTally& tally = tallies[c];
@@ -84,35 +89,47 @@ Result<QueryResult> ExecuteExact(const Table& table, const GroupByQuery& query,
     for (size_t g = chunks[c].first; g < chunks[c].second; ++g) {
       const uint32_t run_begin = static_cast<uint32_t>(lists.offsets[g]);
       const uint32_t run_end = static_cast<uint32_t>(lists.offsets[g + 1]);
-      const uint32_t* sel = lists.rows.data() + run_begin;
-      size_t n_sel = run_end - run_begin;
-      if (query.predicate != nullptr) {
-        selected.clear();
-        const uint64_t t0 = tally_on ? kernels::TallyClockNanos() : 0;
-        query.predicate->MatchBatch(table, run_begin, run_end,
-                                    lists.rows.data(), &selected);
-        if (tally_on) tally.match_nanos += kernels::TallyClockNanos() - t0;
-        tally.match_batches += 1;
-        tally.match_rows_in += run_end - run_begin;
-        tally.match_rows_selected += selected.size();
-        sel = selected.data();
-        n_sel = selected.size();
-      }
-      if (n_sel == 0) continue;  // No row matched the predicate.
       std::vector<Accumulator>& accs = groups[g];
-      accs.reserve(num_aggs);
-      for (const AggregateSpec& spec : query.aggregates) {
-        accs.emplace_back(spec.kind);
-      }
-      if (inputs.size() < n_sel) inputs.resize(n_sel);
-      for (size_t a = 0; a < num_aggs; ++a) {
-        const uint64_t t0 = tally_on ? kernels::TallyClockNanos() : 0;
-        AggregateInputBatch(query.aggregates[a], table, sel, n_sel,
-                            inputs.data());
-        if (tally_on) tally.eval_nanos += kernels::TallyClockNanos() - t0;
-        tally.eval_batches += 1;
-        tally.eval_rows += n_sel;
-        for (size_t i = 0; i < n_sel; ++i) accs[a].Add(inputs[i]);
+      for (uint32_t sb = run_begin; sb < run_end; sb += batch_rows) {
+        const uint32_t se = std::min(run_end, sb + batch_rows);
+        const uint32_t* sel = lists.rows.data() + sb;
+        size_t n_sel = se - sb;
+        if (query.predicate != nullptr) {
+          selected.clear();
+          const uint64_t t0 = tally_on ? kernels::TallyClockNanos() : 0;
+          query.predicate->MatchBatch(table, sb, se, lists.rows.data(),
+                                      &selected);
+          if (tally_on) tally.match_nanos += kernels::TallyClockNanos() - t0;
+          tally.match_batches += 1;
+          tally.match_rows_in += se - sb;
+          tally.match_rows_selected += selected.size();
+          sel = selected.data();
+          n_sel = selected.size();
+        }
+        if (n_sel == 0) continue;  // No row in this batch matched.
+        if (accs.empty()) {
+          accs.reserve(num_aggs);
+          for (const AggregateSpec& spec : query.aggregates) {
+            accs.emplace_back(spec.kind);
+          }
+        }
+        if (inputs.size() < n_sel) inputs.resize(n_sel);
+        for (size_t a = 0; a < num_aggs; ++a) {
+          if (query.aggregates[a].kind == AggregateKind::kCount) {
+            // COUNT needs no input values at all: the fold is O(1).
+            accs[a].AddBatch(nullptr, n_sel);
+            tally.eval_batches += 1;
+            tally.eval_rows += n_sel;
+            continue;
+          }
+          const uint64_t t0 = tally_on ? kernels::TallyClockNanos() : 0;
+          AggregateInputBatch(query.aggregates[a], table, sel, n_sel,
+                              inputs.data());
+          if (tally_on) tally.eval_nanos += kernels::TallyClockNanos() - t0;
+          tally.eval_batches += 1;
+          tally.eval_rows += n_sel;
+          accs[a].AddBatch(inputs.data(), n_sel);
+        }
       }
     }
   });

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "storage/table.h"
+#include "util/simd.h"
 
 namespace congress {
 
@@ -45,11 +46,55 @@ inline void FilterGeneric(uint32_t begin, uint32_t end,
   }
 }
 
+/// Typed SIMD-dispatched filters. Same contract as FilterGeneric: dense
+/// rows [begin, end) when `sel_in` is null, else the slice
+/// sel_in[begin..end); matches append to `sel_out` in ascending order.
+/// Each routes to the process-wide simd::Active() table, whose scalar and
+/// vector implementations select identical rows.
+///
+/// Numeric comparisons view int64 cells through the widened double, the
+/// predicate semantics (`cmp(static_cast<double>(v))`).
+void FilterCompareDouble(const double* data, uint32_t begin, uint32_t end,
+                         const uint32_t* sel_in, simd::Cmp op, double rhs,
+                         SelectionVector* sel_out);
+void FilterCompareInt64(const int64_t* data, uint32_t begin, uint32_t end,
+                        const uint32_t* sel_in, simd::Cmp op, double rhs,
+                        SelectionVector* sel_out);
+/// Keeps rows with lo <= v <= hi (NaN never matches).
+void FilterRangeDouble(const double* data, uint32_t begin, uint32_t end,
+                       const uint32_t* sel_in, double lo, double hi,
+                       SelectionVector* sel_out);
+void FilterRangeInt64(const int64_t* data, uint32_t begin, uint32_t end,
+                      const uint32_t* sel_in, double lo, double hi,
+                      SelectionVector* sel_out);
+/// Exact int64 equality (no widening — values beyond 2^53 stay exact).
+void FilterEqualsInt64(const int64_t* data, uint32_t begin, uint32_t end,
+                       const uint32_t* sel_in, int64_t want,
+                       SelectionVector* sel_out);
+/// String equality via dictionary codes: keeps rows whose code equals
+/// `want_code` (`keep_equal`) or differs from it. Callers resolve the
+/// comparison string to a code through Table::Dictionary first; a string
+/// absent from the dictionary matches no row (eq) or every row (ne)
+/// without any per-row work.
+void FilterStringCode(const std::vector<int32_t>& codes, uint32_t begin,
+                      uint32_t end, const uint32_t* sel_in, int32_t want_code,
+                      bool keep_equal, SelectionVector* sel_out);
+
 /// Gathers the numeric view of column `col` at rows[0..n) into out[0..n)
 /// (int64 widened to double, exactly like Table::NumericAt). The type
 /// switch is resolved once per batch instead of once per row.
 void GatherNumeric(const Table& table, size_t col, const uint32_t* rows,
                    size_t n, double* out);
+
+/// Rows per kernel batch such that the batch's working set — roughly
+/// `bytes_per_row` of hot data per processed row (selection slots, the
+/// aggregate input buffer, the source columns) — fits in about half the
+/// L1 data cache, clamped to [256, 65536] and rounded to a multiple of
+/// 64. The cache size is detected once per process (sysconf, 32 KiB
+/// fallback); CONGRESS_BATCH_BYTES overrides the byte budget directly.
+/// Slicing a row run into such batches never changes results: each slice
+/// is filtered and folded in the same order as the unsliced run.
+uint32_t AdaptiveBatchRows(size_t bytes_per_row);
 
 /// Fills out[0..n) with `value` (COUNT's constant-1 input).
 void FillConstant(double value, size_t n, double* out);

@@ -14,32 +14,67 @@ std::string ColName(const Schema* schema, size_t col) {
   return "col" + std::to_string(col);
 }
 
-/// Runs `cmp` (a predicate over the widened double view) as a typed loop
-/// over a numeric column. Returns false — leaving `sel_out` untouched —
-/// when the column is not numeric, so the caller can fall back to the
-/// scalar default and misbehave exactly as Matches would.
-template <typename Cmp>
-bool FilterNumericColumn(const Table& table, size_t col, uint32_t begin,
-                         uint32_t end, const uint32_t* sel_in,
-                         SelectionVector* sel_out, const Cmp& cmp) {
+/// Runs a comparison against `rhs` over the widened double view of a
+/// numeric column, through the SIMD-dispatched filter kernels. Returns
+/// false — leaving `sel_out` untouched — when the column is not numeric,
+/// so the caller can fall back to the scalar default and misbehave
+/// exactly as Matches would.
+bool FilterNumericCompare(const Table& table, size_t col, uint32_t begin,
+                          uint32_t end, const uint32_t* sel_in,
+                          SelectionVector* sel_out, simd::Cmp op,
+                          double rhs) {
   switch (table.schema().field(col).type) {
-    case DataType::kInt64: {
-      const std::vector<int64_t>& data = table.Int64Column(col);
-      kernels::FilterGeneric(begin, end, sel_in, sel_out, [&](uint32_t row) {
-        return cmp(static_cast<double>(data[row]));
-      });
+    case DataType::kInt64:
+      kernels::FilterCompareInt64(table.Int64Column(col).data(), begin, end,
+                                  sel_in, op, rhs, sel_out);
       return true;
-    }
-    case DataType::kDouble: {
-      const std::vector<double>& data = table.DoubleColumn(col);
-      kernels::FilterGeneric(begin, end, sel_in, sel_out,
-                             [&](uint32_t row) { return cmp(data[row]); });
+    case DataType::kDouble:
+      kernels::FilterCompareDouble(table.DoubleColumn(col).data(), begin, end,
+                                   sel_in, op, rhs, sel_out);
       return true;
-    }
     case DataType::kString:
       return false;
   }
   return false;
+}
+
+/// Range form of FilterNumericCompare: keeps lo <= v <= hi.
+bool FilterNumericRange(const Table& table, size_t col, uint32_t begin,
+                        uint32_t end, const uint32_t* sel_in,
+                        SelectionVector* sel_out, double lo, double hi) {
+  switch (table.schema().field(col).type) {
+    case DataType::kInt64:
+      kernels::FilterRangeInt64(table.Int64Column(col).data(), begin, end,
+                                sel_in, lo, hi, sel_out);
+      return true;
+    case DataType::kDouble:
+      kernels::FilterRangeDouble(table.DoubleColumn(col).data(), begin, end,
+                                 sel_in, lo, hi, sel_out);
+      return true;
+    case DataType::kString:
+      return false;
+  }
+  return false;
+}
+
+/// String equality/inequality against a constant, on dictionary codes:
+/// one dictionary probe resolves the constant, then every row is an int32
+/// compare (SIMD) instead of a string compare. A constant absent from the
+/// dictionary short-circuits: no row can equal it.
+void FilterStringEquals(const Table& table, size_t col, uint32_t begin,
+                        uint32_t end, const uint32_t* sel_in,
+                        SelectionVector* sel_out, const std::string& want,
+                        bool keep_equal) {
+  const int32_t code = table.Dictionary(col).Find(want);
+  if (code == StringDictionary::kNoCode) {
+    if (!keep_equal) {
+      kernels::FilterGeneric(begin, end, sel_in, sel_out,
+                             [](uint32_t) { return true; });
+    }
+    return;
+  }
+  kernels::FilterStringCode(table.CodeColumn(col), begin, end, sel_in, code,
+                            keep_equal, sel_out);
 }
 
 class TruePredicate final : public Predicate {
@@ -69,9 +104,8 @@ class RangePredicate final : public Predicate {
   void MatchBatch(const Table& table, uint32_t begin, uint32_t end,
                   const uint32_t* sel_in,
                   SelectionVector* sel_out) const override {
-    if (!FilterNumericColumn(
-            table, col_, begin, end, sel_in, sel_out,
-            [this](double v) { return v >= lo_ && v <= hi_; })) {
+    if (!FilterNumericRange(table, col_, begin, end, sel_in, sel_out, lo_,
+                            hi_)) {
       Predicate::MatchBatch(table, begin, end, sel_in, sel_out);
     }
   }
@@ -104,30 +138,19 @@ class EqualsPredicate final : public Predicate {
     // constant matches nothing — no per-row work at all.
     if (table.schema().field(col_).type != value_.type()) return;
     switch (value_.type()) {
-      case DataType::kInt64: {
-        const std::vector<int64_t>& data = table.Int64Column(col_);
-        const int64_t want = value_.AsInt64();
-        kernels::FilterGeneric(begin, end, sel_in, sel_out, [&](uint32_t row) {
-          return data[row] == want;
-        });
+      case DataType::kInt64:
+        kernels::FilterEqualsInt64(table.Int64Column(col_).data(), begin, end,
+                                   sel_in, value_.AsInt64(), sel_out);
         break;
-      }
-      case DataType::kDouble: {
-        const std::vector<double>& data = table.DoubleColumn(col_);
-        const double want = value_.AsDouble();
-        kernels::FilterGeneric(begin, end, sel_in, sel_out, [&](uint32_t row) {
-          return data[row] == want;
-        });
+      case DataType::kDouble:
+        kernels::FilterCompareDouble(table.DoubleColumn(col_).data(), begin,
+                                     end, sel_in, simd::Cmp::kEq,
+                                     value_.AsDouble(), sel_out);
         break;
-      }
-      case DataType::kString: {
-        const std::vector<std::string>& data = table.StringColumn(col_);
-        const std::string& want = value_.AsString();
-        kernels::FilterGeneric(begin, end, sel_in, sel_out, [&](uint32_t row) {
-          return data[row] == want;
-        });
+      case DataType::kString:
+        FilterStringEquals(table, col_, begin, end, sel_in, sel_out,
+                           value_.AsString(), /*keep_equal=*/true);
         break;
-      }
     }
   }
 
@@ -207,8 +230,8 @@ class LessEqualPredicate final : public Predicate {
   void MatchBatch(const Table& table, uint32_t begin, uint32_t end,
                   const uint32_t* sel_in,
                   SelectionVector* sel_out) const override {
-    if (!FilterNumericColumn(table, col_, begin, end, sel_in, sel_out,
-                             [this](double v) { return v <= bound_; })) {
+    if (!FilterNumericCompare(table, col_, begin, end, sel_in, sel_out,
+                              simd::Cmp::kLe, bound_)) {
       Predicate::MatchBatch(table, begin, end, sel_in, sel_out);
     }
   }
@@ -273,48 +296,22 @@ class ComparisonPredicate final : public Predicate {
         }
         return;
       }
-      const std::vector<std::string>& data = table.StringColumn(col_);
-      const std::string& rhs = value_.AsString();
-      kernels::FilterGeneric(begin, end, sel_in, sel_out, [&](uint32_t row) {
-        return (data[row] == rhs) == want_eq;
-      });
+      FilterStringEquals(table, col_, begin, end, sel_in, sel_out,
+                         value_.AsString(), want_eq);
       return;
     }
     const double rhs = value_.ToNumeric();
-    bool handled = false;
+    simd::Cmp op = simd::Cmp::kEq;
     switch (op_) {
-      case CompareOp::kEq:
-        handled = FilterNumericColumn(table, col_, begin, end, sel_in,
-                                      sel_out,
-                                      [rhs](double v) { return v == rhs; });
-        break;
-      case CompareOp::kNe:
-        handled = FilterNumericColumn(table, col_, begin, end, sel_in,
-                                      sel_out,
-                                      [rhs](double v) { return v != rhs; });
-        break;
-      case CompareOp::kLt:
-        handled = FilterNumericColumn(table, col_, begin, end, sel_in,
-                                      sel_out,
-                                      [rhs](double v) { return v < rhs; });
-        break;
-      case CompareOp::kLe:
-        handled = FilterNumericColumn(table, col_, begin, end, sel_in,
-                                      sel_out,
-                                      [rhs](double v) { return v <= rhs; });
-        break;
-      case CompareOp::kGt:
-        handled = FilterNumericColumn(table, col_, begin, end, sel_in,
-                                      sel_out,
-                                      [rhs](double v) { return v > rhs; });
-        break;
-      case CompareOp::kGe:
-        handled = FilterNumericColumn(table, col_, begin, end, sel_in,
-                                      sel_out,
-                                      [rhs](double v) { return v >= rhs; });
-        break;
+      case CompareOp::kEq: op = simd::Cmp::kEq; break;
+      case CompareOp::kNe: op = simd::Cmp::kNe; break;
+      case CompareOp::kLt: op = simd::Cmp::kLt; break;
+      case CompareOp::kLe: op = simd::Cmp::kLe; break;
+      case CompareOp::kGt: op = simd::Cmp::kGt; break;
+      case CompareOp::kGe: op = simd::Cmp::kGe; break;
     }
-    if (!handled) {
+    if (!FilterNumericCompare(table, col_, begin, end, sel_in, sel_out, op,
+                              rhs)) {
       // Non-numeric column under a numeric comparison: defer to the
       // scalar loop, which fails in exactly the way Matches always has.
       Predicate::MatchBatch(table, begin, end, sel_in, sel_out);

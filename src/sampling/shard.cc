@@ -165,6 +165,12 @@ ShardedMaintainer::ShardedMaintainer(Schema base_schema,
       chunk_rows_(std::max<size_t>(16, options.chunk_rows)),
       merge_rng_(MixSeed(options.seed, 0x5eed)) {
   if (options_.num_shards == 0) options_.num_shards = DefaultShards();
+  key_dicts_.resize(grouping_columns_.size());
+  for (size_t j = 0; j < grouping_columns_.size(); ++j) {
+    if (schema_.field(grouping_columns_[j]).type == DataType::kString) {
+      key_dicts_[j] = std::make_unique<KeyDict>();
+    }
+  }
   const uint64_t per_shard_budget = std::max<uint64_t>(
       1, (options_.target_sample_size + options_.num_shards - 1) /
              options_.num_shards);
@@ -218,21 +224,69 @@ Status ShardedMaintainer::IngestRows(const std::vector<Value>* rows,
   CONGRESS_METRIC_INCR("ingest.batches", 1);
   CONGRESS_METRIC_INCR("ingest.rows", n);
 
+  // Resolve string grouping values to shared-dictionary codes once per
+  // row. The per-column dictionaries are read-mostly: a shared-lock Find
+  // resolves values already seen by any producer; only a batch that
+  // carries a genuinely new string takes the unique lock. The intern
+  // below then hashes and compares int32 codes instead of re-walking key
+  // character data per row (the old path paid Value::Hash on every
+  // string cell of every row).
+  std::vector<std::vector<int32_t>> col_codes(grouping_columns_.size());
+  for (size_t j = 0; j < grouping_columns_.size(); ++j) {
+    if (key_dicts_[j] == nullptr) continue;
+    KeyDict& kd = *key_dicts_[j];
+    std::vector<int32_t>& codes = col_codes[j];
+    codes.resize(n);
+    const size_t col = grouping_columns_[j];
+    bool misses = false;
+    {
+      std::shared_lock<std::shared_mutex> lock(kd.mu);
+      for (size_t i = 0; i < n; ++i) {
+        codes[i] = kd.dict.Find(rows[i][col].AsString());
+        if (codes[i] == StringDictionary::kNoCode) misses = true;
+      }
+    }
+    if (misses) {
+      std::unique_lock<std::shared_mutex> lock(kd.mu);
+      for (size_t i = 0; i < n; ++i) {
+        if (codes[i] == StringDictionary::kNoCode) {
+          codes[i] = kd.dict.GetOrAdd(rows[i][col].AsString());
+        }
+      }
+    }
+  }
+
   // Batch group-intern (the PR 5 fast path): one GroupKey
   // materialization per *distinct* group in the batch, probed by the
-  // composite hash of the grouping-column values.
+  // composite hash of the grouping-column values (string columns via
+  // their dictionary codes). Group ids are assigned in first-occurrence
+  // order within the batch whatever the hash values are, so switching the
+  // string hash to codes cannot change which key a row maps to.
   std::vector<GroupKey> keys;
+  std::vector<uint32_t> first_row;  // First batch row of each interned key.
   std::vector<uint32_t> key_of_row(n);
   FlatIdTable intern(std::min<size_t>(n, 4096));
   for (size_t i = 0; i < n; ++i) {
     const RowValues& row = rows[i];
     size_t hash = grouping_columns_.size();
-    for (size_t c : grouping_columns_) HashCombine(&hash, row[c].Hash());
+    for (size_t j = 0; j < grouping_columns_.size(); ++j) {
+      if (key_dicts_[j] != nullptr) {
+        HashCombine(&hash, std::hash<int32_t>{}(col_codes[j][i]));
+      } else {
+        HashCombine(&hash, row[grouping_columns_[j]].Hash());
+      }
+    }
     auto [id, inserted] = intern.Emplace(
         hash, static_cast<uint32_t>(keys.size()), [&](uint32_t candidate) {
           const GroupKey& key = keys[candidate];
+          const uint32_t cand_row = first_row[candidate];
           for (size_t j = 0; j < grouping_columns_.size(); ++j) {
-            if (key[j] != row[grouping_columns_[j]]) return false;
+            if (key_dicts_[j] != nullptr) {
+              // Code equality is string equality.
+              if (col_codes[j][i] != col_codes[j][cand_row]) return false;
+            } else if (key[j] != row[grouping_columns_[j]]) {
+              return false;
+            }
           }
           return true;
         });
@@ -241,6 +295,7 @@ Status ShardedMaintainer::IngestRows(const std::vector<Value>* rows,
       key.reserve(grouping_columns_.size());
       for (size_t c : grouping_columns_) key.push_back(row[c]);
       keys.push_back(std::move(key));
+      first_row.push_back(static_cast<uint32_t>(i));
     }
     key_of_row[i] = id;
   }

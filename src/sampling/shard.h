@@ -5,11 +5,13 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <vector>
 
 #include "sampling/allocation.h"
 #include "sampling/maintenance.h"
 #include "sampling/stratified_sample.h"
+#include "storage/string_dict.h"
 #include "storage/table.h"
 #include "util/status.h"
 
@@ -127,10 +129,22 @@ class ShardedMaintainer {
   Result<StratifiedSample> MergeShardSamples(
       std::vector<StratifiedSample> shard_samples);
 
+  /// Shared string dictionary for one string-typed grouping column.
+  /// Read-mostly: repeated key values resolve to their code under a
+  /// shared lock; only a genuinely new string takes the unique lock.
+  struct KeyDict {
+    std::shared_mutex mu;
+    StringDictionary dict;
+  };
+
   Schema schema_;
   std::vector<size_t> grouping_columns_;
   ShardedIngestOptions options_;
   size_t chunk_rows_;
+  /// One slot per grouping column; null for non-string columns. Codes
+  /// are only used for batch-intern hashing/equality, so cross-run code
+  /// numbering can never leak into sample contents.
+  std::vector<std::unique_ptr<KeyDict>> key_dicts_;
 
   std::vector<std::unique_ptr<Shard>> shards_;
   /// Global arrival order: each batch claims [seq, seq + n).

@@ -19,7 +19,12 @@ struct ColumnRef {
   DataType type = DataType::kInt64;
   const std::vector<int64_t>* i64 = nullptr;
   const std::vector<double>* f64 = nullptr;
-  const std::vector<std::string>* str = nullptr;
+  /// String columns probe their dictionary codes, never the strings:
+  /// code equality is string equality (codes are a per-column global
+  /// intern), so hashing and comparing int32 codes gives the same
+  /// partition — and the same first-occurrence ids — as the string path
+  /// it replaced, without touching character data per row.
+  const std::vector<int32_t>* codes = nullptr;
 };
 
 std::vector<ColumnRef> ResolveColumns(const Table& table,
@@ -37,7 +42,7 @@ std::vector<ColumnRef> ResolveColumns(const Table& table,
         ref.f64 = &table.DoubleColumn(c);
         break;
       case DataType::kString:
-        ref.str = &table.StringColumn(c);
+        ref.codes = &table.CodeColumn(c);
         break;
     }
     refs.push_back(ref);
@@ -62,7 +67,7 @@ size_t HashRow(const std::vector<ColumnRef>& refs, size_t row) {
         break;
       }
       case DataType::kString:
-        HashCombine(&seed, std::hash<std::string>{}((*ref.str)[row]));
+        HashCombine(&seed, std::hash<int32_t>{}((*ref.codes)[row]));
         break;
     }
   }
@@ -79,7 +84,7 @@ bool RowsEqual(const std::vector<ColumnRef>& refs, size_t a, size_t b) {
         if ((*ref.f64)[a] != (*ref.f64)[b]) return false;
         break;
       case DataType::kString:
-        if ((*ref.str)[a] != (*ref.str)[b]) return false;
+        if ((*ref.codes)[a] != (*ref.codes)[b]) return false;
         break;
     }
   }
@@ -199,6 +204,35 @@ Result<GroupIndex> GroupIndex::Build(const Table& table,
   index.row_ids_.resize(n);
   CONGRESS_METRIC_INCR("group_index.builds", 1);
   CONGRESS_METRIC_INCR("group_index.rows_interned", n);
+
+  if (group_columns.size() == 1 &&
+      table.schema().field(group_columns[0]).type == DataType::kString) {
+    // Fastest path: a single string grouping column needs no interning at
+    // all. Dictionary codes are dense ids assigned in first-occurrence
+    // row order — exactly the group-id contract — so the build is a copy
+    // of the code column plus a counting pass, and the keys come straight
+    // from the dictionary. Deterministic by construction (no hashing, no
+    // thread-dependent state).
+    CONGRESS_METRIC_INCR("group_index.dict_fastpath_builds", 1);
+    const std::vector<int32_t>& codes = table.CodeColumn(group_columns[0]);
+    const StringDictionary& dict = table.Dictionary(group_columns[0]);
+    index.counts_.assign(dict.size(), 0);
+    for (size_t row = 0; row < n; ++row) {
+      const uint32_t id = static_cast<uint32_t>(codes[row]);
+      index.row_ids_[row] = id;
+      index.counts_[id] += 1;
+    }
+    index.keys_.reserve(dict.size());
+    for (size_t g = 0; g < dict.size(); ++g) {
+      index.keys_.push_back(GroupKey{Value(dict.At(static_cast<int32_t>(g)))});
+    }
+    index.lookup_.Reserve(index.keys_.size());
+    for (uint32_t g = 0; g < index.keys_.size(); ++g) {
+      index.lookup_.Emplace(GroupKeyHash{}(index.keys_[g]), g,
+                            [](uint32_t) { return false; });
+    }
+    return index;
+  }
 
   std::vector<uint32_t> reps;  // global id -> representative row.
   if (group_columns.size() == 1 &&

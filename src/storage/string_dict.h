@@ -1,0 +1,76 @@
+#ifndef CONGRESS_STORAGE_STRING_DICT_H_
+#define CONGRESS_STORAGE_STRING_DICT_H_
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/flat_table.h"
+
+namespace congress {
+
+/// A per-column string dictionary: every distinct string is interned once
+/// and assigned a dense int32 code in first-occurrence order. Because
+/// codes are global to the column, code equality is string equality and
+/// the first-occurrence numbering means a single-string-column group-by
+/// can use the codes directly as group ids — the intern-over-hashing
+/// trade the group-by sampling literature assumes when it treats group
+/// membership as a cheap integer.
+///
+/// The dictionary is append-only and not thread-safe; concurrent readers
+/// are fine once writes stop (the ingest path wraps one in a shared
+/// mutex, see sampling/shard.cc).
+class StringDictionary {
+ public:
+  /// Code returned by Find() for strings not in the dictionary.
+  static constexpr int32_t kNoCode = -1;
+
+  /// Interns `s`, returning its code (existing or freshly assigned).
+  int32_t GetOrAdd(std::string_view s) {
+    const uint64_t hash = HashOf(s);
+    const auto [code, inserted] = table_.Emplace(
+        hash, static_cast<uint32_t>(strings_.size()),
+        [&](uint32_t cand) { return strings_[cand] == s; });
+    if (inserted) strings_.emplace_back(s);
+    return static_cast<int32_t>(code);
+  }
+
+  /// The code of `s`, or kNoCode when it was never interned.
+  int32_t Find(std::string_view s) const {
+    const uint32_t code = table_.Find(
+        HashOf(s), [&](uint32_t cand) { return strings_[cand] == s; });
+    return code == FlatIdTable::kNoId ? kNoCode : static_cast<int32_t>(code);
+  }
+
+  /// The string behind `code` (codes are dense, 0 <= code < size()).
+  const std::string& At(int32_t code) const {
+    assert(code >= 0 && static_cast<size_t>(code) < strings_.size());
+    return strings_[static_cast<size_t>(code)];
+  }
+
+  /// Distinct strings interned so far.
+  size_t size() const { return strings_.size(); }
+
+  /// All interned strings, indexed by code.
+  const std::vector<std::string>& strings() const { return strings_; }
+
+  void Reserve(size_t n) {
+    strings_.reserve(n);
+    table_.Reserve(n);
+  }
+
+ private:
+  static uint64_t HashOf(std::string_view s) {
+    return std::hash<std::string_view>{}(s);
+  }
+
+  std::vector<std::string> strings_;
+  FlatIdTable table_;
+};
+
+}  // namespace congress
+
+#endif  // CONGRESS_STORAGE_STRING_DICT_H_

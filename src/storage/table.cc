@@ -20,6 +20,7 @@ Table::Table(Schema schema) : schema_(std::move(schema)) {
         break;
     }
   }
+  encodings_.resize(schema_.num_fields());
 }
 
 Status Table::AppendRow(const std::vector<Value>& row) {
@@ -44,10 +45,13 @@ Status Table::AppendRow(const std::vector<Value>& row) {
       case DataType::kDouble:
         std::get<std::vector<double>>(columns_[i]).push_back(row[i].AsDouble());
         break;
-      case DataType::kString:
-        std::get<std::vector<std::string>>(columns_[i])
-            .push_back(row[i].AsString());
+      case DataType::kString: {
+        const std::string& s = row[i].AsString();
+        std::get<std::vector<std::string>>(columns_[i]).push_back(s);
+        Encoding& enc = encodings_[i];
+        enc.codes.push_back(enc.dict.GetOrAdd(s));
         break;
+      }
     }
   }
   ++num_rows_;
@@ -67,11 +71,14 @@ void Table::AppendRowFrom(const Table& src, size_t src_row) {
         std::get<std::vector<double>>(columns_[i])
             .push_back(std::get<std::vector<double>>(src.columns_[i])[src_row]);
         break;
-      case DataType::kString:
-        std::get<std::vector<std::string>>(columns_[i])
-            .push_back(
-                std::get<std::vector<std::string>>(src.columns_[i])[src_row]);
+      case DataType::kString: {
+        const std::string& s =
+            std::get<std::vector<std::string>>(src.columns_[i])[src_row];
+        std::get<std::vector<std::string>>(columns_[i]).push_back(s);
+        Encoding& enc = encodings_[i];
+        enc.codes.push_back(enc.dict.GetOrAdd(s));
         break;
+      }
     }
   }
   ++num_rows_;
@@ -127,7 +134,33 @@ void Table::SetRowCount(size_t n) {
     std::visit([n](const auto& vec) { assert(vec.size() == n); }, col);
   }
 #endif
+  // Mutable string accessors bypass the dictionary; encode whatever they
+  // appended since the last commit.
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (schema_.field(i).type == DataType::kString) EncodeTail(i);
+  }
   num_rows_ = n;
+}
+
+void Table::EncodeTail(size_t col) {
+  const auto& strings = std::get<std::vector<std::string>>(columns_[col]);
+  Encoding& enc = encodings_[col];
+  assert(enc.codes.size() <= strings.size());
+  enc.codes.reserve(strings.size());
+  for (size_t r = enc.codes.size(); r < strings.size(); ++r) {
+    enc.codes.push_back(enc.dict.GetOrAdd(strings[r]));
+  }
+}
+
+const std::vector<int32_t>& Table::CodeColumn(size_t col) const {
+  assert(schema_.field(col).type == DataType::kString);
+  assert(encodings_[col].codes.size() == num_rows_);
+  return encodings_[col].codes;
+}
+
+const StringDictionary& Table::Dictionary(size_t col) const {
+  assert(schema_.field(col).type == DataType::kString);
+  return encodings_[col].dict;
 }
 
 void Table::AppendFrom(const Table& src) {
@@ -150,6 +183,9 @@ void Table::AppendFrom(const Table& src) {
         const auto& in = std::get<std::vector<std::string>>(src.columns_[i]);
         auto& out = std::get<std::vector<std::string>>(columns_[i]);
         out.insert(out.end(), in.begin(), in.end());
+        // Re-intern against this table's dictionary: codes are
+        // per-table, so src's codes don't transfer.
+        EncodeTail(i);
         break;
       }
     }
@@ -174,6 +210,11 @@ double Table::NumericAt(size_t row, size_t col) const {
 void Table::Reserve(size_t n) {
   for (auto& col : columns_) {
     std::visit([n](auto& vec) { vec.reserve(n); }, col);
+  }
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (schema_.field(i).type == DataType::kString) {
+      encodings_[i].codes.reserve(n);
+    }
   }
 }
 

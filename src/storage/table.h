@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "storage/schema.h"
+#include "storage/string_dict.h"
 #include "storage/value.h"
 #include "util/status.h"
 
@@ -53,8 +54,20 @@ class Table {
 
   /// Commits `n` as the row count after columnar appends through the
   /// mutable accessors. Every column must already hold exactly `n` cells
-  /// (checked by assert in debug builds).
+  /// (checked by assert in debug builds). Mutable string-column access is
+  /// append-only: this call dictionary-encodes the appended tail, so
+  /// overwriting committed string cells in place would desynchronize the
+  /// codes.
   void SetRowCount(size_t n);
+
+  /// Dictionary codes of string column `col`, aligned with its rows:
+  /// dense int32 ids in first-occurrence order, so code equality is
+  /// string equality and a single-string-column group-by can use codes as
+  /// group ids directly. Maintained on every append path.
+  const std::vector<int32_t>& CodeColumn(size_t col) const;
+
+  /// The dictionary backing CodeColumn(col).
+  const StringDictionary& Dictionary(size_t col) const;
 
   /// Appends every row of `src` column-wise (same schema required for
   /// correctness; checked by assert in debug builds).
@@ -76,8 +89,22 @@ class Table {
   using ColumnData = std::variant<std::vector<int64_t>, std::vector<double>,
                                   std::vector<std::string>>;
 
+  /// Dictionary encoding of one string column. Kept beside the string
+  /// vector (not instead of it), so every existing accessor is untouched
+  /// while the hot paths — group intern, equality predicates — run on
+  /// int32 codes.
+  struct Encoding {
+    std::vector<int32_t> codes;
+    StringDictionary dict;
+  };
+
+  /// Interns rows [codes.size(), strings.size()) of string column `col`.
+  void EncodeTail(size_t col);
+
   Schema schema_;
   std::vector<ColumnData> columns_;
+  /// One entry per column; only string columns carry data.
+  std::vector<Encoding> encodings_;
   size_t num_rows_ = 0;
 };
 

@@ -1,0 +1,168 @@
+// StringDictionary + dictionary-encoded group-by regression tests.
+//
+// The load-bearing property: switching group interning from per-row
+// string hashing to dictionary codes must not move a single group id.
+// Ids are assigned in first-occurrence row order whatever the hash
+// function is, so the tests pin GroupIndex::Build against an
+// independent reference intern that reproduces the pre-dictionary
+// semantics (std::unordered_map over the raw key strings).
+
+#include "storage/string_dict.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "storage/group_index.h"
+#include "storage/table.h"
+
+namespace congress {
+namespace {
+
+Schema MakeSchema() {
+  return Schema({{"flag", DataType::kString},
+                 {"status", DataType::kString},
+                 {"qty", DataType::kInt64}});
+}
+
+Table MakeTable(size_t rows) {
+  const char* flags[] = {"A", "N", "R"};
+  const char* statuses[] = {"O", "F"};
+  Table t{MakeSchema()};
+  for (size_t i = 0; i < rows; ++i) {
+    t.AppendRow({Value(std::string(flags[(i * 7) % 3])),
+                 Value(std::string(statuses[(i * 5) % 2])),
+                 Value(static_cast<int64_t>(i % 11))});
+  }
+  return t;
+}
+
+TEST(StringDictionary, FirstOccurrenceDenseCodes) {
+  StringDictionary dict;
+  EXPECT_EQ(dict.GetOrAdd("banana"), 0);
+  EXPECT_EQ(dict.GetOrAdd("apple"), 1);
+  EXPECT_EQ(dict.GetOrAdd("banana"), 0);  // repeat: same code
+  EXPECT_EQ(dict.GetOrAdd("cherry"), 2);
+  EXPECT_EQ(dict.size(), 3u);
+  EXPECT_EQ(dict.At(0), "banana");
+  EXPECT_EQ(dict.At(1), "apple");
+  EXPECT_EQ(dict.At(2), "cherry");
+  EXPECT_EQ(dict.Find("apple"), 1);
+  EXPECT_EQ(dict.Find("durian"), StringDictionary::kNoCode);
+  EXPECT_EQ(dict.Find(""), StringDictionary::kNoCode);
+  EXPECT_EQ(dict.GetOrAdd(""), 3);  // empty string is a normal key
+  EXPECT_EQ(dict.Find(""), 3);
+}
+
+TEST(TableEncoding, CodesTrackAppendedRows) {
+  Table t = MakeTable(50);
+  const std::vector<int32_t>& codes = t.CodeColumn(0);
+  const StringDictionary& dict = t.Dictionary(0);
+  ASSERT_EQ(codes.size(), t.num_rows());
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    EXPECT_EQ(dict.At(codes[r]), t.StringColumn(0)[r]) << "row " << r;
+  }
+  // First occurrence order: row 0 holds code 0.
+  EXPECT_EQ(codes[0], 0);
+}
+
+TEST(TableEncoding, SetRowCountEncodesAppendedTail) {
+  Table t = MakeTable(4);
+  // The bulk-append path: write the string column directly, then commit
+  // the new row count (the contract the gather kernels use).
+  t.MutableStringColumn(0).push_back("Z");
+  t.MutableStringColumn(1).push_back("O");
+  t.MutableInt64Column(2).push_back(99);
+  t.SetRowCount(5);
+  const std::vector<int32_t>& codes = t.CodeColumn(0);
+  ASSERT_EQ(codes.size(), 5u);
+  EXPECT_EQ(t.Dictionary(0).At(codes[4]), "Z");
+  // "Z" was new to the column: its code extends the dense range.
+  EXPECT_EQ(codes[4], t.Dictionary(0).Find("Z"));
+}
+
+TEST(TableEncoding, AppendFromReencodesIntoOwnDictionary) {
+  Table a = MakeTable(10);
+  Table b{MakeSchema()};
+  b.AppendRow({Value(std::string("X")), Value(std::string("F")),
+               Value(static_cast<int64_t>(1))});
+  b.AppendFrom(a);
+  ASSERT_EQ(b.num_rows(), 11u);
+  const std::vector<int32_t>& codes = b.CodeColumn(0);
+  ASSERT_EQ(codes.size(), 11u);
+  // b's dictionary starts with its own "X" at code 0; a's rows re-encode
+  // relative to b, not with a's code numbering.
+  EXPECT_EQ(codes[0], 0);
+  for (size_t r = 0; r < b.num_rows(); ++r) {
+    EXPECT_EQ(b.Dictionary(0).At(codes[r]), b.StringColumn(0)[r]);
+  }
+}
+
+// Reference intern with the pre-dictionary semantics: walk rows in
+// order, assign the next dense id to each unseen composite key string.
+std::vector<uint32_t> ReferenceIds(const Table& t,
+                                   const std::vector<size_t>& cols) {
+  std::unordered_map<std::string, uint32_t> seen;
+  std::vector<uint32_t> ids(t.num_rows());
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    std::string key;
+    for (size_t c : cols) {
+      key += t.GetValue(r, c).ToString();
+      key += '\x1f';
+    }
+    auto [it, inserted] =
+        seen.emplace(std::move(key), static_cast<uint32_t>(seen.size()));
+    ids[r] = it->second;
+  }
+  return ids;
+}
+
+TEST(DictGroupByRegression, SingleStringColumnIdsUnchanged) {
+  Table t = MakeTable(500);
+  auto index = GroupIndex::Build(t, {0});
+  ASSERT_TRUE(index.ok());
+  std::vector<uint32_t> want = ReferenceIds(t, {0});
+  ASSERT_EQ(index->row_ids().size(), want.size());
+  EXPECT_EQ(index->row_ids(), want);
+  // Keys come back as the actual strings, in first-occurrence order.
+  ASSERT_EQ(index->num_groups(), 3u);
+  EXPECT_EQ(index->keys()[0][0].AsString(), t.StringColumn(0)[0]);
+  uint64_t total = 0;
+  for (uint64_t c : index->counts()) total += c;
+  EXPECT_EQ(total, t.num_rows());
+}
+
+TEST(DictGroupByRegression, MultiColumnIdsUnchanged) {
+  Table t = MakeTable(500);
+  for (const std::vector<size_t>& cols :
+       {std::vector<size_t>{0, 1}, std::vector<size_t>{1, 2},
+        std::vector<size_t>{0, 1, 2}, std::vector<size_t>{1}}) {
+    auto index = GroupIndex::Build(t, cols);
+    ASSERT_TRUE(index.ok());
+    EXPECT_EQ(index->row_ids(), ReferenceIds(t, cols))
+        << "cols=" << cols.size();
+    // Every key materializes the real column values.
+    for (size_t g = 0; g < index->num_groups(); ++g) {
+      ASSERT_EQ(index->keys()[g].size(), cols.size());
+    }
+  }
+}
+
+TEST(DictGroupByRegression, ThreadCountDoesNotMoveIds) {
+  Table t = MakeTable(2000);
+  ExecutorOptions serial;
+  serial.num_threads = 1;
+  ExecutorOptions wide;
+  wide.num_threads = 8;
+  auto a = GroupIndex::Build(t, {0, 1}, serial);
+  auto b = GroupIndex::Build(t, {0, 1}, wide);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->row_ids(), b->row_ids());
+  EXPECT_EQ(a->counts(), b->counts());
+}
+
+}  // namespace
+}  // namespace congress
